@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building actuator specifications or applying settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ActuationError {
+    /// The requested setting index does not exist for this actuator.
+    UnknownSetting {
+        /// Name of the actuator.
+        actuator: String,
+        /// Requested setting index.
+        requested: usize,
+        /// Number of settings the actuator exposes.
+        available: usize,
+    },
+    /// The actuator specification is malformed (no settings, bad nominal, ...).
+    InvalidSpec(String),
+    /// The underlying platform rejected the setting change.
+    PlatformRejected {
+        /// Name of the actuator.
+        actuator: String,
+        /// Platform-provided reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ActuationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActuationError::UnknownSetting {
+                actuator,
+                requested,
+                available,
+            } => write!(
+                f,
+                "actuator `{actuator}` has {available} settings, index {requested} does not exist"
+            ),
+            ActuationError::InvalidSpec(reason) => write!(f, "invalid actuator spec: {reason}"),
+            ActuationError::PlatformRejected { actuator, reason } => {
+                write!(f, "platform rejected setting on `{actuator}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ActuationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ActuationError::UnknownSetting {
+            actuator: "dvfs".into(),
+            requested: 9,
+            available: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("dvfs") && msg.contains('9') && msg.contains('3'));
+        assert!(ActuationError::InvalidSpec("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ActuationError>();
+    }
+}

@@ -1,0 +1,376 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ActuationError;
+use crate::spec::{ActuatorSpec, Axis, SettingIndex};
+
+/// A joint configuration: one setting index per actuator, in actuator order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Configuration(Vec<SettingIndex>);
+
+impl Configuration {
+    /// Creates a configuration from per-actuator setting indices.
+    pub fn new(settings: Vec<SettingIndex>) -> Self {
+        Configuration(settings)
+    }
+
+    /// The setting chosen for the actuator at `position`.
+    pub fn setting(&self, position: usize) -> Option<SettingIndex> {
+        self.0.get(position).copied()
+    }
+
+    /// Per-actuator setting indices.
+    pub fn settings(&self) -> &[SettingIndex] {
+        &self.0
+    }
+
+    /// Number of actuators this configuration covers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the configuration covers no actuators.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<SettingIndex>> for Configuration {
+    fn from(settings: Vec<SettingIndex>) -> Self {
+        Configuration::new(settings)
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The predicted joint effect of a configuration, as multipliers over the
+/// all-nominal configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedEffect {
+    /// Predicted performance multiplier (speedup).
+    pub performance: f64,
+    /// Predicted power multiplier.
+    pub power: f64,
+    /// Predicted accuracy multiplier.
+    pub accuracy: f64,
+}
+
+impl PredictedEffect {
+    /// The all-nominal effect (1.0 on every axis).
+    pub fn nominal() -> Self {
+        PredictedEffect {
+            performance: 1.0,
+            power: 1.0,
+            accuracy: 1.0,
+        }
+    }
+
+    /// Predicted performance-per-watt multiplier.
+    pub fn efficiency(&self) -> f64 {
+        if self.power > 0.0 {
+            self.performance / self.power
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Multiplier along a particular axis.
+    pub fn on(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::Performance => self.performance,
+            Axis::Power => self.power,
+            Axis::Accuracy => self.accuracy,
+        }
+    }
+}
+
+impl Default for PredictedEffect {
+    fn default() -> Self {
+        PredictedEffect::nominal()
+    }
+}
+
+/// The joint search space spanned by a set of actuator specifications.
+///
+/// The space assumes effects compose multiplicatively across actuators —
+/// the same first-order model SEEC uses to seed its controllers before any
+/// runtime observation corrects it (DAC 2012 §3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationSpace {
+    specs: Vec<ActuatorSpec>,
+}
+
+impl ConfigurationSpace {
+    /// Creates a space over the given actuator specifications.
+    pub fn new(specs: Vec<ActuatorSpec>) -> Self {
+        ConfigurationSpace { specs }
+    }
+
+    /// The actuator specifications, in configuration order.
+    pub fn specs(&self) -> &[ActuatorSpec] {
+        &self.specs
+    }
+
+    /// Number of actuators in the space.
+    pub fn arity(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Total number of joint configurations.
+    pub fn cardinality(&self) -> usize {
+        if self.specs.is_empty() {
+            return 0;
+        }
+        self.specs.iter().map(ActuatorSpec::len).product()
+    }
+
+    /// The all-nominal configuration.
+    pub fn nominal(&self) -> Configuration {
+        Configuration::new(self.specs.iter().map(ActuatorSpec::nominal).collect())
+    }
+
+    /// Checks that `config` addresses every actuator with a valid setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActuationError::UnknownSetting`] for the first actuator whose
+    /// setting index is out of range, or [`ActuationError::InvalidSpec`] when
+    /// the configuration arity does not match the space.
+    pub fn validate(&self, config: &Configuration) -> Result<(), ActuationError> {
+        if config.len() != self.specs.len() {
+            return Err(ActuationError::InvalidSpec(format!(
+                "configuration has {} entries but the space has {} actuators",
+                config.len(),
+                self.specs.len()
+            )));
+        }
+        for (spec, &setting) in self.specs.iter().zip(config.settings()) {
+            if setting >= spec.len() {
+                return Err(ActuationError::UnknownSetting {
+                    actuator: spec.name().to_string(),
+                    requested: setting,
+                    available: spec.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Predicted joint effect of `config`, multiplying per-actuator effects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Self::validate`].
+    pub fn predicted_effect(
+        &self,
+        config: &Configuration,
+    ) -> Result<PredictedEffect, ActuationError> {
+        self.validate(config)?;
+        let mut effect = PredictedEffect::nominal();
+        for (spec, &setting) in self.specs.iter().zip(config.settings()) {
+            effect.performance *= spec.predicted_effect(setting, Axis::Performance)?;
+            effect.power *= spec.predicted_effect(setting, Axis::Power)?;
+            effect.accuracy *= spec.predicted_effect(setting, Axis::Accuracy)?;
+        }
+        Ok(effect)
+    }
+
+    /// Iterates over every joint configuration in lexicographic order.
+    pub fn iter(&self) -> ConfigurationIter<'_> {
+        ConfigurationIter {
+            space: self,
+            next: if self.cardinality() == 0 {
+                None
+            } else {
+                Some(vec![0; self.specs.len()])
+            },
+        }
+    }
+
+    /// Configurations that differ from `config` in exactly one actuator.
+    pub fn neighbors(&self, config: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        for (pos, spec) in self.specs.iter().enumerate() {
+            let current = config.setting(pos).unwrap_or(spec.nominal());
+            for candidate in 0..spec.len() {
+                if candidate != current {
+                    let mut settings = config.settings().to_vec();
+                    settings[pos] = candidate;
+                    out.push(Configuration::new(settings));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<ActuatorSpec> for ConfigurationSpace {
+    fn from_iter<I: IntoIterator<Item = ActuatorSpec>>(iter: I) -> Self {
+        ConfigurationSpace::new(iter.into_iter().collect())
+    }
+}
+
+/// Iterator over every configuration of a [`ConfigurationSpace`].
+#[derive(Debug)]
+pub struct ConfigurationIter<'a> {
+    space: &'a ConfigurationSpace,
+    next: Option<Vec<SettingIndex>>,
+}
+
+impl Iterator for ConfigurationIter<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.next.clone()?;
+        // Advance like an odometer, most-significant actuator first.
+        let mut following = current.clone();
+        let mut pos = following.len();
+        loop {
+            if pos == 0 {
+                self.next = None;
+                break;
+            }
+            pos -= 1;
+            following[pos] += 1;
+            if following[pos] < self.space.specs[pos].len() {
+                self.next = Some(following);
+                break;
+            }
+            following[pos] = 0;
+        }
+        Some(Configuration::new(current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SettingSpec;
+
+    fn space() -> ConfigurationSpace {
+        let dvfs = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("fast"))
+            .nominal(1)
+            .build()
+            .unwrap();
+        let cores = ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("2")
+                    .effect(Axis::Performance, 1.8)
+                    .effect(Axis::Power, 2.0),
+            )
+            .setting(
+                SettingSpec::new("4")
+                    .effect(Axis::Performance, 3.0)
+                    .effect(Axis::Power, 4.0),
+            )
+            .build()
+            .unwrap();
+        ConfigurationSpace::new(vec![dvfs, cores])
+    }
+
+    #[test]
+    fn cardinality_and_nominal() {
+        let s = space();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.cardinality(), 6);
+        assert_eq!(s.nominal(), Configuration::new(vec![1, 0]));
+        assert_eq!(ConfigurationSpace::new(vec![]).cardinality(), 0);
+    }
+
+    #[test]
+    fn iterator_visits_every_configuration_once() {
+        let s = space();
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all.len(), 6);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+        for config in &all {
+            assert!(s.validate(config).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_space_iterates_nothing() {
+        let s = ConfigurationSpace::new(vec![]);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn predicted_effects_multiply() {
+        let s = space();
+        let effect = s
+            .predicted_effect(&Configuration::new(vec![0, 2]))
+            .unwrap();
+        assert!((effect.performance - 0.5 * 3.0).abs() < 1e-12);
+        assert!((effect.power - 0.4 * 4.0).abs() < 1e-12);
+        assert_eq!(effect.accuracy, 1.0);
+        assert!((effect.efficiency() - 1.5 / 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configurations() {
+        let s = space();
+        assert!(s.validate(&Configuration::new(vec![0])).is_err());
+        assert!(s.validate(&Configuration::new(vec![0, 9])).is_err());
+        assert!(s.predicted_effect(&Configuration::new(vec![5, 0])).is_err());
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_position() {
+        let s = space();
+        let base = Configuration::new(vec![1, 1]);
+        let neighbors = s.neighbors(&base);
+        assert_eq!(neighbors.len(), 1 + 2);
+        for n in neighbors {
+            let diffs = n
+                .settings()
+                .iter()
+                .zip(base.settings())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn configuration_display_and_conversions() {
+        let config: Configuration = vec![1, 2, 3].into();
+        assert_eq!(config.to_string(), "[1, 2, 3]");
+        assert_eq!(config.len(), 3);
+        assert!(!config.is_empty());
+        assert_eq!(config.setting(2), Some(3));
+        assert_eq!(config.setting(9), None);
+    }
+
+    #[test]
+    fn effect_axis_accessors() {
+        let effect = PredictedEffect {
+            performance: 2.0,
+            power: 0.5,
+            accuracy: 0.9,
+        };
+        assert_eq!(effect.on(Axis::Performance), 2.0);
+        assert_eq!(effect.on(Axis::Power), 0.5);
+        assert_eq!(effect.on(Axis::Accuracy), 0.9);
+        assert_eq!(PredictedEffect::default(), PredictedEffect::nominal());
+    }
+}

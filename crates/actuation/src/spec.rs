@@ -1,0 +1,380 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ActuationError;
+
+/// Index into an actuator's list of allowable settings.
+pub type SettingIndex = usize;
+
+/// An axis of system behaviour an actuator can affect.
+///
+/// These mirror the three goal families of the heartbeat API so that the
+/// decision engine can pair goals with the actuators able to influence them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis {
+    /// Application throughput / latency.
+    Performance,
+    /// Power (and energy) consumption.
+    Power,
+    /// Output quality.
+    Accuracy,
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Axis::Performance => "performance",
+            Axis::Power => "power",
+            Axis::Accuracy => "accuracy",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Whether an actuator affects only the application that registered it or
+/// the whole system (DAC 2012 §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Scope {
+    /// Only the registering application is affected (e.g. switching the
+    /// application's algorithm).
+    #[default]
+    Application,
+    /// Every application on the system is affected (e.g. allocating cores,
+    /// changing chip-wide voltage).
+    Global,
+}
+
+/// One allowable setting of an actuator and its predicted effects.
+///
+/// Effects are multipliers relative to the actuator's *nominal* setting,
+/// whose effect is 1.0 on every axis. An axis with no declared effect is
+/// assumed to be unaffected (multiplier 1.0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettingSpec {
+    label: String,
+    effects: BTreeMap<Axis, f64>,
+}
+
+impl SettingSpec {
+    /// Creates a setting with the given human-readable label and no declared
+    /// effects (all multipliers 1.0).
+    pub fn new(label: impl Into<String>) -> Self {
+        SettingSpec {
+            label: label.into(),
+            effects: BTreeMap::new(),
+        }
+    }
+
+    /// Declares the effect of this setting on `axis` as a multiplier over the
+    /// nominal setting.
+    pub fn effect(mut self, axis: Axis, multiplier: f64) -> Self {
+        self.effects.insert(axis, multiplier);
+        self
+    }
+
+    /// Human-readable label (e.g. `"2.4GHz"`, `"64KB"`, `"16 cores"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Multiplier this setting applies to `axis` (1.0 when undeclared).
+    pub fn effect_on(&self, axis: Axis) -> f64 {
+        self.effects.get(&axis).copied().unwrap_or(1.0)
+    }
+
+    /// Axes with explicitly declared effects.
+    pub fn declared_axes(&self) -> impl Iterator<Item = Axis> + '_ {
+        self.effects.keys().copied()
+    }
+}
+
+/// Static description of an actuator: everything except the function that
+/// actually changes the setting (see [`crate::Actuator`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorSpec {
+    name: String,
+    settings: Vec<SettingSpec>,
+    nominal: SettingIndex,
+    delay: f64,
+    scope: Scope,
+}
+
+impl ActuatorSpec {
+    /// Starts building a spec for an actuator called `name`.
+    pub fn builder(name: impl Into<String>) -> ActuatorSpecBuilder {
+        ActuatorSpecBuilder {
+            name: name.into(),
+            settings: Vec::new(),
+            nominal: 0,
+            delay: 0.0,
+            scope: Scope::default(),
+        }
+    }
+
+    /// Actuator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All allowable settings, in index order.
+    pub fn settings(&self) -> &[SettingSpec] {
+        &self.settings
+    }
+
+    /// The setting at `index`, if it exists.
+    pub fn setting(&self, index: SettingIndex) -> Option<&SettingSpec> {
+        self.settings.get(index)
+    }
+
+    /// Number of allowable settings.
+    pub fn len(&self) -> usize {
+        self.settings.len()
+    }
+
+    /// Returns `true` if the actuator has no settings (never true for a
+    /// successfully built spec).
+    pub fn is_empty(&self) -> bool {
+        self.settings.is_empty()
+    }
+
+    /// Index of the nominal setting (effects 1.0 on every axis).
+    pub fn nominal(&self) -> SettingIndex {
+        self.nominal
+    }
+
+    /// Seconds between applying a setting and its effects being observable.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Whether the actuator is application-scoped or global.
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+
+    /// Union of the axes any setting declares an effect on.
+    pub fn affected_axes(&self) -> Vec<Axis> {
+        let mut axes: Vec<Axis> = self
+            .settings
+            .iter()
+            .flat_map(|s| s.declared_axes())
+            .collect();
+        axes.sort();
+        axes.dedup();
+        axes
+    }
+
+    /// Predicted multiplier of setting `index` on `axis`, relative to nominal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActuationError::UnknownSetting`] when `index` is out of range.
+    pub fn predicted_effect(
+        &self,
+        index: SettingIndex,
+        axis: Axis,
+    ) -> Result<f64, ActuationError> {
+        self.setting(index)
+            .map(|s| s.effect_on(axis))
+            .ok_or_else(|| ActuationError::UnknownSetting {
+                actuator: self.name.clone(),
+                requested: index,
+                available: self.settings.len(),
+            })
+    }
+}
+
+/// Builder for [`ActuatorSpec`] (see [`ActuatorSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct ActuatorSpecBuilder {
+    name: String,
+    settings: Vec<SettingSpec>,
+    nominal: SettingIndex,
+    delay: f64,
+    scope: Scope,
+}
+
+impl ActuatorSpecBuilder {
+    /// Appends an allowable setting.
+    pub fn setting(mut self, setting: SettingSpec) -> Self {
+        self.settings.push(setting);
+        self
+    }
+
+    /// Appends several settings at once.
+    pub fn settings<I: IntoIterator<Item = SettingSpec>>(mut self, settings: I) -> Self {
+        self.settings.extend(settings);
+        self
+    }
+
+    /// Declares which setting index is nominal (default 0).
+    pub fn nominal(mut self, index: SettingIndex) -> Self {
+        self.nominal = index;
+        self
+    }
+
+    /// Declares the actuation delay in seconds (default 0).
+    pub fn delay(mut self, seconds: f64) -> Self {
+        self.delay = seconds;
+        self
+    }
+
+    /// Declares the actuator scope (default [`Scope::Application`]).
+    pub fn scope(mut self, scope: Scope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Finalises the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActuationError::InvalidSpec`] if there are no settings, the
+    /// nominal index is out of range, the delay is negative/non-finite, or
+    /// any effect multiplier is non-positive or non-finite.
+    pub fn build(self) -> Result<ActuatorSpec, ActuationError> {
+        if self.settings.is_empty() {
+            return Err(ActuationError::InvalidSpec(format!(
+                "actuator `{}` declares no settings",
+                self.name
+            )));
+        }
+        if self.nominal >= self.settings.len() {
+            return Err(ActuationError::InvalidSpec(format!(
+                "nominal index {} out of range for `{}` ({} settings)",
+                self.nominal,
+                self.name,
+                self.settings.len()
+            )));
+        }
+        if !self.delay.is_finite() || self.delay < 0.0 {
+            return Err(ActuationError::InvalidSpec(format!(
+                "delay must be non-negative and finite, got {}",
+                self.delay
+            )));
+        }
+        for (i, setting) in self.settings.iter().enumerate() {
+            for axis in setting.declared_axes() {
+                let m = setting.effect_on(axis);
+                if !m.is_finite() || m <= 0.0 {
+                    return Err(ActuationError::InvalidSpec(format!(
+                        "setting {i} (`{}`) of `{}` has non-positive multiplier {m} on {axis}",
+                        setting.label(),
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(ActuatorSpec {
+            name: self.name,
+            settings: self.settings,
+            nominal: self.nominal,
+            delay: self.delay,
+            scope: self.scope,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dvfs_spec() -> ActuatorSpec {
+        ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("nominal"))
+            .setting(
+                SettingSpec::new("fast")
+                    .effect(Axis::Performance, 1.5)
+                    .effect(Axis::Power, 2.0),
+            )
+            .nominal(1)
+            .delay(0.001)
+            .scope(Scope::Global)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_complete_spec() {
+        let spec = dvfs_spec();
+        assert_eq!(spec.name(), "dvfs");
+        assert_eq!(spec.len(), 3);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.nominal(), 1);
+        assert_eq!(spec.delay(), 0.001);
+        assert_eq!(spec.scope(), Scope::Global);
+        assert_eq!(
+            spec.affected_axes(),
+            vec![Axis::Performance, Axis::Power]
+        );
+    }
+
+    #[test]
+    fn undeclared_effects_default_to_unity() {
+        let spec = dvfs_spec();
+        let nominal = spec.setting(1).unwrap();
+        assert_eq!(nominal.effect_on(Axis::Performance), 1.0);
+        assert_eq!(nominal.effect_on(Axis::Power), 1.0);
+        assert_eq!(nominal.effect_on(Axis::Accuracy), 1.0);
+    }
+
+    #[test]
+    fn predicted_effect_checks_bounds() {
+        let spec = dvfs_spec();
+        assert_eq!(spec.predicted_effect(2, Axis::Power).unwrap(), 2.0);
+        assert!(matches!(
+            spec.predicted_effect(7, Axis::Power),
+            Err(ActuationError::UnknownSetting { requested: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let err = ActuatorSpec::builder("empty").build().unwrap_err();
+        assert!(matches!(err, ActuationError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn bad_nominal_index_is_rejected() {
+        let err = ActuatorSpec::builder("x")
+            .setting(SettingSpec::new("only"))
+            .nominal(3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ActuationError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn negative_delay_is_rejected() {
+        let err = ActuatorSpec::builder("x")
+            .setting(SettingSpec::new("only"))
+            .delay(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ActuationError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn non_positive_multiplier_is_rejected() {
+        let err = ActuatorSpec::builder("x")
+            .setting(SettingSpec::new("bad").effect(Axis::Power, 0.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ActuationError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn default_scope_is_application() {
+        let spec = ActuatorSpec::builder("x")
+            .setting(SettingSpec::new("only"))
+            .build()
+            .unwrap();
+        assert_eq!(spec.scope(), Scope::Application);
+    }
+}

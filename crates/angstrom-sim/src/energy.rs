@@ -1,0 +1,123 @@
+//! Chip-level energy accounting.
+//!
+//! Every component model reports energy in joules; this module aggregates
+//! them into the breakdown Angstrom's energy counters expose to the SEEC
+//! runtime (DAC 2012 §4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by each part of the chip over some interval, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Dynamic (switching) energy of the allocated main cores.
+    pub core_dynamic: f64,
+    /// Leakage energy of the allocated main cores.
+    pub core_leakage: f64,
+    /// Dynamic energy of cache accesses.
+    pub cache_dynamic: f64,
+    /// Leakage energy of the enabled cache arrays.
+    pub cache_leakage: f64,
+    /// Network energy (flit transport).
+    pub network: f64,
+    /// Partner-core energy (decision making plus idle leakage).
+    pub partner: f64,
+    /// Leakage of unallocated (idle) tiles that remain powered.
+    pub idle_tiles: f64,
+}
+
+impl EnergyBreakdown {
+    /// Creates an all-zero breakdown.
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Total energy across every component, in joules.
+    pub fn total(&self) -> f64 {
+        self.core_dynamic
+            + self.core_leakage
+            + self.cache_dynamic
+            + self.cache_leakage
+            + self.network
+            + self.partner
+            + self.idle_tiles
+    }
+
+    /// Average power over `seconds`, in watts.
+    ///
+    /// Returns 0.0 for a non-positive interval.
+    pub fn average_power(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            self.total() / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Component-wise sum of two breakdowns.
+    pub fn combined(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_dynamic: self.core_dynamic + other.core_dynamic,
+            core_leakage: self.core_leakage + other.core_leakage,
+            cache_dynamic: self.cache_dynamic + other.cache_dynamic,
+            cache_leakage: self.cache_leakage + other.cache_leakage,
+            network: self.network + other.network,
+            partner: self.partner + other.partner,
+            idle_tiles: self.idle_tiles + other.idle_tiles,
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self.combined(&rhs)
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), |acc, x| acc.combined(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_dynamic: 1.0,
+            core_leakage: 0.5,
+            cache_dynamic: 0.25,
+            cache_leakage: 0.25,
+            network: 0.5,
+            partner: 0.1,
+            idle_tiles: 0.4,
+        }
+    }
+
+    #[test]
+    fn total_sums_every_component() {
+        assert!((sample().total() - 3.0).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::new().total(), 0.0);
+    }
+
+    #[test]
+    fn average_power_divides_by_time() {
+        assert!((sample().average_power(2.0) - 1.5).abs() < 1e-12);
+        assert_eq!(sample().average_power(0.0), 0.0);
+        assert_eq!(sample().average_power(-1.0), 0.0);
+    }
+
+    #[test]
+    fn breakdowns_combine_component_wise() {
+        let a = sample();
+        let b = sample();
+        let c = a + b;
+        assert!((c.total() - 6.0).abs() < 1e-12);
+        assert!((c.core_dynamic - 2.0).abs() < 1e-12);
+        let summed: EnergyBreakdown = vec![sample(), sample(), sample()].into_iter().sum();
+        assert!((summed.total() - 9.0).abs() < 1e-12);
+    }
+}

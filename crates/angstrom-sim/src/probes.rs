@@ -1,0 +1,249 @@
+//! Event probes: hardware comparators watching processor state.
+//!
+//! Polled performance counters are too coarse to catch rare events, so
+//! Angstrom attaches *event probes* to counters and other pieces of state
+//! (DAC 2012 §4.1). A probe holds a trigger register and a programmable
+//! comparator that continuously compares the watched value (optionally
+//! masked) against the trigger. On a match it either raises an interrupt or
+//! deposits an event record in a small hardware queue that the partner core
+//! (or any software) can drain.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::CounterId;
+
+/// Comparison operation programmed into a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComparatorOp {
+    /// Watched value equals the trigger.
+    Equal,
+    /// Watched value differs from the trigger.
+    NotEqual,
+    /// Watched value is strictly less than the trigger.
+    LessThan,
+    /// Watched value is at least the trigger.
+    GreaterOrEqual,
+    /// Watched value is strictly greater than the trigger.
+    GreaterThan,
+    /// Watched value is at most the trigger.
+    LessOrEqual,
+}
+
+impl ComparatorOp {
+    /// Evaluates the comparison.
+    pub fn matches(self, value: u64, trigger: u64) -> bool {
+        match self {
+            ComparatorOp::Equal => value == trigger,
+            ComparatorOp::NotEqual => value != trigger,
+            ComparatorOp::LessThan => value < trigger,
+            ComparatorOp::GreaterOrEqual => value >= trigger,
+            ComparatorOp::GreaterThan => value > trigger,
+            ComparatorOp::LessOrEqual => value <= trigger,
+        }
+    }
+}
+
+/// What a probe does when its comparator matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeAction {
+    /// Raise an interrupt on the owning tile.
+    Interrupt,
+    /// Append an [`EventRecord`] to the probe's hardware queue.
+    Record,
+}
+
+/// A record deposited in the probe queue on a match.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Counter (or state) the probe was watching.
+    pub source: CounterId,
+    /// Masked value that matched.
+    pub value: u64,
+    /// Simulation time of the match, in seconds.
+    pub timestamp: f64,
+}
+
+/// Outcome of presenting a value to a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// The comparator did not match.
+    NoMatch,
+    /// The comparator matched and an interrupt was requested.
+    Interrupt,
+    /// The comparator matched and a record was queued.
+    Recorded,
+    /// The comparator matched but the queue was full; the record was dropped.
+    QueueFull,
+}
+
+/// A programmable event probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventProbe {
+    /// Counter the probe watches.
+    pub source: CounterId,
+    /// Comparator operation.
+    pub op: ComparatorOp,
+    /// Trigger register.
+    pub trigger: u64,
+    /// Bit mask applied to the watched value before comparison.
+    pub mask: u64,
+    /// Action taken on a match.
+    pub action: ProbeAction,
+    queue: VecDeque<EventRecord>,
+    queue_capacity: usize,
+    pending_interrupts: u64,
+}
+
+impl EventProbe {
+    /// Default depth of the hardware event queue.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 16;
+
+    /// Creates a probe watching `source` with the given comparator, trigger,
+    /// and action; the mask defaults to all ones.
+    pub fn new(source: CounterId, op: ComparatorOp, trigger: u64, action: ProbeAction) -> Self {
+        EventProbe {
+            source,
+            op,
+            trigger,
+            mask: u64::MAX,
+            action,
+            queue: VecDeque::new(),
+            queue_capacity: Self::DEFAULT_QUEUE_DEPTH,
+            pending_interrupts: 0,
+        }
+    }
+
+    /// Sets the comparison mask (only bits set in the mask participate).
+    pub fn with_mask(mut self, mask: u64) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Sets the queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_capacity = depth;
+        self
+    }
+
+    /// Presents the current value of the watched state to the probe.
+    pub fn observe(&mut self, value: u64, now: f64) -> ProbeOutcome {
+        let masked = value & self.mask;
+        let masked_trigger = self.trigger & self.mask;
+        if !self.op.matches(masked, masked_trigger) {
+            return ProbeOutcome::NoMatch;
+        }
+        match self.action {
+            ProbeAction::Interrupt => {
+                self.pending_interrupts += 1;
+                ProbeOutcome::Interrupt
+            }
+            ProbeAction::Record => {
+                if self.queue.len() >= self.queue_capacity {
+                    ProbeOutcome::QueueFull
+                } else {
+                    self.queue.push_back(EventRecord {
+                        source: self.source,
+                        value: masked,
+                        timestamp: now,
+                    });
+                    ProbeOutcome::Recorded
+                }
+            }
+        }
+    }
+
+    /// Number of interrupts raised and not yet acknowledged.
+    pub fn pending_interrupts(&self) -> u64 {
+        self.pending_interrupts
+    }
+
+    /// Acknowledges all pending interrupts, returning how many there were.
+    pub fn acknowledge_interrupts(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_interrupts)
+    }
+
+    /// Number of queued event records.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pops the oldest queued event record, if any.
+    pub fn pop_event(&mut self) -> Option<EventRecord> {
+        self.queue.pop_front()
+    }
+
+    /// Drains every queued event record, oldest first.
+    pub fn drain_events(&mut self) -> Vec<EventRecord> {
+        self.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_ops_cover_all_relations() {
+        assert!(ComparatorOp::Equal.matches(5, 5));
+        assert!(!ComparatorOp::Equal.matches(5, 6));
+        assert!(ComparatorOp::NotEqual.matches(5, 6));
+        assert!(ComparatorOp::LessThan.matches(4, 5));
+        assert!(!ComparatorOp::LessThan.matches(5, 5));
+        assert!(ComparatorOp::GreaterOrEqual.matches(5, 5));
+        assert!(ComparatorOp::GreaterThan.matches(6, 5));
+        assert!(ComparatorOp::LessOrEqual.matches(5, 5));
+    }
+
+    #[test]
+    fn recording_probe_queues_until_full() {
+        let mut probe = EventProbe::new(
+            CounterId::CacheMisses,
+            ComparatorOp::GreaterOrEqual,
+            100,
+            ProbeAction::Record,
+        )
+        .with_queue_depth(2);
+        assert_eq!(probe.observe(50, 0.0), ProbeOutcome::NoMatch);
+        assert_eq!(probe.observe(150, 1.0), ProbeOutcome::Recorded);
+        assert_eq!(probe.observe(200, 2.0), ProbeOutcome::Recorded);
+        assert_eq!(probe.observe(300, 3.0), ProbeOutcome::QueueFull);
+        assert_eq!(probe.queue_len(), 2);
+        let first = probe.pop_event().unwrap();
+        assert_eq!(first.value, 150);
+        assert_eq!(first.timestamp, 1.0);
+        assert_eq!(first.source, CounterId::CacheMisses);
+        assert_eq!(probe.drain_events().len(), 1);
+        assert_eq!(probe.queue_len(), 0);
+    }
+
+    #[test]
+    fn interrupt_probe_counts_and_acknowledges() {
+        let mut probe = EventProbe::new(
+            CounterId::StallCycles,
+            ComparatorOp::GreaterThan,
+            1000,
+            ProbeAction::Interrupt,
+        );
+        assert_eq!(probe.observe(2000, 0.0), ProbeOutcome::Interrupt);
+        assert_eq!(probe.observe(3000, 0.1), ProbeOutcome::Interrupt);
+        assert_eq!(probe.pending_interrupts(), 2);
+        assert_eq!(probe.acknowledge_interrupts(), 2);
+        assert_eq!(probe.pending_interrupts(), 0);
+    }
+
+    #[test]
+    fn mask_restricts_compared_bits() {
+        // Watch only the low byte.
+        let mut probe = EventProbe::new(
+            CounterId::FlitsSent,
+            ComparatorOp::Equal,
+            0x42,
+            ProbeAction::Record,
+        )
+        .with_mask(0xFF);
+        assert_eq!(probe.observe(0xAB42, 0.0), ProbeOutcome::Recorded);
+        assert_eq!(probe.observe(0xAB43, 0.1), ProbeOutcome::NoMatch);
+    }
+}

@@ -1,0 +1,17 @@
+//! Criterion bench for the design-choice ablations (adaptive NoC features,
+//! coherence protocols, decision placement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::ablation::Ablations;
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("noc_coherence_partner_core", |b| b.iter(Ablations::compute));
+    group.finish();
+
+    println!("\n{}", Ablations::compute().to_table());
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench regenerating Figure 2 (efficiency of closed adaptive
+//! systems): the barnes cores × cache sweep on the 64-core multicore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Figure2;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_closed_systems");
+    group.sample_size(10);
+    group.bench_function("barnes_cores_x_cache_sweep", |b| {
+        b.iter(|| {
+            let figure = Figure2::compute();
+            assert!(!figure.frontier.is_empty());
+            figure
+        })
+    });
+    group.finish();
+
+    // Print the regenerated figure once so the bench run doubles as a report.
+    let figure = Figure2::compute();
+    println!("\n{}", figure.to_table());
+    println!(
+        "closed-system choices off the Pareto frontier: {}\n",
+        figure.suboptimal_closed_choices().len()
+    );
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

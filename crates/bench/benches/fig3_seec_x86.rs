@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Figure 3 (SEEC on an existing Linux/x86
+//! system): the five benchmarks under no adaptation, uncoordinated
+//! adaptation, SEEC, and the oracles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Figure3;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_seec_x86");
+    group.sample_size(10);
+    // A reduced quantum count keeps each iteration affordable; the printed
+    // report below uses a longer run.
+    group.bench_function("five_benchmarks_all_baselines", |b| {
+        b.iter(|| Figure3::compute_with(2012, 20))
+    });
+    group.finish();
+
+    let figure = Figure3::compute_with(2012, 60);
+    println!("\n{}", figure.to_table());
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

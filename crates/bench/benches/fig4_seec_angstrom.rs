@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Figure 4 (anticipated SEEC results on the
+//! 256-core Angstrom processor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Figure4;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_seec_angstrom");
+    group.sample_size(10);
+    group.bench_function("angstrom_256_sweep_all_benchmarks", |b| {
+        b.iter(|| Figure4::compute_with_multiplier(1.15))
+    });
+    group.finish();
+
+    let figure = Figure4::compute_with_multiplier(1.15);
+    println!("\n{}", figure.to_table());
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate; see the `benches/` directory for the Criterion
+//! harnesses that regenerate each figure of the paper's evaluation.

@@ -1,0 +1,28 @@
+//! Regenerates Figure 2: efficiency of closed adaptive systems.
+
+use experiments::Figure2;
+
+fn main() {
+    let figure = Figure2::compute();
+    println!("Figure 2 — barnes on a 64-core multicore, cores x cache sweep\n");
+    println!("{}", figure.to_table());
+    println!(
+        "Pareto-optimal configurations: {} of {}",
+        figure.frontier.len(),
+        figure.points.len()
+    );
+    println!(
+        "Closed-system (cache-only or core-only) choices off the Pareto frontier: {}",
+        figure.suboptimal_closed_choices().len()
+    );
+    match serde_json::to_string_pretty(&figure) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write("fig2.json", json) {
+                eprintln!("could not write fig2.json: {err}");
+            } else {
+                println!("\nraw data written to fig2.json");
+            }
+        }
+        Err(err) => eprintln!("could not serialise figure 2: {err}"),
+    }
+}

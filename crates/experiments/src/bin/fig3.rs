@@ -1,0 +1,19 @@
+//! Regenerates Figure 3: SEEC on an existing Linux/x86 system.
+
+use experiments::Figure3;
+
+fn main() {
+    let figure = Figure3::compute();
+    println!("Figure 3 — SEEC on the Xeon E5530 server, perf/W normalised to the dynamic oracle\n");
+    println!("{}", figure.to_table());
+    match serde_json::to_string_pretty(&figure) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write("fig3.json", json) {
+                eprintln!("could not write fig3.json: {err}");
+            } else {
+                println!("raw data written to fig3.json");
+            }
+        }
+        Err(err) => eprintln!("could not serialise figure 3: {err}"),
+    }
+}

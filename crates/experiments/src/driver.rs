@@ -1,0 +1,230 @@
+//! Demand conversion and run drivers.
+//!
+//! Workload models produce substrate-neutral [`QuantumDemand`]s; this module
+//! converts them into each substrate's demand type and drives whole runs —
+//! either under a fixed configuration or under closed-loop SEEC control.
+
+use angstrom_sim::workload::WorkloadDemand;
+use workloads::QuantumDemand;
+use xeon_sim::{ServerConfiguration, ServerDemand, ServerReport, XeonServer};
+
+/// Converts one workload quantum into the Angstrom simulator's demand type.
+pub fn to_chip_demand(quantum: &QuantumDemand) -> WorkloadDemand {
+    WorkloadDemand::builder()
+        .instructions(quantum.instructions)
+        .parallel_fraction(quantum.parallel_fraction)
+        .memory_ops_per_instruction(quantum.memory_ops_per_instruction)
+        .working_set_bytes(quantum.working_set_bytes)
+        .locality_exponent(quantum.locality_exponent)
+        .sharing_fraction(quantum.sharing_fraction)
+        .communication_flits_per_instruction(quantum.communication_flits_per_instruction)
+        .load_imbalance(quantum.load_imbalance)
+        .base_cpi(quantum.base_cpi)
+        .work_units(quantum.work_units)
+        .build()
+}
+
+/// Converts one workload quantum into the Xeon server's demand type.
+pub fn to_server_demand(quantum: &QuantumDemand) -> ServerDemand {
+    ServerDemand::builder()
+        .instructions(quantum.instructions)
+        .parallel_fraction(quantum.parallel_fraction)
+        .memory_ops_per_instruction(quantum.memory_ops_per_instruction)
+        .llc_miss_rate(quantum.xeon_llc_miss_rate)
+        .base_cpi(quantum.base_cpi)
+        .load_imbalance(quantum.load_imbalance)
+        .work_units(quantum.work_units)
+        .build()
+}
+
+/// Aggregate outcome of running a sequence of quanta on the Xeon server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XeonRunOutcome {
+    /// Total simulated wall-clock time, in seconds.
+    pub seconds: f64,
+    /// Total work units (heartbeats) completed.
+    pub work_units: f64,
+    /// Average heart rate over the run, in beats per second.
+    pub heart_rate: f64,
+    /// Average power beyond idle, in watts.
+    pub power_above_idle_watts: f64,
+    /// Total energy, in joules.
+    pub energy_joules: f64,
+}
+
+impl XeonRunOutcome {
+    /// Accumulates a sequence of per-quantum reports.
+    pub fn from_reports<'a, I: IntoIterator<Item = &'a ServerReport>>(reports: I) -> Self {
+        let mut seconds = 0.0;
+        let mut work_units = 0.0;
+        let mut energy = 0.0;
+        let mut above_idle_energy = 0.0;
+        for r in reports {
+            seconds += r.seconds;
+            work_units += r.work_units;
+            energy += r.energy_joules;
+            above_idle_energy += r.power_above_idle_watts * r.seconds;
+        }
+        XeonRunOutcome {
+            seconds,
+            work_units,
+            heart_rate: if seconds > 0.0 { work_units / seconds } else { 0.0 },
+            power_above_idle_watts: if seconds > 0.0 {
+                above_idle_energy / seconds
+            } else {
+                0.0
+            },
+            energy_joules: energy,
+        }
+    }
+
+    /// The paper's performance-per-watt metric on this platform:
+    /// `min(achieved, target) / (power − idle)`.
+    pub fn performance_per_watt(&self, target_heart_rate: f64) -> f64 {
+        if self.power_above_idle_watts <= 0.0 {
+            return 0.0;
+        }
+        self.heart_rate.min(target_heart_rate) / self.power_above_idle_watts
+    }
+}
+
+/// Runs every quantum under a single fixed configuration.
+pub fn run_fixed_on_xeon(
+    server: &XeonServer,
+    quanta: &[QuantumDemand],
+    configuration: &ServerConfiguration,
+) -> XeonRunOutcome {
+    let reports: Vec<ServerReport> = quanta
+        .iter()
+        .map(|q| server.evaluate(&to_server_demand(q), configuration))
+        .collect();
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// Runs each quantum under the per-quantum best configuration chosen with
+/// perfect post-hoc knowledge — the *dynamic oracle* of §5.2 (no overhead,
+/// perfect knowledge of the future).
+pub fn run_dynamic_oracle_on_xeon(
+    server: &XeonServer,
+    quanta: &[QuantumDemand],
+    configurations: &[ServerConfiguration],
+    target_heart_rate: f64,
+) -> XeonRunOutcome {
+    let reports: Vec<ServerReport> = quanta
+        .iter()
+        .map(|q| {
+            let demand = to_server_demand(q);
+            configurations
+                .iter()
+                .map(|cfg| server.evaluate(&demand, cfg))
+                .max_by(|a, b| {
+                    quantum_efficiency(a, target_heart_rate)
+                        .partial_cmp(&quantum_efficiency(b, target_heart_rate))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one configuration")
+        })
+        .collect();
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// Per-quantum efficiency used by the oracles: capped heart rate per watt
+/// beyond idle.
+pub fn quantum_efficiency(report: &ServerReport, target_heart_rate: f64) -> f64 {
+    if report.power_above_idle_watts <= 0.0 || report.seconds <= 0.0 {
+        return 0.0;
+    }
+    let rate = report.work_units / report.seconds;
+    rate.min(target_heart_rate) / report.power_above_idle_watts
+}
+
+/// Every configuration the paper's x86 experiment adapts over: cores 1–8,
+/// the seven P-states, and ten active-cycle fractions.
+pub fn xeon_configuration_grid(server: &XeonServer) -> Vec<ServerConfiguration> {
+    let mut out = Vec::new();
+    for cores in 1..=server.total_cores() {
+        for pstate in 0..server.pstates().len() {
+            for duty_step in 1..=10 {
+                out.push(ServerConfiguration::new(
+                    cores,
+                    pstate,
+                    duty_step as f64 / 10.0,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{SplashBenchmark, Workload};
+
+    #[test]
+    fn conversions_preserve_totals_and_rates() {
+        let quantum = Workload::new(SplashBenchmark::OceanNonContiguous, 1).average_quantum();
+        let chip = to_chip_demand(&quantum);
+        assert_eq!(chip.instructions, quantum.instructions);
+        assert_eq!(chip.working_set_bytes, quantum.working_set_bytes);
+        assert_eq!(chip.work_units, quantum.work_units);
+        let server = to_server_demand(&quantum);
+        assert_eq!(server.instructions, quantum.instructions);
+        assert_eq!(server.llc_miss_rate, quantum.xeon_llc_miss_rate);
+        assert_eq!(server.work_units, quantum.work_units);
+    }
+
+    #[test]
+    fn fixed_run_accumulates_all_quanta() {
+        let server = XeonServer::dell_r410();
+        let quanta = Workload::new(SplashBenchmark::Barnes, 2).quanta(32);
+        let outcome = run_fixed_on_xeon(&server, &quanta, &server.default_configuration());
+        let total_work: f64 = quanta.iter().map(|q| q.work_units).sum();
+        assert!((outcome.work_units - total_work).abs() < 1e-6 * total_work);
+        assert!(outcome.seconds > 0.0);
+        assert!(outcome.heart_rate > 0.0);
+        assert!(outcome.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn dynamic_oracle_beats_any_fixed_configuration() {
+        let server = XeonServer::dell_r410();
+        let quanta = Workload::new(SplashBenchmark::Volrend, 3).quanta(24);
+        let grid = xeon_configuration_grid(&server);
+        let max_rate = run_fixed_on_xeon(&server, &quanta, &server.default_configuration()).heart_rate;
+        let target = max_rate / 2.0;
+        let oracle = run_dynamic_oracle_on_xeon(&server, &quanta, &grid, target);
+        let best_fixed = grid
+            .iter()
+            .map(|cfg| run_fixed_on_xeon(&server, &quanta, cfg).performance_per_watt(target))
+            .fold(0.0_f64, f64::max);
+        assert!(
+            oracle.performance_per_watt(target) >= best_fixed * 0.999,
+            "dynamic oracle {} must not lose to the best fixed configuration {}",
+            oracle.performance_per_watt(target),
+            best_fixed
+        );
+    }
+
+    #[test]
+    fn configuration_grid_covers_the_papers_knobs() {
+        let server = XeonServer::dell_r410();
+        let grid = xeon_configuration_grid(&server);
+        assert_eq!(grid.len(), 8 * 7 * 10);
+        assert!(grid.iter().all(|c| c.validate(&server).is_ok()));
+    }
+
+    #[test]
+    fn perf_per_watt_caps_at_the_target() {
+        let outcome = XeonRunOutcome {
+            seconds: 10.0,
+            work_units: 1000.0,
+            heart_rate: 100.0,
+            power_above_idle_watts: 50.0,
+            energy_joules: 1400.0,
+        };
+        // Achieving 100 beats/s against a 40 beats/s target counts as 40.
+        assert!((outcome.performance_per_watt(40.0) - 0.8).abs() < 1e-12);
+        assert!((outcome.performance_per_watt(200.0) - 2.0).abs() < 1e-12);
+    }
+}

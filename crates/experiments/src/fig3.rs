@@ -1,0 +1,475 @@
+//! Figure 3: SEEC on an existing Linux/x86 system.
+//!
+//! Each of the five SPLASH-2 benchmarks is launched on a single core at the
+//! minimum clock speed and requests a performance equal to half the maximum
+//! achievable. SEEC must meet that goal while minimising power using three
+//! actions: the number of cores assigned, the clock speed of those cores, and
+//! the number of non-idle cycles. Performance per watt —
+//! `min(achieved, target) / (power − idle)` — is reported for *no
+//! adaptation*, *uncoordinated adaptation*, *SEEC*, the *static oracle*, and
+//! the *dynamic oracle*, normalised to the dynamic oracle (DAC 2012 §5.2).
+
+use actuation::{Actuator, ActuatorSpec, Axis, Configuration, SettingSpec, TableActuator};
+use serde::{Deserialize, Serialize};
+use workloads::{HeartbeatedWorkload, QuantumDemand, SplashBenchmark, Workload};
+use xeon_sim::{ServerConfiguration, ServerReport, XeonServer};
+
+use crate::driver::{
+    quantum_efficiency, run_dynamic_oracle_on_xeon, run_fixed_on_xeon, to_server_demand,
+    xeon_configuration_grid, XeonRunOutcome,
+};
+use seec::{SeecRuntime, UncoordinatedRuntime};
+
+/// Number of quanta each benchmark is divided into (the paper expands inputs
+/// so every run lasts much longer than the 1 s power-sampling interval).
+pub const QUANTA_PER_RUN: usize = 120;
+
+/// Wall-clock overhead charged per SEEC decision on this platform, in
+/// seconds (decisions share the main cores with the application).
+pub const DECISION_OVERHEAD_SECONDS: f64 = 1.0e-3;
+
+/// Per-benchmark results, as raw performance per watt beyond idle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// Benchmark.
+    pub benchmark: SplashBenchmark,
+    /// Target heart rate (half the maximum achievable), in beats per second.
+    pub target_heart_rate: f64,
+    /// No adaptation: the single configuration best on average across all
+    /// benchmarks.
+    pub no_adaptation: f64,
+    /// Uncoordinated adaptation: one closed SEEC instance per actuator.
+    pub uncoordinated: f64,
+    /// Coordinated SEEC.
+    pub seec: f64,
+    /// Static oracle: best per-benchmark fixed configuration.
+    pub static_oracle: f64,
+    /// Dynamic oracle: best per-quantum configuration, no overhead.
+    pub dynamic_oracle: f64,
+}
+
+impl Figure3Row {
+    /// The row normalised to the dynamic oracle (the paper's y-axis).
+    pub fn normalized(&self) -> [f64; 4] {
+        let d = if self.dynamic_oracle > 0.0 {
+            self.dynamic_oracle
+        } else {
+            1.0
+        };
+        [
+            self.no_adaptation / d,
+            self.uncoordinated / d,
+            self.seec / d,
+            1.0,
+        ]
+    }
+}
+
+/// The Figure-3 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// One row per benchmark, in the paper's order.
+    pub rows: Vec<Figure3Row>,
+}
+
+impl Figure3 {
+    /// Runs the full experiment on the modelled Dell R410.
+    pub fn compute() -> Self {
+        Figure3::compute_with(2012, QUANTA_PER_RUN)
+    }
+
+    /// Runs the experiment with an explicit seed and quantum count (smaller
+    /// counts are useful in tests and benches).
+    pub fn compute_with(seed: u64, quanta_per_run: usize) -> Self {
+        let server = XeonServer::dell_r410();
+        let grid = xeon_configuration_grid(&server);
+
+        // Per-benchmark quanta and targets (half the maximum achievable rate).
+        let mut per_benchmark: Vec<(SplashBenchmark, Vec<QuantumDemand>, f64)> = Vec::new();
+        for benchmark in SplashBenchmark::ALL {
+            let quanta = Workload::new(benchmark, seed).quanta(quanta_per_run);
+            let max_rate =
+                run_fixed_on_xeon(&server, &quanta, &server.default_configuration()).heart_rate;
+            per_benchmark.push((benchmark, quanta, max_rate / 2.0));
+        }
+
+        // No adaptation: the same (cores, clock) for every application, duty
+        // fixed at 1.0, chosen to maximise mean perf/W across benchmarks.
+        let no_adapt_grid: Vec<ServerConfiguration> = grid
+            .iter()
+            .copied()
+            .filter(|c| (c.active_cycle_fraction - 1.0).abs() < 1e-9)
+            .collect();
+        let no_adapt_cfg = no_adapt_grid
+            .iter()
+            .max_by(|a, b| {
+                let mean_a = mean_perf_per_watt(&server, &per_benchmark, a);
+                let mean_b = mean_perf_per_watt(&server, &per_benchmark, b);
+                mean_a.partial_cmp(&mean_b).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied()
+            .expect("grid is non-empty");
+
+        let rows = per_benchmark
+            .iter()
+            .map(|(benchmark, quanta, target)| {
+                let no_adaptation =
+                    run_fixed_on_xeon(&server, quanta, &no_adapt_cfg).performance_per_watt(*target);
+                let static_oracle = grid
+                    .iter()
+                    .map(|cfg| run_fixed_on_xeon(&server, quanta, cfg).performance_per_watt(*target))
+                    .fold(0.0_f64, f64::max);
+                let dynamic_oracle = run_dynamic_oracle_on_xeon(&server, quanta, &grid, *target)
+                    .performance_per_watt(*target);
+                let seec = run_seec_on_xeon(&server, *benchmark, quanta, *target, seed)
+                    .performance_per_watt(*target);
+                let uncoordinated =
+                    run_uncoordinated_on_xeon(&server, *benchmark, quanta, *target, seed)
+                        .performance_per_watt(*target);
+                Figure3Row {
+                    benchmark: *benchmark,
+                    target_heart_rate: *target,
+                    no_adaptation,
+                    uncoordinated,
+                    seec,
+                    static_oracle,
+                    dynamic_oracle,
+                }
+            })
+            .collect();
+        Figure3 { rows }
+    }
+
+    /// Geometric-mean ratio of SEEC to the static oracle across benchmarks —
+    /// the multiplier Figure 4 applies to the Angstrom static oracle.
+    pub fn seec_vs_static_oracle(&self) -> f64 {
+        geometric_mean(self.rows.iter().map(|r| safe_ratio(r.seec, r.static_oracle)))
+    }
+
+    /// Geometric-mean ratio of SEEC to uncoordinated adaptation.
+    pub fn seec_vs_uncoordinated(&self) -> f64 {
+        geometric_mean(self.rows.iter().map(|r| safe_ratio(r.seec, r.uncoordinated)))
+    }
+
+    /// Geometric-mean fraction of the dynamic oracle that SEEC achieves.
+    pub fn seec_fraction_of_dynamic_oracle(&self) -> f64 {
+        geometric_mean(self.rows.iter().map(|r| safe_ratio(r.seec, r.dynamic_oracle)))
+    }
+
+    /// Per-benchmark SEEC / static-oracle multipliers (Figure 4 input).
+    pub fn per_benchmark_multipliers(&self) -> Vec<(SplashBenchmark, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.benchmark, safe_ratio(r.seec, r.static_oracle)))
+            .collect()
+    }
+
+    /// Renders the figure as an aligned text table of normalised values.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "benchmark  no_adapt  uncoord   seec    static  dynamic (all normalised to dynamic oracle)\n",
+        );
+        for row in &self.rows {
+            let [na, un, se, dy] = row.normalized();
+            let st = if row.dynamic_oracle > 0.0 {
+                row.static_oracle / row.dynamic_oracle
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:9}  {:8.3}  {:7.3}  {:6.3}  {:6.3}  {:7.3}\n",
+                row.benchmark.name(),
+                na,
+                un,
+                se,
+                st,
+                dy
+            ));
+        }
+        out.push_str(&format!(
+            "\nSEEC vs uncoordinated: {:+.1}%   SEEC vs static oracle: {:+.1}%   SEEC / dynamic oracle: {:.1}%\n",
+            (self.seec_vs_uncoordinated() - 1.0) * 100.0,
+            (self.seec_vs_static_oracle() - 1.0) * 100.0,
+            self.seec_fraction_of_dynamic_oracle() * 100.0,
+        ));
+        out
+    }
+}
+
+fn mean_perf_per_watt(
+    server: &XeonServer,
+    per_benchmark: &[(SplashBenchmark, Vec<QuantumDemand>, f64)],
+    cfg: &ServerConfiguration,
+) -> f64 {
+    let sum: f64 = per_benchmark
+        .iter()
+        .map(|(_, quanta, target)| run_fixed_on_xeon(server, quanta, cfg).performance_per_watt(*target))
+        .sum();
+    sum / per_benchmark.len() as f64
+}
+
+fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        1.0
+    }
+}
+
+fn geometric_mean<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut product = 1.0;
+    let mut count = 0usize;
+    for v in values {
+        if v > 0.0 {
+            product *= v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        product.powf(1.0 / count as f64)
+    }
+}
+
+/// The three actuators of §5.2, described through the SEEC action interface.
+/// The nominal setting is the launch configuration: one core at the minimum
+/// clock with no forced idling.
+pub fn xeon_actuators(server: &XeonServer) -> Vec<Box<dyn Actuator>> {
+    let min_freq = server.pstates().min_frequency();
+    let cores_spec = {
+        let mut builder = ActuatorSpec::builder("cores").scope(actuation::Scope::Global);
+        for n in 1..=server.total_cores() {
+            builder = builder.setting(
+                SettingSpec::new(format!("{n} cores"))
+                    .effect(Axis::Performance, n as f64)
+                    .effect(Axis::Power, n as f64),
+            );
+        }
+        builder.nominal(0).delay(0.001).build().expect("valid spec")
+    };
+    let clock_spec = {
+        // Settings ordered slowest-first so that the nominal (launch) setting
+        // is index 0; setting index i maps to P-state (len - 1 - i).
+        let mut builder = ActuatorSpec::builder("clock").scope(actuation::Scope::Global);
+        let count = server.pstates().len();
+        for i in 0..count {
+            let freq = server
+                .pstates()
+                .frequency(count - 1 - i)
+                .expect("index in range");
+            let ratio = freq / min_freq;
+            builder = builder.setting(
+                SettingSpec::new(format!("{:.2} GHz", freq / 1.0e9))
+                    .effect(Axis::Performance, ratio)
+                    .effect(Axis::Power, ratio.powf(2.2)),
+            );
+        }
+        builder.nominal(0).delay(0.01).build().expect("valid spec")
+    };
+    let idle_spec = {
+        let mut builder = ActuatorSpec::builder("active-cycles").scope(actuation::Scope::Application);
+        for step in 1..=10 {
+            let duty = step as f64 / 10.0;
+            builder = builder.setting(
+                SettingSpec::new(format!("{:.0}%", duty * 100.0))
+                    .effect(Axis::Performance, duty)
+                    .effect(Axis::Power, duty),
+            );
+        }
+        builder.nominal(9).delay(0.0).build().expect("valid spec")
+    };
+    vec![
+        Box::new(TableActuator::new(cores_spec)),
+        Box::new(TableActuator::new(clock_spec)),
+        Box::new(TableActuator::new(idle_spec)),
+    ]
+}
+
+/// Maps a SEEC joint configuration (cores, clock, active-cycles) onto the
+/// server's configuration type.
+pub fn map_configuration(server: &XeonServer, config: &Configuration) -> ServerConfiguration {
+    let cores = config.setting(0).unwrap_or(0) + 1;
+    let clock_setting = config.setting(1).unwrap_or(0);
+    let pstate = server.pstates().len() - 1 - clock_setting.min(server.pstates().len() - 1);
+    let duty = (config.setting(2).unwrap_or(9) + 1) as f64 / 10.0;
+    ServerConfiguration::new(cores, pstate, duty)
+}
+
+/// Runs the benchmark under coordinated SEEC control.
+pub fn run_seec_on_xeon(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+    app.set_heart_rate_goal(target_heart_rate);
+    let mut runtime = SeecRuntime::builder(app.monitor())
+        .actuators(xeon_actuators(server))
+        .seed(seed)
+        .build()
+        .expect("actuators registered");
+    let mut app = app;
+    let monitor = app.monitor();
+
+    let mut now = 0.0;
+    let mut reports: Vec<ServerReport> = Vec::new();
+    for quantum in quanta {
+        let configuration = map_configuration(server, runtime.current_configuration());
+        let mut report = server.evaluate(&to_server_demand(quantum), &configuration);
+        // Decision overhead: the decision shares the main cores with the
+        // application on this platform.
+        report.seconds += DECISION_OVERHEAD_SECONDS;
+        report.energy_joules += DECISION_OVERHEAD_SECONDS * report.total_power_watts;
+        now += report.seconds;
+        app.advance(now, report.work_units);
+        monitor.record_power_sample(now, report.power_above_idle_watts);
+        let _ = runtime.decide(now);
+        reports.push(report);
+    }
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// Runs the benchmark under uncoordinated adaptation: one independent SEEC
+/// instance per actuator.
+pub fn run_uncoordinated_on_xeon(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+    app.set_heart_rate_goal(target_heart_rate);
+    let mut uncoordinated =
+        UncoordinatedRuntime::new(&app.monitor(), xeon_actuators(server), seed).expect("actuators");
+    let mut app = app;
+    let monitor = app.monitor();
+
+    let mut now = 0.0;
+    let mut reports: Vec<ServerReport> = Vec::new();
+    for quantum in quanta {
+        let configuration = map_configuration(server, &uncoordinated.joint_configuration());
+        let mut report = server.evaluate(&to_server_demand(quantum), &configuration);
+        // Each independent instance pays its own decision overhead.
+        let overhead = DECISION_OVERHEAD_SECONDS * uncoordinated.instances() as f64;
+        report.seconds += overhead;
+        report.energy_joules += overhead * report.total_power_watts;
+        now += report.seconds;
+        app.advance(now, report.work_units);
+        monitor.record_power_sample(now, report.power_above_idle_watts);
+        let _ = uncoordinated.decide(now);
+        reports.push(report);
+    }
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// Convenience used by oracles in other modules: the best per-quantum report
+/// under a set of configurations.
+pub fn best_quantum_report(
+    server: &XeonServer,
+    quantum: &QuantumDemand,
+    configurations: &[ServerConfiguration],
+    target_heart_rate: f64,
+) -> ServerReport {
+    let demand = to_server_demand(quantum);
+    configurations
+        .iter()
+        .map(|cfg| server.evaluate(&demand, cfg))
+        .max_by(|a, b| {
+            quantum_efficiency(a, target_heart_rate)
+                .partial_cmp(&quantum_efficiency(b, target_heart_rate))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least one configuration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actuator_specs_cover_the_papers_three_actions() {
+        let server = XeonServer::dell_r410();
+        let actuators = xeon_actuators(&server);
+        assert_eq!(actuators.len(), 3);
+        assert_eq!(actuators[0].spec().len(), 8);
+        assert_eq!(actuators[1].spec().len(), 7);
+        assert_eq!(actuators[2].spec().len(), 10);
+        // Nominal joint configuration maps to the launch state: 1 core at
+        // the minimum clock with no forced idling.
+        let nominal = Configuration::new(vec![0, 0, 9]);
+        let mapped = map_configuration(&server, &nominal);
+        assert_eq!(mapped.cores, 1);
+        assert_eq!(mapped.pstate_index, server.pstates().len() - 1);
+        assert!((mapped.active_cycle_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_configuration_reaches_the_fastest_state() {
+        let server = XeonServer::dell_r410();
+        let fastest = Configuration::new(vec![7, 6, 9]);
+        let mapped = map_configuration(&server, &fastest);
+        assert_eq!(mapped.cores, 8);
+        assert_eq!(mapped.pstate_index, 0);
+        assert!((mapped.active_cycle_fraction - 1.0).abs() < 1e-12);
+        assert!(mapped.validate(&server).is_ok());
+    }
+
+    #[test]
+    fn seec_meets_goals_and_beats_uncoordinated_on_a_short_run() {
+        let server = XeonServer::dell_r410();
+        let benchmark = SplashBenchmark::Barnes;
+        let quanta = Workload::new(benchmark, 9).quanta(40);
+        let max_rate =
+            run_fixed_on_xeon(&server, &quanta, &server.default_configuration()).heart_rate;
+        let target = max_rate / 2.0;
+        let seec = run_seec_on_xeon(&server, benchmark, &quanta, target, 9);
+        let uncoordinated = run_uncoordinated_on_xeon(&server, benchmark, &quanta, target, 9);
+        // A 40-quantum run still contains the start-up transient (the paper
+        // launches every benchmark on one core at the minimum clock), so the
+        // bounds here are looser than the steady-state figures.
+        assert!(
+            seec.heart_rate >= target * 0.6,
+            "SEEC should approach the goal even in a short run: got {} of target {}",
+            seec.heart_rate,
+            target
+        );
+        assert!(
+            seec.performance_per_watt(target) >= 0.9 * uncoordinated.performance_per_watt(target),
+            "coordinated SEEC ({}) should not lose badly to uncoordinated adaptation ({})",
+            seec.performance_per_watt(target),
+            uncoordinated.performance_per_watt(target)
+        );
+    }
+
+    #[test]
+    fn figure3_reproduces_the_papers_ordering() {
+        // A reduced quantum count keeps the test fast while preserving shape.
+        let fig = Figure3::compute_with(7, 30);
+        assert_eq!(fig.rows.len(), 5);
+        for row in &fig.rows {
+            assert!(row.dynamic_oracle >= row.static_oracle * 0.999,
+                "{}: dynamic oracle must dominate the static oracle", row.benchmark);
+            assert!(row.static_oracle >= row.no_adaptation * 0.999,
+                "{}: the static oracle adapts per benchmark and cannot lose to no adaptation",
+                row.benchmark);
+            assert!(row.seec > 0.0 && row.uncoordinated > 0.0);
+            let [na, un, se, dy] = row.normalized();
+            assert!(na <= 1.0 + 1e-9 && un <= 1.2 && se <= 1.0 + 1e-9);
+            assert!((dy - 1.0).abs() < 1e-12);
+        }
+        assert!(
+            fig.seec_vs_uncoordinated() > 1.0,
+            "SEEC must outperform uncoordinated adaptation on average"
+        );
+        assert!(
+            fig.seec_fraction_of_dynamic_oracle() <= 1.0 + 1e-9,
+            "nothing beats the dynamic oracle"
+        );
+        assert!(fig.to_table().contains("barnes"));
+        assert_eq!(fig.per_benchmark_multipliers().len(), 5);
+    }
+}

@@ -1,0 +1,444 @@
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::HeartbeatError;
+use crate::goal::{Goal, GoalKind};
+use crate::record::{BeatSeq, HeartbeatRecord, Tag};
+use crate::window::{HeartRateStats, Window};
+
+/// Default number of beats retained in the observation window.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Aggregate statistics about a registry, useful for logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegistryStats {
+    /// Total beats emitted over the application lifetime.
+    pub total_beats: u64,
+    /// Heart-rate statistics over the current window.
+    pub heart_rate: HeartRateStats,
+    /// Mean distortion over the window (if the application reports accuracy).
+    pub mean_distortion: Option<f64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    window: Window,
+    goals: Vec<Goal>,
+    next_seq: BeatSeq,
+    /// Power samples attributed to this application by the platform, in
+    /// (timestamp, watts) pairs. Retained for the same horizon as the window.
+    power_samples: Vec<(f64, f64)>,
+    max_power_samples: usize,
+}
+
+impl Inner {
+    fn record(&mut self, record: HeartbeatRecord) -> Result<BeatSeq, HeartbeatError> {
+        if let Some(last) = self.window.last_timestamp() {
+            if record.timestamp < last {
+                return Err(HeartbeatError::NonMonotonicTime {
+                    previous: last,
+                    supplied: record.timestamp,
+                });
+            }
+        }
+        let seq = record.seq;
+        self.window.push(record);
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+}
+
+/// Shared heartbeat state for one application.
+///
+/// The registry is the meeting point of the two halves of the API: the
+/// *application side* ([`HeartbeatIssuer`]) emits beats and declares goals,
+/// while the *system side* ([`HeartbeatMonitor`]) observes progress. Both
+/// handles are cheaply cloneable and thread-safe.
+#[derive(Debug, Clone)]
+pub struct HeartbeatRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl HeartbeatRegistry {
+    /// Creates a registry with the default window size.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_window(name, DEFAULT_WINDOW)
+    }
+
+    /// Creates a registry retaining `window` beats for observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(name: impl Into<String>, window: usize) -> Self {
+        HeartbeatRegistry {
+            inner: Arc::new(RwLock::new(Inner {
+                name: name.into(),
+                window: Window::new(window),
+                goals: Vec::new(),
+                next_seq: 0,
+                power_samples: Vec::new(),
+                max_power_samples: window.max(DEFAULT_WINDOW),
+            })),
+        }
+    }
+
+    /// Application name given at construction.
+    pub fn name(&self) -> String {
+        self.inner.read().name.clone()
+    }
+
+    /// Returns the application-side handle.
+    pub fn issuer(&self) -> HeartbeatIssuer {
+        HeartbeatIssuer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Returns the system-side (observer) handle.
+    pub fn monitor(&self) -> HeartbeatMonitor {
+        HeartbeatMonitor {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Application-side handle: emits heartbeats and declares goals.
+#[derive(Debug, Clone)]
+pub struct HeartbeatIssuer {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl HeartbeatIssuer {
+    /// Emits a heartbeat at simulation time `now` (seconds).
+    ///
+    /// Returns the sequence number of the new beat. Beats with a timestamp
+    /// earlier than the previous beat are rejected; beats with an equal
+    /// timestamp are accepted (several beats may share a simulation quantum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeartbeatError::NonMonotonicTime`] when `now` precedes the
+    /// previous beat.
+    pub fn try_heartbeat(&self, now: f64) -> Result<BeatSeq, HeartbeatError> {
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.record(HeartbeatRecord::new(seq, now))
+    }
+
+    /// Emits a heartbeat, panicking on non-monotonic time.
+    ///
+    /// This mirrors the C API's fire-and-forget `heartbeat()` call and is the
+    /// common path for simulated applications whose clock cannot go
+    /// backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the timestamp of the previous beat.
+    pub fn heartbeat(&self, now: f64) -> BeatSeq {
+        self.try_heartbeat(now)
+            .expect("heartbeat timestamps must be monotonically non-decreasing")
+    }
+
+    /// Emits a tagged heartbeat (see [`Tag`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeartbeatError::NonMonotonicTime`] when `now` precedes the
+    /// previous beat.
+    pub fn tagged_heartbeat(
+        &self,
+        now: f64,
+        tag: impl Into<Tag>,
+    ) -> Result<BeatSeq, HeartbeatError> {
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.record(HeartbeatRecord::new(seq, now).with_tag(tag))
+    }
+
+    /// Emits a heartbeat carrying an accuracy (distortion) report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeartbeatError::NonMonotonicTime`] when `now` precedes the
+    /// previous beat.
+    pub fn heartbeat_with_distortion(
+        &self,
+        now: f64,
+        distortion: f64,
+    ) -> Result<BeatSeq, HeartbeatError> {
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.record(HeartbeatRecord::new(seq, now).with_distortion(distortion))
+    }
+
+    /// Registers (or replaces) the goal of the same kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the goal parameters are invalid; use [`Self::try_set_goal`]
+    /// to handle invalid goals gracefully.
+    pub fn set_goal(&self, goal: Goal) {
+        self.try_set_goal(goal).expect("goal must be valid");
+    }
+
+    /// Registers (or replaces) the goal of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeartbeatError::InvalidGoal`] if the goal parameters are
+    /// invalid (non-positive targets, empty windows, ...).
+    pub fn try_set_goal(&self, goal: Goal) -> Result<(), HeartbeatError> {
+        goal.validate()?;
+        let mut inner = self.inner.write();
+        let kind = goal.kind();
+        inner.goals.retain(|g| g.kind() != kind);
+        inner.goals.push(goal);
+        Ok(())
+    }
+
+    /// Removes the goal of the given kind, returning it if present.
+    pub fn clear_goal(&self, kind: GoalKind) -> Option<Goal> {
+        let mut inner = self.inner.write();
+        let pos = inner.goals.iter().position(|g| g.kind() == kind)?;
+        Some(inner.goals.remove(pos))
+    }
+}
+
+/// System-side handle: observes heartbeats, goals, and power attribution.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl HeartbeatMonitor {
+    /// Name of the observed application.
+    pub fn name(&self) -> String {
+        self.inner.read().name.clone()
+    }
+
+    /// Heart rate over the observation window, in beats/second.
+    pub fn window_heart_rate(&self) -> f64 {
+        self.inner.read().window.heart_rate().window
+    }
+
+    /// Full heart-rate statistics (instant / window / global).
+    pub fn heart_rate(&self) -> HeartRateStats {
+        self.inner.read().window.heart_rate()
+    }
+
+    /// Aggregate registry statistics.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.read();
+        RegistryStats {
+            total_beats: inner.window.total_beats(),
+            heart_rate: inner.window.heart_rate(),
+            mean_distortion: inner.window.mean_distortion(),
+        }
+    }
+
+    /// All goals currently registered by the application.
+    pub fn goals(&self) -> Vec<Goal> {
+        self.inner.read().goals.clone()
+    }
+
+    /// The goal of a particular kind, if registered.
+    pub fn goal_of_kind(&self, kind: GoalKind) -> Option<Goal> {
+        self.inner
+            .read()
+            .goals
+            .iter()
+            .find(|g| g.kind() == kind)
+            .cloned()
+    }
+
+    /// The first registered goal, if any (convenience for single-goal apps).
+    pub fn goal(&self) -> Option<Goal> {
+        self.inner.read().goals.first().cloned()
+    }
+
+    /// Target heart rate implied by the performance goal, if one is set.
+    pub fn target_heart_rate(&self) -> Option<f64> {
+        match self.goal_of_kind(GoalKind::Performance) {
+            Some(Goal::Performance(goal)) => Some(goal.implied_heart_rate()),
+            _ => None,
+        }
+    }
+
+    /// Latency between the last two beats tagged `tag`, if observable.
+    pub fn tagged_latency(&self, tag: &Tag) -> Option<f64> {
+        self.inner.read().window.tagged_latency(tag)
+    }
+
+    /// Mean distortion over the window, if the application reports accuracy.
+    pub fn mean_distortion(&self) -> Option<f64> {
+        self.inner.read().window.mean_distortion()
+    }
+
+    /// Records a platform-attributed power sample (timestamp seconds, watts).
+    ///
+    /// Power is measured by the platform (e.g. the WattsUp meter in §5.2 or
+    /// Angstrom's energy sensors in §4.1), not by the application, so the
+    /// sample enters through the monitor side of the API.
+    pub fn record_power_sample(&self, now: f64, watts: f64) {
+        let mut inner = self.inner.write();
+        let cap = inner.max_power_samples;
+        inner.power_samples.push((now, watts));
+        let len = inner.power_samples.len();
+        if len > cap {
+            inner.power_samples.drain(0..len - cap);
+        }
+    }
+
+    /// Mean of the retained power samples, in watts.
+    pub fn mean_power(&self) -> Option<f64> {
+        let inner = self.inner.read();
+        if inner.power_samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = inner.power_samples.iter().map(|(_, w)| w).sum();
+        Some(sum / inner.power_samples.len() as f64)
+    }
+
+    /// Whether the performance goal (if any) is currently met by the window
+    /// heart rate. Returns `None` when no performance goal is registered or
+    /// too few beats have been observed.
+    pub fn performance_goal_met(&self) -> Option<bool> {
+        let target = self.target_heart_rate()?;
+        let stats = self.heart_rate();
+        if stats.beats_in_window < 2 {
+            return None;
+        }
+        Some(stats.window >= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::{AccuracyGoal, PerformanceGoal, PowerGoal};
+
+    #[test]
+    fn issuer_and_monitor_share_state() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        for i in 0..20 {
+            issuer.heartbeat(i as f64 * 0.05); // 20 beats/s
+        }
+        assert!((monitor.window_heart_rate() - 20.0).abs() < 1e-9);
+        assert_eq!(monitor.stats().total_beats, 20);
+        assert_eq!(registry.name(), "app");
+        assert_eq!(monitor.name(), "app");
+    }
+
+    #[test]
+    fn non_monotonic_time_is_rejected() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        issuer.heartbeat(1.0);
+        let err = issuer.try_heartbeat(0.5).unwrap_err();
+        assert!(matches!(err, HeartbeatError::NonMonotonicTime { .. }));
+        // Equal timestamps are fine.
+        assert!(issuer.try_heartbeat(1.0).is_ok());
+    }
+
+    #[test]
+    fn goals_replace_by_kind() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        issuer.set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        issuer.set_goal(Goal::Performance(PerformanceGoal::heart_rate(30.0)));
+        issuer.set_goal(Goal::Power(PowerGoal::average_power(100.0, 30.0)));
+        let goals = monitor.goals();
+        assert_eq!(goals.len(), 2);
+        assert_eq!(monitor.target_heart_rate(), Some(30.0));
+        assert!(monitor.goal_of_kind(GoalKind::Power).is_some());
+        assert!(monitor.goal_of_kind(GoalKind::Accuracy).is_none());
+    }
+
+    #[test]
+    fn invalid_goal_is_rejected() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        assert!(issuer
+            .try_set_goal(Goal::Performance(PerformanceGoal::heart_rate(-3.0)))
+            .is_err());
+        assert!(registry.monitor().goals().is_empty());
+    }
+
+    #[test]
+    fn clear_goal_removes_only_that_kind() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        issuer.set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        issuer.set_goal(Goal::Accuracy(AccuracyGoal::new(0.1, 8)));
+        assert!(issuer.clear_goal(GoalKind::Performance).is_some());
+        assert!(issuer.clear_goal(GoalKind::Performance).is_none());
+        assert_eq!(registry.monitor().goals().len(), 1);
+    }
+
+    #[test]
+    fn performance_goal_met_tracks_window_rate() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        issuer.set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        assert_eq!(monitor.performance_goal_met(), None);
+        for i in 0..10 {
+            issuer.heartbeat(i as f64 * 0.05); // 20 beats/s > 10 target
+        }
+        assert_eq!(monitor.performance_goal_met(), Some(true));
+        // Slow down drastically: subsequent beats 2 s apart.
+        for i in 0..64 {
+            issuer.heartbeat(0.5 + (i + 1) as f64 * 2.0);
+        }
+        assert_eq!(monitor.performance_goal_met(), Some(false));
+    }
+
+    #[test]
+    fn power_samples_average_and_are_bounded() {
+        let registry = HeartbeatRegistry::with_window("app", 4);
+        let monitor = registry.monitor();
+        assert!(monitor.mean_power().is_none());
+        for i in 0..100 {
+            monitor.record_power_sample(i as f64, 50.0 + (i % 2) as f64);
+        }
+        let mean = monitor.mean_power().unwrap();
+        assert!(mean > 50.0 && mean < 51.0);
+    }
+
+    #[test]
+    fn tagged_beats_expose_latency() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        issuer.tagged_heartbeat(0.0, "frame").unwrap();
+        issuer.heartbeat(0.3);
+        issuer.tagged_heartbeat(0.8, "frame").unwrap();
+        let latency = monitor.tagged_latency(&Tag::new("frame")).unwrap();
+        assert!((latency - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distortion_reports_average() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        issuer.heartbeat_with_distortion(0.0, 0.1).unwrap();
+        issuer.heartbeat_with_distortion(1.0, 0.3).unwrap();
+        let monitor = registry.monitor();
+        assert!((monitor.mean_distortion().unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HeartbeatRegistry>();
+        assert_send_sync::<HeartbeatIssuer>();
+        assert_send_sync::<HeartbeatMonitor>();
+    }
+}

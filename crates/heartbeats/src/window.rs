@@ -1,0 +1,278 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::HeartbeatRecord;
+
+/// Summary statistics of the heart rate observed over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartRateStats {
+    /// Heart rate over the most recent pair of beats, in beats/second.
+    pub instant: f64,
+    /// Heart rate over the whole window, in beats/second.
+    pub window: f64,
+    /// Heart rate since the first beat ever recorded, in beats/second.
+    pub global: f64,
+    /// Number of beats currently held in the window.
+    pub beats_in_window: usize,
+}
+
+impl Default for HeartRateStats {
+    fn default() -> Self {
+        HeartRateStats {
+            instant: 0.0,
+            window: 0.0,
+            global: 0.0,
+            beats_in_window: 0,
+        }
+    }
+}
+
+/// A bounded sliding window of heartbeat records.
+///
+/// The window retains the most recent `capacity` beats and incrementally
+/// maintains heart-rate and distortion statistics over them.
+#[derive(Debug, Clone)]
+pub struct Window {
+    capacity: usize,
+    records: VecDeque<HeartbeatRecord>,
+    first_timestamp: Option<f64>,
+    last_timestamp: Option<f64>,
+    total_beats: u64,
+}
+
+impl Window {
+    /// Creates a window retaining up to `capacity` beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be at least 1");
+        Window {
+            capacity,
+            records: VecDeque::with_capacity(capacity),
+            first_timestamp: None,
+            last_timestamp: None,
+            total_beats: 0,
+        }
+    }
+
+    /// Maximum number of beats the window retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of beats currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no beats have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of beats ever pushed (including evicted ones).
+    pub fn total_beats(&self) -> u64 {
+        self.total_beats
+    }
+
+    /// Timestamp of the most recent beat, if any.
+    pub fn last_timestamp(&self) -> Option<f64> {
+        self.last_timestamp
+    }
+
+    /// Pushes a new record, evicting the oldest if the window is full.
+    pub fn push(&mut self, record: HeartbeatRecord) {
+        if self.first_timestamp.is_none() {
+            self.first_timestamp = Some(record.timestamp);
+        }
+        self.last_timestamp = Some(record.timestamp);
+        self.total_beats += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Iterates over the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &HeartbeatRecord> {
+        self.records.iter()
+    }
+
+    /// Heart-rate statistics over the retained beats.
+    ///
+    /// The *instant* rate uses the last two beats, the *window* rate uses the
+    /// first and last retained beat, and the *global* rate uses the first
+    /// beat ever recorded. Rates are zero until two beats are available.
+    pub fn heart_rate(&self) -> HeartRateStats {
+        let n = self.records.len();
+        if n < 2 {
+            return HeartRateStats {
+                beats_in_window: n,
+                ..HeartRateStats::default()
+            };
+        }
+        let last = &self.records[n - 1];
+        let prev = &self.records[n - 2];
+        let first_in_window = &self.records[0];
+
+        let instant = rate_between(prev.timestamp, last.timestamp, 1);
+        let window = rate_between(first_in_window.timestamp, last.timestamp, n as u64 - 1);
+        let global = match self.first_timestamp {
+            Some(first) if self.total_beats > 1 => {
+                rate_between(first, last.timestamp, self.total_beats - 1)
+            }
+            _ => 0.0,
+        };
+        HeartRateStats {
+            instant,
+            window,
+            global,
+            beats_in_window: n,
+        }
+    }
+
+    /// Mean distortion over the retained beats that report one, or `None`
+    /// if no retained beat carries a distortion value.
+    pub fn mean_distortion(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for rec in &self.records {
+            if let Some(d) = rec.distortion {
+                sum += d;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// Latency between the two most recent beats carrying `tag`, in seconds.
+    pub fn tagged_latency(&self, tag: &crate::Tag) -> Option<f64> {
+        let mut newest: Option<f64> = None;
+        for rec in self.records.iter().rev() {
+            if rec.tag.as_ref() == Some(tag) {
+                match newest {
+                    None => newest = Some(rec.timestamp),
+                    Some(later) => return Some(later - rec.timestamp),
+                }
+            }
+        }
+        None
+    }
+}
+
+fn rate_between(start: f64, end: f64, beats: u64) -> f64 {
+    let elapsed = end - start;
+    if elapsed > 0.0 {
+        beats as f64 / elapsed
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HeartbeatRecord;
+
+    fn beat(seq: u64, t: f64) -> HeartbeatRecord {
+        HeartbeatRecord::new(seq, t)
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Window::new(0);
+    }
+
+    #[test]
+    fn empty_window_reports_zero_rates() {
+        let w = Window::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        let stats = w.heart_rate();
+        assert_eq!(stats.instant, 0.0);
+        assert_eq!(stats.window, 0.0);
+        assert_eq!(stats.global, 0.0);
+    }
+
+    #[test]
+    fn steady_beats_yield_constant_rate() {
+        let mut w = Window::new(16);
+        for i in 0..10 {
+            w.push(beat(i, i as f64 * 0.1)); // 10 beats/s
+        }
+        let stats = w.heart_rate();
+        assert!((stats.instant - 10.0).abs() < 1e-9);
+        assert!((stats.window - 10.0).abs() < 1e-9);
+        assert!((stats.global - 10.0).abs() < 1e-9);
+        assert_eq!(stats.beats_in_window, 10);
+    }
+
+    #[test]
+    fn eviction_keeps_window_rate_recent() {
+        let mut w = Window::new(4);
+        // Slow phase: 1 beat/s.
+        for i in 0..5 {
+            w.push(beat(i, i as f64));
+        }
+        // Fast phase: 100 beats/s.
+        for i in 0..8 {
+            w.push(beat(5 + i, 5.0 + (i + 1) as f64 * 0.01));
+        }
+        let stats = w.heart_rate();
+        assert_eq!(w.len(), 4);
+        assert!(stats.window > 50.0, "window rate should track fast phase");
+        assert!(stats.global < 5.0, "global rate reflects whole history");
+        assert_eq!(w.total_beats(), 13);
+    }
+
+    #[test]
+    fn instant_rate_uses_last_pair() {
+        let mut w = Window::new(8);
+        w.push(beat(0, 0.0));
+        w.push(beat(1, 1.0));
+        w.push(beat(2, 1.5));
+        let stats = w.heart_rate();
+        assert!((stats.instant - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_distortion_ignores_unreported_beats() {
+        let mut w = Window::new(8);
+        w.push(beat(0, 0.0).with_distortion(0.2));
+        w.push(beat(1, 1.0));
+        w.push(beat(2, 2.0).with_distortion(0.4));
+        assert!((w.mean_distortion().unwrap() - 0.3).abs() < 1e-9);
+        let empty = Window::new(4);
+        assert!(empty.mean_distortion().is_none());
+    }
+
+    #[test]
+    fn tagged_latency_measures_between_matching_tags() {
+        let mut w = Window::new(8);
+        w.push(beat(0, 0.0).with_tag("frame"));
+        w.push(beat(1, 0.4));
+        w.push(beat(2, 1.0).with_tag("frame"));
+        w.push(beat(3, 1.2).with_tag("other"));
+        let latency = w.tagged_latency(&crate::Tag::new("frame")).unwrap();
+        assert!((latency - 1.0).abs() < 1e-9);
+        assert!(w.tagged_latency(&crate::Tag::new("missing")).is_none());
+    }
+
+    #[test]
+    fn simultaneous_beats_do_not_divide_by_zero() {
+        let mut w = Window::new(4);
+        w.push(beat(0, 1.0));
+        w.push(beat(1, 1.0));
+        let stats = w.heart_rate();
+        assert_eq!(stats.instant, 0.0);
+        assert_eq!(stats.window, 0.0);
+    }
+}

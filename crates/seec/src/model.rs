@@ -1,0 +1,382 @@
+//! Online action model: what each configuration is believed to do.
+//!
+//! The SEEC runtime must often manage actions and applications it has no
+//! prior experience with (DAC 2012 §3.3). It therefore seeds its model of
+//! every configuration from the effects the actuator *designers* declared
+//! (the multipliers in the actuator specification) and then corrects that
+//! model from observation. When the model proves persistently wrong, an
+//! exploration policy (the machine-learning layer) tries configurations the
+//! model would not otherwise pick.
+
+use std::collections::HashMap;
+
+use actuation::{Axis, Configuration, ConfigurationSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Believed effect of one configuration, as multipliers over nominal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BelievedEffect {
+    /// Speedup over the nominal configuration.
+    pub speedup: f64,
+    /// Power multiplier over the nominal configuration.
+    pub powerup: f64,
+    /// Number of times this configuration has actually been observed.
+    pub observations: u64,
+}
+
+/// When and how the runtime explores off-model configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationPolicy {
+    /// Probability of exploring a neighbouring configuration on any decision.
+    pub epsilon: f64,
+    /// Relative model error above which the runtime switches from exploiting
+    /// the model to exploring around the current configuration.
+    pub divergence_threshold: f64,
+    /// Number of consecutive divergent observations required before
+    /// exploration kicks in.
+    pub patience: u32,
+}
+
+impl Default for ExplorationPolicy {
+    fn default() -> Self {
+        ExplorationPolicy {
+            epsilon: 0.02,
+            divergence_threshold: 0.5,
+            patience: 3,
+        }
+    }
+}
+
+/// The runtime's model of every configuration in a [`ConfigurationSpace`].
+#[derive(Debug, Clone)]
+pub struct ActionModel {
+    space: ConfigurationSpace,
+    learned: HashMap<Configuration, BelievedEffect>,
+    /// Exponential-moving-average weight given to a new observation.
+    pub learning_rate: f64,
+    policy: ExplorationPolicy,
+    divergent_streak: u32,
+    rng: StdRng,
+}
+
+impl ActionModel {
+    /// Creates a model over `space` seeded from the declared effects.
+    pub fn new(space: ConfigurationSpace, seed: u64) -> Self {
+        ActionModel {
+            space,
+            learned: HashMap::new(),
+            learning_rate: 0.3,
+            policy: ExplorationPolicy::default(),
+            divergent_streak: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the exploration policy.
+    pub fn set_policy(&mut self, policy: ExplorationPolicy) {
+        self.policy = policy;
+    }
+
+    /// The configuration space this model covers.
+    pub fn space(&self) -> &ConfigurationSpace {
+        &self.space
+    }
+
+    /// The believed effect of `config`: learned if observed, declared otherwise.
+    pub fn believed_effect(&self, config: &Configuration) -> BelievedEffect {
+        if let Some(learned) = self.learned.get(config) {
+            return *learned;
+        }
+        let declared = self
+            .space
+            .predicted_effect(config)
+            .unwrap_or_else(|_| actuation::PredictedEffect::nominal());
+        BelievedEffect {
+            speedup: declared.on(Axis::Performance),
+            powerup: declared.on(Axis::Power),
+            observations: 0,
+        }
+    }
+
+    /// Records that running in `config` produced `observed_speedup` and
+    /// `observed_powerup` (both relative to nominal). Returns the relative
+    /// error between the previous belief and the observation.
+    pub fn observe(
+        &mut self,
+        config: &Configuration,
+        observed_speedup: f64,
+        observed_powerup: f64,
+    ) -> f64 {
+        let mut belief = self.believed_effect(config);
+        let error = if belief.speedup > 0.0 {
+            ((observed_speedup - belief.speedup) / belief.speedup).abs()
+        } else {
+            1.0
+        };
+        let a = self.learning_rate;
+        if observed_speedup.is_finite() && observed_speedup > 0.0 {
+            belief.speedup = (1.0 - a) * belief.speedup + a * observed_speedup;
+        }
+        if observed_powerup.is_finite() && observed_powerup > 0.0 {
+            belief.powerup = (1.0 - a) * belief.powerup + a * observed_powerup;
+        }
+        belief.observations += 1;
+        self.learned.insert(config.clone(), belief);
+
+        if error > self.policy.divergence_threshold {
+            self.divergent_streak += 1;
+        } else {
+            self.divergent_streak = 0;
+        }
+        error
+    }
+
+    /// Whether the model considers itself diverged (exploration should take
+    /// over the next decisions).
+    pub fn is_diverged(&self) -> bool {
+        self.divergent_streak >= self.policy.patience
+    }
+
+    /// Chooses the configuration to run next: the cheapest (lowest believed
+    /// power) configuration whose believed speedup meets `required_speedup`.
+    /// If none meets it, the configuration with the highest believed speedup
+    /// is returned. With probability epsilon — or whenever the model has
+    /// diverged — a neighbouring configuration of the choice is explored
+    /// instead.
+    pub fn choose(&mut self, required_speedup: f64, current: &Configuration) -> Configuration {
+        let mut best_meeting: Option<(Configuration, f64)> = None;
+        let mut best_overall: Option<(Configuration, f64)> = None;
+        for config in self.space.iter() {
+            let belief = self.believed_effect(&config);
+            if belief.speedup >= required_speedup {
+                let better = match &best_meeting {
+                    None => true,
+                    Some((_, power)) => belief.powerup < *power,
+                };
+                if better {
+                    best_meeting = Some((config.clone(), belief.powerup));
+                }
+            }
+            let faster = match &best_overall {
+                None => true,
+                Some((_, speed)) => belief.speedup > *speed,
+            };
+            if faster {
+                best_overall = Some((config.clone(), belief.speedup));
+            }
+        }
+        let exploit = best_meeting
+            .map(|(c, _)| c)
+            .or(best_overall.map(|(c, _)| c))
+            .unwrap_or_else(|| self.space.nominal());
+
+        let explore = self.is_diverged() || self.rng.gen_bool(self.policy.epsilon.clamp(0.0, 1.0));
+        if explore {
+            let neighbors = self.space.neighbors(current);
+            if !neighbors.is_empty() {
+                let pick = self.rng.gen_range(0..neighbors.len());
+                return neighbors[pick].clone();
+            }
+        }
+        exploit
+    }
+
+    /// The bracketing configuration *below* a required speedup: among the
+    /// configurations whose believed speedup is less than `required_speedup`,
+    /// the fastest one (ties broken toward lower power). Falls back to the
+    /// cheapest configuration when everything meets the requirement. Used as
+    /// the low end of time-division schedules so that the schedule alternates
+    /// between adjacent operating points rather than between extremes.
+    pub fn bracket_below(&self, required_speedup: f64) -> (Configuration, f64) {
+        let mut best: Option<(Configuration, f64, f64)> = None;
+        for config in self.space.iter() {
+            let belief = self.believed_effect(&config);
+            if belief.speedup >= required_speedup {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, speedup, power)) => {
+                    belief.speedup > *speedup
+                        || (belief.speedup == *speedup && belief.powerup < *power)
+                }
+            };
+            if better {
+                best = Some((config, belief.speedup, belief.powerup));
+            }
+        }
+        match best {
+            Some((config, speedup, _)) => (config, speedup),
+            None => self.cheapest(),
+        }
+    }
+
+    /// The configuration with the lowest believed power, and its believed
+    /// speedup. Used as the low end of time-division schedules.
+    pub fn cheapest(&self) -> (Configuration, f64) {
+        let mut best: Option<(Configuration, f64, f64)> = None;
+        for config in self.space.iter() {
+            let belief = self.believed_effect(&config);
+            let cheaper = match &best {
+                None => true,
+                Some((_, power, _)) => belief.powerup < *power,
+            };
+            if cheaper {
+                best = Some((config, belief.powerup, belief.speedup));
+            }
+        }
+        match best {
+            Some((config, _, speedup)) => (config, speedup),
+            None => (self.space.nominal(), 1.0),
+        }
+    }
+
+    /// Number of distinct configurations observed at least once.
+    pub fn observed_configurations(&self) -> usize {
+        self.learned.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuation::{ActuatorSpec, SettingSpec};
+
+    fn space() -> ConfigurationSpace {
+        let dvfs = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("fast"))
+            .nominal(1)
+            .build()
+            .unwrap();
+        let cores = ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("4")
+                    .effect(Axis::Performance, 3.0)
+                    .effect(Axis::Power, 3.5),
+            )
+            .build()
+            .unwrap();
+        ConfigurationSpace::new(vec![dvfs, cores])
+    }
+
+    fn no_exploration() -> ExplorationPolicy {
+        ExplorationPolicy {
+            epsilon: 0.0,
+            ..ExplorationPolicy::default()
+        }
+    }
+
+    #[test]
+    fn beliefs_start_from_declared_effects() {
+        let model = ActionModel::new(space(), 1);
+        let effect = model.believed_effect(&Configuration::new(vec![0, 1]));
+        assert!((effect.speedup - 1.5).abs() < 1e-12);
+        assert!((effect.powerup - 1.4).abs() < 1e-12);
+        assert_eq!(effect.observations, 0);
+    }
+
+    #[test]
+    fn observations_pull_beliefs_toward_reality() {
+        let mut model = ActionModel::new(space(), 1);
+        let config = Configuration::new(vec![1, 1]);
+        // Declared speedup 3.0, but reality is only 1.5 (memory bound).
+        for _ in 0..20 {
+            model.observe(&config, 1.5, 3.2);
+        }
+        let belief = model.believed_effect(&config);
+        assert!((belief.speedup - 1.5).abs() < 0.1);
+        assert!(belief.observations == 20);
+        assert_eq!(model.observed_configurations(), 1);
+    }
+
+    #[test]
+    fn choose_picks_cheapest_configuration_meeting_the_target() {
+        let mut model = ActionModel::new(space(), 1);
+        model.set_policy(no_exploration());
+        let current = model.space().nominal();
+        // Needs 1.4x: [1,1] (3.0x at 3.5 power) and [0,1] (1.5x at 1.4 power)
+        // both meet it; the cheaper one is [0,1].
+        let choice = model.choose(1.4, &current);
+        assert_eq!(choice, Configuration::new(vec![0, 1]));
+        // Needs 2.5x: only [1,1] meets it.
+        let choice = model.choose(2.5, &current);
+        assert_eq!(choice, Configuration::new(vec![1, 1]));
+        // Nothing meets 10x: fall back to the fastest.
+        let choice = model.choose(10.0, &current);
+        assert_eq!(choice, Configuration::new(vec![1, 1]));
+    }
+
+    #[test]
+    fn persistent_divergence_triggers_exploration() {
+        let mut model = ActionModel::new(space(), 7);
+        model.set_policy(ExplorationPolicy {
+            epsilon: 0.0,
+            divergence_threshold: 0.3,
+            patience: 2,
+        });
+        let config = Configuration::new(vec![1, 1]);
+        assert!(!model.is_diverged());
+        // Observations wildly off the declared 3.0x speedup.
+        model.observe(&config, 0.9, 3.5);
+        assert!(!model.is_diverged());
+        model.observe(&config, 0.9, 3.5);
+        assert!(model.is_diverged());
+        // While diverged, choose() explores a neighbour of the current
+        // configuration rather than exploiting the (wrong) model.
+        let current = Configuration::new(vec![1, 0]);
+        let choice = model.choose(1.0, &current);
+        let diffs = choice
+            .settings()
+            .iter()
+            .zip(current.settings())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1, "exploration stays adjacent to the current configuration");
+        // Converging observations clear the divergence.
+        let belief = model.believed_effect(&config);
+        model.observe(&config, belief.speedup, belief.powerup);
+        assert!(!model.is_diverged());
+    }
+
+    #[test]
+    fn bracket_below_returns_the_fastest_configuration_under_the_requirement() {
+        let model = ActionModel::new(space(), 1);
+        // Speedups available: 0.5, 1.0, 1.5, 3.0 (dvfs x cores products).
+        let (config, speedup) = model.bracket_below(2.0);
+        assert!((speedup - 1.5).abs() < 1e-12);
+        assert_eq!(config, Configuration::new(vec![0, 1]));
+        // Nothing is below 0.3x: fall back to the cheapest configuration.
+        let (config, speedup) = model.bracket_below(0.3);
+        assert_eq!(config, Configuration::new(vec![0, 0]));
+        assert!((speedup - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheapest_returns_the_lowest_power_configuration() {
+        let model = ActionModel::new(space(), 1);
+        let (config, speedup) = model.cheapest();
+        // Slow DVFS (0.4 power) with a single core (1.0 power) is cheapest.
+        assert_eq!(config, Configuration::new(vec![0, 0]));
+        assert!((speedup - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_observations_do_not_corrupt_the_model() {
+        let mut model = ActionModel::new(space(), 1);
+        let config = Configuration::new(vec![0, 0]);
+        let before = model.believed_effect(&config);
+        model.observe(&config, f64::NAN, -1.0);
+        let after = model.believed_effect(&config);
+        assert_eq!(before.speedup, after.speedup);
+        assert_eq!(before.powerup, after.powerup);
+        assert_eq!(after.observations, 1);
+    }
+}

@@ -1,0 +1,526 @@
+//! The SEEC runtime: the full observe–decide–act loop.
+
+use actuation::{Actuator, ActuatorSpec, Configuration, ConfigurationSpace};
+use heartbeats::HeartbeatMonitor;
+use serde::{Deserialize, Serialize};
+
+use crate::control::{KalmanEstimator, PiController};
+use crate::error::SeecError;
+use crate::model::{ActionModel, ExplorationPolicy};
+use crate::schedule::ActuationSchedule;
+
+/// The outcome of one decision period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Configuration applied for the coming period.
+    pub configuration: Configuration,
+    /// Speedup over nominal the controller asked for.
+    pub required_speedup: f64,
+    /// The time-division schedule the configuration was drawn from.
+    pub schedule: ActuationSchedule,
+    /// Whether the performance goal was met over the last observation window
+    /// (`None` when too little has been observed).
+    pub goal_met: Option<bool>,
+    /// The runtime's current estimate of the application's heart rate in the
+    /// nominal configuration.
+    pub estimated_nominal_rate: f64,
+}
+
+/// Builder for [`SeecRuntime`].
+pub struct SeecRuntimeBuilder {
+    monitor: HeartbeatMonitor,
+    actuators: Vec<Box<dyn Actuator>>,
+    target_override: Option<f64>,
+    controller: PiController,
+    estimator: KalmanEstimator,
+    policy: ExplorationPolicy,
+    seed: u64,
+}
+
+impl std::fmt::Debug for SeecRuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeecRuntimeBuilder")
+            .field("application", &self.monitor.name())
+            .field("actuators", &self.actuators.len())
+            .field("target_override", &self.target_override)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SeecRuntimeBuilder {
+    /// Registers an actuator (hardware, OS, or application provided).
+    pub fn actuator(mut self, actuator: Box<dyn Actuator>) -> Self {
+        self.actuators.push(actuator);
+        self
+    }
+
+    /// Registers several actuators at once.
+    pub fn actuators<I: IntoIterator<Item = Box<dyn Actuator>>>(mut self, actuators: I) -> Self {
+        self.actuators.extend(actuators);
+        self
+    }
+
+    /// Overrides the target heart rate instead of reading it from the
+    /// application's registered goal.
+    pub fn target_heart_rate(mut self, beats_per_second: f64) -> Self {
+        self.target_override = Some(beats_per_second);
+        self
+    }
+
+    /// Replaces the classical controller tuning.
+    pub fn controller(mut self, controller: PiController) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Replaces the adaptive-layer estimator tuning.
+    pub fn estimator(mut self, estimator: KalmanEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the exploration (machine-learning layer) policy.
+    pub fn exploration(mut self, policy: ExplorationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the exploration randomness (decisions are deterministic for a
+    /// given seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeecError::NoActuators`] when no actuator was registered, or
+    /// [`SeecError::InvalidParameter`] when an override target is not positive.
+    pub fn build(self) -> Result<SeecRuntime, SeecError> {
+        if self.actuators.is_empty() {
+            return Err(SeecError::NoActuators);
+        }
+        if let Some(target) = self.target_override {
+            if !(target.is_finite() && target > 0.0) {
+                return Err(SeecError::InvalidParameter(format!(
+                    "target heart rate must be positive, got {target}"
+                )));
+            }
+        }
+        let specs: Vec<ActuatorSpec> = self.actuators.iter().map(|a| a.spec().clone()).collect();
+        let space = ConfigurationSpace::new(specs);
+        let current = space.nominal();
+        let mut model = ActionModel::new(space, self.seed);
+        model.set_policy(self.policy);
+        Ok(SeecRuntime {
+            monitor: self.monitor,
+            actuators: self.actuators,
+            model,
+            controller: self.controller,
+            estimator: self.estimator,
+            power_estimator: KalmanEstimator::default_tuning(),
+            target_override: self.target_override,
+            current,
+            schedule_accumulator: 0.0,
+            decisions: 0,
+        })
+    }
+}
+
+/// The SEEC decision engine bound to one application and a set of actuators.
+pub struct SeecRuntime {
+    monitor: HeartbeatMonitor,
+    actuators: Vec<Box<dyn Actuator>>,
+    model: ActionModel,
+    controller: PiController,
+    estimator: KalmanEstimator,
+    power_estimator: KalmanEstimator,
+    target_override: Option<f64>,
+    current: Configuration,
+    schedule_accumulator: f64,
+    decisions: u64,
+}
+
+impl std::fmt::Debug for SeecRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeecRuntime")
+            .field("application", &self.monitor.name())
+            .field("actuators", &self.actuators.len())
+            .field("decisions", &self.decisions)
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SeecRuntime {
+    /// Starts building a runtime observing `monitor`.
+    pub fn builder(monitor: HeartbeatMonitor) -> SeecRuntimeBuilder {
+        SeecRuntimeBuilder {
+            monitor,
+            actuators: Vec::new(),
+            target_override: None,
+            controller: PiController::default_tuning(),
+            estimator: KalmanEstimator::default_tuning(),
+            policy: ExplorationPolicy::default(),
+            seed: 0x5eec,
+        }
+    }
+
+    /// The configuration currently applied.
+    pub fn current_configuration(&self) -> &Configuration {
+        &self.current
+    }
+
+    /// Number of decisions taken so far.
+    pub fn decisions_made(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The online action model (for inspection and tests).
+    pub fn model(&self) -> &ActionModel {
+        &self.model
+    }
+
+    /// Current estimate of the application's nominal-configuration heart rate.
+    pub fn estimated_nominal_rate(&self) -> f64 {
+        self.estimator.estimate()
+    }
+
+    /// The target heart rate in force (override or the application's goal).
+    pub fn target_heart_rate(&self) -> Option<f64> {
+        self.target_override.or_else(|| self.monitor.target_heart_rate())
+    }
+
+    /// Runs one observe–decide–act iteration at simulation time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeecError::NoGoal`] if neither the application nor the
+    /// builder specified a performance target, or an actuation error if a
+    /// chosen setting cannot be applied.
+    pub fn decide(&mut self, _now: f64) -> Result<Decision, SeecError> {
+        let target = self.target_heart_rate().ok_or(SeecError::NoGoal)?;
+
+        // ---- Observe -------------------------------------------------
+        let stats = self.monitor.heart_rate();
+        let observed = stats.window;
+        let goal_met = self.monitor.performance_goal_met().or({
+            if stats.beats_in_window >= 2 {
+                Some(observed >= target)
+            } else {
+                None
+            }
+        });
+
+        if stats.beats_in_window < 2 || observed <= 0.0 {
+            // Not enough feedback yet: stay at the current configuration.
+            self.decisions += 1;
+            return Ok(Decision {
+                configuration: self.current.clone(),
+                required_speedup: 1.0,
+                schedule: ActuationSchedule::steady(self.current.clone(), 1.0),
+                goal_met,
+                estimated_nominal_rate: self.estimator.estimate(),
+            });
+        }
+
+        // ---- Adaptive layer: track the nominal-configuration rate -----
+        let believed = self.model.believed_effect(&self.current);
+        let nominal_rate_observation = observed / believed.speedup.max(1e-9);
+        let base_rate = self.estimator.observe(nominal_rate_observation);
+
+        // ---- Model learning: correct speedup/power beliefs ------------
+        let observed_speedup = observed / base_rate.max(1e-9);
+        let observed_powerup = match self.monitor.mean_power() {
+            Some(power) if power > 0.0 => {
+                let nominal_power_obs = power / believed.powerup.max(1e-9);
+                let nominal_power = self.power_estimator.observe(nominal_power_obs);
+                power / nominal_power.max(1e-9)
+            }
+            _ => believed.powerup,
+        };
+        self.model
+            .observe(&self.current, observed_speedup, observed_powerup);
+
+        // ---- Decide: classical control + model-based selection --------
+        let required = self.controller.next_speedup(target, observed, base_rate);
+        let upper = self.model.choose(required, &self.current);
+        let upper_speedup = self.model.believed_effect(&upper).speedup;
+        let (lower, lower_speedup) = self.model.bracket_below(upper_speedup.min(required));
+        let schedule = if upper == lower {
+            ActuationSchedule::steady(upper.clone(), upper_speedup)
+        } else {
+            ActuationSchedule::bracketing(
+                upper.clone(),
+                upper_speedup,
+                lower,
+                lower_speedup,
+                required,
+            )
+        };
+        let next = schedule.configuration_for_period(&mut self.schedule_accumulator);
+
+        // ---- Act -------------------------------------------------------
+        self.apply(&next)?;
+        self.decisions += 1;
+        Ok(Decision {
+            configuration: next,
+            required_speedup: required,
+            schedule,
+            goal_met,
+            estimated_nominal_rate: base_rate,
+        })
+    }
+
+    /// Applies `configuration` to every registered actuator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first actuation failure; earlier actuators keep the
+    /// settings already applied.
+    pub fn apply(&mut self, configuration: &Configuration) -> Result<(), SeecError> {
+        for (position, actuator) in self.actuators.iter_mut().enumerate() {
+            let setting = configuration
+                .setting(position)
+                .unwrap_or_else(|| actuator.spec().nominal());
+            if actuator.current() != setting {
+                actuator.apply(setting)?;
+            }
+        }
+        self.current = configuration.clone();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuation::{Axis, SettingSpec, TableActuator};
+    use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal};
+
+    fn dvfs_spec() -> ActuatorSpec {
+        ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("nominal"))
+            .setting(
+                SettingSpec::new("fast")
+                    .effect(Axis::Performance, 2.0)
+                    .effect(Axis::Power, 2.6),
+            )
+            .nominal(1)
+            .build()
+            .unwrap()
+    }
+
+    fn cores_spec() -> ActuatorSpec {
+        ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("2")
+                    .effect(Axis::Performance, 1.9)
+                    .effect(Axis::Power, 2.0),
+            )
+            .setting(
+                SettingSpec::new("4")
+                    .effect(Axis::Performance, 3.5)
+                    .effect(Axis::Power, 4.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn no_exploration() -> ExplorationPolicy {
+        ExplorationPolicy {
+            epsilon: 0.0,
+            ..ExplorationPolicy::default()
+        }
+    }
+
+    /// Simulates an application whose heart rate is `nominal_rate` times the
+    /// believed speedup of the configuration SEEC applied, and checks that
+    /// the runtime converges to meeting the target at low cost.
+    fn run_closed_loop(target: f64, nominal_rate: f64, periods: usize) -> (SeecRuntime, f64) {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(target)));
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .actuator(Box::new(TableActuator::new(cores_spec())))
+            .exploration(no_exploration())
+            .build()
+            .unwrap();
+
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        let mut now = 0.0;
+        let mut rates = Vec::new();
+        for _ in 0..periods {
+            // The "true" behaviour of the platform mirrors the declared
+            // effects exactly (the model starts correct in this test).
+            let effect = runtime
+                .model()
+                .space()
+                .predicted_effect(runtime.current_configuration())
+                .unwrap();
+            let rate = nominal_rate * effect.performance;
+            let power = 10.0 * effect.power;
+            // Emit a window's worth of beats at that rate.
+            for _ in 0..8 {
+                now += 1.0 / rate;
+                issuer.heartbeat(now);
+            }
+            monitor.record_power_sample(now, power);
+            runtime.decide(now).unwrap();
+            rates.push(rate);
+        }
+        // Time-division schedules alternate between bracketing settings, so
+        // judge convergence on the average delivered rate of the final
+        // periods rather than whichever setting the last period landed on.
+        let tail = rates.len().saturating_sub(10);
+        let settled_rate = rates[tail..].iter().sum::<f64>() / rates[tail..].len() as f64;
+        (runtime, settled_rate)
+    }
+
+    #[test]
+    fn builder_requires_actuators_and_valid_targets() {
+        let registry = HeartbeatRegistry::new("app");
+        assert!(matches!(
+            SeecRuntime::builder(registry.monitor()).build(),
+            Err(SeecError::NoActuators)
+        ));
+        assert!(matches!(
+            SeecRuntime::builder(registry.monitor())
+                .actuator(Box::new(TableActuator::new(dvfs_spec())))
+                .target_heart_rate(-1.0)
+                .build(),
+            Err(SeecError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn decide_without_goal_is_an_error() {
+        let registry = HeartbeatRegistry::new("app");
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .build()
+            .unwrap();
+        assert!(matches!(runtime.decide(0.0), Err(SeecError::NoGoal)));
+    }
+
+    #[test]
+    fn runtime_converges_to_the_goal() {
+        // Nominal rate 10 beats/s, target 30: needs ~3x speedup.
+        let (runtime, settled_rate) = run_closed_loop(30.0, 10.0, 60);
+        assert!(runtime.decisions_made() >= 60);
+        assert!(
+            settled_rate >= 30.0 * 0.85,
+            "closed loop should settle near the target, got {settled_rate}"
+        );
+        // The estimate is taken while the schedule alternates between
+        // bracketing configurations, so it carries some bias; it must still
+        // land in the right neighbourhood of the true 10 beats/s.
+        assert!(
+            runtime.estimated_nominal_rate() > 5.0 && runtime.estimated_nominal_rate() < 20.0,
+            "adaptive layer should learn the nominal rate's neighbourhood, got {}",
+            runtime.estimated_nominal_rate()
+        );
+    }
+
+    #[test]
+    fn runtime_minimises_cost_when_the_goal_is_easy() {
+        // Target of 6 beats/s with nominal 10: the cheap (slow) settings are
+        // sufficient, so SEEC should not run flat out.
+        let (runtime, _) = run_closed_loop(6.0, 10.0, 60);
+        let effect = runtime
+            .model()
+            .space()
+            .predicted_effect(runtime.current_configuration())
+            .unwrap();
+        assert!(
+            effect.power < 1.5,
+            "easy goals must not be met with expensive configurations (power {})",
+            effect.power
+        );
+    }
+
+    #[test]
+    fn early_decisions_without_feedback_keep_the_nominal_configuration() {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .build()
+            .unwrap();
+        let nominal = runtime.current_configuration().clone();
+        let decision = runtime.decide(0.0).unwrap();
+        assert_eq!(decision.configuration, nominal);
+        assert_eq!(decision.required_speedup, 1.0);
+        assert_eq!(decision.goal_met, None);
+    }
+
+    #[test]
+    fn target_override_takes_precedence_over_the_goal() {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        let runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .target_heart_rate(25.0)
+            .build()
+            .unwrap();
+        assert_eq!(runtime.target_heart_rate(), Some(25.0));
+    }
+
+    #[test]
+    fn apply_forwards_settings_to_every_actuator() {
+        let registry = HeartbeatRegistry::new("app");
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .actuator(Box::new(TableActuator::new(cores_spec())))
+            .target_heart_rate(5.0)
+            .build()
+            .unwrap();
+        let config = Configuration::new(vec![2, 1]);
+        runtime.apply(&config).unwrap();
+        assert_eq!(runtime.current_configuration(), &config);
+        assert!(format!("{runtime:?}").contains("SeecRuntime"));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let registry = HeartbeatRegistry::new("app");
+            registry
+                .issuer()
+                .set_goal(Goal::Performance(PerformanceGoal::heart_rate(20.0)));
+            let mut runtime = SeecRuntime::builder(registry.monitor())
+                .actuator(Box::new(TableActuator::new(dvfs_spec())))
+                .actuator(Box::new(TableActuator::new(cores_spec())))
+                .seed(seed)
+                .build()
+                .unwrap();
+            let issuer = registry.issuer();
+            let mut now = 0.0;
+            let mut configs = Vec::new();
+            for _ in 0..20 {
+                for _ in 0..4 {
+                    now += 0.05;
+                    issuer.heartbeat(now);
+                }
+                configs.push(runtime.decide(now).unwrap().configuration);
+            }
+            configs
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,153 @@
+//! Time-division actuation schedules.
+//!
+//! Actuator settings are discrete, but the speedup a goal requires is
+//! continuous. SEEC closes the gap the way the underlying controller papers
+//! do (Maggio et al., CDC 2010): it alternates between the two
+//! configurations that bracket the required speedup, spending a fraction of
+//! the time in each so that the *average* speedup matches the requirement
+//! while the *average* power stays below running flat-out in the faster
+//! configuration.
+
+use actuation::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A two-configuration, time-division schedule for one decision period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuationSchedule {
+    /// Configuration used for `upper_fraction` of the period.
+    pub upper: Configuration,
+    /// Configuration used for the remaining time.
+    pub lower: Configuration,
+    /// Fraction of the period spent in `upper`, in `[0, 1]`.
+    pub upper_fraction: f64,
+    /// Average speedup the schedule is expected to deliver.
+    pub expected_speedup: f64,
+}
+
+impl ActuationSchedule {
+    /// A schedule that stays in a single configuration for the whole period.
+    pub fn steady(config: Configuration, expected_speedup: f64) -> Self {
+        ActuationSchedule {
+            upper: config.clone(),
+            lower: config,
+            upper_fraction: 1.0,
+            expected_speedup,
+        }
+    }
+
+    /// Builds the schedule that meets `required_speedup` by dividing time
+    /// between `upper` (believed speedup `upper_speedup`) and `lower`
+    /// (believed speedup `lower_speedup`).
+    ///
+    /// If the requirement is outside the `[lower_speedup, upper_speedup]`
+    /// range the schedule saturates at the nearer end.
+    pub fn bracketing(
+        upper: Configuration,
+        upper_speedup: f64,
+        lower: Configuration,
+        lower_speedup: f64,
+        required_speedup: f64,
+    ) -> Self {
+        if upper_speedup <= lower_speedup {
+            return ActuationSchedule::steady(upper, upper_speedup);
+        }
+        // Time-weighted *rate* averaging: running a fraction f of the time in
+        // the upper configuration yields average speedup
+        //   s = f * upper + (1 - f) * lower.
+        let fraction = ((required_speedup - lower_speedup) / (upper_speedup - lower_speedup))
+            .clamp(0.0, 1.0);
+        let expected = fraction * upper_speedup + (1.0 - fraction) * lower_speedup;
+        ActuationSchedule {
+            upper,
+            lower,
+            upper_fraction: fraction,
+            expected_speedup: expected,
+        }
+    }
+
+    /// Whether the schedule actually alternates between two configurations.
+    pub fn is_split(&self) -> bool {
+        self.upper != self.lower && self.upper_fraction > 0.0 && self.upper_fraction < 1.0
+    }
+
+    /// The configuration to apply for this decision period, given a
+    /// deterministic accumulator carried between periods (supplied by the
+    /// caller, starting at 0.0). The accumulator technique spreads the
+    /// upper/lower periods evenly instead of bunching them.
+    pub fn configuration_for_period(&self, accumulator: &mut f64) -> Configuration {
+        *accumulator += self.upper_fraction;
+        if *accumulator >= 1.0 - 1e-12 {
+            *accumulator -= 1.0;
+            self.upper.clone()
+        } else {
+            self.lower.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(settings: Vec<usize>) -> Configuration {
+        Configuration::new(settings)
+    }
+
+    #[test]
+    fn steady_schedule_never_splits() {
+        let s = ActuationSchedule::steady(cfg(vec![1, 2]), 2.0);
+        assert!(!s.is_split());
+        assert_eq!(s.upper_fraction, 1.0);
+        let mut acc = 0.0;
+        for _ in 0..5 {
+            assert_eq!(s.configuration_for_period(&mut acc), cfg(vec![1, 2]));
+        }
+    }
+
+    #[test]
+    fn bracketing_interpolates_the_required_speedup() {
+        let s = ActuationSchedule::bracketing(cfg(vec![1]), 4.0, cfg(vec![0]), 1.0, 2.5);
+        assert!(s.is_split());
+        assert!((s.upper_fraction - 0.5).abs() < 1e-12);
+        assert!((s.expected_speedup - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bracketing_saturates_outside_the_range() {
+        let high = ActuationSchedule::bracketing(cfg(vec![1]), 4.0, cfg(vec![0]), 1.0, 9.0);
+        assert_eq!(high.upper_fraction, 1.0);
+        assert!((high.expected_speedup - 4.0).abs() < 1e-12);
+        let low = ActuationSchedule::bracketing(cfg(vec![1]), 4.0, cfg(vec![0]), 1.0, 0.5);
+        assert_eq!(low.upper_fraction, 0.0);
+        assert!((low.expected_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_bracket_collapses_to_steady() {
+        let s = ActuationSchedule::bracketing(cfg(vec![1]), 2.0, cfg(vec![0]), 2.0, 3.0);
+        assert!(!s.is_split());
+        assert_eq!(s.upper, cfg(vec![1]));
+    }
+
+    #[test]
+    fn period_assignment_matches_the_fraction_in_the_long_run() {
+        let s = ActuationSchedule::bracketing(cfg(vec![1]), 4.0, cfg(vec![0]), 1.0, 3.0);
+        let mut acc = 0.0;
+        let periods = 1000;
+        let upper_count = (0..periods)
+            .filter(|_| s.configuration_for_period(&mut acc) == cfg(vec![1]))
+            .count();
+        let observed_fraction = upper_count as f64 / periods as f64;
+        assert!((observed_fraction - s.upper_fraction).abs() < 0.01);
+    }
+
+    #[test]
+    fn period_assignment_interleaves_rather_than_bunching() {
+        let s = ActuationSchedule::bracketing(cfg(vec![1]), 2.0, cfg(vec![0]), 1.0, 1.5);
+        let mut acc = 0.0;
+        let sequence: Vec<_> = (0..6).map(|_| s.configuration_for_period(&mut acc)).collect();
+        // With a 0.5 fraction the schedule must alternate, not bunch.
+        assert_ne!(sequence[0], sequence[1]);
+        assert_ne!(sequence[2], sequence[3]);
+    }
+}

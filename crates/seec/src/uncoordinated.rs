@@ -1,0 +1,170 @@
+//! Uncoordinated adaptation: the composition of closed adaptive systems.
+//!
+//! The paper's §5.2 baseline "uncoordinated adaptation" runs separate
+//! instances of the SEEC runtime, one per actuator, none of which
+//! coordinates with the others. Each instance sees the full gap between the
+//! goal and the observed heart rate and tries to close it with its single
+//! knob, so the instances collectively over- and under-shoot and oscillate
+//! through sub-optimal allocations — exactly the pathology Figure 2
+//! illustrates for closed adaptive systems.
+
+use actuation::{Actuator, Configuration};
+use heartbeats::HeartbeatMonitor;
+
+use crate::error::SeecError;
+use crate::model::ExplorationPolicy;
+use crate::runtime::{Decision, SeecRuntime};
+
+/// A bundle of independent single-actuator SEEC runtimes sharing one goal.
+pub struct UncoordinatedRuntime {
+    runtimes: Vec<SeecRuntime>,
+}
+
+impl std::fmt::Debug for UncoordinatedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UncoordinatedRuntime")
+            .field("instances", &self.runtimes.len())
+            .finish()
+    }
+}
+
+impl UncoordinatedRuntime {
+    /// Creates one independent SEEC instance per actuator, each observing the
+    /// same application through `monitor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeecError::NoActuators`] when `actuators` is empty, or any
+    /// error produced while building the per-actuator runtimes.
+    pub fn new(
+        monitor: &HeartbeatMonitor,
+        actuators: Vec<Box<dyn Actuator>>,
+        seed: u64,
+    ) -> Result<Self, SeecError> {
+        if actuators.is_empty() {
+            return Err(SeecError::NoActuators);
+        }
+        let mut runtimes = Vec::new();
+        for (i, actuator) in actuators.into_iter().enumerate() {
+            let runtime = SeecRuntime::builder(monitor.clone())
+                .actuator(actuator)
+                .exploration(ExplorationPolicy {
+                    epsilon: 0.0,
+                    ..ExplorationPolicy::default()
+                })
+                .seed(seed.wrapping_add(i as u64))
+                .build()?;
+            runtimes.push(runtime);
+        }
+        Ok(UncoordinatedRuntime { runtimes })
+    }
+
+    /// Number of independent instances (one per actuator).
+    pub fn instances(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Runs one decision period of every instance and returns the combined
+    /// joint configuration (instance `i` controls position `i`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from any instance.
+    pub fn decide(&mut self, now: f64) -> Result<Vec<Decision>, SeecError> {
+        self.runtimes.iter_mut().map(|r| r.decide(now)).collect()
+    }
+
+    /// The joint configuration currently applied across all instances.
+    pub fn joint_configuration(&self) -> Configuration {
+        Configuration::new(
+            self.runtimes
+                .iter()
+                .map(|r| r.current_configuration().setting(0).unwrap_or(0))
+                .collect(),
+        )
+    }
+
+    /// Total decisions taken across every instance.
+    pub fn decisions_made(&self) -> u64 {
+        self.runtimes.iter().map(|r| r.decisions_made()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+    use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal};
+
+    fn actuators() -> Vec<Box<dyn Actuator>> {
+        let dvfs = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("fast"))
+            .nominal(1)
+            .build()
+            .unwrap();
+        let cores = ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("4")
+                    .effect(Axis::Performance, 3.0)
+                    .effect(Axis::Power, 3.6),
+            )
+            .build()
+            .unwrap();
+        vec![
+            Box::new(TableActuator::new(dvfs)),
+            Box::new(TableActuator::new(cores)),
+        ]
+    }
+
+    #[test]
+    fn one_instance_is_created_per_actuator() {
+        let registry = HeartbeatRegistry::new("app");
+        let uncoordinated = UncoordinatedRuntime::new(&registry.monitor(), actuators(), 1).unwrap();
+        assert_eq!(uncoordinated.instances(), 2);
+        assert_eq!(uncoordinated.joint_configuration().len(), 2);
+        assert!(format!("{uncoordinated:?}").contains("instances"));
+    }
+
+    #[test]
+    fn empty_actuator_list_is_rejected() {
+        let registry = HeartbeatRegistry::new("app");
+        assert!(matches!(
+            UncoordinatedRuntime::new(&registry.monitor(), vec![], 1),
+            Err(SeecError::NoActuators)
+        ));
+    }
+
+    #[test]
+    fn each_instance_decides_independently() {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(30.0)));
+        let mut uncoordinated =
+            UncoordinatedRuntime::new(&registry.monitor(), actuators(), 1).unwrap();
+        let issuer = registry.issuer();
+        let mut now = 0.0;
+        // The application runs at only 10 beats/s: every instance sees the
+        // shortfall and independently escalates its own knob.
+        for _ in 0..20 {
+            for _ in 0..4 {
+                now += 0.1;
+                issuer.heartbeat(now);
+            }
+            let decisions = uncoordinated.decide(now).unwrap();
+            assert_eq!(decisions.len(), 2);
+        }
+        assert_eq!(uncoordinated.decisions_made(), 40);
+        let joint = uncoordinated.joint_configuration();
+        // Both knobs end up at their fast settings even though either alone
+        // would have been the coordinated choice — the over-provisioning the
+        // paper attributes to uncoordinated adaptation.
+        assert_eq!(joint, Configuration::new(vec![1, 1]));
+    }
+}

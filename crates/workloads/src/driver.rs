@@ -1,0 +1,194 @@
+//! Heartbeat instrumentation: coupling a workload model to the heartbeat API.
+//!
+//! The paper instruments each SPLASH-2 application with the Application
+//! Heartbeats API so that it emits one heartbeat per unit of work and states
+//! a performance goal (§5.1). [`HeartbeatedWorkload`] plays that role for the
+//! synthetic models: the experiment driver reports how much work the
+//! substrate completed and at what simulated time, and the instrumentation
+//! emits the corresponding heartbeats into a registry the SEEC runtime
+//! observes.
+
+use heartbeats::{Goal, HeartbeatIssuer, HeartbeatMonitor, HeartbeatRegistry, PerformanceGoal};
+
+use crate::phases::Workload;
+use crate::profile::SplashBenchmark;
+
+/// A workload instrumented with the Application Heartbeats API.
+#[derive(Debug)]
+pub struct HeartbeatedWorkload {
+    workload: Workload,
+    registry: HeartbeatRegistry,
+    issuer: HeartbeatIssuer,
+    completed_work: f64,
+    emitted_beats: u64,
+    work_per_beat: f64,
+}
+
+impl HeartbeatedWorkload {
+    /// Instruments `workload` so that one heartbeat is emitted per work unit.
+    pub fn new(workload: Workload) -> Self {
+        Self::with_work_per_beat(workload, 1.0)
+    }
+
+    /// Instruments `workload` emitting one heartbeat every `work_per_beat`
+    /// work units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_per_beat` is not positive.
+    pub fn with_work_per_beat(workload: Workload, work_per_beat: f64) -> Self {
+        assert!(work_per_beat > 0.0, "work per beat must be positive");
+        let registry = HeartbeatRegistry::new(workload.benchmark().name());
+        let issuer = registry.issuer();
+        HeartbeatedWorkload {
+            workload,
+            registry,
+            issuer,
+            completed_work: 0.0,
+            emitted_beats: 0,
+            work_per_beat,
+        }
+    }
+
+    /// The benchmark being modelled.
+    pub fn benchmark(&self) -> SplashBenchmark {
+        self.workload.benchmark()
+    }
+
+    /// The underlying workload model.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The shared heartbeat registry (attach monitors from here).
+    pub fn registry(&self) -> &HeartbeatRegistry {
+        &self.registry
+    }
+
+    /// A fresh observer handle onto the application's heartbeats.
+    pub fn monitor(&self) -> HeartbeatMonitor {
+        self.registry.monitor()
+    }
+
+    /// Declares the application's performance goal as a target heart rate.
+    pub fn set_heart_rate_goal(&self, beats_per_second: f64) {
+        self.issuer
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(
+                beats_per_second,
+            )));
+    }
+
+    /// Total work units completed so far.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Total heartbeats emitted so far.
+    pub fn emitted_beats(&self) -> u64 {
+        self.emitted_beats
+    }
+
+    /// Fraction of the whole run completed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.completed_work / self.workload.profile().total_work_units).clamp(0.0, 1.0)
+    }
+
+    /// Whether every work unit of the run has been completed.
+    pub fn is_finished(&self) -> bool {
+        self.completed_work >= self.workload.profile().total_work_units - 1e-9
+    }
+
+    /// Reports that the substrate completed `work_units` of application work
+    /// by simulation time `now` (seconds). Emits one heartbeat per
+    /// `work_per_beat` units crossed, all stamped at `now` (within a quantum
+    /// the substrate does not resolve finer timing). Returns the number of
+    /// heartbeats emitted.
+    pub fn advance(&mut self, now: f64, work_units: f64) -> u64 {
+        self.completed_work += work_units.max(0.0);
+        let due = (self.completed_work / self.work_per_beat).floor() as u64;
+        let mut emitted = 0;
+        while self.emitted_beats < due {
+            self.issuer.heartbeat(now);
+            self.emitted_beats += 1;
+            emitted += 1;
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heartbeats::GoalKind;
+
+    fn instrumented() -> HeartbeatedWorkload {
+        HeartbeatedWorkload::new(Workload::new(SplashBenchmark::Barnes, 1))
+    }
+
+    #[test]
+    fn advance_emits_one_beat_per_work_unit() {
+        let mut app = instrumented();
+        let emitted = app.advance(0.1, 3.0);
+        assert_eq!(emitted, 3);
+        assert_eq!(app.emitted_beats(), 3);
+        assert_eq!(app.monitor().stats().total_beats, 3);
+    }
+
+    #[test]
+    fn fractional_work_accumulates_before_beating() {
+        let mut app = instrumented();
+        assert_eq!(app.advance(0.1, 0.4), 0);
+        assert_eq!(app.advance(0.2, 0.4), 0);
+        assert_eq!(app.advance(0.3, 0.4), 1);
+        assert_eq!(app.emitted_beats(), 1);
+        assert!((app.completed_work() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heart_rate_reflects_progress_speed() {
+        let mut app = instrumented();
+        for i in 0..50 {
+            app.advance(i as f64 * 0.1, 1.0); // 10 work units (beats) per second
+        }
+        let rate = app.monitor().window_heart_rate();
+        assert!((rate - 10.0).abs() < 0.5, "expected ~10 beats/s, got {rate}");
+    }
+
+    #[test]
+    fn goal_is_visible_to_monitors() {
+        let app = instrumented();
+        app.set_heart_rate_goal(30.0);
+        let monitor = app.monitor();
+        assert_eq!(monitor.target_heart_rate(), Some(30.0));
+        assert!(monitor.goal_of_kind(GoalKind::Performance).is_some());
+        assert_eq!(monitor.name(), "barnes");
+    }
+
+    #[test]
+    fn progress_and_finished_track_total_work() {
+        let mut app = instrumented();
+        let total = app.workload().profile().total_work_units;
+        assert_eq!(app.progress(), 0.0);
+        assert!(!app.is_finished());
+        app.advance(1.0, total / 2.0);
+        assert!((app.progress() - 0.5).abs() < 1e-9);
+        app.advance(2.0, total);
+        assert_eq!(app.progress(), 1.0);
+        assert!(app.is_finished());
+    }
+
+    #[test]
+    fn custom_work_per_beat_changes_granularity() {
+        let workload = Workload::new(SplashBenchmark::WaterSpatial, 2);
+        let mut app = HeartbeatedWorkload::with_work_per_beat(workload, 4.0);
+        assert_eq!(app.advance(0.5, 9.0), 2);
+        assert_eq!(app.emitted_beats(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_per_beat_panics() {
+        let workload = Workload::new(SplashBenchmark::Volrend, 2);
+        let _ = HeartbeatedWorkload::with_work_per_beat(workload, 0.0);
+    }
+}

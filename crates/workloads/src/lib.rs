@@ -1,0 +1,38 @@
+//! # Synthetic SPLASH-2 workload models
+//!
+//! The paper's evaluation (§5.1) uses five applications from the SPLASH-2
+//! benchmark suite — `barnes`, `ocean` (non-contiguous), `raytrace`, `water`
+//! (spatial), and `volrend` — each instrumented with the Application
+//! Heartbeats API. The real binaries (and the inputs the authors expanded to
+//! run for more than a second) are not available here, so this crate models
+//! each application analytically: a [`WorkloadProfile`] captures the
+//! published execution characteristics that matter to the hardware model
+//! (parallelism, memory intensity, working set, sharing, load imbalance),
+//! and a [`Workload`] turns the profile into a deterministic sequence of
+//! per-quantum demands with phase behaviour and noise.
+//!
+//! SEEC never looks inside an application — it only sees heartbeats — so a
+//! model that emits heartbeats whose rate responds to resources the way the
+//! real code does preserves the behaviour the experiments measure (see
+//! DESIGN.md, "Substitutions").
+//!
+//! ```
+//! use workloads::{SplashBenchmark, Workload};
+//!
+//! let workload = Workload::new(SplashBenchmark::Barnes, 42);
+//! let quanta = workload.quanta(100);
+//! assert_eq!(quanta.len(), 100);
+//! let total: f64 = quanta.iter().map(|q| q.instructions).sum();
+//! assert!((total - workload.profile().total_instructions).abs() < 1e-3 * total);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod driver;
+mod phases;
+mod profile;
+
+pub use driver::HeartbeatedWorkload;
+pub use phases::{QuantumDemand, Workload};
+pub use profile::{SplashBenchmark, WorkloadProfile};

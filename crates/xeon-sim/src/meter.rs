@@ -1,0 +1,160 @@
+//! WattsUp-style external power meter.
+//!
+//! The paper measures power with a WattsUp device that samples and stores
+//! the average consumed power over one-second intervals (DAC 2012 §5.2).
+//! [`PowerMeter`] reproduces that behaviour: the simulation feeds it
+//! (duration, power) segments and it emits one averaged sample per sampling
+//! interval.
+
+use serde::{Deserialize, Serialize};
+
+/// One stored sample: the average power over one sampling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// End time of the interval, in seconds since the meter was started.
+    pub timestamp: f64,
+    /// Average power over the interval, in watts.
+    pub watts: f64,
+}
+
+/// A sampling power meter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMeter {
+    interval: f64,
+    samples: Vec<PowerSample>,
+    bucket_energy: f64,
+    bucket_elapsed: f64,
+    now: f64,
+}
+
+impl PowerMeter {
+    /// A WattsUp-style meter sampling every second.
+    pub fn wattsup() -> Self {
+        PowerMeter::with_interval(1.0)
+    }
+
+    /// A meter sampling every `interval` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn with_interval(interval: f64) -> Self {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        PowerMeter {
+            interval,
+            samples: Vec::new(),
+            bucket_energy: 0.0,
+            bucket_elapsed: 0.0,
+            now: 0.0,
+        }
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Current meter time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Records that the platform drew `watts` for `seconds` of simulated time,
+    /// emitting completed samples along the way.
+    pub fn record(&mut self, watts: f64, seconds: f64) {
+        let mut remaining = seconds.max(0.0);
+        while remaining > 0.0 {
+            let room = self.interval - self.bucket_elapsed;
+            let step = remaining.min(room);
+            self.bucket_energy += watts * step;
+            self.bucket_elapsed += step;
+            self.now += step;
+            remaining -= step;
+            if self.bucket_elapsed >= self.interval - 1e-12 {
+                self.samples.push(PowerSample {
+                    timestamp: self.now,
+                    watts: self.bucket_energy / self.interval,
+                });
+                self.bucket_energy = 0.0;
+                self.bucket_elapsed = 0.0;
+            }
+        }
+    }
+
+    /// Every completed sample so far, oldest first.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Mean of the completed samples, in watts.
+    pub fn mean_power(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.watts).sum::<f64>() / self.samples.len() as f64)
+    }
+}
+
+impl Default for PowerMeter {
+    fn default() -> Self {
+        PowerMeter::wattsup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_gives_constant_samples() {
+        let mut meter = PowerMeter::wattsup();
+        meter.record(150.0, 5.0);
+        assert_eq!(meter.samples().len(), 5);
+        for s in meter.samples() {
+            assert!((s.watts - 150.0).abs() < 1e-9);
+        }
+        assert_eq!(meter.mean_power(), Some(150.0));
+        assert!((meter.now() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_average_power_changes_within_an_interval() {
+        let mut meter = PowerMeter::wattsup();
+        meter.record(100.0, 0.5);
+        meter.record(200.0, 0.5);
+        assert_eq!(meter.samples().len(), 1);
+        assert!((meter.samples()[0].watts - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_intervals_are_not_emitted_until_complete() {
+        let mut meter = PowerMeter::wattsup();
+        meter.record(120.0, 0.7);
+        assert!(meter.samples().is_empty());
+        assert!(meter.mean_power().is_none());
+        meter.record(120.0, 0.3);
+        assert_eq!(meter.samples().len(), 1);
+    }
+
+    #[test]
+    fn long_segments_split_into_many_samples() {
+        let mut meter = PowerMeter::with_interval(0.5);
+        meter.record(90.0, 2.25);
+        assert_eq!(meter.samples().len(), 4);
+        assert_eq!(meter.interval(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = PowerMeter::with_interval(0.0);
+    }
+
+    #[test]
+    fn negative_durations_are_ignored() {
+        let mut meter = PowerMeter::wattsup();
+        meter.record(100.0, -5.0);
+        assert_eq!(meter.now(), 0.0);
+        assert!(meter.samples().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! A power-capped server: meet a throughput goal under an energy budget.
+//!
+//! The paper's introduction motivates SEEC with systems that must balance
+//! performance against competing goals like power efficiency. This example
+//! runs the memory-bound `ocean` workload on the Xeon server model and asks
+//! SEEC to hold half the maximum throughput while the operator watches the
+//! WattsUp-style power meter; the non-adaptive alternative is shown for
+//! comparison.
+//!
+//! Run with: `cargo run --example datacenter_power_cap`
+
+use angstrom_seec::experiments::driver::{run_fixed_on_xeon, to_server_demand};
+use angstrom_seec::experiments::fig3::{map_configuration, xeon_actuators};
+use angstrom_seec::prelude::*;
+use angstrom_seec::seec::SeecRuntime;
+use angstrom_seec::xeon_sim::PowerMeter;
+
+fn main() {
+    let server = XeonServer::dell_r410();
+    let workload = Workload::new(SplashBenchmark::OceanNonContiguous, 7);
+    let quanta = workload.quanta(80);
+
+    let max_rate = run_fixed_on_xeon(&server, &quanta, &server.default_configuration()).heart_rate;
+    let target = max_rate / 2.0;
+
+    // --- Non-adaptive run: everything at full speed.
+    let fixed = run_fixed_on_xeon(&server, &quanta, &server.default_configuration());
+
+    // --- SEEC-managed run.
+    let mut app = HeartbeatedWorkload::new(workload);
+    app.set_heart_rate_goal(target);
+    let mut runtime = SeecRuntime::builder(app.monitor())
+        .actuators(xeon_actuators(&server))
+        .build()
+        .expect("actuators registered");
+    let monitor = app.monitor();
+    let mut meter = PowerMeter::wattsup();
+
+    let mut now = 0.0;
+    let mut seec_energy = 0.0;
+    let mut seec_time = 0.0;
+    for quantum in &quanta {
+        let cfg = map_configuration(&server, runtime.current_configuration());
+        let report = server.evaluate(&to_server_demand(quantum), &cfg);
+        now += report.seconds;
+        seec_energy += report.power_above_idle_watts * report.seconds;
+        seec_time += report.seconds;
+        meter.record(report.total_power_watts, report.seconds);
+        app.advance(now, report.work_units);
+        monitor.record_power_sample(now, report.power_above_idle_watts);
+        let _ = runtime.decide(now);
+    }
+
+    let seec_rate = quanta.iter().map(|q| q.work_units).sum::<f64>() / seec_time;
+    println!("target heart rate:          {target:9.1} beats/s");
+    println!("non-adaptive: rate {:9.1} beats/s, {:7.1} W above idle", fixed.heart_rate, fixed.power_above_idle_watts);
+    println!("SEEC:         rate {:9.1} beats/s, {:7.1} W above idle", seec_rate, seec_energy / seec_time);
+    println!(
+        "perf/W (capped at target): non-adaptive {:.2}, SEEC {:.2}",
+        fixed.performance_per_watt(target),
+        seec_rate.min(target) / (seec_energy / seec_time),
+    );
+    println!(
+        "WattsUp meter collected {} one-second samples, mean total power {:.1} W",
+        meter.samples().len(),
+        meter.mean_power().unwrap_or(0.0),
+    );
+}
