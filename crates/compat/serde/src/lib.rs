@@ -1,0 +1,33 @@
+//! Vendored, offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde` cannot be fetched from crates.io. This crate implements the
+//! small slice of serde's surface the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs and enums
+//!   (re-exported from the companion [`serde_derive`] proc-macro crate),
+//! * a [`Serialize`] trait that lowers values into a JSON-like [`ser::Value`]
+//!   tree, which the vendored `serde_json` crate renders as text,
+//! * a [`Deserialize`] marker trait (nothing in the workspace deserialises
+//!   yet; the derive emits an empty impl so signatures stay compatible).
+//!
+//! Swapping back to the real serde later only requires replacing the three
+//! `crates/compat/serde*` path dependencies with crates.io versions — the
+//! call sites (`derive`, `use serde::{Serialize, Deserialize}`,
+//! `serde_json::to_string_pretty`) are source-compatible.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ser;
+
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// The workspace only serialises (figure binaries write JSON reports), so
+/// this trait carries no methods; the derive macro emits an empty impl to
+/// keep `#[derive(Serialize, Deserialize)]` lines source-compatible with the
+/// real serde.
+pub trait Deserialize: Sized {}

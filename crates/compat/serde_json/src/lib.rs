@@ -1,0 +1,196 @@
+//! Vendored, offline stand-in for the `serde_json` crate.
+//!
+//! Renders the [`serde::ser::Value`] trees produced by the vendored serde
+//! stand-in as JSON text. Only the entry points this workspace uses are
+//! provided: [`to_string`] and [`to_string_pretty`]. Output conventions
+//! follow the real serde_json: 2-space pretty indentation, `null` for
+//! non-finite floats, externally-tagged enum variants (handled by the derive
+//! layer), and standard string escaping.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use serde::ser::Value;
+use serde::Serialize;
+
+/// Serialisation error.
+///
+/// The vendored serialiser is infallible (every `Serialize` impl lowers into
+/// a [`Value`] tree), so this error is never produced; it exists so call
+/// sites written against the real serde_json's fallible API compile
+/// unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails with the vendored serialiser; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON with 2-space indentation.
+///
+/// # Errors
+///
+/// Never fails with the vendored serialiser; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            write_newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            write_newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let mut s = f.to_string();
+        // Keep floats visually distinct from integers, as serde_json does.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        out.push_str(&s);
+    } else {
+        // Real serde_json emits null for NaN and infinities.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("barnes".to_string())),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Float(2.5)]),
+            ),
+        ]);
+        struct Wrapper(Value);
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string_pretty(&Wrapper(value)).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"barnes\",\n  \"rows\": [\n    1.0,\n    2.5\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn compact_output_and_escaping() {
+        struct Wrapper;
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                Value::Object(vec![(
+                    "k\"ey".to_string(),
+                    Value::Array(vec![Value::Null, Value::Bool(false), Value::Int(-1)]),
+                )])
+            }
+        }
+        assert_eq!(to_string(&Wrapper).unwrap(), "{\"k\\\"ey\":[null,false,-1]}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        struct Wrapper;
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![Value::Float(f64::NAN), Value::Float(f64::INFINITY)])
+            }
+        }
+        assert_eq!(to_string(&Wrapper).unwrap(), "[null,null]");
+    }
+}

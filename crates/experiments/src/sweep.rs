@@ -97,7 +97,7 @@ pub fn max_heart_rate(points: &[SweepPoint]) -> f64 {
 }
 
 /// The sweep point with the best capped performance per watt.
-pub fn best_point<'a>(points: &'a [SweepPoint], target_heart_rate: f64) -> Option<&'a SweepPoint> {
+pub fn best_point(points: &[SweepPoint], target_heart_rate: f64) -> Option<&SweepPoint> {
     points.iter().max_by(|a, b| {
         a.performance_per_watt(target_heart_rate)
             .partial_cmp(&b.performance_per_watt(target_heart_rate))

@@ -230,6 +230,13 @@ impl HeartbeatMonitor {
         self.inner.read().window.heart_rate()
     }
 
+    /// Simulation time of the most recent beat, if any. Window-averaged
+    /// rates describe the interval *ending at this time*, which may trail
+    /// the caller's clock when the application has stopped beating.
+    pub fn last_beat_timestamp(&self) -> Option<f64> {
+        self.inner.read().window.last_timestamp()
+    }
+
     /// Aggregate registry statistics.
     pub fn stats(&self) -> RegistryStats {
         let inner = self.inner.read();
