@@ -51,5 +51,5 @@ mod spec;
 
 pub use actuator::{Actuator, FnActuator, TableActuator};
 pub use error::ActuationError;
-pub use space::{Configuration, ConfigurationSpace, PredictedEffect};
+pub use space::{ConfigId, ConfigTable, Configuration, ConfigurationSpace, PredictedEffect};
 pub use spec::{ActuatorSpec, ActuatorSpecBuilder, Axis, Scope, SettingIndex, SettingSpec};

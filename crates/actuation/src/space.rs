@@ -197,6 +197,13 @@ impl ConfigurationSpace {
         }
     }
 
+    /// Builds the interned-configuration arena for this space: dense
+    /// [`ConfigId`] handles, precomputed declared effects, and
+    /// speedup-/power-sorted indices. See [`ConfigTable`].
+    pub fn table(&self) -> ConfigTable {
+        ConfigTable::new(self)
+    }
+
     /// Configurations that differ from `config` in exactly one actuator.
     pub fn neighbors(&self, config: &Configuration) -> Vec<Configuration> {
         let mut out = Vec::new();
@@ -250,6 +257,239 @@ impl Iterator for ConfigurationIter<'_> {
         }
         Some(Configuration::new(current))
     }
+}
+
+/// A small, copyable handle to one interned joint configuration.
+///
+/// Ids are dense (`0..cardinality`) and ordered exactly like
+/// [`ConfigurationSpace::iter`] (lexicographic, last actuator fastest), so
+/// iterating ids in order visits the same configurations in the same order
+/// as iterating the space — without allocating a settings vector per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigId(pub u32);
+
+impl ConfigId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The interned-configuration arena of a [`ConfigurationSpace`].
+///
+/// Instead of materialising a `Vec<SettingIndex>` per joint configuration,
+/// the table identifies each configuration by a mixed-radix [`ConfigId`] and
+/// precomputes everything the decision loop needs per id: the declared joint
+/// effect and indices sorted by declared speedup and declared power. Setting
+/// decode/encode is O(arity) integer arithmetic; no configuration is stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigTable {
+    /// Settings per actuator, in configuration order.
+    radices: Vec<usize>,
+    /// Mixed-radix strides: `strides[last] == 1`, matching the iteration
+    /// order of [`ConfigurationSpace::iter`].
+    strides: Vec<usize>,
+    nominal: ConfigId,
+    /// Declared joint effect of every id, bit-identical to
+    /// [`ConfigurationSpace::predicted_effect`].
+    effects: Vec<PredictedEffect>,
+    /// Ids sorted ascending by (declared speedup, id).
+    by_speedup: Vec<ConfigId>,
+    /// Ids sorted ascending by (declared power, id).
+    by_power: Vec<ConfigId>,
+}
+
+impl ConfigTable {
+    fn new(space: &ConfigurationSpace) -> Self {
+        let radices: Vec<usize> = space.specs().iter().map(ActuatorSpec::len).collect();
+        let mut strides = vec![1usize; radices.len()];
+        for pos in (0..radices.len().saturating_sub(1)).rev() {
+            strides[pos] = strides[pos + 1] * radices[pos + 1];
+        }
+        let cardinality = space.cardinality();
+        assert!(
+            cardinality <= u32::MAX as usize,
+            "configuration space too large to intern ({cardinality} configurations)"
+        );
+        let mut effects = Vec::with_capacity(cardinality);
+        let mut settings = vec![0usize; radices.len()];
+        for id in 0..cardinality {
+            decode_into(id, &radices, &strides, &mut settings);
+            let mut effect = PredictedEffect::nominal();
+            for (spec, &setting) in space.specs().iter().zip(settings.iter()) {
+                // Settings decoded from a valid id are always in range, so
+                // the per-axis lookups cannot fail; the multiplication order
+                // matches `ConfigurationSpace::predicted_effect` exactly.
+                effect.performance *= spec
+                    .predicted_effect(setting, Axis::Performance)
+                    .expect("decoded setting in range");
+                effect.power *= spec
+                    .predicted_effect(setting, Axis::Power)
+                    .expect("decoded setting in range");
+                effect.accuracy *= spec
+                    .predicted_effect(setting, Axis::Accuracy)
+                    .expect("decoded setting in range");
+            }
+            effects.push(effect);
+        }
+        let mut by_speedup: Vec<ConfigId> = (0..cardinality as u32).map(ConfigId).collect();
+        by_speedup.sort_by(|a, b| {
+            effects[a.index()]
+                .performance
+                .partial_cmp(&effects[b.index()].performance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        let mut by_power = by_speedup.clone();
+        by_power.sort_by(|a, b| {
+            effects[a.index()]
+                .power
+                .partial_cmp(&effects[b.index()].power)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        let nominal = if cardinality == 0 {
+            ConfigId(0)
+        } else {
+            let nominal_settings: Vec<usize> =
+                space.specs().iter().map(ActuatorSpec::nominal).collect();
+            ConfigId(encode(&nominal_settings, &strides) as u32)
+        };
+        ConfigTable {
+            radices,
+            strides,
+            nominal,
+            effects,
+            by_speedup,
+            by_power,
+        }
+    }
+
+    /// Number of interned configurations (the space's cardinality).
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// `true` when the space has no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// Number of actuators per configuration.
+    pub fn arity(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// The id of the all-nominal configuration.
+    pub fn nominal(&self) -> ConfigId {
+        self.nominal
+    }
+
+    /// The setting chosen for actuator `pos` by configuration `id`.
+    #[inline]
+    pub fn setting(&self, id: ConfigId, pos: usize) -> SettingIndex {
+        (id.index() / self.strides[pos]) % self.radices[pos]
+    }
+
+    /// Decodes `id` into `out` (cleared and refilled), without allocating
+    /// when `out` already has capacity.
+    pub fn write_settings(&self, id: ConfigId, out: &mut Vec<SettingIndex>) {
+        out.clear();
+        for pos in 0..self.radices.len() {
+            out.push(self.setting(id, pos));
+        }
+    }
+
+    /// Materialises `id` as an owned [`Configuration`] (boundary use only;
+    /// the hot path passes ids).
+    pub fn config_of(&self, id: ConfigId) -> Configuration {
+        let mut settings = Vec::with_capacity(self.radices.len());
+        self.write_settings(id, &mut settings);
+        Configuration::new(settings)
+    }
+
+    /// Interns `config`, returning its id — or `None` if the configuration's
+    /// arity or any setting is out of range for the space.
+    pub fn id_of(&self, config: &Configuration) -> Option<ConfigId> {
+        if config.len() != self.radices.len() || self.effects.is_empty() {
+            return None;
+        }
+        let mut id = 0usize;
+        for (pos, &setting) in config.settings().iter().enumerate() {
+            if setting >= self.radices[pos] {
+                return None;
+            }
+            id += setting * self.strides[pos];
+        }
+        Some(ConfigId(id as u32))
+    }
+
+    /// The declared joint effect of `id`, bit-identical to
+    /// [`ConfigurationSpace::predicted_effect`] on the materialised
+    /// configuration.
+    #[inline]
+    pub fn declared_effect(&self, id: ConfigId) -> PredictedEffect {
+        self.effects[id.index()]
+    }
+
+    /// Ids sorted ascending by declared speedup (ties by id).
+    pub fn by_declared_speedup(&self) -> &[ConfigId] {
+        &self.by_speedup
+    }
+
+    /// Ids sorted ascending by declared power (ties by id).
+    pub fn by_declared_power(&self) -> &[ConfigId] {
+        &self.by_power
+    }
+
+    /// Number of single-actuator neighbours of any configuration.
+    pub fn neighbor_count(&self) -> usize {
+        self.radices.iter().map(|r| r - 1).sum()
+    }
+
+    /// The `k`-th neighbour of `id`, in the same order as
+    /// [`ConfigurationSpace::neighbors`]: actuators in position order, each
+    /// actuator's candidate settings ascending, skipping the current one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= neighbor_count()`.
+    pub fn neighbor(&self, id: ConfigId, mut k: usize) -> ConfigId {
+        for pos in 0..self.radices.len() {
+            let options = self.radices[pos] - 1;
+            if k < options {
+                let current = self.setting(id, pos);
+                // Candidates are 0..radix skipping `current`.
+                let candidate = if k < current { k } else { k + 1 };
+                let delta = candidate as isize - current as isize;
+                let new = id.index() as isize + delta * self.strides[pos] as isize;
+                return ConfigId(new as u32);
+            }
+            k -= options;
+        }
+        panic!("neighbor index out of range");
+    }
+}
+
+fn decode_into(id: usize, radices: &[usize], strides: &[usize], out: &mut [usize]) {
+    for pos in 0..radices.len() {
+        out[pos] = (id / strides[pos]) % radices[pos];
+    }
+}
+
+fn encode(settings: &[usize], strides: &[usize]) -> usize {
+    settings
+        .iter()
+        .zip(strides)
+        .map(|(&s, &stride)| s * stride)
+        .sum()
 }
 
 #[cfg(test)]
@@ -359,6 +599,87 @@ mod tests {
         assert!(!config.is_empty());
         assert_eq!(config.setting(2), Some(3));
         assert_eq!(config.setting(9), None);
+    }
+
+    #[test]
+    fn table_ids_match_iteration_order() {
+        let s = space();
+        let table = s.table();
+        assert_eq!(table.len(), s.cardinality());
+        assert_eq!(table.arity(), s.arity());
+        for (i, config) in s.iter().enumerate() {
+            let id = ConfigId(i as u32);
+            assert_eq!(table.config_of(id), config);
+            assert_eq!(table.id_of(&config), Some(id));
+            for pos in 0..config.len() {
+                assert_eq!(Some(table.setting(id, pos)), config.setting(pos));
+            }
+        }
+        assert_eq!(table.config_of(table.nominal()), s.nominal());
+    }
+
+    #[test]
+    fn table_effects_match_space_predictions() {
+        let s = space();
+        let table = s.table();
+        for (i, config) in s.iter().enumerate() {
+            let expected = s.predicted_effect(&config).unwrap();
+            let got = table.declared_effect(ConfigId(i as u32));
+            // Bit-identical, not merely close: the arena must be a drop-in
+            // replacement for on-the-fly prediction.
+            assert_eq!(expected.performance.to_bits(), got.performance.to_bits());
+            assert_eq!(expected.power.to_bits(), got.power.to_bits());
+            assert_eq!(expected.accuracy.to_bits(), got.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn table_rejects_invalid_configurations() {
+        let table = space().table();
+        assert_eq!(table.id_of(&Configuration::new(vec![0])), None);
+        assert_eq!(table.id_of(&Configuration::new(vec![0, 9])), None);
+        assert_eq!(table.id_of(&Configuration::new(vec![0, 0, 0])), None);
+    }
+
+    #[test]
+    fn sorted_indices_are_ordered() {
+        let table = space().table();
+        let speedups: Vec<f64> = table
+            .by_declared_speedup()
+            .iter()
+            .map(|&id| table.declared_effect(id).performance)
+            .collect();
+        assert!(speedups.windows(2).all(|w| w[0] <= w[1]));
+        let powers: Vec<f64> = table
+            .by_declared_power()
+            .iter()
+            .map(|&id| table.declared_effect(id).power)
+            .collect();
+        assert!(powers.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(table.by_declared_speedup().len(), table.len());
+    }
+
+    #[test]
+    fn neighbor_enumeration_matches_space_neighbors() {
+        let s = space();
+        let table = s.table();
+        for (i, config) in s.iter().enumerate() {
+            let id = ConfigId(i as u32);
+            let expected = s.neighbors(&config);
+            assert_eq!(table.neighbor_count(), expected.len());
+            for (k, neighbor) in expected.iter().enumerate() {
+                assert_eq!(&table.config_of(table.neighbor(id, k)), neighbor);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_space_table_is_empty() {
+        let table = ConfigurationSpace::new(vec![]).table();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.neighbor_count(), 0);
+        assert_eq!(table.id_of(&Configuration::new(vec![])), None);
     }
 
     #[test]

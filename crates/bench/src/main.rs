@@ -1,0 +1,231 @@
+//! The performance harness: `cargo run --release -p bench`.
+//!
+//! Measures the two numbers the perf trajectory is tracked by —
+//!
+//! * `BENCH_fig3.json` — end-to-end wall-clock of a full Figure-3 run
+//!   (the heaviest figure: five benchmarks × five policies over the
+//!   560-configuration grid), compared against the pre-optimisation
+//!   baseline recorded below;
+//! * `BENCH_decide.json` — the hot-path micro-costs: one SEEC decision
+//!   over the Xeon action space, one heartbeat emission, and one
+//!   heart-rate statistics query.
+//!
+//! All timings are summarised as min/median/mean/max over repeated samples
+//! (`criterion::summarize`); machine-readable consumers should key on the
+//! median, which is robust to scheduler noise. Pass `--fast` (the CI smoke
+//! mode) to cut sample counts; the JSON then carries `"mode": "fast"` so
+//! trend dashboards can ignore those points.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, summarize, Summary};
+use experiments::Figure3;
+use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal};
+use seec::SeecRuntime;
+use serde::Serialize;
+use xeon_sim::XeonServer;
+
+/// Figure-3 wall-clock of the unoptimised pipeline (seed 2012, 120 quanta),
+/// measured at the commit immediately before the allocation-free decision
+/// loop and memoized experiment harness landed, on the same reference host
+/// the optimised numbers in EXPERIMENTS.md were measured on. Kept so every
+/// future `BENCH_fig3.json` records the cumulative speedup.
+const PRE_OPTIMIZATION_FIG3_SECONDS: f64 = 0.107;
+
+#[derive(Serialize)]
+struct TimingSummary {
+    unit: &'static str,
+    samples: usize,
+    min: f64,
+    median: f64,
+    mean: f64,
+    max: f64,
+}
+
+impl TimingSummary {
+    fn from_summary(summary: &Summary, unit: &'static str, scale: f64) -> Self {
+        let convert = |d: Duration| d.as_secs_f64() * scale;
+        TimingSummary {
+            unit,
+            samples: summary.samples,
+            min: convert(summary.min),
+            median: convert(summary.median),
+            mean: convert(summary.mean),
+            max: convert(summary.max),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Fig3Bench {
+    mode: &'static str,
+    seed: u64,
+    quanta_per_run: usize,
+    wall_clock: TimingSummary,
+    pre_optimization_baseline_seconds: f64,
+    speedup_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct DecideBench {
+    mode: &'static str,
+    /// One full observe–decide–act iteration over the 8 × 7 × 10 Xeon
+    /// action space (560 configurations), including heartbeat emission.
+    ns_per_decision: TimingSummary,
+    /// One heartbeat emission into a 64-beat window.
+    ns_per_heartbeat: TimingSummary,
+    /// One O(1) heart-rate statistics query.
+    ns_per_stats_query: TimingSummary,
+}
+
+fn sample<F: FnMut() -> usize>(samples: usize, mut routine: F) -> (Summary, f64) {
+    // One warm-up, then timed samples; returns the per-iteration scale
+    // factor (iterations of the last sample) alongside the summary.
+    let mut iterations = routine();
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        iterations = routine();
+        timings.push(start.elapsed());
+    }
+    (summarize(&timings), iterations as f64)
+}
+
+fn bench_fig3(samples: usize, mode: &'static str) -> Fig3Bench {
+    let seed = 2012;
+    let quanta = experiments::fig3::QUANTA_PER_RUN;
+    let (summary, _) = sample(samples, || {
+        black_box(Figure3::compute_with(seed, quanta));
+        1
+    });
+    let median_seconds = summary.median.as_secs_f64();
+    Fig3Bench {
+        mode,
+        seed,
+        quanta_per_run: quanta,
+        wall_clock: TimingSummary::from_summary(&summary, "seconds", 1.0),
+        pre_optimization_baseline_seconds: PRE_OPTIMIZATION_FIG3_SECONDS,
+        speedup_vs_baseline: PRE_OPTIMIZATION_FIG3_SECONDS / median_seconds,
+    }
+}
+
+fn bench_decide(samples: usize, iterations: usize, mode: &'static str) -> DecideBench {
+    let server = XeonServer::dell_r410();
+
+    // ns/decision: a closed loop emitting four beats per period, so every
+    // decision runs the full observe–decide–act path (window attribution,
+    // model selection over 560 configurations, schedule, actuation).
+    let (decision_summary, decision_iters) = sample(samples, || {
+        let registry = HeartbeatRegistry::new("bench");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(25.0)));
+        let issuer = registry.issuer();
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuators(experiments::fig3::xeon_actuators(&server))
+            .seed(7)
+            .build()
+            .expect("actuators registered");
+        let mut now = 0.0;
+        for _ in 0..iterations {
+            for _ in 0..4 {
+                now += 0.01;
+                issuer.heartbeat(now);
+            }
+            black_box(runtime.decide(now).expect("goal registered"));
+        }
+        iterations
+    });
+
+    // ns/heartbeat: emission into the default 64-beat ring.
+    let beat_iterations = iterations * 100;
+    let (heartbeat_summary, heartbeat_iters) = sample(samples, || {
+        let registry = HeartbeatRegistry::new("bench");
+        let issuer = registry.issuer();
+        let mut now = 0.0;
+        for _ in 0..beat_iterations {
+            now += 0.001;
+            black_box(issuer.heartbeat(now));
+        }
+        beat_iterations
+    });
+
+    // ns/stats query: the O(1) rolling statistics read.
+    let registry = HeartbeatRegistry::new("bench");
+    let issuer = registry.issuer();
+    let monitor = registry.monitor();
+    let mut now = 0.0;
+    for _ in 0..128 {
+        now += 0.001;
+        issuer.heartbeat(now);
+    }
+    let (stats_summary, stats_iters) = sample(samples, || {
+        for _ in 0..beat_iterations {
+            black_box(monitor.heart_rate());
+        }
+        beat_iterations
+    });
+
+    DecideBench {
+        mode,
+        ns_per_decision: TimingSummary::from_summary(
+            &decision_summary,
+            "nanoseconds",
+            1.0e9 / decision_iters,
+        ),
+        ns_per_heartbeat: TimingSummary::from_summary(
+            &heartbeat_summary,
+            "nanoseconds",
+            1.0e9 / heartbeat_iters,
+        ),
+        ns_per_stats_query: TimingSummary::from_summary(
+            &stats_summary,
+            "nanoseconds",
+            1.0e9 / stats_iters,
+        ),
+    }
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(err) => {
+                eprintln!("could not write {path}: {err}");
+                std::process::exit(1);
+            }
+        },
+        Err(err) => {
+            eprintln!("could not serialise {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|arg| arg == "--fast");
+    let (mode, fig3_samples, micro_samples, decide_iterations) = if fast {
+        ("fast", 3, 3, 200)
+    } else {
+        ("full", 7, 5, 2000)
+    };
+
+    println!("mode: {mode}");
+    let fig3 = bench_fig3(fig3_samples, mode);
+    println!(
+        "fig3 end-to-end: median {:.3} ms over {} samples ({:.1}x vs pre-optimisation baseline)",
+        fig3.wall_clock.median * 1.0e3,
+        fig3.wall_clock.samples,
+        fig3.speedup_vs_baseline
+    );
+    write_json("BENCH_fig3.json", &fig3);
+
+    let decide = bench_decide(micro_samples, decide_iterations, mode);
+    println!(
+        "decision: median {:.0} ns   heartbeat: median {:.0} ns   stats query: median {:.0} ns",
+        decide.ns_per_decision.median,
+        decide.ns_per_heartbeat.median,
+        decide.ns_per_stats_query.median
+    );
+    write_json("BENCH_decide.json", &decide);
+}

@@ -105,6 +105,51 @@ impl Bencher {
     }
 }
 
+/// Summary statistics of a set of timing samples.
+///
+/// The median is reported alongside min/mean/max because single-sample
+/// scheduler noise (a preemption, a page-fault storm) skews the mean and
+/// max arbitrarily, while the median of even a handful of samples is
+/// robust — machine-readable bench output keys on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (mean of the two middle samples for even counts).
+    pub median: Duration,
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples summarised.
+    pub samples: usize,
+}
+
+/// Summarises timing samples into min/median/mean/max.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(samples: &[Duration]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarise zero samples");
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let total: Duration = sorted.iter().sum();
+    Summary {
+        min: sorted[0],
+        median,
+        mean: total / n as u32,
+        max: sorted[n - 1],
+        samples: n,
+    }
+}
+
 fn run_bench<F>(name: &str, sample_size: usize, f: &mut F)
 where
     F: FnMut(&mut Bencher),
@@ -118,16 +163,14 @@ where
         println!("{name:<48} (no samples)");
         return;
     }
-    let min = bencher.samples.iter().min().expect("non-empty");
-    let max = bencher.samples.iter().max().expect("non-empty");
-    let total: Duration = bencher.samples.iter().sum();
-    let mean = total / bencher.samples.len() as u32;
+    let summary = summarize(&bencher.samples);
     println!(
-        "{name:<48} [min {} / mean {} / max {}] over {} samples",
-        human(*min),
-        human(mean),
-        human(*max),
-        bencher.samples.len()
+        "{name:<48} [min {} / median {} / mean {} / max {}] over {} samples",
+        human(summary.min),
+        human(summary.median),
+        human(summary.mean),
+        human(summary.max),
+        summary.samples
     );
 }
 
@@ -186,6 +229,33 @@ mod tests {
         group.finish();
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn summary_reports_robust_median() {
+        let samples = [
+            Duration::from_micros(10),
+            Duration::from_micros(12),
+            Duration::from_micros(11),
+            Duration::from_micros(500), // scheduler outlier
+            Duration::from_micros(13),
+        ];
+        let summary = summarize(&samples);
+        assert_eq!(summary.min, Duration::from_micros(10));
+        assert_eq!(summary.median, Duration::from_micros(12));
+        assert_eq!(summary.max, Duration::from_micros(500));
+        assert_eq!(summary.samples, 5);
+        // The outlier drags the mean far above the median.
+        assert!(summary.mean > summary.median * 2);
+        // Even counts interpolate the middle pair.
+        let even = summarize(&samples[..4]);
+        assert_eq!(even.median, (Duration::from_micros(11) + Duration::from_micros(12)) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summary_of_nothing_panics() {
+        let _ = summarize(&[]);
     }
 
     #[test]

@@ -6,7 +6,48 @@
 
 use angstrom_sim::workload::WorkloadDemand;
 use workloads::QuantumDemand;
-use xeon_sim::{ServerConfiguration, ServerDemand, ServerReport, XeonServer};
+use xeon_sim::{
+    PreparedConfig, PreparedDemand, ServerConfiguration, ServerDemand, ServerReport, XeonServer,
+};
+
+/// Runs `count` independent cells, returning their results in cell order.
+///
+/// Cells run on at most `available_parallelism` `std::thread::scope`
+/// workers (each worker takes a contiguous chunk of cell indices), and
+/// inline when the host has a single hardware thread — spawning workers
+/// there only adds overhead. Results are identical either way: every cell
+/// is a pure function of its index (closed-loop cells own their seeded
+/// RNGs), and results are collected by index, so worker count and
+/// interleaving cannot leak into the output.
+pub fn run_cells<T, F>(count: usize, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count);
+    if workers <= 1 {
+        return (0..count).map(cell).collect();
+    }
+    let chunk = count.div_ceil(workers);
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let cell = &cell;
+        for (worker, slots) in results.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(cell(worker * chunk + offset));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every cell index is covered by one worker"))
+        .collect()
+}
 
 /// Converts one workload quantum into the Angstrom simulator's demand type.
 pub fn to_chip_demand(quantum: &QuantumDemand) -> WorkloadDemand {
@@ -52,30 +93,74 @@ pub struct XeonRunOutcome {
     pub energy_joules: f64,
 }
 
-impl XeonRunOutcome {
-    /// Accumulates a sequence of per-quantum reports.
-    pub fn from_reports<'a, I: IntoIterator<Item = &'a ServerReport>>(reports: I) -> Self {
-        let mut seconds = 0.0;
-        let mut work_units = 0.0;
-        let mut energy = 0.0;
-        let mut above_idle_energy = 0.0;
-        for r in reports {
-            seconds += r.seconds;
-            work_units += r.work_units;
-            energy += r.energy_joules;
-            above_idle_energy += r.power_above_idle_watts * r.seconds;
-        }
+/// Accumulates per-quantum reports into a [`XeonRunOutcome`].
+///
+/// The single source of truth for the accumulation's operation order: both
+/// the report-based path and the memoized-cell path push through here, so
+/// their sums are bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutcomeAccumulator {
+    seconds: f64,
+    work_units: f64,
+    energy: f64,
+    above_idle_energy: f64,
+}
+
+impl OutcomeAccumulator {
+    /// Folds in one quantum's observables.
+    #[inline]
+    pub fn push(
+        &mut self,
+        seconds: f64,
+        work_units: f64,
+        energy_joules: f64,
+        power_above_idle_watts: f64,
+    ) {
+        self.seconds += seconds;
+        self.work_units += work_units;
+        self.energy += energy_joules;
+        self.above_idle_energy += power_above_idle_watts * seconds;
+    }
+
+    /// Folds in one quantum's report.
+    #[inline]
+    pub fn push_report(&mut self, r: &ServerReport) {
+        self.push(
+            r.seconds,
+            r.work_units,
+            r.energy_joules,
+            r.power_above_idle_watts,
+        );
+    }
+
+    /// The aggregate outcome.
+    pub fn finish(self) -> XeonRunOutcome {
         XeonRunOutcome {
-            seconds,
-            work_units,
-            heart_rate: if seconds > 0.0 { work_units / seconds } else { 0.0 },
-            power_above_idle_watts: if seconds > 0.0 {
-                above_idle_energy / seconds
+            seconds: self.seconds,
+            work_units: self.work_units,
+            heart_rate: if self.seconds > 0.0 {
+                self.work_units / self.seconds
             } else {
                 0.0
             },
-            energy_joules: energy,
+            power_above_idle_watts: if self.seconds > 0.0 {
+                self.above_idle_energy / self.seconds
+            } else {
+                0.0
+            },
+            energy_joules: self.energy,
         }
+    }
+}
+
+impl XeonRunOutcome {
+    /// Accumulates a sequence of per-quantum reports.
+    pub fn from_reports<'a, I: IntoIterator<Item = &'a ServerReport>>(reports: I) -> Self {
+        let mut acc = OutcomeAccumulator::default();
+        for r in reports {
+            acc.push_report(r);
+        }
+        acc.finish()
     }
 
     /// The paper's performance-per-watt metric on this platform:
@@ -156,6 +241,233 @@ pub fn xeon_configuration_grid(server: &XeonServer) -> Vec<ServerConfiguration> 
     out
 }
 
+/// Memoized evaluations of every (quantum, grid configuration) cell for one
+/// benchmark run.
+///
+/// The figure pipeline evaluates the same quanta under the same grid many
+/// times over — the shared no-adaptation selection, the static oracle, the
+/// dynamic oracle, and the closed-loop runs all revisit identical
+/// (demand, configuration) pairs. The table evaluates each pair exactly
+/// once (with the prepared split, so per-cell cost is a handful of flops)
+/// and every later use is an indexed lookup. Reports are bit-identical to
+/// calling [`XeonServer::evaluate`] directly, so outcomes derived from the
+/// table match the unmemoized pipeline exactly.
+#[derive(Debug, Clone)]
+pub struct XeonEvalTable {
+    grid: Vec<ServerConfiguration>,
+    /// Quantum-major: `cells[quantum * grid.len() + config]`. Cells store
+    /// only the report fields the aggregations consume; the two derivable
+    /// fields (instructions, instructions/second) are rebuilt — with the
+    /// identical operations — when a full report is materialised.
+    cells: Vec<EvalCell>,
+    /// Instructions of each quantum (demand-side, configuration invariant).
+    quantum_instructions: Vec<f64>,
+    quanta_len: usize,
+    pstate_count: usize,
+    total_cores: usize,
+}
+
+/// One memoized (quantum, configuration) evaluation, 5 of the report's 7
+/// fields (the other two are derivable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EvalCell {
+    seconds: f64,
+    work_units: f64,
+    power_above_idle_watts: f64,
+    total_power_watts: f64,
+    energy_joules: f64,
+}
+
+impl EvalCell {
+    #[inline]
+    fn from_report(r: &ServerReport) -> Self {
+        EvalCell {
+            seconds: r.seconds,
+            work_units: r.work_units,
+            power_above_idle_watts: r.power_above_idle_watts,
+            total_power_watts: r.total_power_watts,
+            energy_joules: r.energy_joules,
+        }
+    }
+
+    /// The per-quantum efficiency of this cell — the same operations as
+    /// [`quantum_efficiency`] on the materialised report.
+    #[inline]
+    fn efficiency(&self, target_heart_rate: f64) -> f64 {
+        if self.power_above_idle_watts <= 0.0 || self.seconds <= 0.0 {
+            return 0.0;
+        }
+        let rate = self.work_units / self.seconds;
+        rate.min(target_heart_rate) / self.power_above_idle_watts
+    }
+}
+
+impl XeonEvalTable {
+    /// Evaluates every quantum under every grid configuration, once.
+    pub fn build(server: &XeonServer, quanta: &[QuantumDemand]) -> Self {
+        let grid = xeon_configuration_grid(server);
+        let prepared: Vec<PreparedConfig> = grid.iter().map(|cfg| server.prepare(cfg)).collect();
+        let mut cells = Vec::with_capacity(grid.len() * quanta.len());
+        let mut quantum_instructions = Vec::with_capacity(quanta.len());
+        for quantum in quanta {
+            let demand = PreparedDemand::new(&to_server_demand(quantum));
+            quantum_instructions.push(quantum.instructions);
+            // The CPI model depends on the configuration only through the
+            // P-state's miss penalty; grid order keeps each P-state's ten
+            // duty steps adjacent, so the folded terms change 56 times per
+            // quantum instead of 560.
+            let mut terms = demand.at_miss_penalty(prepared[0].miss_penalty_cycles());
+            for config in &prepared {
+                if config.miss_penalty_cycles().to_bits() != terms.miss_penalty_cycles().to_bits()
+                {
+                    terms = demand.at_miss_penalty(config.miss_penalty_cycles());
+                }
+                cells.push(EvalCell::from_report(&server.evaluate_terms(&terms, config)));
+            }
+        }
+        XeonEvalTable {
+            grid,
+            cells,
+            quantum_instructions,
+            quanta_len: quanta.len(),
+            pstate_count: server.pstates().len(),
+            total_cores: server.total_cores(),
+        }
+    }
+
+    /// The configuration grid, in [`xeon_configuration_grid`] order.
+    pub fn grid(&self) -> &[ServerConfiguration] {
+        &self.grid
+    }
+
+    /// Number of quanta covered.
+    pub fn quanta_len(&self) -> usize {
+        self.quanta_len
+    }
+
+    /// The memoized report of one (quantum, configuration) cell,
+    /// bit-identical to the direct evaluation.
+    #[inline]
+    pub fn report(&self, quantum: usize, config: usize) -> ServerReport {
+        let cell = &self.cells[quantum * self.grid.len() + config];
+        let instructions = self.quantum_instructions[quantum];
+        ServerReport {
+            seconds: cell.seconds,
+            instructions,
+            work_units: cell.work_units,
+            // The same division `evaluate` performs, on the same operands.
+            instructions_per_second: instructions / cell.seconds,
+            total_power_watts: cell.total_power_watts,
+            power_above_idle_watts: cell.power_above_idle_watts,
+            energy_joules: cell.energy_joules,
+        }
+    }
+
+    #[inline]
+    fn quantum_cells(&self, quantum: usize) -> &[EvalCell] {
+        let width = self.grid.len();
+        &self.cells[quantum * width..(quantum + 1) * width]
+    }
+
+    /// Grid index of `config`, if it lies on the grid (cores in range, valid
+    /// P-state, duty an exact tenth).
+    pub fn config_index(&self, config: &ServerConfiguration) -> Option<usize> {
+        if config.cores == 0
+            || config.cores > self.total_cores
+            || config.pstate_index >= self.pstate_count
+        {
+            return None;
+        }
+        let step = (config.active_cycle_fraction * 10.0).round();
+        if !(1.0..=10.0).contains(&step)
+            || (config.active_cycle_fraction - step / 10.0).abs() > 1e-12
+        {
+            return None;
+        }
+        Some(
+            ((config.cores - 1) * self.pstate_count + config.pstate_index) * 10
+                + (step as usize - 1),
+        )
+    }
+
+    /// The aggregate outcome of running every quantum under one fixed grid
+    /// configuration — [`run_fixed_on_xeon`] as a lookup.
+    pub fn fixed_outcome(&self, config: usize) -> XeonRunOutcome {
+        let mut acc = OutcomeAccumulator::default();
+        for q in 0..self.quanta_len {
+            let cell = &self.cells[q * self.grid.len() + config];
+            acc.push(
+                cell.seconds,
+                cell.work_units,
+                cell.energy_joules,
+                cell.power_above_idle_watts,
+            );
+        }
+        acc.finish()
+    }
+
+    /// The dynamic oracle over the table — [`run_dynamic_oracle_on_xeon`]
+    /// as per-quantum indexed lookups. Per quantum, the best cell is chosen
+    /// exactly as `Iterator::max_by` does (the last cell wins ties).
+    pub fn dynamic_oracle_outcome(&self, target_heart_rate: f64) -> XeonRunOutcome {
+        let mut acc = OutcomeAccumulator::default();
+        for q in 0..self.quanta_len {
+            let cells = self.quantum_cells(q);
+            let mut best = &cells[0];
+            let mut best_efficiency = best.efficiency(target_heart_rate);
+            for cell in &cells[1..] {
+                let efficiency = cell.efficiency(target_heart_rate);
+                if efficiency >= best_efficiency {
+                    best = cell;
+                    best_efficiency = efficiency;
+                }
+            }
+            acc.push(
+                best.seconds,
+                best.work_units,
+                best.energy_joules,
+                best.power_above_idle_watts,
+            );
+        }
+        acc.finish()
+    }
+
+    /// The static oracle over the table: the best fixed configuration's
+    /// capped performance per watt.
+    pub fn static_oracle_performance_per_watt(&self, target_heart_rate: f64) -> f64 {
+        (0..self.grid.len())
+            .map(|c| self.fixed_outcome(c).performance_per_watt(target_heart_rate))
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// The fixed-configuration outcome of every configuration in `configs`, in
+/// one streaming pass over the quanta — no per-cell storage.
+///
+/// Equivalent, bit-for-bit, to calling [`run_fixed_on_xeon`] once per
+/// configuration (each configuration's accumulator sees its reports in
+/// quantum order, through the shared [`OutcomeAccumulator`] operations),
+/// at one evaluation per (quantum, configuration) pair and O(configs)
+/// memory. Used where only a small slice of the grid is needed — e.g. the
+/// shared no-adaptation candidates of Figure 3.
+pub fn fixed_outcomes_streaming(
+    server: &XeonServer,
+    quanta: &[QuantumDemand],
+    configs: &[ServerConfiguration],
+) -> Vec<XeonRunOutcome> {
+    let prepared: Vec<PreparedConfig> = configs.iter().map(|cfg| server.prepare(cfg)).collect();
+    let mut accumulators = vec![OutcomeAccumulator::default(); configs.len()];
+    for quantum in quanta {
+        let demand = PreparedDemand::new(&to_server_demand(quantum));
+        for (config, acc) in prepared.iter().zip(accumulators.iter_mut()) {
+            let report =
+                server.evaluate_terms(&demand.at_miss_penalty(config.miss_penalty_cycles()), config);
+            acc.push_report(&report);
+        }
+    }
+    accumulators.into_iter().map(OutcomeAccumulator::finish).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +524,97 @@ mod tests {
         let grid = xeon_configuration_grid(&server);
         assert_eq!(grid.len(), 8 * 7 * 10);
         assert!(grid.iter().all(|c| c.validate(&server).is_ok()));
+    }
+
+    #[test]
+    fn eval_table_matches_direct_evaluation_bit_for_bit() {
+        let server = XeonServer::dell_r410();
+        let quanta = Workload::new(SplashBenchmark::Raytrace, 5).quanta(12);
+        let table = XeonEvalTable::build(&server, &quanta);
+        let grid = xeon_configuration_grid(&server);
+        assert_eq!(table.grid(), &grid[..]);
+        assert_eq!(table.quanta_len(), quanta.len());
+        for (ci, cfg) in grid.iter().enumerate() {
+            assert_eq!(table.config_index(cfg), Some(ci));
+            let direct = run_fixed_on_xeon(&server, &quanta, cfg);
+            let memoized = table.fixed_outcome(ci);
+            assert_eq!(direct.seconds.to_bits(), memoized.seconds.to_bits());
+            assert_eq!(direct.heart_rate.to_bits(), memoized.heart_rate.to_bits());
+            assert_eq!(
+                direct.power_above_idle_watts.to_bits(),
+                memoized.power_above_idle_watts.to_bits()
+            );
+            assert_eq!(direct.energy_joules.to_bits(), memoized.energy_joules.to_bits());
+        }
+        let target = table
+            .fixed_outcome(table.config_index(&server.default_configuration()).unwrap())
+            .heart_rate
+            / 2.0;
+        let direct_oracle = run_dynamic_oracle_on_xeon(&server, &quanta, &grid, target);
+        let memoized_oracle = table.dynamic_oracle_outcome(target);
+        assert_eq!(direct_oracle.seconds.to_bits(), memoized_oracle.seconds.to_bits());
+        assert_eq!(
+            direct_oracle.energy_joules.to_bits(),
+            memoized_oracle.energy_joules.to_bits()
+        );
+        let direct_static = grid
+            .iter()
+            .map(|cfg| run_fixed_on_xeon(&server, &quanta, cfg).performance_per_watt(target))
+            .fold(0.0_f64, f64::max);
+        assert_eq!(
+            direct_static.to_bits(),
+            table.static_oracle_performance_per_watt(target).to_bits()
+        );
+    }
+
+    #[test]
+    fn streaming_outcomes_match_per_config_runs_bit_for_bit() {
+        let server = XeonServer::dell_r410();
+        let quanta = Workload::new(SplashBenchmark::WaterSpatial, 11).quanta(16);
+        // A mixed slice of the grid, including the default configuration
+        // and duty-cycled points, in arbitrary order.
+        let configs = vec![
+            server.default_configuration(),
+            ServerConfiguration::new(1, 6, 1.0),
+            ServerConfiguration::new(4, 3, 0.5),
+            ServerConfiguration::new(8, 0, 0.1),
+            ServerConfiguration::new(2, 5, 0.9),
+        ];
+        let streamed = fixed_outcomes_streaming(&server, &quanta, &configs);
+        assert_eq!(streamed.len(), configs.len());
+        for (cfg, outcome) in configs.iter().zip(&streamed) {
+            let direct = run_fixed_on_xeon(&server, &quanta, cfg);
+            assert_eq!(direct.seconds.to_bits(), outcome.seconds.to_bits());
+            assert_eq!(direct.work_units.to_bits(), outcome.work_units.to_bits());
+            assert_eq!(direct.heart_rate.to_bits(), outcome.heart_rate.to_bits());
+            assert_eq!(
+                direct.power_above_idle_watts.to_bits(),
+                outcome.power_above_idle_watts.to_bits()
+            );
+            assert_eq!(direct.energy_joules.to_bits(), outcome.energy_joules.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_cells_is_order_preserving_and_exhaustive() {
+        for count in [0usize, 1, 2, 5, 17] {
+            let results = run_cells(count, |index| index * index);
+            assert_eq!(results, (0..count).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn config_index_rejects_off_grid_configurations() {
+        let server = XeonServer::dell_r410();
+        let table = XeonEvalTable::build(&server, &Workload::new(SplashBenchmark::Barnes, 1).quanta(2));
+        assert!(table.config_index(&ServerConfiguration::new(0, 0, 1.0)).is_none());
+        assert!(table.config_index(&ServerConfiguration::new(9, 0, 1.0)).is_none());
+        assert!(table.config_index(&ServerConfiguration::new(4, 9, 1.0)).is_none());
+        assert!(table.config_index(&ServerConfiguration::new(4, 0, 0.55)).is_none());
+        assert_eq!(
+            table.config_index(&server.default_configuration()),
+            Some(((8 - 1) * 7) * 10 + 9)
+        );
     }
 
     #[test]

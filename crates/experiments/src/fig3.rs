@@ -15,8 +15,7 @@ use workloads::{HeartbeatedWorkload, QuantumDemand, SplashBenchmark, Workload};
 use xeon_sim::{ServerConfiguration, ServerReport, XeonServer};
 
 use crate::driver::{
-    quantum_efficiency, run_dynamic_oracle_on_xeon, run_fixed_on_xeon, to_server_demand,
-    xeon_configuration_grid, XeonRunOutcome,
+    quantum_efficiency, run_cells, to_server_demand, XeonEvalTable, XeonRunOutcome,
 };
 use seec::{SeecRuntime, UncoordinatedRuntime};
 
@@ -81,62 +80,120 @@ impl Figure3 {
     /// Runs the experiment with an explicit seed and quantum count (smaller
     /// counts are useful in tests and benches).
     pub fn compute_with(seed: u64, quanta_per_run: usize) -> Self {
-        let server = XeonServer::dell_r410();
-        let grid = xeon_configuration_grid(&server);
+        Figure3::compute_on(&XeonServer::dell_r410(), seed, quanta_per_run)
+    }
 
-        // Per-benchmark quanta and targets (half the maximum achievable rate).
-        let mut per_benchmark: Vec<(SplashBenchmark, Vec<QuantumDemand>, f64)> = Vec::new();
-        for benchmark in SplashBenchmark::ALL {
-            let quanta = Workload::new(benchmark, seed).quanta(quanta_per_run);
-            let max_rate =
-                run_fixed_on_xeon(&server, &quanta, &server.default_configuration()).heart_rate;
-            per_benchmark.push((benchmark, quanta, max_rate / 2.0));
-        }
-
-        // No adaptation: the same (cores, clock) for every application, duty
-        // fixed at 1.0, chosen to maximise mean perf/W across benchmarks.
-        let no_adapt_grid: Vec<ServerConfiguration> = grid
+    /// Runs the experiment on an explicit server model (used by the
+    /// calibrated-power-model study in EXPERIMENTS.md).
+    ///
+    /// The pipeline evaluates every (quantum, configuration) pair at most
+    /// once: the shared no-adaptation baseline comes from one streaming pass
+    /// over the duty-1.0 candidates, and each benchmark then memoizes its
+    /// full grid in an [`XeonEvalTable`] from which the oracles and
+    /// closed-loop runs are indexed lookups. The five benchmarks, and the
+    /// policy cells within each benchmark, fan out across
+    /// `std::thread::scope` workers (via [`crate::driver::run_cells`], which
+    /// degrades to inline execution on single-core hosts). Every closed-loop
+    /// cell owns its own seeded runtime, so results are bit-for-bit
+    /// identical to the sequential pipeline regardless of worker
+    /// interleaving.
+    pub fn compute_on(server: &XeonServer, seed: u64, quanta_per_run: usize) -> Self {
+        // The shared no-adaptation candidates: the same (cores, clock) for
+        // every application, duty fixed at 1.0, in grid order. The default
+        // (fastest) configuration that defines the performance targets is
+        // one of them.
+        let grid = crate::driver::xeon_configuration_grid(server);
+        let candidates: Vec<xeon_sim::ServerConfiguration> = grid
             .iter()
             .copied()
             .filter(|c| (c.active_cycle_fraction - 1.0).abs() < 1e-9)
             .collect();
-        let no_adapt_cfg = no_adapt_grid
+        let default_candidate = candidates
             .iter()
-            .max_by(|a, b| {
-                let mean_a = mean_perf_per_watt(&server, &per_benchmark, a);
-                let mean_b = mean_perf_per_watt(&server, &per_benchmark, b);
-                mean_a.partial_cmp(&mean_b).unwrap_or(std::cmp::Ordering::Equal)
+            .position(|c| *c == server.default_configuration())
+            .expect("the default configuration runs at full duty");
+
+        // Phase 1 — per-benchmark quanta, the candidates' fixed outcomes
+        // (one streaming pass, no table), and targets (half the maximum
+        // achievable rate); one worker cell per benchmark.
+        struct BenchmarkCell {
+            benchmark: SplashBenchmark,
+            quanta: Vec<QuantumDemand>,
+            candidate_ppw: Vec<f64>,
+            target: f64,
+        }
+        let cells: Vec<BenchmarkCell> = run_cells(SplashBenchmark::ALL.len(), |index| {
+            let benchmark = SplashBenchmark::ALL[index];
+            let quanta = Workload::new(benchmark, seed).quanta(quanta_per_run);
+            let outcomes = crate::driver::fixed_outcomes_streaming(server, &quanta, &candidates);
+            let target = outcomes[default_candidate].heart_rate / 2.0;
+            BenchmarkCell {
+                benchmark,
+                quanta,
+                candidate_ppw: outcomes
+                    .iter()
+                    .map(|outcome| outcome.performance_per_watt(target))
+                    .collect(),
+                target,
+            }
+        });
+
+        // Phase 2 — pick the candidate maximising mean perf/W across
+        // benchmarks (ties resolve like `Iterator::max_by`: the last
+        // maximal candidate wins, as the unmemoized pipeline did).
+        let mean_ppw = |candidate: usize| -> f64 {
+            let sum: f64 = cells.iter().map(|cell| cell.candidate_ppw[candidate]).sum();
+            sum / cells.len() as f64
+        };
+        let no_adapt_candidate = (0..candidates.len())
+            .max_by(|&a, &b| {
+                mean_ppw(a)
+                    .partial_cmp(&mean_ppw(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .copied()
             .expect("grid is non-empty");
 
-        let rows = per_benchmark
-            .iter()
-            .map(|(benchmark, quanta, target)| {
-                let no_adaptation =
-                    run_fixed_on_xeon(&server, quanta, &no_adapt_cfg).performance_per_watt(*target);
-                let static_oracle = grid
-                    .iter()
-                    .map(|cfg| run_fixed_on_xeon(&server, quanta, cfg).performance_per_watt(*target))
-                    .fold(0.0_f64, f64::max);
-                let dynamic_oracle = run_dynamic_oracle_on_xeon(&server, quanta, &grid, *target)
-                    .performance_per_watt(*target);
-                let seec = run_seec_on_xeon(&server, *benchmark, quanta, *target, seed)
-                    .performance_per_watt(*target);
-                let uncoordinated =
-                    run_uncoordinated_on_xeon(&server, *benchmark, quanta, *target, seed)
-                        .performance_per_watt(*target);
-                Figure3Row {
-                    benchmark: *benchmark,
-                    target_heart_rate: *target,
-                    no_adaptation,
-                    uncoordinated,
-                    seec,
-                    static_oracle,
-                    dynamic_oracle,
-                }
-            })
-            .collect();
+        // Phase 3 — the remaining policy cells of every benchmark. Each
+        // benchmark memoizes its full (quantum × grid) evaluation table
+        // once; the oracles are table scans and the closed-loop runs are
+        // per-quantum lookups, each cell with its own seeded runtime.
+        let rows: Vec<Figure3Row> = run_cells(cells.len(), |row| {
+            let cell = &cells[row];
+            let table = XeonEvalTable::build(server, &cell.quanta);
+            let policies = run_cells(4, |policy| match policy {
+                0 => table.static_oracle_performance_per_watt(cell.target),
+                1 => table
+                    .dynamic_oracle_outcome(cell.target)
+                    .performance_per_watt(cell.target),
+                2 => run_seec_on_table(
+                    server,
+                    cell.benchmark,
+                    &cell.quanta,
+                    &table,
+                    cell.target,
+                    seed,
+                )
+                .performance_per_watt(cell.target),
+                _ => run_uncoordinated_on_table(
+                    server,
+                    cell.benchmark,
+                    &cell.quanta,
+                    &table,
+                    cell.target,
+                    seed,
+                )
+                .performance_per_watt(cell.target),
+            });
+            Figure3Row {
+                benchmark: cell.benchmark,
+                target_heart_rate: cell.target,
+                no_adaptation: cell.candidate_ppw[no_adapt_candidate],
+                uncoordinated: policies[3],
+                seec: policies[2],
+                static_oracle: policies[0],
+                dynamic_oracle: policies[1],
+            }
+        });
         Figure3 { rows }
     }
 
@@ -194,18 +251,6 @@ impl Figure3 {
         ));
         out
     }
-}
-
-fn mean_perf_per_watt(
-    server: &XeonServer,
-    per_benchmark: &[(SplashBenchmark, Vec<QuantumDemand>, f64)],
-    cfg: &ServerConfiguration,
-) -> f64 {
-    let sum: f64 = per_benchmark
-        .iter()
-        .map(|(_, quanta, target)| run_fixed_on_xeon(server, quanta, cfg).performance_per_watt(*target))
-        .sum();
-    sum / per_benchmark.len() as f64
 }
 
 fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
@@ -296,13 +341,16 @@ pub fn map_configuration(server: &XeonServer, config: &Configuration) -> ServerC
     ServerConfiguration::new(cores, pstate, duty)
 }
 
-/// Runs the benchmark under coordinated SEEC control.
-pub fn run_seec_on_xeon(
+/// Runs the benchmark under coordinated SEEC control, fetching each
+/// quantum's report from `evaluate` (a direct evaluation or a memoized
+/// lookup — both yield bit-identical reports).
+fn run_seec_with(
     server: &XeonServer,
     benchmark: SplashBenchmark,
     quanta: &[QuantumDemand],
     target_heart_rate: f64,
     seed: u64,
+    mut evaluate: impl FnMut(usize, &QuantumDemand, &ServerConfiguration) -> ServerReport,
 ) -> XeonRunOutcome {
     let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
     app.set_heart_rate_goal(target_heart_rate);
@@ -315,10 +363,10 @@ pub fn run_seec_on_xeon(
     let monitor = app.monitor();
 
     let mut now = 0.0;
-    let mut reports: Vec<ServerReport> = Vec::new();
-    for quantum in quanta {
+    let mut reports: Vec<ServerReport> = Vec::with_capacity(quanta.len());
+    for (index, quantum) in quanta.iter().enumerate() {
         let configuration = map_configuration(server, runtime.current_configuration());
-        let mut report = server.evaluate(&to_server_demand(quantum), &configuration);
+        let mut report = evaluate(index, quantum, &configuration);
         // Decision overhead: the decision shares the main cores with the
         // application on this platform.
         report.seconds += DECISION_OVERHEAD_SECONDS;
@@ -327,6 +375,70 @@ pub fn run_seec_on_xeon(
         app.advance(now, report.work_units);
         monitor.record_power_sample(now, report.power_above_idle_watts);
         let _ = runtime.decide(now);
+        reports.push(report);
+    }
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// Runs the benchmark under coordinated SEEC control.
+pub fn run_seec_on_xeon(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    run_seec_with(server, benchmark, quanta, target_heart_rate, seed, |_, quantum, cfg| {
+        server.evaluate(&to_server_demand(quantum), cfg)
+    })
+}
+
+/// [`run_seec_on_xeon`] against memoized evaluations: every configuration
+/// SEEC can reach lies on the grid, so each quantum is an indexed lookup.
+pub fn run_seec_on_table(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    run_seec_with(server, benchmark, quanta, target_heart_rate, seed, |index, _, cfg| {
+        let config = table.config_index(cfg).expect("SEEC configurations lie on the grid");
+        table.report(index, config)
+    })
+}
+
+/// Runs the benchmark under uncoordinated adaptation (one independent SEEC
+/// instance per actuator), fetching reports from `evaluate`.
+fn run_uncoordinated_with(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    target_heart_rate: f64,
+    seed: u64,
+    mut evaluate: impl FnMut(usize, &QuantumDemand, &ServerConfiguration) -> ServerReport,
+) -> XeonRunOutcome {
+    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+    app.set_heart_rate_goal(target_heart_rate);
+    let mut uncoordinated =
+        UncoordinatedRuntime::new(&app.monitor(), xeon_actuators(server), seed).expect("actuators");
+    let mut app = app;
+    let monitor = app.monitor();
+
+    let mut now = 0.0;
+    let mut reports: Vec<ServerReport> = Vec::with_capacity(quanta.len());
+    for (index, quantum) in quanta.iter().enumerate() {
+        let configuration = map_configuration(server, &uncoordinated.joint_configuration());
+        let mut report = evaluate(index, quantum, &configuration);
+        // Each independent instance pays its own decision overhead.
+        let overhead = DECISION_OVERHEAD_SECONDS * uncoordinated.instances() as f64;
+        report.seconds += overhead;
+        report.energy_joules += overhead * report.total_power_watts;
+        now += report.seconds;
+        app.advance(now, report.work_units);
+        monitor.record_power_sample(now, report.power_above_idle_watts);
+        let _ = uncoordinated.decide(now);
         reports.push(report);
     }
     XeonRunOutcome::from_reports(reports.iter())
@@ -341,29 +453,24 @@ pub fn run_uncoordinated_on_xeon(
     target_heart_rate: f64,
     seed: u64,
 ) -> XeonRunOutcome {
-    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
-    app.set_heart_rate_goal(target_heart_rate);
-    let mut uncoordinated =
-        UncoordinatedRuntime::new(&app.monitor(), xeon_actuators(server), seed).expect("actuators");
-    let mut app = app;
-    let monitor = app.monitor();
+    run_uncoordinated_with(server, benchmark, quanta, target_heart_rate, seed, |_, quantum, cfg| {
+        server.evaluate(&to_server_demand(quantum), cfg)
+    })
+}
 
-    let mut now = 0.0;
-    let mut reports: Vec<ServerReport> = Vec::new();
-    for quantum in quanta {
-        let configuration = map_configuration(server, &uncoordinated.joint_configuration());
-        let mut report = server.evaluate(&to_server_demand(quantum), &configuration);
-        // Each independent instance pays its own decision overhead.
-        let overhead = DECISION_OVERHEAD_SECONDS * uncoordinated.instances() as f64;
-        report.seconds += overhead;
-        report.energy_joules += overhead * report.total_power_watts;
-        now += report.seconds;
-        app.advance(now, report.work_units);
-        monitor.record_power_sample(now, report.power_above_idle_watts);
-        let _ = uncoordinated.decide(now);
-        reports.push(report);
-    }
-    XeonRunOutcome::from_reports(reports.iter())
+/// [`run_uncoordinated_on_xeon`] against memoized evaluations.
+pub fn run_uncoordinated_on_table(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    run_uncoordinated_with(server, benchmark, quanta, target_heart_rate, seed, |index, _, cfg| {
+        let config = table.config_index(cfg).expect("SEEC configurations lie on the grid");
+        table.report(index, config)
+    })
 }
 
 /// Convenience used by oracles in other modules: the best per-quantum report
@@ -389,6 +496,7 @@ pub fn best_quantum_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::run_fixed_on_xeon;
 
     #[test]
     fn actuator_specs_cover_the_papers_three_actions() {

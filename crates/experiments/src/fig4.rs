@@ -61,15 +61,15 @@ impl Figure4 {
 
     /// Runs the experiment on an arbitrary chip (used by tests and ablations).
     pub fn compute_on(chip: &AngstromChip, seec_multiplier: f64, seed: u64) -> Self {
-        // Sweep every benchmark and record its target (half max rate).
-        let sweeps: Vec<(SplashBenchmark, Vec<SweepPoint>, f64)> = SplashBenchmark::ALL
-            .iter()
-            .map(|&b| {
+        // Sweep every benchmark and record its target (half max rate); each
+        // sweep is independent, so they fan out across worker cells.
+        let sweeps: Vec<(SplashBenchmark, Vec<SweepPoint>, f64)> =
+            crate::driver::run_cells(SplashBenchmark::ALL.len(), |index| {
+                let b = SplashBenchmark::ALL[index];
                 let points = sweep_benchmark(chip, b, seed);
                 let target = max_heart_rate(&points) / 2.0;
                 (b, points, target)
-            })
-            .collect();
+            });
 
         // No adaptation: the configuration (cores, cache, V/f) with the best
         // *average* perf/W across benchmarks. Configurations are identified

@@ -46,5 +46,7 @@ mod window;
 pub use error::HeartbeatError;
 pub use goal::{AccuracyGoal, Goal, GoalKind, PerformanceGoal, PowerGoal};
 pub use record::{BeatSeq, HeartbeatRecord, Tag};
-pub use registry::{HeartbeatIssuer, HeartbeatMonitor, HeartbeatRegistry, RegistryStats};
+pub use registry::{
+    HeartbeatIssuer, HeartbeatMonitor, HeartbeatRegistry, MonitorObservation, RegistryStats,
+};
 pub use window::{HeartRateStats, Window};

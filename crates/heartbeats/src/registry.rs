@@ -1,3 +1,4 @@
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -22,15 +23,37 @@ pub struct RegistryStats {
     pub mean_distortion: Option<f64>,
 }
 
+/// Everything a decision engine needs from one observation of the
+/// application, captured under a single lock acquisition.
+///
+/// [`HeartbeatMonitor::observation`] exists for the hot observe path: the
+/// SEEC runtime previously took five independent read locks per decision
+/// (stats, goal, goal-met, last beat, power); a snapshot takes one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorObservation {
+    /// Heart-rate statistics over the window.
+    pub stats: HeartRateStats,
+    /// Simulation time of the most recent beat, if any.
+    pub last_beat_timestamp: Option<f64>,
+    /// Target heart rate implied by the application's performance goal.
+    pub target_heart_rate: Option<f64>,
+    /// Mean of the retained platform power samples, in watts.
+    pub mean_power: Option<f64>,
+    /// Whether the performance goal (if any) is met by the window rate;
+    /// `None` when no goal is registered or fewer than two beats observed.
+    pub performance_goal_met: Option<bool>,
+}
+
 #[derive(Debug)]
 struct Inner {
-    name: String,
+    name: Arc<str>,
     window: Window,
     goals: Vec<Goal>,
     next_seq: BeatSeq,
     /// Power samples attributed to this application by the platform, in
-    /// (timestamp, watts) pairs. Retained for the same horizon as the window.
-    power_samples: Vec<(f64, f64)>,
+    /// (timestamp, watts) pairs. Retained for the same horizon as the
+    /// window, in a ring so eviction is O(1).
+    power_samples: VecDeque<(f64, f64)>,
     max_power_samples: usize,
 }
 
@@ -48,6 +71,25 @@ impl Inner {
         self.window.push(record);
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    fn target_heart_rate(&self) -> Option<f64> {
+        self.goals.iter().find_map(|g| match g {
+            Goal::Performance(goal) => Some(goal.implied_heart_rate()),
+            _ => None,
+        })
+    }
+
+    /// Mean power over the retained samples. Summed front-to-back exactly as
+    /// the samples were recorded so the result is bit-identical to a scan of
+    /// the pre-ring `Vec` storage (the mean feeds the decision loop, whose
+    /// outputs must stay reproducible).
+    fn mean_power(&self) -> Option<f64> {
+        if self.power_samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.power_samples.iter().map(|(_, w)| w).sum();
+        Some(sum / self.power_samples.len() as f64)
     }
 }
 
@@ -76,19 +118,20 @@ impl HeartbeatRegistry {
     pub fn with_window(name: impl Into<String>, window: usize) -> Self {
         HeartbeatRegistry {
             inner: Arc::new(RwLock::new(Inner {
-                name: name.into(),
+                name: Arc::from(name.into()),
                 window: Window::new(window),
                 goals: Vec::new(),
                 next_seq: 0,
-                power_samples: Vec::new(),
+                power_samples: VecDeque::with_capacity(window.max(DEFAULT_WINDOW)),
                 max_power_samples: window.max(DEFAULT_WINDOW),
             })),
         }
     }
 
-    /// Application name given at construction.
-    pub fn name(&self) -> String {
-        self.inner.read().name.clone()
+    /// Application name given at construction. The name is interned in an
+    /// `Arc<str>`, so this clones a pointer, not the string.
+    pub fn name(&self) -> Arc<str> {
+        Arc::clone(&self.inner.read().name)
     }
 
     /// Returns the application-side handle.
@@ -215,9 +258,9 @@ pub struct HeartbeatMonitor {
 }
 
 impl HeartbeatMonitor {
-    /// Name of the observed application.
-    pub fn name(&self) -> String {
-        self.inner.read().name.clone()
+    /// Name of the observed application, as a cheaply cloneable `Arc<str>`.
+    pub fn name(&self) -> Arc<str> {
+        Arc::clone(&self.inner.read().name)
     }
 
     /// Heart rate over the observation window, in beats/second.
@@ -225,7 +268,7 @@ impl HeartbeatMonitor {
         self.inner.read().window.heart_rate().window
     }
 
-    /// Full heart-rate statistics (instant / window / global).
+    /// Full heart-rate statistics (instant / window / global / min / max).
     pub fn heart_rate(&self) -> HeartRateStats {
         self.inner.read().window.heart_rate()
     }
@@ -247,7 +290,35 @@ impl HeartbeatMonitor {
         }
     }
 
-    /// All goals currently registered by the application.
+    /// Captures everything the decide path observes — rate statistics, the
+    /// performance target, goal attainment, the last beat time, and mean
+    /// power — under one lock acquisition.
+    pub fn observation(&self) -> MonitorObservation {
+        let inner = self.inner.read();
+        let stats = inner.window.heart_rate();
+        let target_heart_rate = inner.target_heart_rate();
+        let performance_goal_met = match target_heart_rate {
+            Some(target) if stats.beats_in_window >= 2 => Some(stats.window >= target),
+            Some(_) => None,
+            None => None,
+        };
+        MonitorObservation {
+            stats,
+            last_beat_timestamp: inner.window.last_timestamp(),
+            target_heart_rate,
+            mean_power: inner.mean_power(),
+            performance_goal_met,
+        }
+    }
+
+    /// Calls `f` with the application's registered goals, without cloning
+    /// them. Prefer this over [`Self::goals`] anywhere called repeatedly.
+    pub fn with_goals<R>(&self, f: impl FnOnce(&[Goal]) -> R) -> R {
+        f(&self.inner.read().goals)
+    }
+
+    /// All goals currently registered by the application, cloned. For
+    /// clone-free access use [`Self::with_goals`].
     pub fn goals(&self) -> Vec<Goal> {
         self.inner.read().goals.clone()
     }
@@ -269,10 +340,7 @@ impl HeartbeatMonitor {
 
     /// Target heart rate implied by the performance goal, if one is set.
     pub fn target_heart_rate(&self) -> Option<f64> {
-        match self.goal_of_kind(GoalKind::Performance) {
-            Some(Goal::Performance(goal)) => Some(goal.implied_heart_rate()),
-            _ => None,
-        }
+        self.inner.read().target_heart_rate()
     }
 
     /// Latency between the last two beats tagged `tag`, if observable.
@@ -292,34 +360,22 @@ impl HeartbeatMonitor {
     /// sample enters through the monitor side of the API.
     pub fn record_power_sample(&self, now: f64, watts: f64) {
         let mut inner = self.inner.write();
-        let cap = inner.max_power_samples;
-        inner.power_samples.push((now, watts));
-        let len = inner.power_samples.len();
-        if len > cap {
-            inner.power_samples.drain(0..len - cap);
+        if inner.power_samples.len() == inner.max_power_samples {
+            inner.power_samples.pop_front();
         }
+        inner.power_samples.push_back((now, watts));
     }
 
     /// Mean of the retained power samples, in watts.
     pub fn mean_power(&self) -> Option<f64> {
-        let inner = self.inner.read();
-        if inner.power_samples.is_empty() {
-            return None;
-        }
-        let sum: f64 = inner.power_samples.iter().map(|(_, w)| w).sum();
-        Some(sum / inner.power_samples.len() as f64)
+        self.inner.read().mean_power()
     }
 
     /// Whether the performance goal (if any) is currently met by the window
     /// heart rate. Returns `None` when no performance goal is registered or
     /// too few beats have been observed.
     pub fn performance_goal_met(&self) -> Option<bool> {
-        let target = self.target_heart_rate()?;
-        let stats = self.heart_rate();
-        if stats.beats_in_window < 2 {
-            return None;
-        }
-        Some(stats.window >= target)
+        self.observation().performance_goal_met
     }
 }
 
@@ -338,8 +394,8 @@ mod tests {
         }
         assert!((monitor.window_heart_rate() - 20.0).abs() < 1e-9);
         assert_eq!(monitor.stats().total_beats, 20);
-        assert_eq!(registry.name(), "app");
-        assert_eq!(monitor.name(), "app");
+        assert_eq!(&*registry.name(), "app");
+        assert_eq!(&*monitor.name(), "app");
     }
 
     #[test]
@@ -363,6 +419,7 @@ mod tests {
         issuer.set_goal(Goal::Power(PowerGoal::average_power(100.0, 30.0)));
         let goals = monitor.goals();
         assert_eq!(goals.len(), 2);
+        assert_eq!(monitor.with_goals(<[Goal]>::len), 2);
         assert_eq!(monitor.target_heart_rate(), Some(30.0));
         assert!(monitor.goal_of_kind(GoalKind::Power).is_some());
         assert!(monitor.goal_of_kind(GoalKind::Accuracy).is_none());
@@ -405,6 +462,24 @@ mod tests {
             issuer.heartbeat(0.5 + (i + 1) as f64 * 2.0);
         }
         assert_eq!(monitor.performance_goal_met(), Some(false));
+    }
+
+    #[test]
+    fn observation_snapshot_matches_individual_queries() {
+        let registry = HeartbeatRegistry::new("app");
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        issuer.set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        for i in 0..12 {
+            issuer.heartbeat(i as f64 * 0.05);
+            monitor.record_power_sample(i as f64 * 0.05, 40.0 + i as f64);
+        }
+        let obs = monitor.observation();
+        assert_eq!(obs.stats, monitor.heart_rate());
+        assert_eq!(obs.last_beat_timestamp, monitor.last_beat_timestamp());
+        assert_eq!(obs.target_heart_rate, monitor.target_heart_rate());
+        assert_eq!(obs.mean_power, monitor.mean_power());
+        assert_eq!(obs.performance_goal_met, monitor.performance_goal_met());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +15,15 @@ pub struct HeartRateStats {
     pub global: f64,
     /// Number of beats currently held in the window.
     pub beats_in_window: usize,
+    /// Slowest instantaneous rate over the window (longest positive
+    /// beat-to-beat interval), in beats/second. Zero until two beats with
+    /// distinct timestamps are retained.
+    pub min_instant: f64,
+    /// Fastest instantaneous rate over the window (shortest positive
+    /// beat-to-beat interval), in beats/second. Simultaneous beats (zero
+    /// intervals) are excluded, matching the `instant` convention that a
+    /// zero interval yields no rate.
+    pub max_instant: f64,
 }
 
 impl Default for HeartRateStats {
@@ -24,21 +33,43 @@ impl Default for HeartRateStats {
             window: 0.0,
             global: 0.0,
             beats_in_window: 0,
+            min_instant: 0.0,
+            max_instant: 0.0,
         }
     }
 }
 
-/// A bounded sliding window of heartbeat records.
+/// A bounded ring buffer of heartbeat records with O(1) rolling statistics.
 ///
-/// The window retains the most recent `capacity` beats and incrementally
-/// maintains heart-rate and distortion statistics over them.
+/// The window retains the most recent `capacity` beats. All statistics are
+/// maintained incrementally as beats are pushed and evicted, so every query
+/// — heart rates, min/max instantaneous rate (monotonic deques), mean
+/// distortion (rolling sum), tagged latency (per-tag timestamp ring) — is
+/// O(1) regardless of the window size. Nothing in the observe path scans
+/// the retained records.
 #[derive(Debug, Clone)]
 pub struct Window {
     capacity: usize,
+    /// Ring storage: `VecDeque` never grows past `capacity` because a push
+    /// at capacity evicts the front first.
     records: VecDeque<HeartbeatRecord>,
     first_timestamp: Option<f64>,
     last_timestamp: Option<f64>,
     total_beats: u64,
+    /// Rolling distortion aggregate over retained records that report one.
+    distortion_sum: f64,
+    distortion_count: usize,
+    /// Monotonic deques over the positive beat-to-beat intervals of the
+    /// retained records, keyed by the push index of the *newer* beat of each
+    /// pair. `min_intervals` is increasing (front = shortest interval =
+    /// fastest rate); `max_intervals` is decreasing (front = longest).
+    min_intervals: VecDeque<(u64, f64)>,
+    max_intervals: VecDeque<(u64, f64)>,
+    /// Push index of the oldest retained record (total_beats - len).
+    evicted: u64,
+    /// Retained timestamps of each tag's beats, oldest first, so the latency
+    /// between the two most recent tagged beats is an O(1) lookup.
+    tag_times: HashMap<crate::Tag, VecDeque<f64>>,
 }
 
 impl Window {
@@ -55,6 +86,12 @@ impl Window {
             first_timestamp: None,
             last_timestamp: None,
             total_beats: 0,
+            distortion_sum: 0.0,
+            distortion_count: 0,
+            min_intervals: VecDeque::new(),
+            max_intervals: VecDeque::new(),
+            evicted: 0,
+            tag_times: HashMap::new(),
         }
     }
 
@@ -85,15 +122,81 @@ impl Window {
 
     /// Pushes a new record, evicting the oldest if the window is full.
     pub fn push(&mut self, record: HeartbeatRecord) {
+        if self.records.len() == self.capacity {
+            self.evict_front();
+        }
         if self.first_timestamp.is_none() {
             self.first_timestamp = Some(record.timestamp);
         }
+        // The interval belongs to the pair (previous record, this record)
+        // and is keyed by this record's push index for eviction.
+        let index = self.total_beats;
+        if let (Some(last), false) = (self.last_timestamp, self.records.is_empty()) {
+            let interval = record.timestamp - last;
+            if interval > 0.0 {
+                while self
+                    .min_intervals
+                    .back()
+                    .is_some_and(|&(_, v)| v >= interval)
+                {
+                    self.min_intervals.pop_back();
+                }
+                self.min_intervals.push_back((index, interval));
+                while self
+                    .max_intervals
+                    .back()
+                    .is_some_and(|&(_, v)| v <= interval)
+                {
+                    self.max_intervals.pop_back();
+                }
+                self.max_intervals.push_back((index, interval));
+            }
+        }
         self.last_timestamp = Some(record.timestamp);
         self.total_beats += 1;
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
+        if let Some(d) = record.distortion {
+            self.distortion_sum += d;
+            self.distortion_count += 1;
+        }
+        if let Some(tag) = &record.tag {
+            self.tag_times
+                .entry(tag.clone())
+                .or_default()
+                .push_back(record.timestamp);
         }
         self.records.push_back(record);
+    }
+
+    fn evict_front(&mut self) {
+        let Some(old) = self.records.pop_front() else {
+            return;
+        };
+        let index = self.evicted;
+        self.evicted += 1;
+        // The interval keyed by the *successor* of the evicted record pairs
+        // it with the evicted beat, so it leaves the window too.
+        while self.min_intervals.front().is_some_and(|&(i, _)| i <= index + 1) {
+            self.min_intervals.pop_front();
+        }
+        while self.max_intervals.front().is_some_and(|&(i, _)| i <= index + 1) {
+            self.max_intervals.pop_front();
+        }
+        if let Some(d) = old.distortion {
+            self.distortion_sum -= d;
+            self.distortion_count -= 1;
+            if self.distortion_count == 0 {
+                // Reset rolling error so long-lived windows cannot drift.
+                self.distortion_sum = 0.0;
+            }
+        }
+        if let Some(tag) = &old.tag {
+            if let Some(times) = self.tag_times.get_mut(tag) {
+                times.pop_front();
+                if times.is_empty() {
+                    self.tag_times.remove(tag);
+                }
+            }
+        }
     }
 
     /// Iterates over the retained records, oldest first.
@@ -106,6 +209,8 @@ impl Window {
     /// The *instant* rate uses the last two beats, the *window* rate uses the
     /// first and last retained beat, and the *global* rate uses the first
     /// beat ever recorded. Rates are zero until two beats are available.
+    /// `min_instant`/`max_instant` come from the monotonic interval deques
+    /// and cover every consecutive pair retained in the window.
     pub fn heart_rate(&self) -> HeartRateStats {
         let n = self.records.len();
         if n < 2 {
@@ -126,44 +231,46 @@ impl Window {
             }
             _ => 0.0,
         };
+        // Fastest rate = shortest interval (front of the increasing deque);
+        // slowest rate = longest interval (front of the decreasing deque).
+        let max_instant = self
+            .min_intervals
+            .front()
+            .map_or(0.0, |&(_, dt)| 1.0 / dt);
+        let min_instant = self
+            .max_intervals
+            .front()
+            .map_or(0.0, |&(_, dt)| 1.0 / dt);
         HeartRateStats {
             instant,
             window,
             global,
             beats_in_window: n,
+            min_instant,
+            max_instant,
         }
     }
 
     /// Mean distortion over the retained beats that report one, or `None`
-    /// if no retained beat carries a distortion value.
+    /// if no retained beat carries a distortion value. Maintained as a
+    /// rolling sum, so repeated queries cost O(1).
     pub fn mean_distortion(&self) -> Option<f64> {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for rec in &self.records {
-            if let Some(d) = rec.distortion {
-                sum += d;
-                count += 1;
-            }
-        }
-        if count == 0 {
+        if self.distortion_count == 0 {
             None
         } else {
-            Some(sum / count as f64)
+            Some(self.distortion_sum / self.distortion_count as f64)
         }
     }
 
     /// Latency between the two most recent beats carrying `tag`, in seconds.
+    /// O(1): each tag's retained timestamps are kept in a per-tag ring.
     pub fn tagged_latency(&self, tag: &crate::Tag) -> Option<f64> {
-        let mut newest: Option<f64> = None;
-        for rec in self.records.iter().rev() {
-            if rec.tag.as_ref() == Some(tag) {
-                match newest {
-                    None => newest = Some(rec.timestamp),
-                    Some(later) => return Some(later - rec.timestamp),
-                }
-            }
+        let times = self.tag_times.get(tag)?;
+        let n = times.len();
+        if n < 2 {
+            return None;
         }
-        None
+        Some(times[n - 1] - times[n - 2])
     }
 }
 
@@ -200,6 +307,8 @@ mod tests {
         assert_eq!(stats.instant, 0.0);
         assert_eq!(stats.window, 0.0);
         assert_eq!(stats.global, 0.0);
+        assert_eq!(stats.min_instant, 0.0);
+        assert_eq!(stats.max_instant, 0.0);
     }
 
     #[test]
@@ -213,6 +322,8 @@ mod tests {
         assert!((stats.window - 10.0).abs() < 1e-9);
         assert!((stats.global - 10.0).abs() < 1e-9);
         assert_eq!(stats.beats_in_window, 10);
+        assert!((stats.min_instant - 10.0).abs() < 1e-6);
+        assert!((stats.max_instant - 10.0).abs() < 1e-6);
     }
 
     #[test]
@@ -231,6 +342,9 @@ mod tests {
         assert!(stats.window > 50.0, "window rate should track fast phase");
         assert!(stats.global < 5.0, "global rate reflects whole history");
         assert_eq!(w.total_beats(), 13);
+        // The slow-phase intervals have been evicted, so the slowest
+        // retained instantaneous rate belongs to the fast phase.
+        assert!(stats.min_instant > 50.0);
     }
 
     #[test]
@@ -241,6 +355,21 @@ mod tests {
         w.push(beat(2, 1.5));
         let stats = w.heart_rate();
         assert!((stats.instant - 2.0).abs() < 1e-9);
+        assert!((stats.min_instant - 1.0).abs() < 1e-9);
+        assert!((stats.max_instant - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_track_eviction_of_extremes() {
+        let mut w = Window::new(3);
+        w.push(beat(0, 0.0));
+        w.push(beat(1, 10.0)); // interval 10 (slowest)
+        w.push(beat(2, 10.5)); // interval 0.5
+        assert!((w.heart_rate().min_instant - 0.1).abs() < 1e-12);
+        w.push(beat(3, 11.0)); // evicts beat 0 → interval 10 leaves
+        let stats = w.heart_rate();
+        assert!((stats.min_instant - 2.0).abs() < 1e-12);
+        assert!((stats.max_instant - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -252,6 +381,19 @@ mod tests {
         assert!((w.mean_distortion().unwrap() - 0.3).abs() < 1e-9);
         let empty = Window::new(4);
         assert!(empty.mean_distortion().is_none());
+    }
+
+    #[test]
+    fn mean_distortion_follows_eviction() {
+        let mut w = Window::new(2);
+        w.push(beat(0, 0.0).with_distortion(0.9));
+        w.push(beat(1, 1.0).with_distortion(0.1));
+        w.push(beat(2, 2.0).with_distortion(0.3));
+        // The 0.9 report was evicted with its beat.
+        assert!((w.mean_distortion().unwrap() - 0.2).abs() < 1e-9);
+        w.push(beat(3, 3.0));
+        w.push(beat(4, 4.0));
+        assert!(w.mean_distortion().is_none());
     }
 
     #[test]
@@ -267,6 +409,17 @@ mod tests {
     }
 
     #[test]
+    fn tagged_latency_forgets_evicted_beats() {
+        let mut w = Window::new(2);
+        w.push(beat(0, 0.0).with_tag("frame"));
+        w.push(beat(1, 1.0).with_tag("frame"));
+        assert!((w.tagged_latency(&crate::Tag::new("frame")).unwrap() - 1.0).abs() < 1e-12);
+        w.push(beat(2, 2.0));
+        // Only one tagged beat remains in the window.
+        assert!(w.tagged_latency(&crate::Tag::new("frame")).is_none());
+    }
+
+    #[test]
     fn simultaneous_beats_do_not_divide_by_zero() {
         let mut w = Window::new(4);
         w.push(beat(0, 1.0));
@@ -274,5 +427,7 @@ mod tests {
         let stats = w.heart_rate();
         assert_eq!(stats.instant, 0.0);
         assert_eq!(stats.window, 0.0);
+        assert_eq!(stats.min_instant, 0.0);
+        assert_eq!(stats.max_instant, 0.0);
     }
 }

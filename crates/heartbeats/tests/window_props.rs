@@ -1,0 +1,165 @@
+//! Property tests: the ring buffer's O(1) rolling statistics must agree
+//! with a naive recomputation over the full beat history, for arbitrary
+//! beat/window sequences.
+//!
+//! Quantities derived purely from retained timestamps (rates, min/max
+//! instantaneous rate, tagged latency) must agree *bitwise* — the ring
+//! performs the same subtractions and divisions on the same operands, just
+//! incrementally. The rolling distortion mean may differ from a fresh scan
+//! in the last ulps (floating-point addition is not associative under
+//! eviction), so it is compared to 1e-9 relative.
+
+use heartbeats::{HeartbeatRecord, Tag, Window};
+use proptest::prelude::*;
+
+/// A naive reference: keeps every record ever pushed and recomputes each
+/// statistic from scratch over the last `capacity` records.
+struct NaiveWindow {
+    capacity: usize,
+    all: Vec<HeartbeatRecord>,
+}
+
+impl NaiveWindow {
+    fn retained(&self) -> &[HeartbeatRecord] {
+        let start = self.all.len().saturating_sub(self.capacity);
+        &self.all[start..]
+    }
+
+    fn rate_between(start: f64, end: f64, beats: u64) -> f64 {
+        let elapsed = end - start;
+        if elapsed > 0.0 {
+            beats as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    fn instant(&self) -> f64 {
+        let w = self.retained();
+        if w.len() < 2 {
+            return 0.0;
+        }
+        Self::rate_between(w[w.len() - 2].timestamp, w[w.len() - 1].timestamp, 1)
+    }
+
+    fn window(&self) -> f64 {
+        let w = self.retained();
+        if w.len() < 2 {
+            return 0.0;
+        }
+        Self::rate_between(w[0].timestamp, w[w.len() - 1].timestamp, w.len() as u64 - 1)
+    }
+
+    fn global(&self) -> f64 {
+        if self.all.len() < 2 || self.retained().len() < 2 {
+            return 0.0;
+        }
+        Self::rate_between(
+            self.all[0].timestamp,
+            self.all[self.all.len() - 1].timestamp,
+            self.all.len() as u64 - 1,
+        )
+    }
+
+    /// (min_instant, max_instant) over positive consecutive intervals.
+    fn min_max_instant(&self) -> (f64, f64) {
+        let w = self.retained();
+        let mut min_interval = f64::INFINITY;
+        let mut max_interval = 0.0f64;
+        for pair in w.windows(2) {
+            let dt = pair[1].timestamp - pair[0].timestamp;
+            if dt > 0.0 {
+                min_interval = min_interval.min(dt);
+                max_interval = max_interval.max(dt);
+            }
+        }
+        if max_interval == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (1.0 / max_interval, 1.0 / min_interval)
+        }
+    }
+
+    fn mean_distortion(&self) -> Option<f64> {
+        let values: Vec<f64> = self.retained().iter().filter_map(|r| r.distortion).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    fn tagged_latency(&self, tag: &Tag) -> Option<f64> {
+        let times: Vec<f64> = self
+            .retained()
+            .iter()
+            .filter(|r| r.tag.as_ref() == Some(tag))
+            .map(|r| r.timestamp)
+            .collect();
+        if times.len() < 2 {
+            None
+        } else {
+            Some(times[times.len() - 1] - times[times.len() - 2])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_rolling_stats_match_naive_recompute(
+        raw_intervals in proptest::collection::vec(0.0..0.5f64, 2..80),
+        capacity in 1usize..24,
+    ) {
+        let mut ring = Window::new(capacity);
+        let naive_capacity = capacity;
+        let mut naive = NaiveWindow { capacity: naive_capacity, all: Vec::new() };
+        let tag = Tag::new("frame");
+
+        let mut now = 0.0;
+        for (seq, raw) in raw_intervals.iter().enumerate() {
+            // Derive interval/distortion/tag variation deterministically
+            // from the generated value so every shape (simultaneous beats,
+            // distortion-free beats, sparse tags) is exercised.
+            let salt = (raw * 1.0e6) as u64;
+            let interval = if salt.is_multiple_of(5) { 0.0 } else { *raw };
+            now += interval;
+            let mut record = HeartbeatRecord::new(seq as u64, now);
+            if salt.is_multiple_of(3) {
+                record = record.with_distortion(*raw);
+            }
+            if salt.is_multiple_of(4) {
+                record = record.with_tag(tag.clone());
+            }
+            ring.push(record.clone());
+            naive.all.push(record);
+
+            // Integer bookkeeping is exact.
+            prop_assert_eq!(ring.len(), naive.retained().len());
+            prop_assert_eq!(ring.total_beats(), naive.all.len() as u64);
+
+            // Timestamp-derived rates are bitwise identical.
+            let stats = ring.heart_rate();
+            prop_assert_eq!(stats.beats_in_window, naive.retained().len());
+            prop_assert_eq!(stats.instant.to_bits(), naive.instant().to_bits());
+            prop_assert_eq!(stats.window.to_bits(), naive.window().to_bits());
+            prop_assert_eq!(stats.global.to_bits(), naive.global().to_bits());
+            let (min_instant, max_instant) = naive.min_max_instant();
+            prop_assert_eq!(stats.min_instant.to_bits(), min_instant.to_bits());
+            prop_assert_eq!(stats.max_instant.to_bits(), max_instant.to_bits());
+
+            // The rolling distortion mean tracks the scan to float noise.
+            let (rolling, scanned) = (ring.mean_distortion(), naive.mean_distortion());
+            prop_assert_eq!(rolling.is_some(), scanned.is_some());
+            if let (Some(rolling), Some(scanned)) = (rolling, scanned) {
+                prop_assert!((rolling - scanned).abs() <= 1e-9 * scanned.abs().max(1.0));
+            }
+
+            // Tagged latency is bitwise identical.
+            let ring_latency = ring.tagged_latency(&tag).map(f64::to_bits);
+            let naive_latency = naive.tagged_latency(&tag).map(f64::to_bits);
+            prop_assert_eq!(ring_latency, naive_latency);
+        }
+    }
+}

@@ -7,10 +7,23 @@
 //! model from observation. When the model proves persistently wrong, an
 //! exploration policy (the machine-learning layer) tries configurations the
 //! model would not otherwise pick.
+//!
+//! ## Representation
+//!
+//! Configurations are interned into the [`ConfigTable`] arena and addressed
+//! by copyable [`ConfigId`] handles. Beliefs live in a dense `Vec` indexed
+//! by id — no hashing, no per-lookup allocation — and two sorted indices
+//! (by believed speedup and by believed power) are maintained incrementally
+//! as observations arrive, so the selection queries of the decision loop
+//! ([`ActionModel::choose_id`], [`ActionModel::bracket_below_id`],
+//! [`ActionModel::cheapest_id`]) never materialise a configuration.
+//!
+//! Selection results are *identical* to a naive first-match scan in
+//! configuration order (the pre-arena implementation): every tie is broken
+//! toward the smaller id, which is exactly what a lexicographic scan with
+//! strict comparisons produced.
 
-use std::collections::HashMap;
-
-use actuation::{Axis, Configuration, ConfigurationSpace};
+use actuation::{ConfigId, ConfigTable, Configuration, ConfigurationSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -53,7 +66,16 @@ impl Default for ExplorationPolicy {
 #[derive(Debug, Clone)]
 pub struct ActionModel {
     space: ConfigurationSpace,
-    learned: HashMap<Configuration, BelievedEffect>,
+    table: ConfigTable,
+    beliefs: Vec<BelievedEffect>,
+    /// Ids sorted ascending by (believed speedup, id).
+    by_speedup: Vec<ConfigId>,
+    /// Ids sorted ascending by (believed powerup, id).
+    by_power: Vec<ConfigId>,
+    /// id → position in `by_speedup` / `by_power`.
+    rank_speedup: Vec<u32>,
+    rank_power: Vec<u32>,
+    observed: usize,
     /// Exponential-moving-average weight given to a new observation.
     pub learning_rate: f64,
     policy: ExplorationPolicy,
@@ -64,9 +86,39 @@ pub struct ActionModel {
 impl ActionModel {
     /// Creates a model over `space` seeded from the declared effects.
     pub fn new(space: ConfigurationSpace, seed: u64) -> Self {
+        let table = space.table();
+        let beliefs: Vec<BelievedEffect> = (0..table.len())
+            .map(|i| {
+                let declared = table.declared_effect(ConfigId(i as u32));
+                BelievedEffect {
+                    speedup: declared.performance,
+                    powerup: declared.power,
+                    observations: 0,
+                }
+            })
+            .collect();
+        // The declared-effect indices precomputed by the arena are the
+        // correct starting point: beliefs equal declared effects until the
+        // first observation.
+        let by_speedup = table.by_declared_speedup().to_vec();
+        let by_power = table.by_declared_power().to_vec();
+        let mut rank_speedup = vec![0u32; table.len()];
+        for (pos, id) in by_speedup.iter().enumerate() {
+            rank_speedup[id.index()] = pos as u32;
+        }
+        let mut rank_power = vec![0u32; table.len()];
+        for (pos, id) in by_power.iter().enumerate() {
+            rank_power[id.index()] = pos as u32;
+        }
         ActionModel {
             space,
-            learned: HashMap::new(),
+            table,
+            beliefs,
+            by_speedup,
+            by_power,
+            rank_speedup,
+            rank_power,
+            observed: 0,
             learning_rate: 0.3,
             policy: ExplorationPolicy::default(),
             divergent_streak: 0,
@@ -84,32 +136,41 @@ impl ActionModel {
         &self.space
     }
 
-    /// The believed effect of `config`: learned if observed, declared otherwise.
+    /// The interned-configuration arena the model runs on.
+    pub fn table(&self) -> &ConfigTable {
+        &self.table
+    }
+
+    /// The believed effect of the configuration `id`.
+    #[inline]
+    pub fn believed(&self, id: ConfigId) -> BelievedEffect {
+        self.beliefs[id.index()]
+    }
+
+    /// The believed effect of `config`: learned if observed, declared
+    /// otherwise. Configurations outside the space report the nominal
+    /// effect, as the pre-arena model did.
     pub fn believed_effect(&self, config: &Configuration) -> BelievedEffect {
-        if let Some(learned) = self.learned.get(config) {
-            return *learned;
-        }
-        let declared = self
-            .space
-            .predicted_effect(config)
-            .unwrap_or_else(|_| actuation::PredictedEffect::nominal());
-        BelievedEffect {
-            speedup: declared.on(Axis::Performance),
-            powerup: declared.on(Axis::Power),
-            observations: 0,
+        match self.table.id_of(config) {
+            Some(id) => self.believed(id),
+            None => BelievedEffect {
+                speedup: 1.0,
+                powerup: 1.0,
+                observations: 0,
+            },
         }
     }
 
-    /// Records that running in `config` produced `observed_speedup` and
+    /// Records that running in `id` produced `observed_speedup` and
     /// `observed_powerup` (both relative to nominal). Returns the relative
     /// error between the previous belief and the observation.
-    pub fn observe(
+    pub fn observe_id(
         &mut self,
-        config: &Configuration,
+        id: ConfigId,
         observed_speedup: f64,
         observed_powerup: f64,
     ) -> f64 {
-        let mut belief = self.believed_effect(config);
+        let belief = &mut self.beliefs[id.index()];
         let error = if belief.speedup > 0.0 {
             ((observed_speedup - belief.speedup) / belief.speedup).abs()
         } else {
@@ -122,8 +183,25 @@ impl ActionModel {
         if observed_powerup.is_finite() && observed_powerup > 0.0 {
             belief.powerup = (1.0 - a) * belief.powerup + a * observed_powerup;
         }
+        if belief.observations == 0 {
+            self.observed += 1;
+        }
         belief.observations += 1;
-        self.learned.insert(config.clone(), belief);
+        let (speedup, powerup) = (belief.speedup, belief.powerup);
+        reposition(
+            &mut self.by_speedup,
+            &mut self.rank_speedup,
+            id,
+            |other| self.beliefs[other.index()].speedup,
+            speedup,
+        );
+        reposition(
+            &mut self.by_power,
+            &mut self.rank_power,
+            id,
+            |other| self.beliefs[other.index()].powerup,
+            powerup,
+        );
 
         if error > self.policy.divergence_threshold {
             self.divergent_streak += 1;
@@ -131,6 +209,29 @@ impl ActionModel {
             self.divergent_streak = 0;
         }
         error
+    }
+
+    /// Records an observation addressed by configuration (see
+    /// [`Self::observe_id`]). Observations of configurations outside the
+    /// space are reported against the nominal belief and not stored.
+    pub fn observe(
+        &mut self,
+        config: &Configuration,
+        observed_speedup: f64,
+        observed_powerup: f64,
+    ) -> f64 {
+        match self.table.id_of(config) {
+            Some(id) => self.observe_id(id, observed_speedup, observed_powerup),
+            None => {
+                let error = (observed_speedup - 1.0).abs();
+                if error > self.policy.divergence_threshold {
+                    self.divergent_streak += 1;
+                } else {
+                    self.divergent_streak = 0;
+                }
+                error
+            }
+        }
     }
 
     /// Whether the model considers itself diverged (exploration should take
@@ -143,106 +244,168 @@ impl ActionModel {
     /// power) configuration whose believed speedup meets `required_speedup`.
     /// If none meets it, the configuration with the highest believed speedup
     /// is returned. With probability epsilon — or whenever the model has
-    /// diverged — a neighbouring configuration of the choice is explored
-    /// instead.
-    pub fn choose(&mut self, required_speedup: f64, current: &Configuration) -> Configuration {
-        let mut best_meeting: Option<(Configuration, f64)> = None;
-        let mut best_overall: Option<(Configuration, f64)> = None;
-        for config in self.space.iter() {
-            let belief = self.believed_effect(&config);
-            if belief.speedup >= required_speedup {
-                let better = match &best_meeting {
-                    None => true,
-                    Some((_, power)) => belief.powerup < *power,
-                };
-                if better {
-                    best_meeting = Some((config.clone(), belief.powerup));
-                }
-            }
-            let faster = match &best_overall {
-                None => true,
-                Some((_, speed)) => belief.speedup > *speed,
-            };
-            if faster {
-                best_overall = Some((config.clone(), belief.speedup));
-            }
-        }
-        let exploit = best_meeting
-            .map(|(c, _)| c)
-            .or(best_overall.map(|(c, _)| c))
-            .unwrap_or_else(|| self.space.nominal());
+    /// diverged — a neighbouring configuration of the current one is
+    /// explored instead. Ties break toward the smaller id, like the
+    /// first-match scan this replaces.
+    pub fn choose_id(&mut self, required_speedup: f64, current: ConfigId) -> ConfigId {
+        // Walk the power-sorted index: the first id meeting the speedup
+        // requirement is the cheapest meeting it (ties by id). Usually an
+        // early exit; the scan it replaced was always O(cardinality) with a
+        // settings-vector allocation per step.
+        let meeting = self
+            .by_power
+            .iter()
+            .copied()
+            .find(|id| self.beliefs[id.index()].speedup >= required_speedup);
+        let exploit = meeting.unwrap_or_else(|| self.fastest());
 
-        let explore = self.is_diverged() || self.rng.gen_bool(self.policy.epsilon.clamp(0.0, 1.0));
+        let explore =
+            self.is_diverged() || self.rng.gen_bool(self.policy.epsilon.clamp(0.0, 1.0));
         if explore {
-            let neighbors = self.space.neighbors(current);
-            if !neighbors.is_empty() {
-                let pick = self.rng.gen_range(0..neighbors.len());
-                return neighbors[pick].clone();
+            let count = self.table.neighbor_count();
+            if count > 0 {
+                let pick = self.rng.gen_range(0..count);
+                return self.table.neighbor(current, pick);
             }
         }
         exploit
     }
 
+    /// Configuration-typed convenience wrapper over [`Self::choose_id`].
+    pub fn choose(&mut self, required_speedup: f64, current: &Configuration) -> Configuration {
+        if self.table.is_empty() {
+            // Preserve the pre-arena behaviour (and RNG draw order) for
+            // degenerate spaces: exploit falls back to the empty nominal.
+            let _ = self.is_diverged() || self.rng.gen_bool(self.policy.epsilon.clamp(0.0, 1.0));
+            return self.space.nominal();
+        }
+        let current_id = self
+            .table
+            .id_of(current)
+            .unwrap_or_else(|| self.table.nominal());
+        let choice = self.choose_id(required_speedup, current_id);
+        self.table.config_of(choice)
+    }
+
+    /// The id with the highest believed speedup (smallest id on ties).
+    fn fastest(&self) -> ConfigId {
+        let top = *self.by_speedup.last().expect("non-empty space");
+        let top_speedup = self.beliefs[top.index()].speedup;
+        // Ids are ascending within an equal-speedup run, so the first id of
+        // the top run is the scan's answer.
+        self.by_speedup
+            [self.by_speedup.partition_point(|id| self.beliefs[id.index()].speedup < top_speedup)]
+    }
+
     /// The bracketing configuration *below* a required speedup: among the
     /// configurations whose believed speedup is less than `required_speedup`,
-    /// the fastest one (ties broken toward lower power). Falls back to the
-    /// cheapest configuration when everything meets the requirement. Used as
-    /// the low end of time-division schedules so that the schedule alternates
-    /// between adjacent operating points rather than between extremes.
-    pub fn bracket_below(&self, required_speedup: f64) -> (Configuration, f64) {
-        let mut best: Option<(Configuration, f64, f64)> = None;
-        for config in self.space.iter() {
-            let belief = self.believed_effect(&config);
-            if belief.speedup >= required_speedup {
-                continue;
+    /// the fastest one (ties broken toward lower power, then smaller id).
+    /// Falls back to the cheapest configuration when everything meets the
+    /// requirement. Used as the low end of time-division schedules so that
+    /// the schedule alternates between adjacent operating points rather than
+    /// between extremes.
+    pub fn bracket_below_id(&self, required_speedup: f64) -> (ConfigId, f64) {
+        let boundary = self
+            .by_speedup
+            .partition_point(|id| self.beliefs[id.index()].speedup < required_speedup);
+        if boundary == 0 {
+            return self.cheapest_id();
+        }
+        // The candidates' maximum speedup is at `boundary - 1`; walk the
+        // equal-speedup run below it picking the lowest power (ties by id).
+        let best_speedup = self.beliefs[self.by_speedup[boundary - 1].index()].speedup;
+        let mut best: Option<(ConfigId, f64)> = None;
+        for &id in self.by_speedup[..boundary].iter().rev() {
+            let belief = self.beliefs[id.index()];
+            if belief.speedup < best_speedup {
+                break;
             }
-            let better = match &best {
+            let better = match best {
                 None => true,
-                Some((_, speedup, power)) => {
-                    belief.speedup > *speedup
-                        || (belief.speedup == *speedup && belief.powerup < *power)
+                Some((best_id, power)) => {
+                    belief.powerup < power || (belief.powerup == power && id < best_id)
                 }
             };
             if better {
-                best = Some((config, belief.speedup, belief.powerup));
+                best = Some((id, belief.powerup));
             }
         }
-        match best {
-            Some((config, speedup, _)) => (config, speedup),
-            None => self.cheapest(),
-        }
+        let (id, _) = best.expect("run is non-empty");
+        (id, best_speedup)
     }
 
-    /// The configuration with the lowest believed power, and its believed
-    /// speedup. Used as the low end of time-division schedules.
+    /// Configuration-typed convenience wrapper over
+    /// [`Self::bracket_below_id`].
+    pub fn bracket_below(&self, required_speedup: f64) -> (Configuration, f64) {
+        if self.table.is_empty() {
+            return (self.space.nominal(), 1.0);
+        }
+        let (id, speedup) = self.bracket_below_id(required_speedup);
+        (self.table.config_of(id), speedup)
+    }
+
+    /// The id with the lowest believed power (smallest id on ties), and its
+    /// believed speedup. Used as the low end of time-division schedules.
+    pub fn cheapest_id(&self) -> (ConfigId, f64) {
+        let id = self.by_power[0];
+        (id, self.beliefs[id.index()].speedup)
+    }
+
+    /// Configuration-typed convenience wrapper over [`Self::cheapest_id`].
     pub fn cheapest(&self) -> (Configuration, f64) {
-        let mut best: Option<(Configuration, f64, f64)> = None;
-        for config in self.space.iter() {
-            let belief = self.believed_effect(&config);
-            let cheaper = match &best {
-                None => true,
-                Some((_, power, _)) => belief.powerup < *power,
-            };
-            if cheaper {
-                best = Some((config, belief.powerup, belief.speedup));
-            }
+        if self.table.is_empty() {
+            return (self.space.nominal(), 1.0);
         }
-        match best {
-            Some((config, _, speedup)) => (config, speedup),
-            None => (self.space.nominal(), 1.0),
-        }
+        let (id, speedup) = self.cheapest_id();
+        (self.table.config_of(id), speedup)
     }
 
     /// Number of distinct configurations observed at least once.
     pub fn observed_configurations(&self) -> usize {
-        self.learned.len()
+        self.observed
     }
+}
+
+/// Moves `id` to its sorted position after its key changed to `new_key`.
+/// `vec` is ordered by `(key, id)` ascending; `rank` maps id → position.
+fn reposition<F: Fn(ConfigId) -> f64>(
+    vec: &mut [ConfigId],
+    rank: &mut [u32],
+    id: ConfigId,
+    key_of: F,
+    new_key: f64,
+) {
+    let mut pos = rank[id.index()] as usize;
+    // Bubble toward the front while the predecessor sorts after (new_key, id).
+    while pos > 0 {
+        let prev = vec[pos - 1];
+        let prev_key = key_of(prev);
+        if prev_key < new_key || (prev_key == new_key && prev < id) {
+            break;
+        }
+        vec[pos] = prev;
+        rank[prev.index()] = pos as u32;
+        pos -= 1;
+    }
+    // Or toward the back while the successor sorts before (new_key, id).
+    while pos + 1 < vec.len() {
+        let next = vec[pos + 1];
+        let next_key = key_of(next);
+        if next_key > new_key || (next_key == new_key && next > id) {
+            break;
+        }
+        vec[pos] = next;
+        rank[next.index()] = pos as u32;
+        pos += 1;
+    }
+    vec[pos] = id;
+    rank[id.index()] = pos as u32;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use actuation::{ActuatorSpec, SettingSpec};
+    use actuation::{ActuatorSpec, Axis, SettingSpec};
 
     fn space() -> ConfigurationSpace {
         let dvfs = ActuatorSpec::builder("dvfs")
@@ -271,6 +434,82 @@ mod tests {
         ExplorationPolicy {
             epsilon: 0.0,
             ..ExplorationPolicy::default()
+        }
+    }
+
+    /// Reference implementation: the pre-arena first-match scans in
+    /// configuration order. The index-based selections must agree exactly.
+    mod reference {
+        use super::*;
+
+        pub fn choose_exploit(model: &ActionModel, required: f64) -> Configuration {
+            let mut best_meeting: Option<(Configuration, f64)> = None;
+            let mut best_overall: Option<(Configuration, f64)> = None;
+            for config in model.space().iter() {
+                let belief = model.believed_effect(&config);
+                if belief.speedup >= required {
+                    let better = match &best_meeting {
+                        None => true,
+                        Some((_, power)) => belief.powerup < *power,
+                    };
+                    if better {
+                        best_meeting = Some((config.clone(), belief.powerup));
+                    }
+                }
+                let faster = match &best_overall {
+                    None => true,
+                    Some((_, speed)) => belief.speedup > *speed,
+                };
+                if faster {
+                    best_overall = Some((config.clone(), belief.speedup));
+                }
+            }
+            best_meeting
+                .map(|(c, _)| c)
+                .or(best_overall.map(|(c, _)| c))
+                .unwrap_or_else(|| model.space().nominal())
+        }
+
+        pub fn bracket_below(model: &ActionModel, required: f64) -> (Configuration, f64) {
+            let mut best: Option<(Configuration, f64, f64)> = None;
+            for config in model.space().iter() {
+                let belief = model.believed_effect(&config);
+                if belief.speedup >= required {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, speedup, power)) => {
+                        belief.speedup > *speedup
+                            || (belief.speedup == *speedup && belief.powerup < *power)
+                    }
+                };
+                if better {
+                    best = Some((config, belief.speedup, belief.powerup));
+                }
+            }
+            match best {
+                Some((config, speedup, _)) => (config, speedup),
+                None => cheapest(model),
+            }
+        }
+
+        pub fn cheapest(model: &ActionModel) -> (Configuration, f64) {
+            let mut best: Option<(Configuration, f64, f64)> = None;
+            for config in model.space().iter() {
+                let belief = model.believed_effect(&config);
+                let cheaper = match &best {
+                    None => true,
+                    Some((_, power, _)) => belief.powerup < *power,
+                };
+                if cheaper {
+                    best = Some((config, belief.powerup, belief.speedup));
+                }
+            }
+            match best {
+                Some((config, _, speedup)) => (config, speedup),
+                None => (model.space().nominal(), 1.0),
+            }
         }
     }
 
@@ -378,5 +617,49 @@ mod tests {
         assert_eq!(before.speedup, after.speedup);
         assert_eq!(before.powerup, after.powerup);
         assert_eq!(after.observations, 1);
+    }
+
+    #[test]
+    fn indexed_selection_matches_the_reference_scan() {
+        // Drive the model through a pseudo-random observation schedule and
+        // check, at every step and over a sweep of requirements, that the
+        // index-based selections equal the first-match reference scans.
+        let mut model = ActionModel::new(space(), 3);
+        // The reference scans model only the exploit path, so exploration
+        // (epsilon and divergence driven) must be fully disabled.
+        model.set_policy(ExplorationPolicy {
+            epsilon: 0.0,
+            divergence_threshold: f64::INFINITY,
+            patience: u32::MAX,
+        });
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..200 {
+            let id = ConfigId((next() % model.table().len() as u64) as u32);
+            let speedup = 0.2 + (next() % 400) as f64 / 100.0;
+            let powerup = 0.2 + (next() % 400) as f64 / 100.0;
+            model.observe_id(id, speedup, powerup);
+            for i in 0..=40 {
+                let required = i as f64 * 0.1;
+                let (id_cfg, id_speedup) = model.bracket_below(required);
+                let (ref_cfg, ref_speedup) = reference::bracket_below(&model, required);
+                assert_eq!(id_cfg, ref_cfg, "bracket mismatch at step {step} req {required}");
+                assert_eq!(id_speedup.to_bits(), ref_speedup.to_bits());
+                let nominal = model.table().nominal();
+                let chosen = model.choose_id(required, nominal);
+                let exploit = model.table().config_of(chosen);
+                assert_eq!(
+                    exploit,
+                    reference::choose_exploit(&model, required),
+                    "choose mismatch at step {step} req {required}"
+                );
+            }
+            assert_eq!(model.cheapest(), reference::cheapest(&model));
+        }
     }
 }

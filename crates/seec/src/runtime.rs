@@ -1,13 +1,13 @@
 //! The SEEC runtime: the full observe–decide–act loop.
 
-use actuation::{Actuator, ActuatorSpec, Configuration, ConfigurationSpace};
+use actuation::{Actuator, ActuatorSpec, ConfigId, Configuration, ConfigurationSpace};
 use heartbeats::HeartbeatMonitor;
 use serde::{Deserialize, Serialize};
 
 use crate::control::{KalmanEstimator, PiController};
 use crate::error::SeecError;
 use crate::model::{ActionModel, ExplorationPolicy};
-use crate::schedule::ActuationSchedule;
+use crate::schedule::{ActuationSchedule, IdSchedule};
 
 /// The outcome of one decision period.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,10 +114,11 @@ impl SeecRuntimeBuilder {
         let current = space.nominal();
         let mut model = ActionModel::new(space, self.seed);
         model.set_policy(self.policy);
-        let mut history = std::collections::VecDeque::new();
+        let current_id = model.table().nominal();
+        let mut history = std::collections::VecDeque::with_capacity(HISTORY_CAPACITY);
         history.push_back(AppliedSegment {
             start: f64::NEG_INFINITY,
-            configuration: current.clone(),
+            id: current_id,
             speedup: 1.0,
             powerup: 1.0,
         });
@@ -130,6 +131,7 @@ impl SeecRuntimeBuilder {
             power_estimator: KalmanEstimator::default_tuning(),
             target_override: self.target_override,
             current,
+            current_id,
             schedule_accumulator: 0.0,
             decisions: 0,
             history,
@@ -141,6 +143,10 @@ impl SeecRuntimeBuilder {
 /// must have occupied for its residual speedup/powerup observation to be
 /// informative enough to update the model.
 const MIN_LEARN_FRACTION: f64 = 0.5;
+
+/// Number of applied-configuration segments retained for window attribution
+/// (a fixed-capacity ring: pushing at capacity evicts the oldest).
+const HISTORY_CAPACITY: usize = 128;
 
 /// Time-weighted effects applied over one observation window.
 #[derive(Debug, Clone, Copy)]
@@ -161,11 +167,13 @@ struct WindowAttribution {
 
 /// One stretch of time spent in a single configuration, used to attribute
 /// window-averaged observations to the speedups that were actually applied.
-#[derive(Debug, Clone)]
+/// Configurations are held as copyable interned ids, so segments are plain
+/// `Copy` data and the ring never allocates after construction.
+#[derive(Debug, Clone, Copy)]
 struct AppliedSegment {
     /// Simulation time the configuration took effect.
     start: f64,
-    configuration: Configuration,
+    id: ConfigId,
     speedup: f64,
     powerup: f64,
 }
@@ -179,7 +187,11 @@ pub struct SeecRuntime {
     estimator: KalmanEstimator,
     power_estimator: KalmanEstimator,
     target_override: Option<f64>,
+    /// The applied configuration, materialised for [`Self::current_configuration`];
+    /// kept in sync with `current_id` by in-place settings updates.
     current: Configuration,
+    /// Interned handle of `current` — what the hot path actually passes around.
+    current_id: ConfigId,
     schedule_accumulator: f64,
     decisions: u64,
     history: std::collections::VecDeque<AppliedSegment>,
@@ -243,12 +255,17 @@ impl SeecRuntime {
     /// builder specified a performance target, or an actuation error if a
     /// chosen setting cannot be applied.
     pub fn decide(&mut self, now: f64) -> Result<Decision, SeecError> {
-        let target = self.target_heart_rate().ok_or(SeecError::NoGoal)?;
-
         // ---- Observe -------------------------------------------------
-        let stats = self.monitor.heart_rate();
+        // One snapshot, one lock: stats, goal target, goal attainment, the
+        // last beat time, and mean power all come from the same read.
+        let obs = self.monitor.observation();
+        let target = self
+            .target_override
+            .or(obs.target_heart_rate)
+            .ok_or(SeecError::NoGoal)?;
+        let stats = obs.stats;
         let observed = stats.window;
-        let goal_met = self.monitor.performance_goal_met().or({
+        let goal_met = obs.performance_goal_met.or({
             if stats.beats_in_window >= 2 {
                 Some(observed >= target)
             } else {
@@ -282,7 +299,7 @@ impl SeecRuntime {
         // to complete a beat per quantum), `now` trails the last beat and
         // anchoring at `now` would attribute the stale rate to segments that
         // produced none of its beats.
-        let window_end = self.monitor.last_beat_timestamp().unwrap_or(now);
+        let window_end = obs.last_beat_timestamp.unwrap_or(now);
         let window_duration = (stats.beats_in_window as f64 - 1.0) / observed;
         let window_start = window_end - window_duration;
         let attribution = self.window_attribution(window_start, window_end);
@@ -291,7 +308,7 @@ impl SeecRuntime {
 
         // Power baseline: the window's mean power divided by the mixture
         // powerup estimates the nominal-configuration power.
-        let mean_power = self.monitor.mean_power();
+        let mean_power = obs.mean_power;
         let nominal_power = match mean_power {
             Some(power) if power > 0.0 => {
                 let observation = power / attribution.powerup.max(1e-9);
@@ -315,46 +332,56 @@ impl SeecRuntime {
                     let mixture_powerup = power / nominal;
                     (mixture_powerup - attribution.other_powerup) / attribution.current_fraction
                 }
-                _ => self.model.believed_effect(&self.current).powerup,
+                _ => self.model.believed(self.current_id).powerup,
             };
             if speedup_obs.is_finite() && speedup_obs > 0.0 {
-                self.model.observe(&self.current, speedup_obs, powerup_obs);
+                self.model.observe_id(self.current_id, speedup_obs, powerup_obs);
             }
         }
 
         // ---- Decide: classical control + model-based selection --------
+        // Selection and scheduling run entirely on interned ids: no
+        // settings vector is allocated anywhere on this path.
         let required = self.controller.next_speedup(target, observed, base_rate);
-        let upper = self.model.choose(required, &self.current);
-        let upper_speedup = self.model.believed_effect(&upper).speedup;
-        let (lower, lower_speedup) = self.model.bracket_below(upper_speedup.min(required));
+        let upper = self.model.choose_id(required, self.current_id);
+        let upper_speedup = self.model.believed(upper).speedup;
+        let (lower, lower_speedup) = self.model.bracket_below_id(upper_speedup.min(required));
         let schedule = if upper == lower {
-            ActuationSchedule::steady(upper.clone(), upper_speedup)
+            IdSchedule::steady(upper, upper_speedup)
+        } else {
+            IdSchedule::bracketing(upper, upper_speedup, lower, lower_speedup, required)
+        };
+        let next = schedule.id_for_period(&mut self.schedule_accumulator);
+
+        // ---- Act -------------------------------------------------------
+        self.apply_id(next)?;
+        let applied = self.model.believed(next);
+        if self.history.len() == HISTORY_CAPACITY {
+            self.history.pop_front();
+        }
+        self.history.push_back(AppliedSegment {
+            start: now,
+            id: next,
+            speedup: applied.speedup,
+            powerup: applied.powerup,
+        });
+        self.decisions += 1;
+        // Materialise owned configurations only for the Decision record the
+        // caller sees.
+        let table = self.model.table();
+        let schedule = if schedule.upper == schedule.lower {
+            ActuationSchedule::steady(table.config_of(schedule.upper), schedule.expected_speedup)
         } else {
             ActuationSchedule::bracketing(
-                upper.clone(),
+                table.config_of(schedule.upper),
                 upper_speedup,
-                lower,
+                table.config_of(schedule.lower),
                 lower_speedup,
                 required,
             )
         };
-        let next = schedule.configuration_for_period(&mut self.schedule_accumulator);
-
-        // ---- Act -------------------------------------------------------
-        self.apply(&next)?;
-        let applied = self.model.believed_effect(&next);
-        self.history.push_back(AppliedSegment {
-            start: now,
-            configuration: next.clone(),
-            speedup: applied.speedup,
-            powerup: applied.powerup,
-        });
-        while self.history.len() > 128 {
-            self.history.pop_front();
-        }
-        self.decisions += 1;
         Ok(Decision {
-            configuration: next,
+            configuration: self.current.clone(),
             required_speedup: required,
             schedule,
             goal_met,
@@ -384,7 +411,7 @@ impl SeecRuntime {
             total += overlap;
             speedup_weighted += overlap * segment.speedup;
             powerup_weighted += overlap * segment.powerup;
-            if segment.configuration == self.current {
+            if segment.id == self.current_id {
                 current_time += overlap;
             } else {
                 other_speedup_weighted += overlap * segment.speedup;
@@ -398,7 +425,7 @@ impl SeecRuntime {
             // ones). The observation describes none of the retained
             // segments, so report zero current_fraction — the learning gate
             // must skip it, not attribute it to the current configuration.
-            let believed = self.model.believed_effect(&self.current);
+            let believed = self.model.believed(self.current_id);
             return WindowAttribution {
                 speedup: believed.speedup,
                 powerup: believed.powerup,
@@ -416,7 +443,33 @@ impl SeecRuntime {
         }
     }
 
-    /// Applies `configuration` to every registered actuator.
+    /// Applies the interned configuration `id` to every registered actuator.
+    /// No-ops (including the actuator round trips) when `id` is already
+    /// current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first actuation failure; earlier actuators keep the
+    /// settings already applied.
+    fn apply_id(&mut self, id: ConfigId) -> Result<(), SeecError> {
+        if id == self.current_id {
+            return Ok(());
+        }
+        for (position, actuator) in self.actuators.iter_mut().enumerate() {
+            let setting = self.model.table().setting(id, position);
+            if actuator.current() != setting {
+                actuator.apply(setting)?;
+            }
+        }
+        self.current_id = id;
+        self.current = self.model.table().config_of(id);
+        Ok(())
+    }
+
+    /// Applies `configuration` to every registered actuator. Positions the
+    /// configuration does not cover fall back to the actuator's nominal
+    /// setting, and the stored current configuration is the canonical
+    /// full-arity form.
     ///
     /// # Errors
     ///
@@ -431,7 +484,25 @@ impl SeecRuntime {
                 actuator.apply(setting)?;
             }
         }
-        self.current = configuration.clone();
+        // Canonicalise: every setting just applied is valid, so the interned
+        // id always exists.
+        let applied = Configuration::new(
+            self.actuators
+                .iter()
+                .enumerate()
+                .map(|(position, actuator)| {
+                    configuration
+                        .setting(position)
+                        .unwrap_or_else(|| actuator.spec().nominal())
+                })
+                .collect(),
+        );
+        self.current_id = self
+            .model
+            .table()
+            .id_of(&applied)
+            .expect("applied settings are valid for the space");
+        self.current = applied;
         Ok(())
     }
 }

@@ -51,12 +51,7 @@ impl ActuationSchedule {
         if upper_speedup <= lower_speedup {
             return ActuationSchedule::steady(upper, upper_speedup);
         }
-        // Time-weighted *rate* averaging: running a fraction f of the time in
-        // the upper configuration yields average speedup
-        //   s = f * upper + (1 - f) * lower.
-        let fraction = ((required_speedup - lower_speedup) / (upper_speedup - lower_speedup))
-            .clamp(0.0, 1.0);
-        let expected = fraction * upper_speedup + (1.0 - fraction) * lower_speedup;
+        let (fraction, expected) = split_fraction(upper_speedup, lower_speedup, required_speedup);
         ActuationSchedule {
             upper,
             lower,
@@ -81,6 +76,80 @@ impl ActuationSchedule {
             self.upper.clone()
         } else {
             self.lower.clone()
+        }
+    }
+}
+
+/// The (upper-fraction, expected-speedup) pair of a time-division split
+/// meeting `required_speedup` between two bracketing speedups.
+///
+/// Time-weighted *rate* averaging: running a fraction `f` of the time in the
+/// upper configuration yields average speedup `f * upper + (1 - f) * lower`.
+/// Shared by [`ActuationSchedule::bracketing`] and the id-based schedule the
+/// runtime's hot path uses, so the two can never disagree.
+pub(crate) fn split_fraction(
+    upper_speedup: f64,
+    lower_speedup: f64,
+    required_speedup: f64,
+) -> (f64, f64) {
+    let fraction = ((required_speedup - lower_speedup) / (upper_speedup - lower_speedup))
+        .clamp(0.0, 1.0);
+    let expected = fraction * upper_speedup + (1.0 - fraction) * lower_speedup;
+    (fraction, expected)
+}
+
+/// A time-division schedule over interned configuration ids — the
+/// allocation-free twin of [`ActuationSchedule`] used inside the decision
+/// loop. Materialise it with [`ActuationSchedule`] constructors only at the
+/// [`crate::Decision`] boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct IdSchedule {
+    pub upper: actuation::ConfigId,
+    pub lower: actuation::ConfigId,
+    pub upper_fraction: f64,
+    pub expected_speedup: f64,
+}
+
+impl IdSchedule {
+    /// A schedule that stays in a single configuration.
+    pub fn steady(id: actuation::ConfigId, expected_speedup: f64) -> Self {
+        IdSchedule {
+            upper: id,
+            lower: id,
+            upper_fraction: 1.0,
+            expected_speedup,
+        }
+    }
+
+    /// The id-based twin of [`ActuationSchedule::bracketing`].
+    pub fn bracketing(
+        upper: actuation::ConfigId,
+        upper_speedup: f64,
+        lower: actuation::ConfigId,
+        lower_speedup: f64,
+        required_speedup: f64,
+    ) -> Self {
+        if upper_speedup <= lower_speedup {
+            return IdSchedule::steady(upper, upper_speedup);
+        }
+        let (fraction, expected) = split_fraction(upper_speedup, lower_speedup, required_speedup);
+        IdSchedule {
+            upper,
+            lower,
+            upper_fraction: fraction,
+            expected_speedup: expected,
+        }
+    }
+
+    /// The id to apply for this decision period; same accumulator technique
+    /// as [`ActuationSchedule::configuration_for_period`], minus the clone.
+    pub fn id_for_period(&self, accumulator: &mut f64) -> actuation::ConfigId {
+        *accumulator += self.upper_fraction;
+        if *accumulator >= 1.0 - 1e-12 {
+            *accumulator -= 1.0;
+            self.upper
+        } else {
+            self.lower
         }
     }
 }
@@ -139,6 +208,30 @@ mod tests {
             .count();
         let observed_fraction = upper_count as f64 / periods as f64;
         assert!((observed_fraction - s.upper_fraction).abs() < 0.01);
+    }
+
+    #[test]
+    fn id_schedule_mirrors_the_configuration_schedule() {
+        use actuation::ConfigId;
+        let cfg_schedule = ActuationSchedule::bracketing(cfg(vec![1]), 4.0, cfg(vec![0]), 1.0, 2.5);
+        let id_schedule = IdSchedule::bracketing(ConfigId(1), 4.0, ConfigId(0), 1.0, 2.5);
+        assert_eq!(
+            cfg_schedule.upper_fraction.to_bits(),
+            id_schedule.upper_fraction.to_bits()
+        );
+        assert_eq!(
+            cfg_schedule.expected_speedup.to_bits(),
+            id_schedule.expected_speedup.to_bits()
+        );
+        let mut cfg_acc = 0.0;
+        let mut id_acc = 0.0;
+        for _ in 0..100 {
+            let by_cfg = cfg_schedule.configuration_for_period(&mut cfg_acc);
+            let by_id = id_schedule.id_for_period(&mut id_acc);
+            assert_eq!(by_cfg, cfg(vec![by_id.index()]));
+        }
+        let degenerate = IdSchedule::bracketing(ConfigId(1), 2.0, ConfigId(0), 2.0, 3.0);
+        assert_eq!(degenerate, IdSchedule::steady(ConfigId(1), 2.0));
     }
 
     #[test]

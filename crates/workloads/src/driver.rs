@@ -161,7 +161,7 @@ mod tests {
         let monitor = app.monitor();
         assert_eq!(monitor.target_heart_rate(), Some(30.0));
         assert!(monitor.goal_of_kind(GoalKind::Performance).is_some());
-        assert_eq!(monitor.name(), "barnes");
+        assert_eq!(&*monitor.name(), "barnes");
     }
 
     #[test]

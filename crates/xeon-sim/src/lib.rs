@@ -31,11 +31,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod demand;
+mod eval;
 mod meter;
 mod pstate;
 mod server;
 
 pub use demand::{ServerDemand, ServerDemandBuilder};
+pub use eval::{DemandTerms, PreparedConfig, PreparedDemand};
 pub use meter::{PowerMeter, PowerSample};
 pub use pstate::PStateTable;
 pub use server::{ServerConfiguration, ServerReport, XeonServer};
