@@ -449,6 +449,31 @@ impl ConfigTable {
         &self.by_power
     }
 
+    /// The declared power multiplier of the cheapest configuration (the
+    /// floor any power envelope must admit). 1.0 for an empty table.
+    pub fn min_declared_power(&self) -> f64 {
+        self.by_power
+            .first()
+            .map_or(1.0, |&id| self.effects[id.index()].power)
+    }
+
+    /// The declared power multiplier of the most expensive configuration —
+    /// the per-table power ceiling an application can reach flat out. 1.0
+    /// for an empty table.
+    pub fn max_declared_power(&self) -> f64 {
+        self.by_power
+            .last()
+            .map_or(1.0, |&id| self.effects[id.index()].power)
+    }
+
+    /// Number of configurations whose declared power multiplier is at most
+    /// `cap` — the length of the admissible prefix of
+    /// [`Self::by_declared_power`] under a power envelope.
+    pub fn count_within_declared_power(&self, cap: f64) -> usize {
+        self.by_power
+            .partition_point(|&id| self.effects[id.index()].power <= cap)
+    }
+
     /// Number of single-actuator neighbours of any configuration.
     pub fn neighbor_count(&self) -> usize {
         self.radices.iter().map(|r| r - 1).sum()
@@ -671,6 +696,27 @@ mod tests {
                 assert_eq!(&table.config_of(table.neighbor(id, k)), neighbor);
             }
         }
+    }
+
+    #[test]
+    fn power_ceiling_helpers_follow_the_sorted_index() {
+        let table = space().table();
+        let powers: Vec<f64> = table
+            .by_declared_power()
+            .iter()
+            .map(|&id| table.declared_effect(id).power)
+            .collect();
+        assert_eq!(table.min_declared_power(), powers[0]);
+        assert_eq!(table.max_declared_power(), *powers.last().unwrap());
+        // The admissible prefix under any cap matches a naive count.
+        for cap in [0.0, 0.4, 1.0, 2.0, 4.0, 100.0] {
+            let expected = powers.iter().filter(|&&p| p <= cap).count();
+            assert_eq!(table.count_within_declared_power(cap), expected, "cap {cap}");
+        }
+        let empty = ConfigurationSpace::new(vec![]).table();
+        assert_eq!(empty.min_declared_power(), 1.0);
+        assert_eq!(empty.max_declared_power(), 1.0);
+        assert_eq!(empty.count_within_declared_power(5.0), 0);
     }
 
     #[test]

@@ -98,6 +98,13 @@ pub struct ActuatorSpec {
     nominal: SettingIndex,
     delay: f64,
     scope: Scope,
+    /// Optional per-axis exponents applied on top of the declared
+    /// multipliers when predicting effects (absent axes behave linearly,
+    /// exponent 1.0). Lets designers declare *convex* priors — e.g. a core
+    /// allocator whose power grows as `n^1.15` on platforms where
+    /// utilisation-power is super-linear — without re-tabulating every
+    /// setting.
+    axis_exponents: BTreeMap<Axis, f64>,
 }
 
 impl ActuatorSpec {
@@ -109,6 +116,7 @@ impl ActuatorSpec {
             nominal: 0,
             delay: 0.0,
             scope: Scope::default(),
+            axis_exponents: BTreeMap::new(),
         }
     }
 
@@ -165,7 +173,19 @@ impl ActuatorSpec {
         axes
     }
 
-    /// Predicted multiplier of setting `index` on `axis`, relative to nominal.
+    /// Exponent applied to declared multipliers on `axis` when predicting
+    /// effects (1.0 — the linear default — when none was declared).
+    pub fn axis_exponent(&self, axis: Axis) -> f64 {
+        self.axis_exponents.get(&axis).copied().unwrap_or(1.0)
+    }
+
+    /// Predicted multiplier of setting `index` on `axis`, relative to
+    /// nominal: the declared multiplier raised to the axis exponent.
+    ///
+    /// The exponentiation is skipped entirely (not computed as `m.powf(1.0)`)
+    /// when the exponent is 1.0, so linear specs predict the exact declared
+    /// bits — existing decision paths are unchanged unless an exponent is
+    /// explicitly declared.
     ///
     /// # Errors
     ///
@@ -175,13 +195,20 @@ impl ActuatorSpec {
         index: SettingIndex,
         axis: Axis,
     ) -> Result<f64, ActuationError> {
-        self.setting(index)
+        let multiplier = self
+            .setting(index)
             .map(|s| s.effect_on(axis))
             .ok_or_else(|| ActuationError::UnknownSetting {
                 actuator: self.name.clone(),
                 requested: index,
                 available: self.settings.len(),
-            })
+            })?;
+        let exponent = self.axis_exponent(axis);
+        Ok(if exponent == 1.0 {
+            multiplier
+        } else {
+            multiplier.powf(exponent)
+        })
     }
 }
 
@@ -193,6 +220,7 @@ pub struct ActuatorSpecBuilder {
     nominal: SettingIndex,
     delay: f64,
     scope: Scope,
+    axis_exponents: BTreeMap<Axis, f64>,
 }
 
 impl ActuatorSpecBuilder {
@@ -223,6 +251,14 @@ impl ActuatorSpecBuilder {
     /// Declares the actuator scope (default [`Scope::Application`]).
     pub fn scope(mut self, scope: Scope) -> Self {
         self.scope = scope;
+        self
+    }
+
+    /// Declares an exponent applied to every setting's multiplier on `axis`
+    /// when predicting effects (default 1.0 — linear). Exponent 1.0 is a
+    /// no-op: predictions return the declared multipliers bit-for-bit.
+    pub fn axis_exponent(mut self, axis: Axis, exponent: f64) -> Self {
+        self.axis_exponents.insert(axis, exponent);
         self
     }
 
@@ -266,12 +302,21 @@ impl ActuatorSpecBuilder {
                 }
             }
         }
+        for (&axis, &exponent) in &self.axis_exponents {
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err(ActuationError::InvalidSpec(format!(
+                    "axis exponent on {axis} of `{}` must be positive and finite, got {exponent}",
+                    self.name
+                )));
+            }
+        }
         Ok(ActuatorSpec {
             name: self.name,
             settings: self.settings,
             nominal: self.nominal,
             delay: self.delay,
             scope: self.scope,
+            axis_exponents: self.axis_exponents,
         })
     }
 }
@@ -367,6 +412,71 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ActuationError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn axis_exponent_shapes_predicted_effects() {
+        let spec = ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("4")
+                    .effect(Axis::Performance, 4.0)
+                    .effect(Axis::Power, 4.0),
+            )
+            .axis_exponent(Axis::Power, 1.15)
+            .build()
+            .unwrap();
+        assert_eq!(spec.axis_exponent(Axis::Power), 1.15);
+        assert_eq!(spec.axis_exponent(Axis::Performance), 1.0);
+        // Performance stays linear; power is raised to the exponent.
+        assert_eq!(spec.predicted_effect(1, Axis::Performance).unwrap(), 4.0);
+        let power = spec.predicted_effect(1, Axis::Power).unwrap();
+        assert!((power - 4.0f64.powf(1.15)).abs() < 1e-12);
+        // The nominal setting's unity multiplier is a fixed point.
+        assert_eq!(spec.predicted_effect(0, Axis::Power).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unity_axis_exponent_is_bit_identical_to_no_exponent() {
+        let base = dvfs_spec();
+        let with_unity = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("nominal"))
+            .setting(
+                SettingSpec::new("fast")
+                    .effect(Axis::Performance, 1.5)
+                    .effect(Axis::Power, 2.0),
+            )
+            .nominal(1)
+            .delay(0.001)
+            .scope(Scope::Global)
+            .axis_exponent(Axis::Power, 1.0)
+            .build()
+            .unwrap();
+        for index in 0..base.len() {
+            for axis in [Axis::Performance, Axis::Power, Axis::Accuracy] {
+                assert_eq!(
+                    base.predicted_effect(index, axis).unwrap().to_bits(),
+                    with_unity.predicted_effect(index, axis).unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_axis_exponent_is_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ActuatorSpec::builder("x")
+                .setting(SettingSpec::new("only"))
+                .axis_exponent(Axis::Power, bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ActuationError::InvalidSpec(_)), "exponent {bad}");
+        }
     }
 
     #[test]

@@ -18,11 +18,13 @@
 
 use std::time::{Duration, Instant};
 
+use coordinator::{Coordinator, ManagedApp, PerformanceMarket};
 use criterion::{black_box, summarize, Summary};
 use experiments::Figure3;
 use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal};
 use seec::SeecRuntime;
 use serde::Serialize;
+use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
 use xeon_sim::XeonServer;
 
 /// Figure-3 wall-clock of the unoptimised pipeline (seed 2012, 120 quanta),
@@ -186,6 +188,97 @@ fn bench_decide(samples: usize, iterations: usize, mode: &'static str) -> Decide
     }
 }
 
+#[derive(Serialize)]
+struct CoordinatorStepBench {
+    /// Registered (and active) applications.
+    apps: usize,
+    /// One full coordinator step: fleet snapshot, arbitration, and one
+    /// power-capped decision per app over the 560-configuration Xeon
+    /// action space (plus one heartbeat emission per app driving it).
+    ns_per_step: TimingSummary,
+}
+
+#[derive(Serialize)]
+struct Fig5Bench {
+    mode: &'static str,
+    /// Step latency at each fleet size.
+    fleet: Vec<CoordinatorStepBench>,
+}
+
+fn coordinator_with_apps(apps: usize) -> (Coordinator, Vec<coordinator::AppHandle>) {
+    let server = XeonServer::dell_r410_calibrated();
+    let mut coordinator = Coordinator::new(500.0, Box::new(PerformanceMarket::default()));
+    let mut handles = Vec::with_capacity(apps);
+    for index in 0..apps {
+        let workload = Workload::new(
+            SplashBenchmark::ALL[index % SplashBenchmark::ALL.len()],
+            index as u64,
+        );
+        let driver = HeartbeatedWorkload::new(workload);
+        driver.set_heart_rate_goal(25.0);
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(experiments::fig3::xeon_actuators(&server))
+            .seed(index as u64)
+            .build()
+            .expect("actuators registered");
+        handles.push(coordinator.register(
+            ManagedApp::new(driver, runtime)
+                .with_weight(1.0 + (index % 4) as f64)
+                .with_nominal_power_hint(5.0),
+        ));
+    }
+    (coordinator, handles)
+}
+
+fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str) -> Fig5Bench {
+    let fleet = [10usize, 100, 1000]
+        .into_iter()
+        .map(|apps| {
+            // Scale the iteration count down with fleet size so every
+            // configuration samples comparable wall-clock.
+            let steps = (iterations / apps.max(1)).max(4);
+            // Construction (1000 apps × a 560-configuration table each) is
+            // set-up, not step latency: build once and keep stepping the
+            // same fleet across samples. Beat emission between steps is
+            // application-side work and is excluded from the timings — only
+            // the coordinator's observe–arbitrate–decide pipeline counts.
+            let (mut coordinator, handles) = coordinator_with_apps(apps);
+            let mut now = 0.0;
+            let mut advance_and_step = |timed: &mut Duration| {
+                now += 0.1;
+                for &handle in &handles {
+                    coordinator.advance(handle, now - 0.1, now, 2.0, 5.0);
+                }
+                let start = Instant::now();
+                black_box(coordinator.step(now).expect("goals registered"));
+                *timed += start.elapsed();
+            };
+            // Warm-up: populate windows so every step decides for real.
+            let mut discard = Duration::ZERO;
+            for _ in 0..steps {
+                advance_and_step(&mut discard);
+            }
+            let mut timings = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut timed = Duration::ZERO;
+                for _ in 0..steps {
+                    advance_and_step(&mut timed);
+                }
+                timings.push(timed);
+            }
+            CoordinatorStepBench {
+                apps,
+                ns_per_step: TimingSummary::from_summary(
+                    &summarize(&timings),
+                    "nanoseconds",
+                    1.0e9 / steps as f64,
+                ),
+            }
+        })
+        .collect();
+    Fig5Bench { mode, fleet }
+}
+
 fn write_json<T: Serialize>(path: &str, value: &T) {
     match serde_json::to_string_pretty(value) {
         Ok(json) => match std::fs::write(path, json) {
@@ -228,4 +321,14 @@ fn main() {
         decide.ns_per_stats_query.median
     );
     write_json("BENCH_decide.json", &decide);
+
+    let fig5 = bench_coordinator_step(micro_samples, decide_iterations, mode);
+    for entry in &fig5.fleet {
+        println!(
+            "coordinator step @ {:4} apps: median {:.1} µs",
+            entry.apps,
+            entry.ns_per_step.median / 1.0e3
+        );
+    }
+    write_json("BENCH_fig5.json", &fig5);
 }

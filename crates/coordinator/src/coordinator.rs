@@ -1,0 +1,651 @@
+//! The multi-application coordinator: N observe–decide–act loops on one
+//! shared quantum schedule, arbitrating one machine-level power budget.
+
+use std::sync::Arc;
+
+use heartbeats::{observe_fleet, HeartbeatMonitor, MonitorObservation};
+use seec::{CapDecision, SeecError, SeecRuntime};
+use workloads::{HeartbeatedWorkload, QuantumDemand};
+
+use crate::policy::{AppRequest, ArbitrationPolicy};
+
+/// Opaque handle to one application registered with a [`Coordinator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppHandle(usize);
+
+impl AppHandle {
+    /// The registration index of the application (registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One application under coordination: its heartbeat-instrumented workload
+/// (the phase driver), the SEEC runtime that manages it, and its place on
+/// the shared schedule.
+pub struct ManagedApp {
+    name: Arc<str>,
+    driver: HeartbeatedWorkload,
+    monitor: HeartbeatMonitor,
+    runtime: SeecRuntime,
+    weight: f64,
+    arrival: usize,
+    departure: Option<usize>,
+    /// Per-quantum demand phases; the app cycles through them while active.
+    phases: Vec<QuantumDemand>,
+    /// Fallback estimate of the app's nominal-configuration power draw, in
+    /// watts, used to convert watt envelopes into powerup caps until the
+    /// runtime's own estimator has observed real samples. 0 = unknown.
+    nominal_power_hint: f64,
+    awarded_watts: f64,
+    last_decision: Option<CapDecision>,
+}
+
+impl std::fmt::Debug for ManagedApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedApp")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .field("arrival", &self.arrival)
+            .field("departure", &self.departure)
+            .field("awarded_watts", &self.awarded_watts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ManagedApp {
+    /// Couples a heartbeat-instrumented workload with the SEEC runtime
+    /// managing it. The runtime must have been built over (a monitor of)
+    /// the driver's registry, so both observe the same application.
+    pub fn new(driver: HeartbeatedWorkload, runtime: SeecRuntime) -> Self {
+        let monitor = driver.monitor();
+        ManagedApp {
+            name: monitor.name(),
+            driver,
+            monitor,
+            runtime,
+            weight: 1.0,
+            arrival: 0,
+            departure: None,
+            phases: Vec::new(),
+            nominal_power_hint: 0.0,
+            awarded_watts: 0.0,
+            last_decision: None,
+        }
+    }
+
+    /// Sets the arbitration weight (priority tier; default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the weight is positive and finite.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the shared-schedule quantum at which the app arrives (default 0).
+    pub fn with_arrival(mut self, quantum: usize) -> Self {
+        self.arrival = quantum;
+        self
+    }
+
+    /// Sets the shared-schedule quantum at which the app departs
+    /// (exclusive; default: never).
+    pub fn with_departure(mut self, quantum: usize) -> Self {
+        self.departure = Some(quantum);
+        self
+    }
+
+    /// Sets the app's per-quantum demand phases (cycled while active).
+    pub fn with_phases(mut self, phases: Vec<QuantumDemand>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Seeds the watts-per-nominal estimate used before the runtime's own
+    /// power estimator has samples (see the field docs).
+    pub fn with_nominal_power_hint(mut self, watts: f64) -> Self {
+        self.nominal_power_hint = watts.max(0.0);
+        self
+    }
+
+    /// The application's name (from its heartbeat registry).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload phase driver.
+    pub fn driver(&self) -> &HeartbeatedWorkload {
+        &self.driver
+    }
+
+    /// The SEEC runtime managing this app.
+    pub fn runtime(&self) -> &SeecRuntime {
+        &self.runtime
+    }
+
+    /// Mutable access to the runtime (tuning, manual actuation).
+    pub fn runtime_mut(&mut self) -> &mut SeecRuntime {
+        &mut self.runtime
+    }
+
+    /// The arbitration weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Whether the app is present at shared quantum `quantum`.
+    pub fn active_at(&self, quantum: usize) -> bool {
+        quantum >= self.arrival && self.departure.is_none_or(|d| quantum < d)
+    }
+
+    /// The demand phase the app presents at shared quantum `quantum`
+    /// (`None` when absent or without phases). Phases cycle, anchored at
+    /// the app's arrival.
+    pub fn demand_at(&self, quantum: usize) -> Option<&QuantumDemand> {
+        if !self.active_at(quantum) || self.phases.is_empty() {
+            return None;
+        }
+        Some(&self.phases[(quantum - self.arrival) % self.phases.len()])
+    }
+
+    /// The watt envelope awarded at the most recent step (0 before the
+    /// first step or while absent).
+    pub fn awarded_watts(&self) -> f64 {
+        self.awarded_watts
+    }
+
+    /// The decision taken at the most recent step this app was active.
+    pub fn last_decision(&self) -> Option<CapDecision> {
+        self.last_decision
+    }
+
+    /// Best current estimate of the app's nominal-configuration power, in
+    /// watts: the runtime's learned estimate once initialised, the
+    /// registration hint before that.
+    pub fn nominal_power_watts(&self) -> f64 {
+        self.runtime
+            .estimated_nominal_power()
+            .unwrap_or(self.nominal_power_hint)
+    }
+}
+
+/// Summary of one coordinator step, as plain `Copy` data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSummary {
+    /// The shared quantum index this step covered.
+    pub quantum: usize,
+    /// Applications present this quantum.
+    pub active_apps: usize,
+    /// Watts handed out across the fleet (≤ budget × headroom).
+    pub awarded_watts_total: f64,
+}
+
+/// Runs many applications' ODA loops on one shared quantum schedule and
+/// arbitrates a machine-level power budget across them.
+///
+/// Per [`Coordinator::step`]:
+///
+/// 1. **Observe** — every app's monitor is snapshotted in one pass
+///    ([`observe_fleet`]), one lock acquisition per app.
+/// 2. **Arbitrate** — the [`ArbitrationPolicy`] splits the budget into
+///    per-app watt envelopes from each app's priority weight and
+///    heartbeat-gap urgency.
+/// 3. **Decide** — each present app's [`SeecRuntime`] decides *under its
+///    envelope* ([`SeecRuntime::decide_under_power_cap_with_observation`]):
+///    the envelope in watts becomes a powerup cap via the app's
+///    nominal-power estimate, clamping the admissible configuration set to
+///    the prefix of the model's power-sorted index.
+///
+/// The platform then runs a quantum in the chosen configurations and feeds
+/// completed work and measured power back through
+/// [`Coordinator::advance`].
+pub struct Coordinator {
+    apps: Vec<ManagedApp>,
+    /// Parallel monitor list for [`observe_fleet`] (clones of each app's
+    /// monitor — `Arc`s, so cheap).
+    monitors: Vec<HeartbeatMonitor>,
+    policy: Box<dyn ArbitrationPolicy>,
+    budget_watts: f64,
+    headroom: f64,
+    quantum: usize,
+    // Reused per-step buffers: the steady-state step allocates nothing.
+    observations: Vec<MonitorObservation>,
+    requests: Vec<AppRequest>,
+    awards: Vec<f64>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("apps", &self.apps.len())
+            .field("policy", &self.policy.name())
+            .field("budget_watts", &self.budget_watts)
+            .field("quantum", &self.quantum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// A coordinator arbitrating `budget_watts` (machine power above idle)
+    /// under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is positive (it may be infinite: an
+    /// uncapped machine still benefits from the shared schedule).
+    pub fn new(budget_watts: f64, policy: Box<dyn ArbitrationPolicy>) -> Self {
+        assert!(budget_watts > 0.0, "power budget must be positive");
+        Coordinator {
+            apps: Vec::new(),
+            monitors: Vec::new(),
+            policy,
+            budget_watts,
+            headroom: 0.95,
+            quantum: 0,
+            observations: Vec::new(),
+            requests: Vec::new(),
+            awards: Vec::new(),
+        }
+    }
+
+    /// Sets the fraction of the budget actually handed out (default 0.95).
+    /// The margin absorbs model error: envelopes are enforced against each
+    /// app's *believed* power multipliers, which learning keeps close to —
+    /// but never exactly at — the platform's true draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `headroom` is in `(0, 1]`.
+    pub fn with_headroom(mut self, headroom: f64) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be in (0, 1], got {headroom}"
+        );
+        self.headroom = headroom;
+        self
+    }
+
+    /// Registers an application; returns its handle.
+    pub fn register(&mut self, app: ManagedApp) -> AppHandle {
+        self.monitors.push(app.monitor.clone());
+        self.apps.push(app);
+        AppHandle(self.apps.len() - 1)
+    }
+
+    /// Number of registered applications (present or not).
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether no application is registered.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// The next shared quantum index [`Self::step`] will run.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// The machine power budget being arbitrated, in watts.
+    pub fn budget_watts(&self) -> f64 {
+        self.budget_watts
+    }
+
+    /// The active arbitration policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Replaces the arbitration policy (takes effect next step).
+    pub fn set_policy(&mut self, policy: Box<dyn ArbitrationPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The application behind `handle`.
+    pub fn app(&self, handle: AppHandle) -> &ManagedApp {
+        &self.apps[handle.0]
+    }
+
+    /// Mutable access to the application behind `handle`.
+    pub fn app_mut(&mut self, handle: AppHandle) -> &mut ManagedApp {
+        &mut self.apps[handle.0]
+    }
+
+    /// Every registered application, in registration order.
+    pub fn apps(&self) -> &[ManagedApp] {
+        &self.apps
+    }
+
+    /// The watt envelopes of the most recent step, in registration order.
+    pub fn awards(&self) -> &[f64] {
+        &self.awards
+    }
+
+    /// Runs one coordinated quantum at simulation time `now`:
+    /// observe the fleet, arbitrate the budget, and let every present app
+    /// decide under its envelope. Advances the shared quantum counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decision error (e.g. [`SeecError::NoGoal`] for
+    /// an app without a performance goal); earlier apps keep the decisions
+    /// already applied.
+    pub fn step(&mut self, now: f64) -> Result<StepSummary, SeecError> {
+        let quantum = self.quantum;
+        observe_fleet(&self.monitors, &mut self.observations);
+
+        // ---- Arbitrate ----------------------------------------------
+        self.requests.clear();
+        for (app, observation) in self.apps.iter().zip(&self.observations) {
+            let active = app.active_at(quantum);
+            // The observation already carries the registry's target; only
+            // the runtime's local override is consulted on top, so the
+            // fleet snapshot stays the step's single lock per app.
+            let target = app
+                .runtime
+                .target_override()
+                .or(observation.target_heart_rate);
+            let observed = observation.stats.window;
+            let urgency = match target {
+                Some(target) if observed > 0.0 && observation.stats.beats_in_window >= 2 => {
+                    target / observed
+                }
+                _ => 1.0,
+            };
+            let nominal_power = app.nominal_power_watts();
+            let max_power_watts = if nominal_power > 0.0 {
+                nominal_power * app.runtime.model().table().max_declared_power()
+            } else {
+                // Power draw unknown yet: let the app absorb anything; its
+                // envelope will bind as soon as samples arrive.
+                self.budget_watts
+            };
+            self.requests.push(AppRequest {
+                active,
+                weight: app.weight,
+                urgency,
+                max_power_watts,
+            });
+        }
+        self.policy.arbitrate(
+            self.budget_watts * self.headroom,
+            &self.requests,
+            &mut self.awards,
+        );
+
+        // ---- Decide under the envelopes -----------------------------
+        let mut active_apps = 0;
+        let mut awarded_total = 0.0;
+        for ((app, observation), &award) in self
+            .apps
+            .iter_mut()
+            .zip(&self.observations)
+            .zip(&self.awards)
+        {
+            app.awarded_watts = award;
+            if !app.active_at(quantum) {
+                continue;
+            }
+            active_apps += 1;
+            awarded_total += award;
+            let nominal_power = app.nominal_power_watts();
+            let max_powerup = if nominal_power > 0.0 && award.is_finite() {
+                award / nominal_power
+            } else {
+                f64::INFINITY
+            };
+            let decision =
+                app.runtime
+                    .decide_under_power_cap_with_observation(now, observation, max_powerup)?;
+            app.last_decision = Some(decision);
+        }
+
+        self.quantum += 1;
+        Ok(StepSummary {
+            quantum,
+            active_apps,
+            awarded_watts_total: awarded_total,
+        })
+    }
+
+    /// Feeds one quantum's outcome back to an application: the platform
+    /// completed `work_units` of its work over `[start, end]` while the app
+    /// drew `power_above_idle_watts`. Beats are stamped at interpolated
+    /// times with one power sample each
+    /// ([`HeartbeatedWorkload::advance_metered`]), so the runtime's window
+    /// rates are unbiased and its power horizon matches the beat window.
+    pub fn advance(
+        &mut self,
+        handle: AppHandle,
+        start: f64,
+        end: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) {
+        self.apps[handle.0]
+            .driver
+            .advance_metered(start, end, work_units, power_above_idle_watts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PerformanceMarket, StaticShare, WeightedFair};
+    use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+    use seec::ExplorationPolicy;
+    use workloads::{SplashBenchmark, Workload};
+
+    /// A small action space whose declared effects the synthetic platform
+    /// mirrors exactly: DVFS x cores, speedups 0.5..6x, powers 0.4..5.2x.
+    fn actuators() -> Vec<Box<dyn actuation::Actuator>> {
+        let dvfs = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("nominal"))
+            .setting(
+                SettingSpec::new("fast")
+                    .effect(Axis::Performance, 2.0)
+                    .effect(Axis::Power, 2.6),
+            )
+            .nominal(1)
+            .build()
+            .unwrap();
+        let cores = ActuatorSpec::builder("cores")
+            .setting(SettingSpec::new("1"))
+            .setting(
+                SettingSpec::new("2")
+                    .effect(Axis::Performance, 1.9)
+                    .effect(Axis::Power, 2.0),
+            )
+            .build()
+            .unwrap();
+        vec![
+            Box::new(TableActuator::new(dvfs)),
+            Box::new(TableActuator::new(cores)),
+        ]
+    }
+
+    fn managed_app(benchmark: SplashBenchmark, seed: u64, target: f64) -> ManagedApp {
+        let driver = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+        driver.set_heart_rate_goal(target);
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(actuators())
+            .exploration(ExplorationPolicy {
+                epsilon: 0.0,
+                ..ExplorationPolicy::default()
+            })
+            .seed(seed)
+            .build()
+            .unwrap();
+        ManagedApp::new(driver, runtime).with_nominal_power_hint(10.0)
+    }
+
+    /// Drives `coordinator` for `ticks` quanta against a platform whose
+    /// true behaviour mirrors each app's declared effects exactly (nominal
+    /// rate 10 beats/s, nominal power 10 W), returning the machine power of
+    /// the final tick.
+    fn drive(coordinator: &mut Coordinator, handles: &[AppHandle], ticks: usize) -> Vec<f64> {
+        let mut now = 0.0;
+        let mut final_powers = Vec::new();
+        for _ in 0..ticks {
+            now += 1.0;
+            final_powers.clear();
+            for &handle in handles {
+                if !coordinator.app(handle).active_at(coordinator.quantum()) {
+                    final_powers.push(0.0);
+                    continue;
+                }
+                let effect = {
+                    let runtime = coordinator.app(handle).runtime();
+                    runtime
+                        .model()
+                        .space()
+                        .predicted_effect(runtime.current_configuration())
+                        .unwrap()
+                };
+                let rate = 10.0 * effect.performance;
+                let power = 10.0 * effect.power;
+                coordinator.advance(handle, now - 1.0, now, rate, power);
+                final_powers.push(power);
+            }
+            coordinator.step(now).unwrap();
+        }
+        final_powers
+    }
+
+    #[test]
+    fn registration_and_accessors() {
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare));
+        assert!(coordinator.is_empty());
+        let handle = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 20.0));
+        assert_eq!(coordinator.len(), 1);
+        assert_eq!(handle.index(), 0);
+        assert_eq!(coordinator.app(handle).name(), "barnes");
+        assert_eq!(coordinator.app(handle).weight(), 1.0);
+        assert_eq!(coordinator.policy_name(), "static-share");
+        coordinator.set_policy(Box::new(WeightedFair));
+        assert_eq!(coordinator.policy_name(), "weighted-fair");
+        assert!(format!("{coordinator:?}").contains("Coordinator"));
+        assert!(format!("{:?}", coordinator.app(handle)).contains("barnes"));
+    }
+
+    #[test]
+    fn step_keeps_believed_power_inside_the_budget() {
+        // Three greedy apps (targets far beyond reach) on a 30 W budget:
+        // flat out they would draw 3 x 52 W. After warm-up, the believed
+        // power of every applied configuration must fit the awards, which
+        // conserve the (headroomed) budget.
+        let mut coordinator = Coordinator::new(30.0, Box::new(WeightedFair));
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|i| {
+                coordinator
+                    .register(managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 1000.0))
+            })
+            .collect();
+        drive(&mut coordinator, &handles, 30);
+        let awards_total: f64 = coordinator.awards().iter().sum();
+        assert!(
+            awards_total <= 30.0 * 0.95 + 1e-9,
+            "awards {awards_total} must conserve the headroomed budget"
+        );
+        for &handle in &handles {
+            let app = coordinator.app(handle);
+            let decision = app.last_decision().unwrap();
+            let believed_watts = decision.believed_powerup * app.nominal_power_watts();
+            assert!(
+                believed_watts <= app.awarded_watts() * 1.05 + 1e-9,
+                "app {} believed draw {believed_watts} vs award {}",
+                app.name(),
+                app.awarded_watts()
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_and_departures_follow_the_shared_schedule() {
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare));
+        let resident = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 15.0));
+        let visitor = coordinator.register(
+            managed_app(SplashBenchmark::Volrend, 2, 15.0)
+                .with_arrival(5)
+                .with_departure(10),
+        );
+        let mut now = 0.0;
+        for tick in 0..15 {
+            now += 1.0;
+            let summary = coordinator.step(now).unwrap();
+            assert_eq!(summary.quantum, tick);
+            let expected = if (5..10).contains(&tick) { 2 } else { 1 };
+            assert_eq!(summary.active_apps, expected, "tick {tick}");
+            if !(5..10).contains(&tick) {
+                assert_eq!(coordinator.app(visitor).awarded_watts(), 0.0);
+            }
+        }
+        assert!(coordinator.app(resident).active_at(14));
+        assert_eq!(coordinator.quantum(), 15);
+    }
+
+    #[test]
+    fn higher_priority_gets_the_bigger_envelope() {
+        let mut coordinator = Coordinator::new(40.0, Box::new(PerformanceMarket::default()));
+        let light = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        let heavy = coordinator.register(
+            managed_app(SplashBenchmark::Raytrace, 2, 1000.0).with_weight(4.0),
+        );
+        let handles = [light, heavy];
+        drive(&mut coordinator, &handles, 20);
+        assert!(
+            coordinator.app(heavy).awarded_watts() > coordinator.app(light).awarded_watts(),
+            "heavy {} vs light {}",
+            coordinator.app(heavy).awarded_watts(),
+            coordinator.app(light).awarded_watts()
+        );
+    }
+
+    #[test]
+    fn demand_phases_cycle_from_arrival() {
+        let workload = Workload::new(SplashBenchmark::Barnes, 3);
+        let phases = workload.quanta(4);
+        let app = managed_app(SplashBenchmark::Barnes, 3, 10.0)
+            .with_phases(phases.clone())
+            .with_arrival(2);
+        assert!(app.demand_at(1).is_none());
+        assert_eq!(app.demand_at(2).unwrap(), &phases[0]);
+        assert_eq!(app.demand_at(5).unwrap(), &phases[3]);
+        assert_eq!(app.demand_at(6).unwrap(), &phases[0]);
+        let phaseless = managed_app(SplashBenchmark::Barnes, 3, 10.0);
+        assert!(phaseless.demand_at(0).is_none());
+    }
+
+    #[test]
+    fn app_without_goal_propagates_the_error() {
+        let driver = HeartbeatedWorkload::new(Workload::new(SplashBenchmark::Barnes, 1));
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(actuators())
+            .build()
+            .unwrap();
+        let mut coordinator = Coordinator::new(50.0, Box::new(StaticShare));
+        coordinator.register(ManagedApp::new(driver, runtime));
+        assert!(matches!(coordinator.step(1.0), Err(SeecError::NoGoal)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_budget_panics() {
+        let _ = Coordinator::new(0.0, Box::new(StaticShare));
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn out_of_range_headroom_panics() {
+        let _ = Coordinator::new(10.0, Box::new(StaticShare)).with_headroom(1.5);
+    }
+}

@@ -1,0 +1,65 @@
+//! # Multi-application SEEC coordination
+//!
+//! The Angstrom platform is built for *many* self-aware applications on one
+//! machine (DAC 2012 §2): each application runs its own observe–decide–act
+//! loop, and the platform arbitrates the resources they share. Without
+//! arbitration, composed adaptive systems over- and under-shoot each other —
+//! the uncoordinated-composition pathology of §5.2. This crate supplies the
+//! missing platform layer:
+//!
+//! * [`Coordinator`] — owns N applications (each a heartbeat-instrumented
+//!   workload driver plus the [`seec::SeecRuntime`] managing it), steps all
+//!   of their decision loops on one shared simulated-time quantum schedule,
+//!   and arbitrates a machine-level power budget across them every quantum.
+//! * [`ArbitrationPolicy`] — the pluggable budget-splitting strategy:
+//!   [`StaticShare`] (equal shares), [`WeightedFair`] (water-filling by
+//!   priority weight), and [`PerformanceMarket`] (bidding by
+//!   `weight × heartbeat-gap urgency`).
+//!
+//! Awarded watt envelopes become per-application *powerup caps*
+//! (`envelope / estimated nominal watts`), and each runtime decides under
+//! its cap ([`seec::SeecRuntime::decide_under_power_cap`]) — the admissible
+//! configuration set is clamped to the prefix of the model's power-sorted
+//! index, so arbitration costs no allocation and no extra model scans.
+//!
+//! ```
+//! use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+//! use coordinator::{Coordinator, ManagedApp, PerformanceMarket};
+//! use seec::SeecRuntime;
+//! use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
+//!
+//! let dvfs = ActuatorSpec::builder("dvfs")
+//!     .setting(SettingSpec::new("slow").effect(Axis::Performance, 0.5).effect(Axis::Power, 0.4))
+//!     .setting(SettingSpec::new("fast"))
+//!     .nominal(1)
+//!     .build()
+//!     .unwrap();
+//!
+//! let driver = HeartbeatedWorkload::new(Workload::new(SplashBenchmark::Barnes, 1));
+//! driver.set_heart_rate_goal(20.0);
+//! let runtime = SeecRuntime::builder(driver.monitor())
+//!     .actuator(Box::new(TableActuator::new(dvfs)))
+//!     .build()
+//!     .unwrap();
+//!
+//! // A 50 W machine budget arbitrated by the performance market.
+//! let mut coordinator = Coordinator::new(50.0, Box::new(PerformanceMarket::default()));
+//! let app = coordinator.register(ManagedApp::new(driver, runtime).with_weight(2.0));
+//!
+//! // Each quantum: platform runs the apps, reports back, coordinator steps.
+//! coordinator.advance(app, 0.0, 1.0, 12.0, 9.5);
+//! let summary = coordinator.step(1.0).unwrap();
+//! assert_eq!(summary.active_apps, 1);
+//! assert!(coordinator.app(app).awarded_watts() <= 50.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod coordinator;
+mod policy;
+
+pub use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};
+pub use crate::policy::{
+    AppRequest, ArbitrationPolicy, PerformanceMarket, StaticShare, WeightedFair,
+};

@@ -1,0 +1,378 @@
+//! Power-budget arbitration policies.
+//!
+//! Every decision quantum, the [`crate::Coordinator`] turns each
+//! application's state into an [`AppRequest`] and asks an
+//! [`ArbitrationPolicy`] to split the machine's power budget into per-app
+//! envelopes. Policies are pluggable; three ship with the crate:
+//!
+//! * [`StaticShare`] — the budget divided equally among present apps,
+//! * [`WeightedFair`] — water-filling proportional to priority weight,
+//! * [`PerformanceMarket`] — water-filling proportional to
+//!   `weight × heartbeat-gap urgency`, so applications behind on their
+//!   goals outbid applications already meeting them.
+//!
+//! Every policy must *conserve the budget*: the awards of present apps sum
+//! to at most the budget, and absent apps are awarded exactly zero. The
+//! property suite (`tests/arbitration_props.rs`) pins this for arbitrary
+//! app mixes, along with [`WeightedFair`]'s weight monotonicity.
+
+/// One application's state, as the arbiter sees it this quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppRequest {
+    /// Whether the application is present (arrived and not yet departed).
+    /// Absent applications must be awarded exactly 0 W.
+    pub active: bool,
+    /// Priority weight; higher is more important. Must be positive.
+    pub weight: f64,
+    /// Heartbeat-gap urgency: the ratio of the application's target heart
+    /// rate to its observed rate (1.0 = exactly on goal, above 1.0 =
+    /// falling behind). 1.0 when the application has no feedback yet.
+    pub urgency: f64,
+    /// The most power the application can usefully absorb, in watts (its
+    /// most expensive configuration). Awards above this are wasted, so
+    /// water-filling policies redistribute the surplus.
+    pub max_power_watts: f64,
+}
+
+/// A strategy for splitting a machine power budget into per-app envelopes.
+pub trait ArbitrationPolicy: Send {
+    /// Short policy name for reports and JSON output.
+    fn name(&self) -> &'static str;
+
+    /// Splits `budget_watts` across `requests`, writing one award (watts)
+    /// per request into `awards` (cleared first, so the buffer is reusable).
+    ///
+    /// Contract: `awards.len() == requests.len()`, every award is
+    /// non-negative and finite, inactive requests are awarded 0, and the
+    /// sum of awards is at most `budget_watts` (within floating-point
+    /// round-off).
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>);
+}
+
+/// Equal static shares: the budget divided by the number of present
+/// applications, clamped to what each can absorb. Surplus from clamped
+/// applications is *not* redistributed — the shares are static, which is
+/// precisely this policy's weakness and why it is the arbitration baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticShare;
+
+impl ArbitrationPolicy for StaticShare {
+    fn name(&self) -> &'static str {
+        "static-share"
+    }
+
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+        awards.clear();
+        let active = requests.iter().filter(|r| r.active).count();
+        if active == 0 || budget_watts.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            awards.extend(std::iter::repeat_n(0.0, requests.len()));
+            return;
+        }
+        if budget_watts.is_infinite() {
+            award_ceilings(requests, awards);
+            return;
+        }
+        let share = budget_watts / active as f64;
+        awards.extend(
+            requests
+                .iter()
+                .map(|r| if r.active { share.min(r.max_power_watts.max(0.0)) } else { 0.0 }),
+        );
+    }
+}
+
+/// Weighted max-min fairness: awards proportional to priority weight, with
+/// water-filling — an application clamped at what it can absorb returns its
+/// surplus to the pool, which is re-divided among the still-unclamped by
+/// weight until the budget is spent or everyone is satisfied.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedFair;
+
+impl ArbitrationPolicy for WeightedFair {
+    fn name(&self) -> &'static str {
+        "weighted-fair"
+    }
+
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+        water_fill(budget_watts, requests, awards, |r| r.weight);
+    }
+}
+
+/// A bid-based performance market: each application bids
+/// `weight × urgency`, so applications behind on their heartbeat goals
+/// outbid applications already meeting them, weighted by how much the
+/// operator cares. Awards are water-filled proportional to bids.
+#[derive(Debug, Clone, Copy)]
+pub struct PerformanceMarket {
+    /// Urgency is clamped into `[min_urgency, max_urgency]` before bidding,
+    /// so an idle app still bids something (it needs power to keep making
+    /// progress) and a starving app cannot corner the entire budget.
+    pub min_urgency: f64,
+    /// Upper urgency clamp.
+    pub max_urgency: f64,
+}
+
+impl Default for PerformanceMarket {
+    fn default() -> Self {
+        PerformanceMarket {
+            min_urgency: 0.25,
+            max_urgency: 8.0,
+        }
+    }
+}
+
+impl ArbitrationPolicy for PerformanceMarket {
+    fn name(&self) -> &'static str {
+        "performance-market"
+    }
+
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+        let (lo, hi) = (self.min_urgency, self.max_urgency);
+        water_fill(budget_watts, requests, awards, |r| {
+            let urgency = if r.urgency.is_finite() && r.urgency > 0.0 {
+                r.urgency.clamp(lo, hi)
+            } else {
+                hi // no observable progress at all: bid the ceiling
+            };
+            r.weight * urgency
+        });
+    }
+}
+
+/// Water-filling proportional division: split `budget_watts` among active
+/// requests proportionally to `key`, clamping each award at the request's
+/// `max_power_watts` and re-dividing the freed surplus among the unclamped
+/// until the budget is exhausted or everyone is clamped. Deterministic:
+/// requests are processed in index order every round.
+fn water_fill<K: Fn(&AppRequest) -> f64>(
+    budget_watts: f64,
+    requests: &[AppRequest],
+    awards: &mut Vec<f64>,
+    key: K,
+) {
+    awards.clear();
+    awards.extend(std::iter::repeat_n(0.0, requests.len()));
+    if budget_watts.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return;
+    }
+    if budget_watts.is_infinite() {
+        // An unbounded budget has no proportional division to do (and the
+        // arithmetic below would produce non-finite awards): everyone gets
+        // what they can absorb.
+        award_ceilings(requests, awards);
+        return;
+    }
+    // `open[i]`: still participating in proportional division.
+    let mut open: Vec<bool> = requests.iter().map(|r| r.active).collect();
+    let mut remaining = budget_watts;
+    // Each round clamps at least one request, so at most `len` rounds.
+    for _ in 0..requests.len() {
+        let total_key: f64 = requests
+            .iter()
+            .zip(&open)
+            .filter(|(_, &o)| o)
+            .map(|(r, _)| key(r).max(0.0))
+            .sum();
+        if total_key.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || remaining.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        {
+            break;
+        }
+        let mut clamped_any = false;
+        let per_key = remaining / total_key;
+        for (i, request) in requests.iter().enumerate() {
+            if !open[i] {
+                continue;
+            }
+            let share = per_key * key(request).max(0.0);
+            let ceiling = request.max_power_watts.max(0.0);
+            if awards[i] + share >= ceiling {
+                // Clamp and leave the pool; the surplus stays in
+                // `remaining` for the next round.
+                remaining -= ceiling - awards[i];
+                awards[i] = ceiling;
+                open[i] = false;
+                clamped_any = true;
+            }
+        }
+        if !clamped_any {
+            // No ceilings hit: hand out the proportional shares and stop.
+            for (i, request) in requests.iter().enumerate() {
+                if open[i] {
+                    awards[i] += per_key * key(request).max(0.0);
+                }
+            }
+            break;
+        }
+    }
+    debug_assert!(
+        awards.iter().sum::<f64>() <= budget_watts * (1.0 + 1e-9),
+        "water-fill must conserve the budget"
+    );
+}
+
+/// Awards every active request its absorption ceiling — the degenerate
+/// division under an unbounded budget. Ceilings are saturated at
+/// `f64::MAX` so the "every award is finite" contract holds even for
+/// requests that declared an infinite ceiling.
+fn award_ceilings(requests: &[AppRequest], awards: &mut Vec<f64>) {
+    awards.clear();
+    awards.extend(requests.iter().map(|request| {
+        if request.active {
+            request.max_power_watts.clamp(0.0, f64::MAX)
+        } else {
+            0.0
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(weight: f64, urgency: f64, max: f64) -> AppRequest {
+        AppRequest {
+            active: true,
+            weight,
+            urgency,
+            max_power_watts: max,
+        }
+    }
+
+    fn total(awards: &[f64]) -> f64 {
+        awards.iter().sum()
+    }
+
+    #[test]
+    fn static_share_divides_equally_and_zeroes_absent_apps() {
+        let mut policy = StaticShare;
+        let mut awards = Vec::new();
+        let requests = [
+            request(1.0, 1.0, 100.0),
+            AppRequest {
+                active: false,
+                ..request(9.0, 9.0, 100.0)
+            },
+            request(4.0, 1.0, 100.0),
+        ];
+        policy.arbitrate(60.0, &requests, &mut awards);
+        assert_eq!(awards, vec![30.0, 0.0, 30.0]);
+        assert_eq!(policy.name(), "static-share");
+    }
+
+    #[test]
+    fn static_share_clamps_to_what_an_app_can_absorb() {
+        let mut policy = StaticShare;
+        let mut awards = Vec::new();
+        policy.arbitrate(100.0, &[request(1.0, 1.0, 10.0), request(1.0, 1.0, 100.0)], &mut awards);
+        // The clamped app's surplus is NOT redistributed: that is the point.
+        assert_eq!(awards, vec![10.0, 50.0]);
+    }
+
+    #[test]
+    fn weighted_fair_is_proportional_and_water_fills() {
+        let mut policy = WeightedFair;
+        let mut awards = Vec::new();
+        policy.arbitrate(
+            90.0,
+            &[request(1.0, 1.0, 1000.0), request(2.0, 1.0, 1000.0)],
+            &mut awards,
+        );
+        assert!((awards[0] - 30.0).abs() < 1e-9);
+        assert!((awards[1] - 60.0).abs() < 1e-9);
+        // Clamp the heavy app at 40 W: its surplus flows to the light one.
+        policy.arbitrate(
+            90.0,
+            &[request(1.0, 1.0, 1000.0), request(2.0, 1.0, 40.0)],
+            &mut awards,
+        );
+        assert!((awards[1] - 40.0).abs() < 1e-9);
+        assert!((awards[0] - 50.0).abs() < 1e-9);
+        assert!(total(&awards) <= 90.0 + 1e-9);
+    }
+
+    #[test]
+    fn market_pays_urgent_apps_more() {
+        let mut policy = PerformanceMarket::default();
+        let mut awards = Vec::new();
+        // Equal weights; app 0 is on goal (urgency 1), app 1 is 3x behind.
+        policy.arbitrate(
+            80.0,
+            &[request(1.0, 1.0, 1000.0), request(1.0, 3.0, 1000.0)],
+            &mut awards,
+        );
+        assert!((awards[0] - 20.0).abs() < 1e-9);
+        assert!((awards[1] - 60.0).abs() < 1e-9);
+        // Urgency is clamped: a starving app cannot corner the budget.
+        policy.arbitrate(
+            80.0,
+            &[request(1.0, 1.0, 1000.0), request(1.0, 1.0e9, 1000.0)],
+            &mut awards,
+        );
+        assert!(awards[0] > 0.0);
+        assert!((awards[1] / awards[0] - policy.max_urgency).abs() < 1e-9);
+        // Unobservable progress bids the ceiling, not NaN.
+        policy.arbitrate(
+            80.0,
+            &[request(1.0, f64::NAN, 1000.0), request(1.0, 1.0, 1000.0)],
+            &mut awards,
+        );
+        assert!(total(&awards) <= 80.0 + 1e-9);
+        assert!(awards[0] > awards[1]);
+    }
+
+    #[test]
+    fn empty_or_inactive_fleets_award_nothing() {
+        let mut awards = Vec::new();
+        let inactive = [AppRequest {
+            active: false,
+            ..request(1.0, 1.0, 100.0)
+        }];
+        StaticShare.arbitrate(100.0, &inactive, &mut awards);
+        assert_eq!(awards, vec![0.0]);
+        WeightedFair.arbitrate(100.0, &inactive, &mut awards);
+        assert_eq!(awards, vec![0.0]);
+        PerformanceMarket::default().arbitrate(100.0, &inactive, &mut awards);
+        assert_eq!(awards, vec![0.0]);
+        StaticShare.arbitrate(100.0, &[], &mut awards);
+        assert!(awards.is_empty());
+    }
+
+    #[test]
+    fn infinite_budget_awards_finite_ceilings() {
+        // An uncapped machine is documented as supported; awards must stay
+        // finite even when an app's own ceiling is unknown (infinite).
+        let mut awards = Vec::new();
+        let requests = [
+            request(1.0, 1.0, f64::INFINITY),
+            request(2.0, 3.0, 40.0),
+            AppRequest {
+                active: false,
+                ..request(1.0, 1.0, 10.0)
+            },
+        ];
+        let mut policies: Vec<Box<dyn ArbitrationPolicy>> = vec![
+            Box::new(StaticShare),
+            Box::new(WeightedFair),
+            Box::new(PerformanceMarket::default()),
+        ];
+        for policy in &mut policies {
+            policy.arbitrate(f64::INFINITY, &requests, &mut awards);
+            assert!(
+                awards.iter().all(|a| a.is_finite() && *a >= 0.0),
+                "{}: {awards:?}",
+                policy.name()
+            );
+            assert_eq!(awards[1], 40.0, "{}", policy.name());
+            assert_eq!(awards[2], 0.0, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn everyone_clamped_leaves_budget_unspent() {
+        let mut policy = WeightedFair;
+        let mut awards = Vec::new();
+        policy.arbitrate(100.0, &[request(1.0, 1.0, 10.0), request(5.0, 1.0, 15.0)], &mut awards);
+        assert_eq!(awards, vec![10.0, 15.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the arbitration policies.
+//!
+//! * **Budget conservation** — for every shipped policy and arbitrary app
+//!   mixes (activity, weights, urgencies, absorption ceilings), the sum of
+//!   awards never exceeds the budget, inactive apps are awarded exactly
+//!   zero, and every award is non-negative, finite, and within the app's
+//!   ceiling.
+//! * **WeightedFair monotonicity** — raising one app's weight (all else
+//!   fixed) never lowers that app's award.
+
+use coordinator::{AppRequest, ArbitrationPolicy, PerformanceMarket, StaticShare, WeightedFair};
+use proptest::prelude::*;
+
+/// Decodes one app request from four generated scalars.
+fn request(active: usize, weight: f64, urgency: f64, max_power: f64) -> AppRequest {
+    AppRequest {
+        active: active == 1,
+        weight,
+        urgency,
+        max_power_watts: max_power,
+    }
+}
+
+fn policies() -> Vec<Box<dyn ArbitrationPolicy>> {
+    vec![
+        Box::new(StaticShare),
+        Box::new(WeightedFair),
+        Box::new(PerformanceMarket::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_policy_conserves_the_budget(
+        budget in 1.0..500.0f64,
+        actives in proptest::collection::vec(0usize..2, 1..12),
+        weights in proptest::collection::vec(0.1..8.0f64, 12),
+        urgencies in proptest::collection::vec(0.01..20.0f64, 12),
+        ceilings in proptest::collection::vec(0.5..400.0f64, 12),
+    ) {
+        let requests: Vec<AppRequest> = actives
+            .iter()
+            .enumerate()
+            .map(|(i, &active)| request(active, weights[i], urgencies[i], ceilings[i]))
+            .collect();
+        let mut awards = Vec::new();
+        for mut policy in policies() {
+            policy.arbitrate(budget, &requests, &mut awards);
+            prop_assert_eq!(awards.len(), requests.len());
+            let mut total = 0.0;
+            for (award, request) in awards.iter().zip(&requests) {
+                prop_assert!(award.is_finite(), "{}: award {award}", policy.name());
+                prop_assert!(*award >= 0.0, "{}: award {award}", policy.name());
+                if !request.active {
+                    prop_assert!(*award == 0.0, "{}: inactive app paid {award}", policy.name());
+                }
+                prop_assert!(
+                    *award <= request.max_power_watts + 1e-9,
+                    "{}: award {award} above ceiling {}",
+                    policy.name(),
+                    request.max_power_watts
+                );
+                total += *award;
+            }
+            prop_assert!(
+                total <= budget * (1.0 + 1e-9),
+                "{}: awards {total} exceed budget {budget}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_fair_award_is_monotone_in_weight(
+        budget in 1.0..500.0f64,
+        actives in proptest::collection::vec(0usize..2, 2..10),
+        weights in proptest::collection::vec(0.1..8.0f64, 10),
+        ceilings in proptest::collection::vec(0.5..400.0f64, 10),
+        subject in 0usize..10,
+        raise in 0.1..8.0f64,
+    ) {
+        let subject = subject % actives.len();
+        let mut requests: Vec<AppRequest> = actives
+            .iter()
+            .enumerate()
+            .map(|(i, &active)| request(active, weights[i], 1.0, ceilings[i]))
+            .collect();
+        // The subject must be active for its award to be meaningful.
+        requests[subject].active = true;
+
+        let mut policy = WeightedFair;
+        let mut before = Vec::new();
+        policy.arbitrate(budget, &requests, &mut before);
+
+        requests[subject].weight += raise;
+        let mut after = Vec::new();
+        policy.arbitrate(budget, &requests, &mut after);
+
+        prop_assert!(
+            after[subject] >= before[subject] - 1e-9,
+            "raising weight lowered the award: {} -> {} (weights {:?})",
+            before[subject],
+            after[subject],
+            requests.iter().map(|r| r.weight).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 5: multi-application coordination under a power budget.
+
+use experiments::Figure5;
+
+fn main() {
+    let figure = Figure5::compute();
+    println!(
+        "Figure 5 — multi-application SEEC on the calibrated R410 under a machine power budget\n"
+    );
+    println!("{}", figure.to_table());
+    match serde_json::to_string_pretty(&figure) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write("fig5.json", json) {
+                eprintln!("could not write fig5.json: {err}");
+            } else {
+                println!("raw data written to fig5.json");
+            }
+        }
+        Err(err) => eprintln!("could not serialise figure 5: {err}"),
+    }
+}

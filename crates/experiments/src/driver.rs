@@ -439,6 +439,87 @@ impl XeonEvalTable {
             .map(|c| self.fixed_outcome(c).performance_per_watt(target_heart_rate))
             .fold(0.0_f64, f64::max)
     }
+
+    /// The *goal-respecting* static oracle: among fixed configurations whose
+    /// run meets the target heart rate, the one with the least mean power
+    /// above idle; when none meets it, the fastest. Scored as capped
+    /// performance per watt.
+    ///
+    /// This is the §5.2 protocol ("meet the goal while minimising power")
+    /// stated directly. Under the linear power model the capped-ratio
+    /// maximisation encodes the same intent, but under a convex
+    /// utilisation–power curve the ratio `min(rate, target) / power` grows
+    /// without bound as utilisation shrinks, so a ratio-maximising oracle
+    /// degenerates into deep duty-cycling that ignores the goal entirely —
+    /// see EXPERIMENTS.md's recalibrated-model notes. The convex-model
+    /// experiments therefore score against goal-respecting oracles; the
+    /// linear default keeps the historical selection bit-for-bit.
+    pub fn goal_respecting_static_oracle_performance_per_watt(
+        &self,
+        target_heart_rate: f64,
+    ) -> f64 {
+        let mut feasible: Option<(XeonRunOutcome, f64)> = None;
+        let mut fastest: Option<XeonRunOutcome> = None;
+        for c in 0..self.grid.len() {
+            let outcome = self.fixed_outcome(c);
+            if outcome.heart_rate >= target_heart_rate {
+                let better = feasible
+                    .as_ref()
+                    .is_none_or(|(_, power)| outcome.power_above_idle_watts < *power);
+                if better {
+                    feasible = Some((outcome, outcome.power_above_idle_watts));
+                }
+            }
+            let faster = fastest
+                .as_ref()
+                .is_none_or(|best| outcome.heart_rate > best.heart_rate);
+            if faster {
+                fastest = Some(outcome);
+            }
+        }
+        feasible
+            .map(|(outcome, _)| outcome)
+            .or(fastest)
+            .map_or(0.0, |outcome| outcome.performance_per_watt(target_heart_rate))
+    }
+
+    /// The *goal-respecting* dynamic oracle: per quantum, the cell meeting
+    /// the target at least power above idle (the fastest cell when none
+    /// meets it). See
+    /// [`Self::goal_respecting_static_oracle_performance_per_watt`] for why
+    /// the convex-model experiments use this instead of the ratio-maximising
+    /// [`Self::dynamic_oracle_outcome`].
+    pub fn goal_respecting_dynamic_oracle_outcome(&self, target_heart_rate: f64) -> XeonRunOutcome {
+        let mut acc = OutcomeAccumulator::default();
+        for q in 0..self.quanta_len {
+            let cells = self.quantum_cells(q);
+            let mut feasible: Option<&EvalCell> = None;
+            let mut fastest = &cells[0];
+            let mut fastest_rate = fastest.work_units / fastest.seconds;
+            for cell in cells {
+                let rate = cell.work_units / cell.seconds;
+                if rate >= target_heart_rate
+                    && feasible.is_none_or(|best| {
+                        cell.power_above_idle_watts < best.power_above_idle_watts
+                    })
+                {
+                    feasible = Some(cell);
+                }
+                if rate > fastest_rate {
+                    fastest = cell;
+                    fastest_rate = rate;
+                }
+            }
+            let best = feasible.unwrap_or(fastest);
+            acc.push(
+                best.seconds,
+                best.work_units,
+                best.energy_joules,
+                best.power_above_idle_watts,
+            );
+        }
+        acc.finish()
+    }
 }
 
 /// The fixed-configuration outcome of every configuration in `configs`, in

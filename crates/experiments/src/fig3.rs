@@ -17,6 +17,7 @@ use xeon_sim::{ServerConfiguration, ServerReport, XeonServer};
 use crate::driver::{
     quantum_efficiency, run_cells, to_server_demand, XeonEvalTable, XeonRunOutcome,
 };
+use seec::control::PiController;
 use seec::{SeecRuntime, UncoordinatedRuntime};
 
 /// Number of quanta each benchmark is divided into (the paper expands inputs
@@ -26,6 +27,15 @@ pub const QUANTA_PER_RUN: usize = 120;
 /// Wall-clock overhead charged per SEEC decision on this platform, in
 /// seconds (decisions share the main cores with the application).
 pub const DECISION_OVERHEAD_SECONDS: f64 = 1.0e-3;
+
+/// The integral gain the convex-model (goal-respecting) protocol uses for
+/// SEEC's PI controller. With anchored estimation the feed-forward term is
+/// already calibrated, so the integral only sweeps up modelling residue;
+/// the historical gain (0.2), tuned to also compensate the drifting
+/// baseline, winds up badly over the ramp's window-lagged errors and then
+/// cannot unwind (overshoot is nearly free under the linear model but
+/// costs `utilisation^1.15` under the convex one).
+pub const CONVEX_PROTOCOL_KI: f64 = 0.01;
 
 /// Per-benchmark results, as raw performance per watt beyond idle.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,6 +108,13 @@ impl Figure3 {
     /// identical to the sequential pipeline regardless of worker
     /// interleaving.
     pub fn compute_on(server: &XeonServer, seed: u64, quanta_per_run: usize) -> Self {
+        // Under the convex power model the capped efficiency ratio is
+        // gameable by deep under-utilisation, so selections (oracles and
+        // the shared no-adaptation candidate) must respect the goal and the
+        // closed loops run the anchored/interpolated protocol; the linear
+        // default keeps the historical pipeline bit-for-bit. See the
+        // goal-respecting oracle docs in [`crate::driver::XeonEvalTable`].
+        let convex = server.utilization_power_exponent() != 1.0;
         // The shared no-adaptation candidates: the same (cores, clock) for
         // every application, duty fixed at 1.0, in grid order. The default
         // (fastest) configuration that defines the performance targets is
@@ -120,6 +137,9 @@ impl Figure3 {
             benchmark: SplashBenchmark,
             quanta: Vec<QuantumDemand>,
             candidate_ppw: Vec<f64>,
+            /// Whether each candidate's fixed run meets this benchmark's
+            /// target (used only by the convex goal-respecting selection).
+            candidate_feasible: Vec<bool>,
             target: f64,
         }
         let cells: Vec<BenchmarkCell> = run_cells(SplashBenchmark::ALL.len(), |index| {
@@ -134,24 +154,35 @@ impl Figure3 {
                     .iter()
                     .map(|outcome| outcome.performance_per_watt(target))
                     .collect(),
+                candidate_feasible: outcomes
+                    .iter()
+                    .map(|outcome| outcome.heart_rate >= target)
+                    .collect(),
                 target,
             }
         });
 
         // Phase 2 — pick the candidate maximising mean perf/W across
         // benchmarks (ties resolve like `Iterator::max_by`: the last
-        // maximal candidate wins, as the unmemoized pipeline did).
+        // maximal candidate wins, as the unmemoized pipeline did). The
+        // convex protocol restricts the choice to candidates feasible for
+        // *every* benchmark (the default candidate always is — the targets
+        // are defined as half its rate), so "best on average" cannot
+        // degenerate into a goal-ignoring under-utilised configuration.
         let mean_ppw = |candidate: usize| -> f64 {
             let sum: f64 = cells.iter().map(|cell| cell.candidate_ppw[candidate]).sum();
             sum / cells.len() as f64
         };
         let no_adapt_candidate = (0..candidates.len())
+            .filter(|&candidate| {
+                !convex || cells.iter().all(|cell| cell.candidate_feasible[candidate])
+            })
             .max_by(|&a, &b| {
                 mean_ppw(a)
                     .partial_cmp(&mean_ppw(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("grid is non-empty");
+            .expect("the default candidate is always feasible");
 
         // Phase 3 — the remaining policy cells of every benchmark. Each
         // benchmark memoizes its full (quantum × grid) evaluation table
@@ -160,12 +191,16 @@ impl Figure3 {
         let rows: Vec<Figure3Row> = run_cells(cells.len(), |row| {
             let cell = &cells[row];
             let table = XeonEvalTable::build(server, &cell.quanta);
-            let policies = run_cells(4, |policy| match policy {
-                0 => table.static_oracle_performance_per_watt(cell.target),
-                1 => table
+            let policies = run_cells(4, |policy| match (policy, convex) {
+                (0, false) => table.static_oracle_performance_per_watt(cell.target),
+                (0, true) => table.goal_respecting_static_oracle_performance_per_watt(cell.target),
+                (1, false) => table
                     .dynamic_oracle_outcome(cell.target)
                     .performance_per_watt(cell.target),
-                2 => run_seec_on_table(
+                (1, true) => table
+                    .goal_respecting_dynamic_oracle_outcome(cell.target)
+                    .performance_per_watt(cell.target),
+                (2, false) => run_seec_on_table(
                     server,
                     cell.benchmark,
                     &cell.quanta,
@@ -174,7 +209,25 @@ impl Figure3 {
                     seed,
                 )
                 .performance_per_watt(cell.target),
-                _ => run_uncoordinated_on_table(
+                (2, true) => run_seec_convex_on_table(
+                    server,
+                    cell.benchmark,
+                    &cell.quanta,
+                    &table,
+                    cell.target,
+                    seed,
+                )
+                .performance_per_watt(cell.target),
+                (_, false) => run_uncoordinated_on_table(
+                    server,
+                    cell.benchmark,
+                    &cell.quanta,
+                    &table,
+                    cell.target,
+                    seed,
+                )
+                .performance_per_watt(cell.target),
+                (_, true) => run_uncoordinated_convex_on_table(
                     server,
                     cell.benchmark,
                     &cell.quanta,
@@ -280,10 +333,23 @@ fn geometric_mean<I: Iterator<Item = f64>>(values: I) -> f64 {
 /// The three actuators of §5.2, described through the SEEC action interface.
 /// The nominal setting is the launch configuration: one core at the minimum
 /// clock with no forced idling.
+///
+/// The cores and active-cycles actuators declare the *server's*
+/// utilisation-power exponent as a convex power prior
+/// ([`ActuatorSpec::builder`]'s `axis_exponent`): on the calibrated R410
+/// (`power_above_idle ∝ utilisation^1.15`) the declared joint powerup
+/// `(cores · duty)^1.15 · clock_ratio^2.2` matches the platform exactly, so
+/// SEEC's initial power beliefs are no longer systematically optimistic
+/// under the convex model. The default server's exponent is 1.0, where the
+/// prior is skipped entirely and the declared effects are bit-for-bit the
+/// historical linear ones.
 pub fn xeon_actuators(server: &XeonServer) -> Vec<Box<dyn Actuator>> {
     let min_freq = server.pstates().min_frequency();
+    let utilization_exponent = server.utilization_power_exponent();
     let cores_spec = {
-        let mut builder = ActuatorSpec::builder("cores").scope(actuation::Scope::Global);
+        let mut builder = ActuatorSpec::builder("cores")
+            .scope(actuation::Scope::Global)
+            .axis_exponent(Axis::Power, utilization_exponent);
         for n in 1..=server.total_cores() {
             builder = builder.setting(
                 SettingSpec::new(format!("{n} cores"))
@@ -313,7 +379,9 @@ pub fn xeon_actuators(server: &XeonServer) -> Vec<Box<dyn Actuator>> {
         builder.nominal(0).delay(0.01).build().expect("valid spec")
     };
     let idle_spec = {
-        let mut builder = ActuatorSpec::builder("active-cycles").scope(actuation::Scope::Application);
+        let mut builder = ActuatorSpec::builder("active-cycles")
+            .scope(actuation::Scope::Application)
+            .axis_exponent(Axis::Power, utilization_exponent);
         for step in 1..=10 {
             let duty = step as f64 / 10.0;
             builder = builder.setting(
@@ -458,6 +526,96 @@ pub fn run_uncoordinated_on_xeon(
     })
 }
 
+/// The convex-model (goal-respecting) protocol's closed-loop SEEC run:
+/// anchored estimation, the gentler [`CONVEX_PROTOCOL_KI`] integral, and
+/// interpolated beat/power stamping
+/// ([`HeartbeatedWorkload::advance_metered`]). Under the linear default the
+/// historical [`run_seec_on_table`] protocol is used instead — its batched
+/// end-of-quantum stamping and drifting baseline are kept bit-for-bit.
+pub fn run_seec_convex_on_table(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+    app.set_heart_rate_goal(target_heart_rate);
+    let mut runtime = SeecRuntime::builder(app.monitor())
+        .actuators(xeon_actuators(server))
+        .anchored_estimation(true)
+        .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
+        .seed(seed)
+        .build()
+        .expect("actuators registered");
+    let mut app = app;
+
+    let mut now = 0.0;
+    let mut reports: Vec<ServerReport> = Vec::with_capacity(quanta.len());
+    for (index, _) in quanta.iter().enumerate() {
+        let configuration = map_configuration(server, runtime.current_configuration());
+        let config = table
+            .config_index(&configuration)
+            .expect("SEEC configurations lie on the grid");
+        let mut report = table.report(index, config);
+        report.seconds += DECISION_OVERHEAD_SECONDS;
+        report.energy_joules += DECISION_OVERHEAD_SECONDS * report.total_power_watts;
+        let start = now;
+        now += report.seconds;
+        app.advance_metered(start, now, report.work_units, report.power_above_idle_watts);
+        let _ = runtime.decide(now);
+        reports.push(report);
+    }
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
+/// The convex-model protocol's uncoordinated baseline: the same anchored /
+/// tuned / interpolated treatment as [`run_seec_convex_on_table`], applied
+/// to one independent SEEC instance per actuator.
+pub fn run_uncoordinated_convex_on_table(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+) -> XeonRunOutcome {
+    let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+    app.set_heart_rate_goal(target_heart_rate);
+    let mut uncoordinated = UncoordinatedRuntime::new_with(
+        &app.monitor(),
+        xeon_actuators(server),
+        seed,
+        |builder| {
+            builder
+                .anchored_estimation(true)
+                .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
+        },
+    )
+    .expect("actuators");
+    let mut app = app;
+
+    let mut now = 0.0;
+    let mut reports: Vec<ServerReport> = Vec::with_capacity(quanta.len());
+    for (index, _) in quanta.iter().enumerate() {
+        let configuration = map_configuration(server, &uncoordinated.joint_configuration());
+        let config = table
+            .config_index(&configuration)
+            .expect("SEEC configurations lie on the grid");
+        let mut report = table.report(index, config);
+        let overhead = DECISION_OVERHEAD_SECONDS * uncoordinated.instances() as f64;
+        report.seconds += overhead;
+        report.energy_joules += overhead * report.total_power_watts;
+        let start = now;
+        now += report.seconds;
+        app.advance_metered(start, now, report.work_units, report.power_above_idle_watts);
+        let _ = uncoordinated.decide(now);
+        reports.push(report);
+    }
+    XeonRunOutcome::from_reports(reports.iter())
+}
+
 /// [`run_uncoordinated_on_xeon`] against memoized evaluations.
 pub fn run_uncoordinated_on_table(
     server: &XeonServer,
@@ -550,6 +708,54 @@ mod tests {
             "coordinated SEEC ({}) should not lose badly to uncoordinated adaptation ({})",
             seec.performance_per_watt(target),
             uncoordinated.performance_per_watt(target)
+        );
+    }
+
+    #[test]
+    fn calibrated_convex_protocol_recovers_seec_standing() {
+        // Under the convex utilisation-power model with convex power priors
+        // in the actuator specs, anchored estimation, and the
+        // goal-respecting protocol, SEEC recovers to >= 0.8 of the dynamic
+        // oracle (from 0.42 with the linear priors and drifting baseline)
+        // and the paper's ordering is restored: uncoordinated adaptation
+        // loses badly, the static oracle tracks the dynamic oracle, and
+        // SEEC clearly beats the no-adaptation baseline on average.
+        let fig = Figure3::compute_on(&XeonServer::dell_r410_calibrated(), 2012, QUANTA_PER_RUN);
+        assert_eq!(fig.rows.len(), 5);
+        let seec = fig.seec_fraction_of_dynamic_oracle();
+        assert!(
+            seec >= 0.8,
+            "convex-protocol SEEC must reach >= 0.8 of the dynamic oracle, got {seec:.3}"
+        );
+        assert!(
+            fig.seec_vs_uncoordinated() > 1.3,
+            "SEEC must beat uncoordinated adaptation decisively, got {:.3}",
+            fig.seec_vs_uncoordinated()
+        );
+        for row in &fig.rows {
+            // The goal-respecting static oracle (min power meeting the
+            // run-average target) can beat the *per-quantum greedy* dynamic
+            // oracle by a hair on phase-heavy benchmarks, so the tie is
+            // pinned as a band rather than an ordering.
+            let ratio = row.static_oracle / row.dynamic_oracle;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{}: static oracle should track the dynamic oracle, ratio {ratio:.3}",
+                row.benchmark
+            );
+            assert!(
+                row.no_adaptation <= row.static_oracle * 1.001,
+                "{}: the goal-respecting static oracle cannot lose to no adaptation",
+                row.benchmark
+            );
+        }
+        // The shared no-adaptation configuration is a compromise across
+        // benchmarks: adaptation must win wherever that compromise binds
+        // (it happens to sit at water's optimum, so not everywhere).
+        let beats_no_adapt = fig.rows.iter().filter(|r| r.seec > r.no_adaptation).count();
+        assert!(
+            beats_no_adapt >= 3,
+            "SEEC should beat the shared static configuration on most benchmarks, won {beats_no_adapt}/5"
         );
     }
 

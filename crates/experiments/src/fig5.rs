@@ -1,0 +1,543 @@
+//! Figure 5 (reproduction-specific): many self-aware applications on one
+//! machine, with and without platform arbitration.
+//!
+//! The paper's premise is that *many* applications each run their own
+//! observe–decide–act loop while the platform arbitrates shared resources
+//! (§2); §5.2's uncoordinated-composition pathology is what happens without
+//! that arbitration. The original evaluation only measures one application
+//! at a time, so this figure extends it: heterogeneous application mixes
+//! (staggered arrivals/departures, phase-shifting workloads, priority
+//! tiers — [`workloads::scenario_mixes`]) share the calibrated R410 under a
+//! machine-level power budget, compared across four regimes:
+//!
+//! * **no adaptation** — every app runs the default (flat-out)
+//!   configuration; the machine oversubscribes and blows through the cap.
+//! * **uncoordinated composition** — each app runs one independent SEEC
+//!   instance *per actuator* (§5.2's baseline), nobody watches the cap.
+//! * **per-app SEEC** — each app runs one coordinated SEEC runtime, but
+//!   there is no cross-application arbitration; apps meet their goals
+//!   efficiently yet the sum still ignores the cap.
+//! * **coordinated SEEC** — a [`coordinator::Coordinator`] arbitrates the
+//!   budget every quantum (performance market by default; the static-share
+//!   and weighted-fair policies are reported alongside) and every app
+//!   decides under its awarded power envelope.
+//!
+//! Metrics are machine-level: goal-weighted throughput per watt above idle
+//! (each app's delivered rate capped at its target and normalised by it,
+//! summed, divided by mean machine power above idle) and the
+//! cap-violation rate (fraction of simulated time the machine total
+//! exceeded the budget, from [`xeon_sim::MachineMeter`]).
+//!
+//! The experiment uses [`XeonServer::dell_r410_calibrated`] and the convex
+//! (goal-respecting) protocol of [`crate::fig3`]: under the linear default
+//! model power is linear in utilisation, so a power cap would barely
+//! distinguish the regimes.
+
+use coordinator::{
+    ArbitrationPolicy, Coordinator, ManagedApp, PerformanceMarket, StaticShare, WeightedFair,
+};
+use seec::control::PiController;
+use seec::{SeecRuntime, UncoordinatedRuntime};
+use serde::{Deserialize, Serialize};
+use workloads::{scenario_mixes, HeartbeatedWorkload, QuantumDemand, Scenario, Workload};
+use xeon_sim::{MachineMeter, ServerConfiguration, XeonServer};
+
+use crate::driver::{run_cells, to_server_demand};
+use crate::fig3::{map_configuration, xeon_actuators, CONVEX_PROTOCOL_KI};
+
+/// Length of one shared scheduling quantum, in seconds.
+pub const QUANTUM_SECONDS: f64 = 1.0;
+
+/// Beats each application should emit per quantum when exactly on target
+/// (sets its work-per-beat granularity; the 64-beat window then spans eight
+/// quanta).
+const BEATS_PER_QUANTUM_AT_TARGET: f64 = 8.0;
+
+/// One regime's machine-level outcome on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmOutcome {
+    /// Regime (or arbitration policy) name.
+    pub name: String,
+    /// Goal-weighted throughput per watt: `Σ_apps min(rate/target, 1)`
+    /// divided by mean machine power above idle, in 1/W.
+    pub performance_per_watt: f64,
+    /// Mean over apps of `min(rate/target, 1)` — 1.0 when every app met
+    /// its goal over its residency.
+    pub goal_attainment: f64,
+    /// Fraction of simulated time the machine total exceeded the budget.
+    pub cap_violation_rate: f64,
+    /// Mean machine power above idle, in watts.
+    pub mean_power_watts: f64,
+    /// Peak quantum machine power above idle, in watts.
+    pub peak_power_watts: f64,
+}
+
+/// One scenario's results across every regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure5Scenario {
+    /// Scenario name (see [`workloads::scenario_mixes`]).
+    pub name: String,
+    /// Number of applications in the mix.
+    pub apps: usize,
+    /// Quanta simulated.
+    pub quanta: usize,
+    /// The arbitrated machine power budget (above idle), in watts.
+    pub budget_watts: f64,
+    /// No adaptation: every app flat out.
+    pub no_adaptation: ArmOutcome,
+    /// Uncoordinated composition: one SEEC instance per actuator per app.
+    pub uncoordinated: ArmOutcome,
+    /// Per-app SEEC without cross-application arbitration.
+    pub per_app_seec: ArmOutcome,
+    /// Coordinated SEEC under the performance-market policy (the headline
+    /// regime).
+    pub coordinated: ArmOutcome,
+    /// The coordinated regime under every shipped arbitration policy
+    /// (static-share, weighted-fair, performance-market).
+    pub policies: Vec<ArmOutcome>,
+}
+
+/// The Figure-5 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// One entry per scenario mix.
+    pub scenarios: Vec<Figure5Scenario>,
+}
+
+/// Which regime a simulation cell runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Arm {
+    NoAdaptation,
+    Uncoordinated,
+    PerAppSeec,
+    CoordinatedMarket,
+    CoordinatedStatic,
+    CoordinatedWeighted,
+}
+
+impl Arm {
+    const ALL: [Arm; 6] = [
+        Arm::NoAdaptation,
+        Arm::Uncoordinated,
+        Arm::PerAppSeec,
+        Arm::CoordinatedMarket,
+        Arm::CoordinatedStatic,
+        Arm::CoordinatedWeighted,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Arm::NoAdaptation => "no-adaptation",
+            Arm::Uncoordinated => "uncoordinated",
+            Arm::PerAppSeec => "per-app-seec",
+            Arm::CoordinatedMarket => "coordinated/performance-market",
+            Arm::CoordinatedStatic => "coordinated/static-share",
+            Arm::CoordinatedWeighted => "coordinated/weighted-fair",
+        }
+    }
+
+    fn policy(self) -> Option<Box<dyn ArbitrationPolicy>> {
+        match self {
+            Arm::CoordinatedMarket => Some(Box::new(PerformanceMarket::default())),
+            Arm::CoordinatedStatic => Some(Box::new(StaticShare)),
+            Arm::CoordinatedWeighted => Some(Box::new(WeightedFair)),
+            _ => None,
+        }
+    }
+}
+
+impl Figure5 {
+    /// Runs the experiment with the workspace's canonical seed.
+    pub fn compute() -> Self {
+        Figure5::compute_with(2012)
+    }
+
+    /// Runs the experiment for an explicit seed. Every (scenario, regime)
+    /// pair is one worker cell ([`run_cells`]) with a seed derived from
+    /// `(seed, scenario, regime)`, so results are identical regardless of
+    /// worker count or interleaving.
+    pub fn compute_with(seed: u64) -> Self {
+        Figure5::compute_scenarios(&scenario_mixes(seed), seed)
+    }
+
+    /// Runs the experiment over explicit scenarios (tests use reduced
+    /// mixes).
+    pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        let server = XeonServer::dell_r410_calibrated();
+        let arms = Arm::ALL;
+        let cells: Vec<ArmOutcome> = run_cells(scenarios.len() * arms.len(), |index| {
+            let scenario = &scenarios[index / arms.len()];
+            let arm = arms[index % arms.len()];
+            let cell_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index as u64);
+            run_arm(&server, scenario, arm, cell_seed)
+        });
+        let scenarios = scenarios
+            .iter()
+            .zip(cells.chunks(arms.len()))
+            .map(|(scenario, outcomes)| Figure5Scenario {
+                name: scenario.name.clone(),
+                apps: scenario.apps.len(),
+                quanta: scenario.quanta,
+                budget_watts: budget_watts(&server, scenario),
+                no_adaptation: outcomes[0].clone(),
+                uncoordinated: outcomes[1].clone(),
+                per_app_seec: outcomes[2].clone(),
+                coordinated: outcomes[3].clone(),
+                policies: vec![outcomes[4].clone(), outcomes[5].clone(), outcomes[3].clone()],
+            })
+            .collect();
+        Figure5 { scenarios }
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "scenario            regime                          perf/W  goal%  viol%  meanW  peakW\n",
+        );
+        for scenario in &self.scenarios {
+            let mut rows: Vec<&ArmOutcome> = vec![
+                &scenario.no_adaptation,
+                &scenario.uncoordinated,
+                &scenario.per_app_seec,
+                &scenario.coordinated,
+            ];
+            rows.extend(scenario.policies.iter().take(2));
+            for (i, arm) in rows.iter().enumerate() {
+                let label = if i == 0 {
+                    format!("{} ({} apps, {:.0} W)", scenario.name, scenario.apps, scenario.budget_watts)
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!(
+                    "{label:19} {:30}  {:6.4} {:6.1} {:6.1} {:6.1} {:6.1}\n",
+                    arm.name,
+                    arm.performance_per_watt,
+                    arm.goal_attainment * 100.0,
+                    arm.cap_violation_rate * 100.0,
+                    arm.mean_power_watts,
+                    arm.peak_power_watts,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The scenario's absolute power budget: its fraction of the machine's
+/// full-load power above idle.
+pub fn budget_watts(server: &XeonServer, scenario: &Scenario) -> f64 {
+    scenario.power_budget_fraction * (server.max_power_watts() - server.idle_power_watts())
+}
+
+/// Per-app simulation state shared by every regime.
+struct AppSim {
+    /// The scenario slot (activity window, weight, seed, benchmark); the
+    /// single source of the half-open residency semantics
+    /// ([`workloads::ScenarioApp::active_at`]).
+    spec: workloads::ScenarioApp,
+    phases: Vec<QuantumDemand>,
+    /// Target work rate (work units per second): the app's solo maximum
+    /// under the default configuration, scaled by its requested fraction.
+    target_rate: f64,
+    work_per_beat: f64,
+    launch_power_watts: f64,
+    // Accumulators over the app's residency.
+    active_seconds: f64,
+    work_done: f64,
+}
+
+impl AppSim {
+    fn active_at(&self, quantum: usize) -> bool {
+        self.spec.active_at(quantum)
+    }
+
+    fn demand_at(&self, quantum: usize) -> &QuantumDemand {
+        &self.phases[(quantum - self.spec.arrival) % self.phases.len()]
+    }
+
+    /// `min(rate/target, 1)` over the app's residency.
+    fn attainment(&self) -> f64 {
+        if self.active_seconds <= 0.0 || self.target_rate <= 0.0 {
+            return 0.0;
+        }
+        (self.work_done / self.active_seconds / self.target_rate).min(1.0)
+    }
+}
+
+/// Builds the per-app simulation state for one scenario.
+fn build_apps(server: &XeonServer, scenario: &Scenario) -> Vec<AppSim> {
+    let launch = ServerConfiguration::new(1, server.pstates().len() - 1, 1.0);
+    scenario
+        .apps
+        .iter()
+        .map(|app| {
+            let workload = Workload::new(app.benchmark, app.seed);
+            let phases_len = scenario.quanta.max(8);
+            let phases = workload.quanta(phases_len);
+            let average = to_server_demand(&workload.average_quantum());
+            let solo = server.evaluate(&average, &server.default_configuration());
+            let target_rate = app.target_fraction * solo.work_units / solo.seconds;
+            let launch_power = server.evaluate(&average, &launch).power_above_idle_watts;
+            AppSim {
+                spec: *app,
+                phases,
+                target_rate,
+                work_per_beat: target_rate * QUANTUM_SECONDS / BEATS_PER_QUANTUM_AT_TARGET,
+                launch_power_watts: launch_power,
+                active_seconds: 0.0,
+                work_done: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// The per-app decision state of one regime.
+enum Controller {
+    Fixed,
+    Uncoordinated(Box<UncoordinatedRuntime>, HeartbeatedWorkload),
+    Solo(Box<SeecRuntime>, HeartbeatedWorkload),
+    /// Decisions live in the shared coordinator; the handle indexes it.
+    Coordinated(coordinator::AppHandle),
+}
+
+/// Runs one (scenario, regime) cell and reports machine-level outcomes.
+fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> ArmOutcome {
+    let mut apps = build_apps(server, scenario);
+    let budget = budget_watts(server, scenario);
+    let mut meter = MachineMeter::new(budget);
+
+    let tuned = |builder: seec::SeecRuntimeBuilder| {
+        builder
+            .anchored_estimation(true)
+            .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
+    };
+    let heartbeated = |sim: &AppSim| {
+        let workload = Workload::new(sim.spec.benchmark, sim.spec.seed);
+        let driver = HeartbeatedWorkload::with_work_per_beat(workload, sim.work_per_beat);
+        driver.set_heart_rate_goal(sim.target_rate / sim.work_per_beat);
+        driver
+    };
+
+    let mut coordinator_handles = Vec::new();
+    let mut coordinator_state: Option<Coordinator> = arm.policy().map(|policy| {
+        let mut coordinator = Coordinator::new(budget, policy);
+        for (index, sim) in apps.iter().enumerate() {
+            let driver = heartbeated(sim);
+            let runtime = tuned(
+                SeecRuntime::builder(driver.monitor())
+                    .actuators(xeon_actuators(server))
+                    .seed(seed.wrapping_add(index as u64)),
+            )
+            .build()
+            .expect("actuators registered");
+            let mut managed = ManagedApp::new(driver, runtime)
+                .with_weight(sim.spec.weight)
+                .with_arrival(sim.spec.arrival)
+                .with_phases(sim.phases.clone())
+                .with_nominal_power_hint(sim.launch_power_watts);
+            if let Some(departure) = sim.spec.departure {
+                managed = managed.with_departure(departure);
+            }
+            coordinator_handles.push(coordinator.register(managed));
+        }
+        coordinator
+    });
+
+    let mut controllers: Vec<Controller> = apps
+        .iter()
+        .enumerate()
+        .map(|(index, sim)| match arm {
+            Arm::NoAdaptation => Controller::Fixed,
+            Arm::Uncoordinated => {
+                let driver = heartbeated(sim);
+                let runtime = UncoordinatedRuntime::new_with(
+                    &driver.monitor(),
+                    xeon_actuators(server),
+                    seed.wrapping_add(index as u64),
+                    tuned,
+                )
+                .expect("actuators registered");
+                Controller::Uncoordinated(Box::new(runtime), driver)
+            }
+            Arm::PerAppSeec => {
+                let driver = heartbeated(sim);
+                let runtime = tuned(
+                    SeecRuntime::builder(driver.monitor())
+                        .actuators(xeon_actuators(server))
+                        .seed(seed.wrapping_add(index as u64)),
+                )
+                .build()
+                .expect("actuators registered");
+                Controller::Solo(Box::new(runtime), driver)
+            }
+            _ => Controller::Coordinated(coordinator_handles[index]),
+        })
+        .collect();
+
+    let mut now = 0.0;
+    let mut per_app_power = vec![0.0f64; apps.len()];
+    let mut rates = vec![0.0f64; apps.len()];
+    for quantum in 0..scenario.quanta {
+        let start = now;
+        now += QUANTUM_SECONDS;
+
+        // ---- Evaluate every active app under its current configuration.
+        let mut core_duty_total = 0.0;
+        for (index, sim) in apps.iter().enumerate() {
+            per_app_power[index] = 0.0;
+            rates[index] = 0.0;
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            let configuration = match &controllers[index] {
+                Controller::Fixed => server.default_configuration(),
+                Controller::Uncoordinated(runtime, _) => {
+                    map_configuration(server, &runtime.joint_configuration())
+                }
+                Controller::Solo(runtime, _) => {
+                    map_configuration(server, runtime.current_configuration())
+                }
+                Controller::Coordinated(handle) => {
+                    let coordinator = coordinator_state.as_ref().expect("coordinated arm");
+                    map_configuration(
+                        server,
+                        coordinator.app(*handle).runtime().current_configuration(),
+                    )
+                }
+            };
+            let report = server.evaluate(&to_server_demand(sim.demand_at(quantum)), &configuration);
+            rates[index] = report.work_units / report.seconds;
+            per_app_power[index] = report.power_above_idle_watts;
+            core_duty_total += configuration.cores as f64 * configuration.active_cycle_fraction;
+        }
+
+        // ---- Time-multiplex an oversubscribed machine: delivered cycles
+        // (work and dynamic power alike) scale down together.
+        let contention = if core_duty_total > server.total_cores() as f64 {
+            server.total_cores() as f64 / core_duty_total
+        } else {
+            1.0
+        };
+
+        let mut machine_power = 0.0;
+        for (index, sim) in apps.iter_mut().enumerate() {
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            let work = rates[index] * contention * QUANTUM_SECONDS;
+            let power = per_app_power[index] * contention;
+            machine_power += power;
+            sim.active_seconds += QUANTUM_SECONDS;
+            sim.work_done += work;
+            match &mut controllers[index] {
+                Controller::Fixed => {}
+                Controller::Uncoordinated(_, driver) | Controller::Solo(_, driver) => {
+                    driver.advance_metered(start, now, work, power);
+                }
+                Controller::Coordinated(handle) => {
+                    let coordinator = coordinator_state.as_mut().expect("coordinated arm");
+                    coordinator.advance(*handle, start, now, work, power);
+                }
+            }
+        }
+        meter.record(QUANTUM_SECONDS, machine_power);
+
+        // ---- Decide for the next quantum.
+        if let Some(coordinator) = coordinator_state.as_mut() {
+            coordinator.step(now).expect("every app declares a goal");
+        } else {
+            for (index, sim) in apps.iter().enumerate() {
+                if !sim.active_at(quantum) {
+                    continue;
+                }
+                match &mut controllers[index] {
+                    Controller::Fixed | Controller::Coordinated(_) => {}
+                    Controller::Uncoordinated(runtime, _) => {
+                        runtime.decide(now).expect("goal declared");
+                    }
+                    Controller::Solo(runtime, _) => {
+                        runtime.decide(now).expect("goal declared");
+                    }
+                }
+            }
+        }
+    }
+
+    let attainments: Vec<f64> = apps.iter().map(AppSim::attainment).collect();
+    let goal_attainment = attainments.iter().sum::<f64>() / attainments.len().max(1) as f64;
+    let mean_power = meter.mean_watts();
+    let performance_per_watt = if mean_power > 0.0 {
+        attainments.iter().sum::<f64>() / mean_power
+    } else {
+        0.0
+    };
+    ArmOutcome {
+        name: arm.name().to_string(),
+        performance_per_watt,
+        goal_attainment,
+        cap_violation_rate: meter.violation_rate(),
+        mean_power_watts: mean_power,
+        peak_power_watts: meter.peak_watts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reduced_scenarios(seed: u64) -> Vec<Scenario> {
+        let mut scenarios = scenario_mixes(seed);
+        for scenario in &mut scenarios {
+            scenario.quanta = 40;
+            for app in &mut scenario.apps {
+                app.arrival = app.arrival.min(20);
+                if let Some(departure) = &mut app.departure {
+                    *departure = (*departure).clamp(app.arrival + 5, 40);
+                }
+            }
+        }
+        scenarios
+    }
+
+    #[test]
+    fn coordinated_beats_uncoordinated_and_holds_the_cap() {
+        let fig = Figure5::compute_scenarios(&reduced_scenarios(2012), 2012);
+        assert_eq!(fig.scenarios.len(), 3);
+        for scenario in &fig.scenarios {
+            assert!(
+                scenario.coordinated.performance_per_watt
+                    > scenario.uncoordinated.performance_per_watt,
+                "{}: coordinated ({:.4}) must beat uncoordinated ({:.4}) on perf/W",
+                scenario.name,
+                scenario.coordinated.performance_per_watt,
+                scenario.uncoordinated.performance_per_watt
+            );
+            assert_eq!(
+                scenario.coordinated.cap_violation_rate, 0.0,
+                "{}: coordinated SEEC must hold the cap",
+                scenario.name
+            );
+            assert!(
+                scenario.no_adaptation.cap_violation_rate > 0.5,
+                "{}: flat-out no-adaptation must blow the budget",
+                scenario.name
+            );
+            assert!(scenario.coordinated.goal_attainment > 0.0);
+            assert!(scenario.budget_watts > 0.0);
+            assert_eq!(scenario.policies.len(), 3);
+        }
+        assert!(fig.to_table().contains("coordinated/performance-market"));
+    }
+
+    #[test]
+    fn fig5_is_deterministic_across_runs_including_the_threaded_path() {
+        let scenarios = reduced_scenarios(7);
+        let a = Figure5::compute_scenarios(&scenarios, 7);
+        let b = Figure5::compute_scenarios(&scenarios, 7);
+        assert_eq!(a, b);
+        let c = Figure5::compute_scenarios(&scenarios, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+}

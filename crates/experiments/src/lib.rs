@@ -15,6 +15,11 @@
 //! * [`fig4`] — anticipated SEEC results on the 256-core Angstrom (Figure 4):
 //!   no adaptation, static oracle, and predicted SEEC (static oracle scaled
 //!   by the SEEC-vs-static-oracle multiplier measured in Figure 3).
+//! * [`fig5`] — reproduction-specific: many self-aware applications sharing
+//!   the calibrated R410 under a machine power budget, comparing
+//!   no-adaptation / uncoordinated composition / per-app SEEC / coordinated
+//!   SEEC (the [`coordinator`] subsystem) on goal-weighted perf/W and
+//!   cap-violation rate.
 //! * [`ablation`] — design-choice ablations this reproduction calls out in
 //!   DESIGN.md: partner-core decision placement, adaptive NoC features, and
 //!   adaptive cache coherence.
@@ -31,9 +36,11 @@ pub mod driver;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod fig5;
 pub mod pareto;
 pub mod sweep;
 
 pub use fig2::Figure2;
 pub use fig3::{Figure3, Figure3Row};
 pub use fig4::{Figure4, Figure4Row};
+pub use fig5::{Figure5, Figure5Scenario};

@@ -47,6 +47,7 @@ pub use error::HeartbeatError;
 pub use goal::{AccuracyGoal, Goal, GoalKind, PerformanceGoal, PowerGoal};
 pub use record::{BeatSeq, HeartbeatRecord, Tag};
 pub use registry::{
-    HeartbeatIssuer, HeartbeatMonitor, HeartbeatRegistry, MonitorObservation, RegistryStats,
+    observe_fleet, HeartbeatIssuer, HeartbeatMonitor, HeartbeatRegistry, MonitorObservation,
+    RegistryStats,
 };
 pub use window::{HeartRateStats, Window};

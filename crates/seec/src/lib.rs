@@ -74,6 +74,6 @@ pub mod uncoordinated;
 
 pub use error::SeecError;
 pub use model::{ActionModel, ExplorationPolicy};
-pub use runtime::{Decision, SeecRuntime, SeecRuntimeBuilder};
+pub use runtime::{CapDecision, Decision, SeecRuntime, SeecRuntimeBuilder};
 pub use schedule::ActuationSchedule;
 pub use uncoordinated::UncoordinatedRuntime;

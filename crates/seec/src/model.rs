@@ -131,6 +131,7 @@ impl ActionModel {
         self.policy = policy;
     }
 
+
     /// The configuration space this model covers.
     pub fn space(&self) -> &ConfigurationSpace {
         &self.space
@@ -248,16 +249,41 @@ impl ActionModel {
     /// explored instead. Ties break toward the smaller id, like the
     /// first-match scan this replaces.
     pub fn choose_id(&mut self, required_speedup: f64, current: ConfigId) -> ConfigId {
-        // Walk the power-sorted index: the first id meeting the speedup
+        self.choose_id_capped(required_speedup, current, f64::INFINITY)
+    }
+
+    /// [`Self::choose_id`] restricted to configurations whose believed
+    /// powerup is at most `max_powerup` — the admissible prefix of the
+    /// power-sorted index under a power envelope. With an infinite cap this
+    /// is exactly `choose_id` (same comparisons, same RNG draws, same
+    /// result). When even the cheapest configuration exceeds the cap, the
+    /// cheapest is returned: an application cannot run in no configuration,
+    /// so the envelope degrades to "as cheap as the action space allows".
+    pub fn choose_id_capped(
+        &mut self,
+        required_speedup: f64,
+        current: ConfigId,
+        max_powerup: f64,
+    ) -> ConfigId {
+        // Admissible prefix of the power-sorted index (the whole index for
+        // an infinite cap), floored at one so the cheapest is always a
+        // candidate.
+        let admissible = self.power_boundary(max_powerup).max(1).min(self.by_power.len());
+        // Walk the power-sorted prefix: the first id meeting the speedup
         // requirement is the cheapest meeting it (ties by id). Usually an
         // early exit; the scan it replaced was always O(cardinality) with a
         // settings-vector allocation per step.
-        let meeting = self
-            .by_power
+        let meeting = self.by_power[..admissible]
             .iter()
             .copied()
             .find(|id| self.beliefs[id.index()].speedup >= required_speedup);
-        let exploit = meeting.unwrap_or_else(|| self.fastest());
+        let exploit = meeting.unwrap_or_else(|| {
+            if admissible == self.by_power.len() {
+                self.fastest()
+            } else {
+                self.fastest_within(admissible)
+            }
+        });
 
         let explore =
             self.is_diverged() || self.rng.gen_bool(self.policy.epsilon.clamp(0.0, 1.0));
@@ -265,10 +291,25 @@ impl ActionModel {
             let count = self.table.neighbor_count();
             if count > 0 {
                 let pick = self.rng.gen_range(0..count);
-                return self.table.neighbor(current, pick);
+                let neighbor = self.table.neighbor(current, pick);
+                // An exploration step must not breach the power envelope;
+                // over-cap neighbours fall back to the exploit choice.
+                if self.beliefs[neighbor.index()].powerup <= max_powerup {
+                    return neighbor;
+                }
             }
         }
         exploit
+    }
+
+    /// Length of the admissible prefix of the power-sorted index under
+    /// `max_powerup` (the whole index for an infinite cap).
+    fn power_boundary(&self, max_powerup: f64) -> usize {
+        if max_powerup == f64::INFINITY {
+            return self.by_power.len();
+        }
+        self.by_power
+            .partition_point(|id| self.beliefs[id.index()].powerup <= max_powerup)
     }
 
     /// Configuration-typed convenience wrapper over [`Self::choose_id`].
@@ -297,6 +338,23 @@ impl ActionModel {
             [self.by_speedup.partition_point(|id| self.beliefs[id.index()].speedup < top_speedup)]
     }
 
+    /// The id with the highest believed speedup among the first `admissible`
+    /// entries of the power-sorted index (smallest id on ties) — what
+    /// [`Self::fastest`] degrades to under a power envelope. Equals
+    /// `fastest()` when the whole index is admissible.
+    fn fastest_within(&self, admissible: usize) -> ConfigId {
+        let mut best = self.by_power[0];
+        let mut best_speedup = self.beliefs[best.index()].speedup;
+        for &id in &self.by_power[1..admissible] {
+            let speedup = self.beliefs[id.index()].speedup;
+            if speedup > best_speedup || (speedup == best_speedup && id < best) {
+                best = id;
+                best_speedup = speedup;
+            }
+        }
+        best
+    }
+
     /// The bracketing configuration *below* a required speedup: among the
     /// configurations whose believed speedup is less than `required_speedup`,
     /// the fastest one (ties broken toward lower power, then smaller id).
@@ -305,21 +363,40 @@ impl ActionModel {
     /// the schedule alternates between adjacent operating points rather than
     /// between extremes.
     pub fn bracket_below_id(&self, required_speedup: f64) -> (ConfigId, f64) {
+        self.bracket_below_id_capped(required_speedup, f64::INFINITY)
+    }
+
+    /// [`Self::bracket_below_id`] restricted to configurations whose
+    /// believed powerup is at most `max_powerup`. With an infinite cap this
+    /// is exactly `bracket_below_id`; under a finite cap, over-envelope
+    /// configurations are skipped while walking down the speedup index, and
+    /// when nothing under the requirement is admissible the overall cheapest
+    /// configuration is returned (the same floor [`Self::choose_id_capped`]
+    /// degrades to).
+    pub fn bracket_below_id_capped(
+        &self,
+        required_speedup: f64,
+        max_powerup: f64,
+    ) -> (ConfigId, f64) {
         let boundary = self
             .by_speedup
             .partition_point(|id| self.beliefs[id.index()].speedup < required_speedup);
-        if boundary == 0 {
-            return self.cheapest_id();
-        }
-        // The candidates' maximum speedup is at `boundary - 1`; walk the
-        // equal-speedup run below it picking the lowest power (ties by id).
-        let best_speedup = self.beliefs[self.by_speedup[boundary - 1].index()].speedup;
+        // Walk down from the fastest candidate, skipping over-cap entries;
+        // the first admissible entry fixes the bracket's speedup and the
+        // rest of its equal-speedup run competes on lowest power (ties by
+        // id). With an infinite cap nothing is skipped, so the walk is the
+        // original: the run below `boundary - 1`.
         let mut best: Option<(ConfigId, f64)> = None;
+        let mut best_speedup = f64::NEG_INFINITY;
         for &id in self.by_speedup[..boundary].iter().rev() {
             let belief = self.beliefs[id.index()];
             if belief.speedup < best_speedup {
                 break;
             }
+            if belief.powerup > max_powerup {
+                continue;
+            }
+            best_speedup = belief.speedup;
             let better = match best {
                 None => true,
                 Some((best_id, power)) => {
@@ -330,8 +407,10 @@ impl ActionModel {
                 best = Some((id, belief.powerup));
             }
         }
-        let (id, _) = best.expect("run is non-empty");
-        (id, best_speedup)
+        match best {
+            Some((id, _)) => (id, best_speedup),
+            None => self.cheapest_id(),
+        }
     }
 
     /// Configuration-typed convenience wrapper over
@@ -617,6 +696,83 @@ mod tests {
         assert_eq!(before.speedup, after.speedup);
         assert_eq!(before.powerup, after.powerup);
         assert_eq!(after.observations, 1);
+    }
+
+    #[test]
+    fn infinite_cap_matches_the_uncapped_selections() {
+        // Same observation schedule driven into two models (identical seeds):
+        // one queried uncapped, one with an infinite cap. Results — and the
+        // RNG streams, exercised via a non-zero epsilon — must be identical.
+        let mut uncapped = ActionModel::new(space(), 11);
+        let mut capped = ActionModel::new(space(), 11);
+        let policy = ExplorationPolicy {
+            epsilon: 0.3,
+            ..ExplorationPolicy::default()
+        };
+        uncapped.set_policy(policy);
+        capped.set_policy(policy);
+        let nominal = uncapped.table().nominal();
+        for step in 0..100 {
+            let id = ConfigId((step * 7 % uncapped.table().len()) as u32);
+            let speedup = 0.3 + (step % 17) as f64 * 0.2;
+            let powerup = 0.3 + (step % 13) as f64 * 0.3;
+            uncapped.observe_id(id, speedup, powerup);
+            capped.observe_id(id, speedup, powerup);
+            for i in 0..8 {
+                let required = i as f64 * 0.5;
+                assert_eq!(
+                    uncapped.bracket_below_id(required),
+                    capped.bracket_below_id_capped(required, f64::INFINITY)
+                );
+                assert_eq!(
+                    uncapped.choose_id(required, nominal),
+                    capped.choose_id_capped(required, nominal, f64::INFINITY),
+                    "step {step} required {required}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_selection_stays_inside_the_envelope() {
+        let mut model = ActionModel::new(space(), 1);
+        model.set_policy(no_exploration());
+        let nominal = model.table().nominal();
+        // Believed powers: 0.4, 1.0, 1.4, 3.5 (dvfs x cores products).
+        // Cap at 1.5: [1,1] (3.0x at 3.5) is inadmissible, so a 2.5x
+        // requirement degrades to the fastest admissible, [0,1] (1.5x).
+        let choice = model.choose_id_capped(2.5, nominal, 1.5);
+        assert_eq!(model.table().config_of(choice), Configuration::new(vec![0, 1]));
+        // The bracket below a requirement also skips over-cap entries.
+        let (id, speedup) = model.bracket_below_id_capped(10.0, 1.5);
+        assert_eq!(model.table().config_of(id), Configuration::new(vec![0, 1]));
+        assert!((speedup - 1.5).abs() < 1e-12);
+        // A cap below even the cheapest configuration degrades to the
+        // cheapest rather than selecting nothing.
+        let choice = model.choose_id_capped(1.0, nominal, 0.1);
+        assert_eq!(model.table().config_of(choice), Configuration::new(vec![0, 0]));
+        let (id, _) = model.bracket_below_id_capped(0.3, 0.1);
+        assert_eq!(model.table().config_of(id), Configuration::new(vec![0, 0]));
+    }
+
+    #[test]
+    fn capped_exploration_never_breaches_the_envelope() {
+        let mut model = ActionModel::new(space(), 5);
+        // Always explore: epsilon 1.0.
+        model.set_policy(ExplorationPolicy {
+            epsilon: 1.0,
+            divergence_threshold: 0.5,
+            patience: 3,
+        });
+        let nominal = model.table().nominal();
+        let cap = 1.5;
+        for _ in 0..200 {
+            let choice = model.choose_id_capped(1.0, nominal, cap);
+            assert!(
+                model.believed(choice).powerup <= cap,
+                "exploration must clamp to the envelope"
+            );
+        }
     }
 
     #[test]

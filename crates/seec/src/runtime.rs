@@ -1,7 +1,7 @@
 //! The SEEC runtime: the full observe–decide–act loop.
 
 use actuation::{Actuator, ActuatorSpec, ConfigId, Configuration, ConfigurationSpace};
-use heartbeats::HeartbeatMonitor;
+use heartbeats::{HeartbeatMonitor, MonitorObservation};
 use serde::{Deserialize, Serialize};
 
 use crate::control::{KalmanEstimator, PiController};
@@ -26,6 +26,42 @@ pub struct Decision {
     pub estimated_nominal_rate: f64,
 }
 
+/// The outcome of one power-capped decision period
+/// ([`SeecRuntime::decide_under_power_cap`]): plain `Copy` data over
+/// interned ids, so a coordinator stepping hundreds of applications per
+/// quantum allocates nothing per decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapDecision {
+    /// Interned handle of the configuration applied for the coming period.
+    pub configuration: ConfigId,
+    /// Speedup over nominal the controller asked for.
+    pub required_speedup: f64,
+    /// Whether the performance goal was met over the last observation window
+    /// (`None` when too little has been observed).
+    pub goal_met: Option<bool>,
+    /// The runtime's current estimate of the application's heart rate in the
+    /// nominal configuration.
+    pub estimated_nominal_rate: f64,
+    /// Believed speedup of the applied configuration.
+    pub believed_speedup: f64,
+    /// Believed power multiplier of the applied configuration — what the
+    /// caller's envelope was checked against.
+    pub believed_powerup: f64,
+}
+
+/// What [`SeecRuntime::decide_core`] resolves before any owned
+/// configuration is materialised: interned ids and `Copy` scalars only.
+#[derive(Debug, Clone, Copy)]
+struct CoreDecision {
+    applied: ConfigId,
+    schedule: IdSchedule,
+    required_speedup: f64,
+    goal_met: Option<bool>,
+    estimated_nominal_rate: f64,
+    upper_speedup: f64,
+    lower_speedup: f64,
+}
+
 /// Builder for [`SeecRuntime`].
 pub struct SeecRuntimeBuilder {
     monitor: HeartbeatMonitor,
@@ -34,6 +70,7 @@ pub struct SeecRuntimeBuilder {
     controller: PiController,
     estimator: KalmanEstimator,
     policy: ExplorationPolicy,
+    anchored_estimation: bool,
     seed: u64,
 }
 
@@ -82,6 +119,35 @@ impl SeecRuntimeBuilder {
     /// Sets the exploration (machine-learning layer) policy.
     pub fn exploration(mut self, policy: ExplorationPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables anchored estimation (default off).
+    ///
+    /// The nominal-rate and nominal-power estimators attribute each
+    /// observation window to the *believed* speedups of the configurations
+    /// that ran in it. Windows dominated by never-observed configurations
+    /// attribute against declared effects, which on real platforms are
+    /// systematically optimistic (linear core scaling vs. Amdahl); the
+    /// estimators absorb those under-estimates, the whole belief scale
+    /// drifts to stay self-consistent with the deflated baseline, and the
+    /// controller ends up demanding more speedup than the goal needs —
+    /// permanently excluding the cheapest sufficient configurations (their
+    /// declared speedups sit below the inflated requirement, so they are
+    /// never tried and never corrected).
+    ///
+    /// With anchoring on, the baselines freeze after their first
+    /// observation window — which covers the launch (nominal)
+    /// configuration, whose unity effect is exact by definition. Beliefs
+    /// are then always corrected against the same fixed ruler, so the
+    /// gauge cannot drift: the requirement converges to the true needed
+    /// speedup and the cheapest-sufficient search works as designed (phase
+    /// drift in the application's underlying speed is handled by the
+    /// controller's integral action rather than by re-estimating the
+    /// baseline). Off (the default), estimation is bit-for-bit the
+    /// historical behaviour.
+    pub fn anchored_estimation(mut self, enabled: bool) -> Self {
+        self.anchored_estimation = enabled;
         self
     }
 
@@ -134,6 +200,7 @@ impl SeecRuntimeBuilder {
             current_id,
             schedule_accumulator: 0.0,
             decisions: 0,
+            anchored_estimation: self.anchored_estimation,
             history,
         })
     }
@@ -194,6 +261,8 @@ pub struct SeecRuntime {
     current_id: ConfigId,
     schedule_accumulator: f64,
     decisions: u64,
+    /// See [`SeecRuntimeBuilder::anchored_estimation`].
+    anchored_estimation: bool,
     history: std::collections::VecDeque<AppliedSegment>,
 }
 
@@ -218,6 +287,7 @@ impl SeecRuntime {
             controller: PiController::default_tuning(),
             estimator: KalmanEstimator::default_tuning(),
             policy: ExplorationPolicy::default(),
+            anchored_estimation: false,
             seed: 0x5eec,
         }
     }
@@ -242,9 +312,33 @@ impl SeecRuntime {
         self.estimator.estimate()
     }
 
+    /// Current estimate of the power the application draws in the nominal
+    /// configuration, in watts — `None` until at least one power sample has
+    /// been attributed to the application. A coordinator divides an awarded
+    /// watt envelope by this to obtain the powerup cap it hands to
+    /// [`Self::decide_under_power_cap`].
+    pub fn estimated_nominal_power(&self) -> Option<f64> {
+        self.power_estimator
+            .is_initialised()
+            .then(|| self.power_estimator.estimate())
+    }
+
+    /// Interned handle of the configuration currently applied.
+    pub fn current_config_id(&self) -> ConfigId {
+        self.current_id
+    }
+
     /// The target heart rate in force (override or the application's goal).
+    /// Reads the application's registry; on a hot path that already holds a
+    /// [`MonitorObservation`], combine [`Self::target_override`] with the
+    /// observation's target instead.
     pub fn target_heart_rate(&self) -> Option<f64> {
         self.target_override.or_else(|| self.monitor.target_heart_rate())
+    }
+
+    /// The builder-supplied target override, if any (no registry read).
+    pub fn target_override(&self) -> Option<f64> {
+        self.target_override
     }
 
     /// Runs one observe–decide–act iteration at simulation time `now`.
@@ -258,7 +352,113 @@ impl SeecRuntime {
         // ---- Observe -------------------------------------------------
         // One snapshot, one lock: stats, goal target, goal attainment, the
         // last beat time, and mean power all come from the same read.
-        let obs = self.monitor.observation();
+        let observation = self.monitor.observation();
+        self.decide_with_observation(now, &observation)
+    }
+
+    /// [`Self::decide`] against a caller-supplied snapshot of this
+    /// runtime's monitor. Lets a caller that already holds an observation —
+    /// e.g. [`crate::UncoordinatedRuntime`], whose instances all watch the
+    /// same application — skip the redundant registry read; the result is
+    /// identical to `decide` as long as `observation` came from this
+    /// runtime's monitor and nothing beat in between.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::decide`].
+    pub fn decide_with_observation(
+        &mut self,
+        now: f64,
+        observation: &MonitorObservation,
+    ) -> Result<Decision, SeecError> {
+        let core = self.decide_core(now, observation, f64::INFINITY)?;
+        // Materialise owned configurations only for the Decision record the
+        // caller sees.
+        let table = self.model.table();
+        let schedule = if core.schedule.upper == core.schedule.lower {
+            ActuationSchedule::steady(
+                table.config_of(core.schedule.upper),
+                core.schedule.expected_speedup,
+            )
+        } else {
+            ActuationSchedule::bracketing(
+                table.config_of(core.schedule.upper),
+                core.upper_speedup,
+                table.config_of(core.schedule.lower),
+                core.lower_speedup,
+                core.required_speedup,
+            )
+        };
+        Ok(Decision {
+            configuration: self.current.clone(),
+            required_speedup: core.required_speedup,
+            schedule,
+            goal_met: core.goal_met,
+            estimated_nominal_rate: core.estimated_nominal_rate,
+        })
+    }
+
+    /// One observe–decide–act iteration restricted to configurations whose
+    /// believed power multiplier is at most `max_powerup` — the
+    /// decide-under-power-envelope entry point a multi-application
+    /// coordinator calls after arbitration. Selection, bracketing, and
+    /// exploration all run on the admissible prefix of the model's
+    /// power-sorted index; nothing is allocated on this path and the result
+    /// is plain `Copy` data. An infinite `max_powerup` behaves exactly like
+    /// [`Self::decide`].
+    ///
+    /// When even the cheapest configuration's believed powerup exceeds the
+    /// cap, the cheapest is applied — an application cannot run in no
+    /// configuration, so an infeasibly small envelope degrades to "as cheap
+    /// as the action space allows".
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::decide`].
+    pub fn decide_under_power_cap(
+        &mut self,
+        now: f64,
+        max_powerup: f64,
+    ) -> Result<CapDecision, SeecError> {
+        let observation = self.monitor.observation();
+        self.decide_under_power_cap_with_observation(now, &observation, max_powerup)
+    }
+
+    /// [`Self::decide_under_power_cap`] against a caller-supplied snapshot
+    /// (see [`Self::decide_with_observation`] for the snapshot contract).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::decide`].
+    pub fn decide_under_power_cap_with_observation(
+        &mut self,
+        now: f64,
+        observation: &MonitorObservation,
+        max_powerup: f64,
+    ) -> Result<CapDecision, SeecError> {
+        let core = self.decide_core(now, observation, max_powerup)?;
+        let applied = self.model.believed(core.applied);
+        Ok(CapDecision {
+            configuration: core.applied,
+            required_speedup: core.required_speedup,
+            goal_met: core.goal_met,
+            estimated_nominal_rate: core.estimated_nominal_rate,
+            believed_speedup: applied.speedup,
+            believed_powerup: applied.powerup,
+        })
+    }
+
+    /// The full decision pipeline over interned ids: observe (from the
+    /// supplied snapshot), track, learn, select under `max_powerup`, and
+    /// act. Both the uncapped path (`max_powerup = ∞`, whose selections are
+    /// bit-identical to the historical `decide`) and the power-envelope
+    /// path run through here, so they can never drift apart.
+    fn decide_core(
+        &mut self,
+        now: f64,
+        obs: &MonitorObservation,
+        max_powerup: f64,
+    ) -> Result<CoreDecision, SeecError> {
         let target = self
             .target_override
             .or(obs.target_heart_rate)
@@ -274,14 +474,35 @@ impl SeecRuntime {
         });
 
         if stats.beats_in_window < 2 || observed <= 0.0 {
-            // Not enough feedback yet: stay at the current configuration.
+            // Not enough feedback yet: stay at the current configuration —
+            // unless it breaches the power envelope. A stalled application
+            // must not sit above its awarded envelope indefinitely, so the
+            // capped path falls to the cheapest configuration (the floor
+            // every envelope degrades to). Never taken by the uncapped
+            // path (`max_powerup = ∞`), whose behaviour is unchanged.
+            if self.model.believed(self.current_id).powerup > max_powerup {
+                let (cheapest, _) = self.model.cheapest_id();
+                self.apply_id(cheapest)?;
+                let applied = self.model.believed(cheapest);
+                if self.history.len() == HISTORY_CAPACITY {
+                    self.history.pop_front();
+                }
+                self.history.push_back(AppliedSegment {
+                    start: now,
+                    id: cheapest,
+                    speedup: applied.speedup,
+                    powerup: applied.powerup,
+                });
+            }
             self.decisions += 1;
-            return Ok(Decision {
-                configuration: self.current.clone(),
+            return Ok(CoreDecision {
+                applied: self.current_id,
+                schedule: IdSchedule::steady(self.current_id, 1.0),
                 required_speedup: 1.0,
-                schedule: ActuationSchedule::steady(self.current.clone(), 1.0),
                 goal_met,
                 estimated_nominal_rate: self.estimator.estimate(),
+                upper_speedup: 1.0,
+                lower_speedup: 1.0,
             });
         }
 
@@ -304,7 +525,17 @@ impl SeecRuntime {
         let window_start = window_end - window_duration;
         let attribution = self.window_attribution(window_start, window_end);
         let nominal_rate_observation = observed / attribution.speedup.max(1e-9);
-        let base_rate = self.estimator.observe(nominal_rate_observation);
+        // Under anchored estimation, the baselines freeze after their
+        // first (launch-configuration) observation: absorbing later windows
+        // lets optimistic declared effects deflate the baseline and drift
+        // the whole belief scale (see
+        // [`SeecRuntimeBuilder::anchored_estimation`]).
+        let anchored_hold = self.anchored_estimation && self.estimator.is_initialised();
+        let base_rate = if anchored_hold {
+            self.estimator.estimate()
+        } else {
+            self.estimator.observe(nominal_rate_observation)
+        };
 
         // Power baseline: the window's mean power divided by the mixture
         // powerup estimates the nominal-configuration power.
@@ -312,7 +543,11 @@ impl SeecRuntime {
         let nominal_power = match mean_power {
             Some(power) if power > 0.0 => {
                 let observation = power / attribution.powerup.max(1e-9);
-                Some(self.power_estimator.observe(observation))
+                if anchored_hold && self.power_estimator.is_initialised() {
+                    Some(self.power_estimator.estimate())
+                } else {
+                    Some(self.power_estimator.observe(observation))
+                }
             }
             _ => None,
         };
@@ -341,11 +576,15 @@ impl SeecRuntime {
 
         // ---- Decide: classical control + model-based selection --------
         // Selection and scheduling run entirely on interned ids: no
-        // settings vector is allocated anywhere on this path.
+        // settings vector is allocated anywhere on this path. Under a
+        // finite power cap both ends of the schedule come from the
+        // admissible prefix of the power index.
         let required = self.controller.next_speedup(target, observed, base_rate);
-        let upper = self.model.choose_id(required, self.current_id);
+        let upper = self.model.choose_id_capped(required, self.current_id, max_powerup);
         let upper_speedup = self.model.believed(upper).speedup;
-        let (lower, lower_speedup) = self.model.bracket_below_id(upper_speedup.min(required));
+        let (lower, lower_speedup) = self
+            .model
+            .bracket_below_id_capped(upper_speedup.min(required), max_powerup);
         let schedule = if upper == lower {
             IdSchedule::steady(upper, upper_speedup)
         } else {
@@ -366,26 +605,14 @@ impl SeecRuntime {
             powerup: applied.powerup,
         });
         self.decisions += 1;
-        // Materialise owned configurations only for the Decision record the
-        // caller sees.
-        let table = self.model.table();
-        let schedule = if schedule.upper == schedule.lower {
-            ActuationSchedule::steady(table.config_of(schedule.upper), schedule.expected_speedup)
-        } else {
-            ActuationSchedule::bracketing(
-                table.config_of(schedule.upper),
-                upper_speedup,
-                table.config_of(schedule.lower),
-                lower_speedup,
-                required,
-            )
-        };
-        Ok(Decision {
-            configuration: self.current.clone(),
-            required_speedup: required,
+        Ok(CoreDecision {
+            applied: next,
             schedule,
+            required_speedup: required,
             goal_met,
             estimated_nominal_rate: base_rate,
+            upper_speedup,
+            lower_speedup,
         })
     }
 
@@ -783,6 +1010,118 @@ mod tests {
         runtime.apply(&config).unwrap();
         assert_eq!(runtime.current_configuration(), &config);
         assert!(format!("{runtime:?}").contains("SeecRuntime"));
+    }
+
+    #[test]
+    fn infinite_power_cap_reproduces_the_uncapped_run() {
+        // Two identical closed loops, one driven through decide(), one
+        // through decide_under_power_cap(∞): applied configurations must
+        // match step for step.
+        let run = |capped: bool| {
+            let registry = HeartbeatRegistry::new("app");
+            registry
+                .issuer()
+                .set_goal(Goal::Performance(PerformanceGoal::heart_rate(20.0)));
+            let mut runtime = SeecRuntime::builder(registry.monitor())
+                .actuator(Box::new(TableActuator::new(dvfs_spec())))
+                .actuator(Box::new(TableActuator::new(cores_spec())))
+                .seed(3)
+                .build()
+                .unwrap();
+            let issuer = registry.issuer();
+            let mut now = 0.0;
+            let mut configs = Vec::new();
+            for _ in 0..30 {
+                for _ in 0..4 {
+                    now += 0.05;
+                    issuer.heartbeat(now);
+                }
+                if capped {
+                    let decision = runtime.decide_under_power_cap(now, f64::INFINITY).unwrap();
+                    configs.push(runtime.model().table().config_of(decision.configuration));
+                } else {
+                    let decision = runtime.decide(now).unwrap();
+                    configs.push(decision.configuration);
+                }
+            }
+            configs
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn power_cap_keeps_the_applied_configuration_inside_the_envelope() {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(40.0)));
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .actuator(Box::new(TableActuator::new(cores_spec())))
+            .exploration(no_exploration())
+            .build()
+            .unwrap();
+        let issuer = registry.issuer();
+        let monitor = registry.monitor();
+        // The goal needs ~4x the nominal 10 beats/s, but the envelope only
+        // admits configurations up to 2.1x power: the runtime must stay
+        // inside it (fastest admissible) rather than chase the goal.
+        let cap = 2.1;
+        let mut now = 0.0;
+        for _ in 0..40 {
+            let effect = runtime
+                .model()
+                .space()
+                .predicted_effect(runtime.current_configuration())
+                .unwrap();
+            let rate = 10.0 * effect.performance;
+            for _ in 0..8 {
+                now += 1.0 / rate;
+                issuer.heartbeat(now);
+            }
+            monitor.record_power_sample(now, 10.0 * effect.power);
+            let decision = runtime.decide_under_power_cap(now, cap).unwrap();
+            assert!(
+                decision.believed_powerup <= cap + 1e-9,
+                "applied powerup {} exceeds the {cap} envelope",
+                decision.believed_powerup
+            );
+        }
+        assert!(runtime.decisions_made() >= 40);
+        // The power estimator converged on the ~10 W nominal draw.
+        let nominal_power = runtime.estimated_nominal_power().unwrap();
+        assert!(
+            (nominal_power - 10.0).abs() < 3.0,
+            "nominal power estimate should near 10 W, got {nominal_power}"
+        );
+    }
+
+    #[test]
+    fn stalled_app_above_its_envelope_falls_to_the_cheapest_configuration() {
+        let registry = HeartbeatRegistry::new("app");
+        registry
+            .issuer()
+            .set_goal(Goal::Performance(PerformanceGoal::heart_rate(10.0)));
+        let mut runtime = SeecRuntime::builder(registry.monitor())
+            .actuator(Box::new(TableActuator::new(dvfs_spec())))
+            .actuator(Box::new(TableActuator::new(cores_spec())))
+            .build()
+            .unwrap();
+        // Manually park the app in the most expensive configuration, then
+        // cut its envelope while it emits no beats: the capped decide must
+        // not leave it over-envelope just because feedback is missing.
+        runtime.apply(&Configuration::new(vec![2, 2])).unwrap();
+        let decision = runtime.decide_under_power_cap(1.0, 0.5).unwrap();
+        assert_eq!(
+            runtime.current_configuration(),
+            &Configuration::new(vec![0, 0]),
+            "stalled over-cap app must fall to the cheapest configuration"
+        );
+        assert!(decision.goal_met.is_none());
+        // The uncapped stall path still keeps the current configuration.
+        runtime.apply(&Configuration::new(vec![2, 2])).unwrap();
+        let _ = runtime.decide(2.0).unwrap();
+        assert_eq!(runtime.current_configuration(), &Configuration::new(vec![2, 2]));
     }
 
     #[test]

@@ -18,6 +18,9 @@ use crate::runtime::{Decision, SeecRuntime};
 /// A bundle of independent single-actuator SEEC runtimes sharing one goal.
 pub struct UncoordinatedRuntime {
     runtimes: Vec<SeecRuntime>,
+    /// The shared application monitor, kept so one decision round takes one
+    /// registry snapshot instead of one per instance.
+    monitor: HeartbeatMonitor,
 }
 
 impl std::fmt::Debug for UncoordinatedRuntime {
@@ -41,22 +44,41 @@ impl UncoordinatedRuntime {
         actuators: Vec<Box<dyn Actuator>>,
         seed: u64,
     ) -> Result<Self, SeecError> {
+        Self::new_with(monitor, actuators, seed, |builder| builder)
+    }
+
+    /// Like [`Self::new`], but `tune` customises every per-actuator
+    /// runtime's builder (controller tuning, anchored estimation, ...) so
+    /// the uncoordinated baseline can be configured identically to the
+    /// coordinated runtime it is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn new_with(
+        monitor: &HeartbeatMonitor,
+        actuators: Vec<Box<dyn Actuator>>,
+        seed: u64,
+        tune: impl Fn(crate::SeecRuntimeBuilder) -> crate::SeecRuntimeBuilder,
+    ) -> Result<Self, SeecError> {
         if actuators.is_empty() {
             return Err(SeecError::NoActuators);
         }
         let mut runtimes = Vec::new();
         for (i, actuator) in actuators.into_iter().enumerate() {
-            let runtime = SeecRuntime::builder(monitor.clone())
+            let builder = SeecRuntime::builder(monitor.clone())
                 .actuator(actuator)
                 .exploration(ExplorationPolicy {
                     epsilon: 0.0,
                     ..ExplorationPolicy::default()
                 })
-                .seed(seed.wrapping_add(i as u64))
-                .build()?;
-            runtimes.push(runtime);
+                .seed(seed.wrapping_add(i as u64));
+            runtimes.push(tune(builder).build()?);
         }
-        Ok(UncoordinatedRuntime { runtimes })
+        Ok(UncoordinatedRuntime {
+            runtimes,
+            monitor: monitor.clone(),
+        })
     }
 
     /// Number of independent instances (one per actuator).
@@ -67,11 +89,21 @@ impl UncoordinatedRuntime {
     /// Runs one decision period of every instance and returns the combined
     /// joint configuration (instance `i` controls position `i`).
     ///
+    /// Every instance observes the same application, so the registry is
+    /// snapshotted once and shared — one lock acquisition per decision
+    /// round instead of one per instance. Nothing writes the registry
+    /// between the per-instance reads this replaces, so results are
+    /// identical to each instance observing independently.
+    ///
     /// # Errors
     ///
     /// Propagates the first error from any instance.
     pub fn decide(&mut self, now: f64) -> Result<Vec<Decision>, SeecError> {
-        self.runtimes.iter_mut().map(|r| r.decide(now)).collect()
+        let observation = self.monitor.observation();
+        self.runtimes
+            .iter_mut()
+            .map(|r| r.decide_with_observation(now, &observation))
+            .collect()
     }
 
     /// The joint configuration currently applied across all instances.

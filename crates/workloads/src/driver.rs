@@ -114,6 +114,50 @@ impl HeartbeatedWorkload {
         }
         emitted
     }
+
+    /// Reports that the substrate completed `work_units` of application
+    /// work over the interval `[start, end]` while drawing
+    /// `power_above_idle_watts`, stamping each emitted beat at the time its
+    /// work boundary was crossed (linear interpolation over the interval)
+    /// and recording one power sample per beat at the same timestamps.
+    ///
+    /// [`Self::advance`] stamps a whole interval's beats at its end, which
+    /// systematically over-estimates window heart rates when the
+    /// observation window spans only a few intervals (the window's time
+    /// span misses up to one whole interval while keeping all its beats) —
+    /// harmless when only orderings matter, but biased feedback for a
+    /// controller that must track a target closely. The interpolated form
+    /// removes that bias and keeps the power-sample horizon aligned with
+    /// the beat window. Returns the number of beats emitted.
+    pub fn advance_metered(
+        &mut self,
+        start: f64,
+        end: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) -> u64 {
+        let work_units = work_units.max(0.0);
+        let span = (end - start).max(0.0);
+        let before = self.completed_work;
+        self.completed_work += work_units;
+        let due = (self.completed_work / self.work_per_beat).floor() as u64;
+        let monitor = self.registry.monitor();
+        let mut emitted = 0;
+        while self.emitted_beats < due {
+            let boundary = (self.emitted_beats + 1) as f64 * self.work_per_beat;
+            let fraction = if work_units > 0.0 {
+                ((boundary - before) / work_units).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let timestamp = start + fraction * span;
+            self.issuer.heartbeat(timestamp);
+            monitor.record_power_sample(timestamp, power_above_idle_watts);
+            self.emitted_beats += 1;
+            emitted += 1;
+        }
+        emitted
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +196,30 @@ mod tests {
         }
         let rate = app.monitor().window_heart_rate();
         assert!((rate - 10.0).abs() < 0.5, "expected ~10 beats/s, got {rate}");
+    }
+
+    #[test]
+    fn advance_metered_interpolates_beats_and_records_power() {
+        let mut app = instrumented();
+        // 4 work units over [10, 14]: beats at 11, 12, 13, 14.
+        let emitted = app.advance_metered(10.0, 14.0, 4.0, 25.0);
+        assert_eq!(emitted, 4);
+        let monitor = app.monitor();
+        let stats = monitor.heart_rate();
+        assert_eq!(stats.beats_in_window, 4);
+        // Interpolated stamps make the window rate exact: 3 intervals / 3 s.
+        assert!((stats.window - 1.0).abs() < 1e-9);
+        assert_eq!(monitor.last_beat_timestamp(), Some(14.0));
+        assert_eq!(monitor.mean_power(), Some(25.0));
+        // Fractional carry lands mid-interval: 1.5 more units over [14, 16]
+        // crosses one boundary at 14 + (1/1.5) * 2.
+        let emitted = app.advance_metered(14.0, 16.0, 1.5, 30.0);
+        assert_eq!(emitted, 1);
+        let last = monitor.last_beat_timestamp().unwrap();
+        assert!((last - (14.0 + 2.0 / 1.5)).abs() < 1e-9);
+        // Degenerate inputs are safe.
+        assert_eq!(app.advance_metered(16.0, 16.0, 0.0, 30.0), 0);
+        assert_eq!(app.advance_metered(17.0, 16.0, 10.0, 30.0), 10);
     }
 
     #[test]

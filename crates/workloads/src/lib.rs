@@ -32,7 +32,9 @@
 mod driver;
 mod phases;
 mod profile;
+mod scenario;
 
 pub use driver::HeartbeatedWorkload;
 pub use phases::{QuantumDemand, Workload};
 pub use profile::{SplashBenchmark, WorkloadProfile};
+pub use scenario::{scenario_mixes, Scenario, ScenarioApp};

@@ -1,0 +1,234 @@
+//! Multi-application scenario generation.
+//!
+//! The paper's premise is *many* self-aware applications sharing one
+//! machine (§2): applications arrive, run their own observe–decide–act
+//! loops, and leave, while the platform arbitrates shared resources. A
+//! [`Scenario`] captures one such mix — which benchmarks run, when each
+//! arrives and departs on the shared quantum schedule, its priority tier,
+//! how demanding its performance goal is, and how tight the machine-level
+//! power budget is. [`scenario_mixes`] generates a deterministic family of
+//! heterogeneous mixes from a seed, used by the fig5 multi-application
+//! experiment and reusable by examples and benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::SplashBenchmark;
+
+/// One application's slot in a multi-application scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioApp {
+    /// Benchmark the application runs.
+    pub benchmark: SplashBenchmark,
+    /// Seed for the application's phase/noise stream (distinct seeds make
+    /// two instances of the same benchmark phase-shift against each other).
+    pub seed: u64,
+    /// Arbitration weight (priority tier); higher is more important.
+    pub weight: f64,
+    /// First quantum (inclusive) of the shared schedule the app is present.
+    pub arrival: usize,
+    /// Quantum (exclusive) at which the app departs; `None` = stays to the
+    /// end of the scenario.
+    pub departure: Option<usize>,
+    /// Fraction of the application's solo maximum heart rate it requests as
+    /// its performance goal, in `(0, 1]`.
+    pub target_fraction: f64,
+}
+
+impl ScenarioApp {
+    /// Whether the app is present at shared quantum `quantum`.
+    pub fn active_at(&self, quantum: usize) -> bool {
+        quantum >= self.arrival && self.departure.is_none_or(|d| quantum < d)
+    }
+}
+
+/// One multi-application mix on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable mix name.
+    pub name: String,
+    /// The applications, in registration order.
+    pub apps: Vec<ScenarioApp>,
+    /// Length of the shared quantum schedule.
+    pub quanta: usize,
+    /// Machine power budget as a fraction of the platform's full-load power
+    /// above idle, in `(0, 1]`.
+    pub power_budget_fraction: f64,
+}
+
+impl Scenario {
+    /// The largest number of apps simultaneously present at any quantum.
+    pub fn peak_concurrency(&self) -> usize {
+        (0..self.quanta)
+            .map(|q| self.apps.iter().filter(|a| a.active_at(q)).count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The priority tiers scenario generation draws from (the paper's platform
+/// distinguishes applications the operator cares about more).
+const PRIORITY_TIERS: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// A deterministic family of heterogeneous multi-application mixes.
+///
+/// Three mixes of increasing hostility, all derived from `seed`:
+///
+/// * **steady-pair** — two long-lived apps, equal priority, a roomy budget:
+///   the base case where arbitration should cost (almost) nothing.
+/// * **staggered-arrivals** — four apps arriving in waves, one departing
+///   early, mixed priorities: the budget must be re-divided as the
+///   population changes.
+/// * **tiered-crunch** — five apps (with benchmark repeats phase-shifted by
+///   seed), all three priority tiers, a tight budget: sustained contention
+///   where uncoordinated composition overshoots hardest.
+pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce7_a210_0000_0001);
+    let mut pick = |exclude: Option<SplashBenchmark>| -> SplashBenchmark {
+        loop {
+            let candidate =
+                SplashBenchmark::ALL[rng.gen_range(0..SplashBenchmark::ALL.len())];
+            if Some(candidate) != exclude {
+                return candidate;
+            }
+        }
+    };
+
+    let steady_a = pick(None);
+    let steady_b = pick(Some(steady_a));
+    let steady = Scenario {
+        name: "steady-pair".to_string(),
+        apps: vec![
+            ScenarioApp {
+                benchmark: steady_a,
+                seed: seed.wrapping_add(1),
+                weight: 1.0,
+                arrival: 0,
+                departure: None,
+                target_fraction: 0.5,
+            },
+            ScenarioApp {
+                benchmark: steady_b,
+                seed: seed.wrapping_add(2),
+                weight: 1.0,
+                arrival: 0,
+                departure: None,
+                target_fraction: 0.5,
+            },
+        ],
+        quanta: 96,
+        power_budget_fraction: 0.6,
+    };
+
+    let quanta = 120;
+    let mut staggered_apps = Vec::new();
+    for wave in 0..4 {
+        let arrival = wave * quanta / 6;
+        // The second wave departs two-thirds of the way through the run.
+        let departure = (wave == 1).then_some(quanta * 2 / 3);
+        let benchmark = pick(None);
+        let weight = PRIORITY_TIERS[wave % 2];
+        staggered_apps.push(ScenarioApp {
+            benchmark,
+            seed: seed.wrapping_add(10 + wave as u64),
+            weight,
+            arrival,
+            departure,
+            target_fraction: 0.5,
+        });
+    }
+    let staggered = Scenario {
+        name: "staggered-arrivals".to_string(),
+        apps: staggered_apps,
+        quanta,
+        power_budget_fraction: 0.5,
+    };
+
+    let mut tiered_apps = Vec::new();
+    for slot in 0..5 {
+        tiered_apps.push(ScenarioApp {
+            benchmark: pick(None),
+            seed: seed.wrapping_add(100 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: 0,
+            departure: None,
+            // Demands vary across the tiers: 0.4, 0.5, or 0.6 of solo max.
+            target_fraction: 0.4 + 0.1 * (slot % 3) as f64,
+        });
+    }
+    let tiered = Scenario {
+        name: "tiered-crunch".to_string(),
+        apps: tiered_apps,
+        quanta: 96,
+        power_budget_fraction: 0.4,
+    };
+
+    vec![steady, staggered, tiered]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_deterministic_for_a_seed() {
+        assert_eq!(scenario_mixes(7), scenario_mixes(7));
+        assert_ne!(scenario_mixes(7), scenario_mixes(8));
+    }
+
+    #[test]
+    fn mixes_are_well_formed() {
+        for scenario in scenario_mixes(2012) {
+            assert!(!scenario.apps.is_empty(), "{}", scenario.name);
+            assert!(scenario.quanta > 0);
+            assert!(
+                scenario.power_budget_fraction > 0.0 && scenario.power_budget_fraction <= 1.0
+            );
+            for app in &scenario.apps {
+                assert!(app.weight > 0.0);
+                assert!(app.target_fraction > 0.0 && app.target_fraction <= 1.0);
+                assert!(app.arrival < scenario.quanta);
+                if let Some(departure) = app.departure {
+                    assert!(departure > app.arrival && departure <= scenario.quanta);
+                }
+            }
+            assert!(scenario.peak_concurrency() >= 2, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn mixes_cover_arrivals_departures_and_tiers() {
+        let mixes = scenario_mixes(2012);
+        assert_eq!(mixes.len(), 3);
+        let staggered = &mixes[1];
+        assert!(staggered.apps.iter().any(|a| a.arrival > 0), "staggered arrivals");
+        assert!(staggered.apps.iter().any(|a| a.departure.is_some()), "a departure");
+        let tiered = &mixes[2];
+        let mut weights: Vec<f64> = tiered.apps.iter().map(|a| a.weight).collect();
+        weights.sort_by(f64::total_cmp);
+        weights.dedup();
+        assert!(weights.len() >= 3, "three priority tiers, got {weights:?}");
+    }
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let app = ScenarioApp {
+            benchmark: SplashBenchmark::Barnes,
+            seed: 1,
+            weight: 1.0,
+            arrival: 10,
+            departure: Some(20),
+            target_fraction: 0.5,
+        };
+        assert!(!app.active_at(9));
+        assert!(app.active_at(10));
+        assert!(app.active_at(19));
+        assert!(!app.active_at(20));
+        let forever = ScenarioApp {
+            departure: None,
+            ..app
+        };
+        assert!(forever.active_at(1_000_000));
+    }
+}

@@ -14,7 +14,10 @@
 //!   to the application, the clock speed of those cores, and the fraction of
 //!   non-idle cycles the application receives,
 //! * [`PowerMeter`] — a WattsUp-style sampler that averages power over
-//!   one-second windows.
+//!   one-second windows,
+//! * [`MachineMeter`] — machine-level power accounting across many
+//!   applications sharing the server, with cap-violation tracking (the
+//!   shared view a multi-application power arbiter is judged against).
 //!
 //! ```
 //! use xeon_sim::{ServerConfiguration, ServerDemand, XeonServer};
@@ -32,12 +35,14 @@
 
 mod demand;
 mod eval;
+mod machine;
 mod meter;
 mod pstate;
 mod server;
 
 pub use demand::{ServerDemand, ServerDemandBuilder};
 pub use eval::{DemandTerms, PreparedConfig, PreparedDemand};
+pub use machine::MachineMeter;
 pub use meter::{PowerMeter, PowerSample};
 pub use pstate::PStateTable;
 pub use server::{ServerConfiguration, ServerReport, XeonServer};

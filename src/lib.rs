@@ -7,6 +7,8 @@
 //! * [`heartbeats`] — the Application Heartbeats goal/progress interface.
 //! * [`actuation`] — the actuator (action) specification interface.
 //! * [`seec`] — the SEEC observe–decide–act runtime with layered control.
+//! * [`coordinator`] — multi-application coordination: shared power-budget
+//!   arbitration across many ODA loops.
 //! * [`angstrom_sim`] — the Angstrom manycore architectural simulator.
 //! * [`xeon_sim`] — the Linux/x86 Xeon server model of the existing-system
 //!   evaluation.
@@ -33,6 +35,7 @@
 
 pub use actuation;
 pub use angstrom_sim;
+pub use coordinator;
 pub use experiments;
 pub use heartbeats;
 pub use seec;
@@ -44,8 +47,11 @@ pub mod prelude {
     pub use actuation::{Actuator, ActuatorSpec, Axis, Configuration, Scope, SettingSpec, TableActuator};
     pub use angstrom_sim::chip::{AngstromChip, ChipConfiguration, ExecutionReport};
     pub use angstrom_sim::config::ChipConfig;
+    pub use coordinator::{
+        Coordinator, ManagedApp, PerformanceMarket, StaticShare, WeightedFair,
+    };
     pub use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal, PowerGoal};
     pub use seec::{SeecRuntime, UncoordinatedRuntime};
     pub use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
-    pub use xeon_sim::{ServerConfiguration, ServerDemand, XeonServer};
+    pub use xeon_sim::{MachineMeter, ServerConfiguration, ServerDemand, XeonServer};
 }
