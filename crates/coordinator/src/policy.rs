@@ -35,6 +35,51 @@ pub struct AppRequest {
 }
 
 /// A strategy for splitting a machine power budget into per-app envelopes.
+///
+/// Policies are pluggable: implement the trait and hand the box to
+/// [`crate::Coordinator::new`] (or swap it mid-run with
+/// [`crate::Coordinator::set_policy`]). A minimal custom policy — strict
+/// priority, highest weight first, each app taking what it can absorb:
+///
+/// ```
+/// use coordinator::{AppRequest, ArbitrationPolicy};
+///
+/// struct StrictPriority;
+///
+/// impl ArbitrationPolicy for StrictPriority {
+///     fn name(&self) -> &'static str {
+///         "strict-priority"
+///     }
+///
+///     fn arbitrate(&mut self, budget: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+///         awards.clear();
+///         awards.resize(requests.len(), 0.0);
+///         // Highest weight first; ties resolve by index for determinism.
+///         let mut order: Vec<usize> = (0..requests.len()).collect();
+///         order.sort_by(|&a, &b| {
+///             requests[b].weight.total_cmp(&requests[a].weight).then(a.cmp(&b))
+///         });
+///         let mut remaining = budget;
+///         for i in order {
+///             if !requests[i].active || remaining <= 0.0 {
+///                 continue;
+///             }
+///             awards[i] = requests[i].max_power_watts.clamp(0.0, remaining);
+///             remaining -= awards[i];
+///         }
+///     }
+/// }
+///
+/// let requests = [
+///     AppRequest { active: true, weight: 1.0, urgency: 1.0, max_power_watts: 40.0 },
+///     AppRequest { active: true, weight: 4.0, urgency: 1.0, max_power_watts: 40.0 },
+///     AppRequest { active: false, weight: 9.0, urgency: 1.0, max_power_watts: 40.0 },
+/// ];
+/// let mut awards = Vec::new();
+/// StrictPriority.arbitrate(50.0, &requests, &mut awards);
+/// assert_eq!(awards, vec![10.0, 40.0, 0.0]); // heavy first, absent app 0 W
+/// assert!(awards.iter().sum::<f64>() <= 50.0); // budget conserved
+/// ```
 pub trait ArbitrationPolicy: Send {
     /// Short policy name for reports and JSON output.
     fn name(&self) -> &'static str;

@@ -1,8 +1,35 @@
 //! Regenerates Figure 3: SEEC on an existing Linux/x86 system.
+//!
+//! By default this reproduces the historical figure bit-for-bit
+//! (`fig3.json`). Pass `--leaky-pi` to *additionally* run the calibrated
+//! (convex) goal-respecting protocol twice — classical integral vs. the
+//! flag-gated leaky integral (`CONVEX_PROTOCOL_LEAK`) — print the fidelity
+//! delta, and write the comparison to `fig3_leaky.json`. The default
+//! outputs are unchanged either way.
 
+use experiments::fig3::{CONVEX_PROTOCOL_LEAK, QUANTA_PER_RUN};
 use experiments::Figure3;
+use serde::Serialize;
+use xeon_sim::XeonServer;
+
+/// The leaky-integral comparison on the calibrated server, as raw data.
+#[derive(Serialize)]
+struct LeakyComparison {
+    leak: f64,
+    classical_mean_seec_vs_dynamic_oracle: f64,
+    leaky_mean_seec_vs_dynamic_oracle: f64,
+    classical: Figure3,
+    leaky: Figure3,
+}
+
+fn mean_seec_ratio(figure: &Figure3) -> f64 {
+    let sum: f64 = figure.rows.iter().map(|row| row.normalized()[2]).sum();
+    sum / figure.rows.len() as f64
+}
 
 fn main() {
+    let leaky = std::env::args().any(|arg| arg == "--leaky-pi");
+
     let figure = Figure3::compute();
     println!("Figure 3 — SEEC on the Xeon E5530 server, perf/W normalised to the dynamic oracle\n");
     println!("{}", figure.to_table());
@@ -15,5 +42,37 @@ fn main() {
             }
         }
         Err(err) => eprintln!("could not serialise figure 3: {err}"),
+    }
+
+    if leaky {
+        let server = XeonServer::dell_r410_calibrated();
+        let classical = Figure3::compute_on(&server, 2012, QUANTA_PER_RUN);
+        let leaky =
+            Figure3::compute_on_with_leak(&server, 2012, QUANTA_PER_RUN, CONVEX_PROTOCOL_LEAK);
+        let comparison = LeakyComparison {
+            leak: CONVEX_PROTOCOL_LEAK,
+            classical_mean_seec_vs_dynamic_oracle: mean_seec_ratio(&classical),
+            leaky_mean_seec_vs_dynamic_oracle: mean_seec_ratio(&leaky),
+            classical,
+            leaky,
+        };
+        println!(
+            "\nLeaky-PI experiment on the calibrated (convex) protocol \
+             (leak {:.2}):\n  classical integral: SEEC at {:.3} of the dynamic oracle\n  \
+             leaky integral:     SEEC at {:.3} of the dynamic oracle",
+            comparison.leak,
+            comparison.classical_mean_seec_vs_dynamic_oracle,
+            comparison.leaky_mean_seec_vs_dynamic_oracle,
+        );
+        match serde_json::to_string_pretty(&comparison) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write("fig3_leaky.json", json) {
+                    eprintln!("could not write fig3_leaky.json: {err}");
+                } else {
+                    println!("comparison written to fig3_leaky.json");
+                }
+            }
+            Err(err) => eprintln!("could not serialise the leaky comparison: {err}"),
+        }
     }
 }

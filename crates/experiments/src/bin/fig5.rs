@@ -1,21 +1,43 @@
 //! Regenerates Figure 5: multi-application coordination under a power budget.
+//!
+//! By default this reproduces the original three-mix figure bit-for-bit
+//! (`fig5.json`). Pass `--extended` to *additionally* run the extended
+//! scenario family — the 100-app arrival storm and the 1200-app
+//! stepped-budget mix, exercising runtime registration/retirement, mid-run
+//! budget steps, and the sharded coordinator — and write it to
+//! `fig5_extended.json`. The default output is unchanged either way.
 
 use experiments::Figure5;
 
+fn write_figure(figure: &Figure5, path: &str) {
+    match serde_json::to_string_pretty(figure) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(path, json) {
+                eprintln!("could not write {path}: {err}");
+            } else {
+                println!("raw data written to {path}");
+            }
+        }
+        Err(err) => eprintln!("could not serialise {path}: {err}"),
+    }
+}
+
 fn main() {
+    let extended = std::env::args().any(|arg| arg == "--extended");
+
     let figure = Figure5::compute();
     println!(
         "Figure 5 — multi-application SEEC on the calibrated R410 under a machine power budget\n"
     );
     println!("{}", figure.to_table());
-    match serde_json::to_string_pretty(&figure) {
-        Ok(json) => {
-            if let Err(err) = std::fs::write("fig5.json", json) {
-                eprintln!("could not write fig5.json: {err}");
-            } else {
-                println!("raw data written to fig5.json");
-            }
-        }
-        Err(err) => eprintln!("could not serialise figure 5: {err}"),
+    write_figure(&figure, "fig5.json");
+
+    if extended {
+        let figure = Figure5::compute_extended();
+        println!(
+            "\nExtended scenario family — runtime lifecycle, budget steps, sharded coordinator\n"
+        );
+        println!("{}", figure.to_table());
+        write_figure(&figure, "fig5_extended.json");
     }
 }

@@ -34,12 +34,16 @@
 //! distinguish the regimes.
 
 use coordinator::{
-    ArbitrationPolicy, Coordinator, ManagedApp, PerformanceMarket, StaticShare, WeightedFair,
+    AppHandle, ArbitrationPolicy, Coordinator, ManagedApp, PerformanceMarket, StaticShare,
+    WeightedFair,
 };
 use seec::control::PiController;
 use seec::{SeecRuntime, UncoordinatedRuntime};
 use serde::{Deserialize, Serialize};
-use workloads::{scenario_mixes, HeartbeatedWorkload, QuantumDemand, Scenario, Workload};
+use workloads::{
+    extended_scenario_mixes, scenario_mixes, HeartbeatedWorkload, QuantumDemand, Scenario,
+    Workload,
+};
 use xeon_sim::{MachineMeter, ServerConfiguration, XeonServer};
 
 use crate::driver::{run_cells, to_server_demand};
@@ -47,6 +51,13 @@ use crate::fig3::{map_configuration, xeon_actuators, CONVEX_PROTOCOL_KI};
 
 /// Length of one shared scheduling quantum, in seconds.
 pub const QUANTUM_SECONDS: f64 = 1.0;
+
+/// Fleet size from which the coordinated arms shard the coordinator across
+/// worker threads ([`Coordinator::with_workers`]). Sharded output is
+/// bit-identical to sequential, so the threshold is purely a performance
+/// choice: below it the per-step thread hand-off costs more than the
+/// per-app decide work it spreads out.
+pub const SHARD_FLEET_THRESHOLD: usize = 64;
 
 /// Beats each application should emit per quantum when exactly on target
 /// (sets its work-per-beat granularity; the 64-beat window then spans eight
@@ -158,6 +169,23 @@ impl Figure5 {
     /// worker count or interleaving.
     pub fn compute_with(seed: u64) -> Self {
         Figure5::compute_scenarios(&scenario_mixes(seed), seed)
+    }
+
+    /// Runs the *extended* scenario family
+    /// ([`workloads::extended_scenario_mixes`]) with the workspace's
+    /// canonical seed: the 100-app arrival storm and the 1200-app
+    /// stepped-budget mix, exercising runtime registration/retirement,
+    /// mid-run budget steps, and the sharded coordinator. Kept separate
+    /// from [`Self::compute`] so `fig5.json` stays byte-identical; the
+    /// fig5 binary writes these to `fig5_extended.json` under
+    /// `--extended`.
+    pub fn compute_extended() -> Self {
+        Figure5::compute_extended_with(2012)
+    }
+
+    /// [`Self::compute_extended`] for an explicit seed.
+    pub fn compute_extended_with(seed: u64) -> Self {
+        Figure5::compute_scenarios(&extended_scenario_mixes(seed), seed)
     }
 
     /// Runs the experiment over explicit scenarios (tests use reduced
@@ -298,13 +326,16 @@ enum Controller {
     Fixed,
     Uncoordinated(Box<UncoordinatedRuntime>, HeartbeatedWorkload),
     Solo(Box<SeecRuntime>, HeartbeatedWorkload),
-    /// Decisions live in the shared coordinator; the handle indexes it.
-    Coordinated(coordinator::AppHandle),
+    /// Decisions live in the shared coordinator; the app registers itself
+    /// at its arrival quantum (the handle appears then) and retires at its
+    /// departure — the runtime lifecycle, not an up-front fleet.
+    Coordinated(Option<AppHandle>),
 }
 
 /// Runs one (scenario, regime) cell and reports machine-level outcomes.
 fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> ArmOutcome {
     let mut apps = build_apps(server, scenario);
+    let budget_range = server.max_power_watts() - server.idle_power_watts();
     let budget = budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
 
@@ -320,29 +351,19 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
         driver
     };
 
-    let mut coordinator_handles = Vec::new();
+    // Coordinated arms start from an *empty* coordinator: every app
+    // registers at its arrival quantum and retires at its departure, so
+    // churny mixes exercise the runtime lifecycle rather than a fleet
+    // declared up front. Fleets past the sharding threshold spread their
+    // per-app observe/decide stages across worker threads (bit-identical
+    // to sequential, so this is invisible in the output).
     let mut coordinator_state: Option<Coordinator> = arm.policy().map(|policy| {
-        let mut coordinator = Coordinator::new(budget, policy);
-        for (index, sim) in apps.iter().enumerate() {
-            let driver = heartbeated(sim);
-            let runtime = tuned(
-                SeecRuntime::builder(driver.monitor())
-                    .actuators(xeon_actuators(server))
-                    .seed(seed.wrapping_add(index as u64)),
-            )
-            .build()
-            .expect("actuators registered");
-            let mut managed = ManagedApp::new(driver, runtime)
-                .with_weight(sim.spec.weight)
-                .with_arrival(sim.spec.arrival)
-                .with_phases(sim.phases.clone())
-                .with_nominal_power_hint(sim.launch_power_watts);
-            if let Some(departure) = sim.spec.departure {
-                managed = managed.with_departure(departure);
-            }
-            coordinator_handles.push(coordinator.register(managed));
-        }
-        coordinator
+        let workers = if apps.len() >= SHARD_FLEET_THRESHOLD {
+            Coordinator::default_workers()
+        } else {
+            1
+        };
+        Coordinator::new(budget, policy).with_workers(workers)
     });
 
     let mut controllers: Vec<Controller> = apps
@@ -372,7 +393,7 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
                 .expect("actuators registered");
                 Controller::Solo(Box::new(runtime), driver)
             }
-            _ => Controller::Coordinated(coordinator_handles[index]),
+            _ => Controller::Coordinated(None),
         })
         .collect();
 
@@ -382,6 +403,42 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
     for quantum in 0..scenario.quanta {
         let start = now;
         now += QUANTUM_SECONDS;
+
+        // ---- Lifecycle: arrivals register, departures retire, and the
+        // meter adopts the budget fraction in force this quantum.
+        let cap = scenario.budget_fraction_at(quantum) * budget_range;
+        if cap != meter.cap_watts() {
+            meter.set_cap(cap);
+        }
+        if let Some(coordinator) = coordinator_state.as_mut() {
+            for (index, sim) in apps.iter().enumerate() {
+                // A degenerate window (departure ≤ arrival) means the app is
+                // never active; registering it would leave a phantom in the
+                // coordinator with no departure ever stamped.
+                let never_active = sim.spec.departure.is_some_and(|d| d <= sim.spec.arrival);
+                if sim.spec.arrival == quantum && !never_active {
+                    let driver = heartbeated(sim);
+                    let runtime = tuned(
+                        SeecRuntime::builder(driver.monitor())
+                            .actuators(xeon_actuators(server))
+                            .seed(seed.wrapping_add(index as u64)),
+                    )
+                    .build()
+                    .expect("actuators registered");
+                    let managed = ManagedApp::new(driver, runtime)
+                        .with_weight(sim.spec.weight)
+                        .with_arrival(sim.spec.arrival)
+                        .with_phases(sim.phases.clone())
+                        .with_nominal_power_hint(sim.launch_power_watts);
+                    controllers[index] = Controller::Coordinated(Some(coordinator.register(managed)));
+                }
+                if sim.spec.departure == Some(quantum) {
+                    if let Controller::Coordinated(Some(handle)) = controllers[index] {
+                        coordinator.retire(handle);
+                    }
+                }
+            }
+        }
 
         // ---- Evaluate every active app under its current configuration.
         let mut core_duty_total = 0.0;
@@ -400,10 +457,11 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
                     map_configuration(server, runtime.current_configuration())
                 }
                 Controller::Coordinated(handle) => {
+                    let handle = handle.expect("active apps have registered");
                     let coordinator = coordinator_state.as_ref().expect("coordinated arm");
                     map_configuration(
                         server,
-                        coordinator.app(*handle).runtime().current_configuration(),
+                        coordinator.app(handle).runtime().current_configuration(),
                     )
                 }
             };
@@ -437,8 +495,9 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
                     driver.advance_metered(start, now, work, power);
                 }
                 Controller::Coordinated(handle) => {
+                    let handle = handle.expect("active apps have registered");
                     let coordinator = coordinator_state.as_mut().expect("coordinated arm");
-                    coordinator.advance(*handle, start, now, work, power);
+                    coordinator.advance(handle, start, now, work, power);
                 }
             }
         }
@@ -446,6 +505,13 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
 
         // ---- Decide for the next quantum.
         if let Some(coordinator) = coordinator_state.as_mut() {
+            // The envelopes decided now govern the *next* interval, so the
+            // coordinator adopts the budget in force there — a mid-run
+            // budget step binds with no violation lag.
+            let next_budget = scenario.budget_fraction_at(quantum + 1) * budget_range;
+            if next_budget != coordinator.budget_watts() {
+                coordinator.set_budget(next_budget);
+            }
             coordinator.step(now).expect("every app declares a goal");
         } else {
             for (index, sim) in apps.iter().enumerate() {
@@ -539,5 +605,53 @@ mod tests {
         assert_eq!(a, b);
         let c = Figure5::compute_scenarios(&scenarios, 8);
         assert_ne!(a, c, "different seeds must differ");
+    }
+
+    /// The extended mixes, shrunk for a debug-profile test: fewer apps,
+    /// fewer quanta, lifecycle events and budget steps clamped inside the
+    /// shortened run.
+    fn reduced_extended_scenarios(seed: u64) -> Vec<Scenario> {
+        let mut scenarios = workloads::extended_scenario_mixes(seed);
+        for scenario in &mut scenarios {
+            scenario.quanta = 30;
+            scenario.apps.truncate(40);
+            scenario.apps.retain(|app| app.arrival < 24);
+            for app in &mut scenario.apps {
+                if let Some(departure) = &mut app.departure {
+                    *departure = (*departure).clamp(app.arrival + 4, 30);
+                }
+            }
+            scenario.budget_steps.retain(|step| step.quantum < 28);
+        }
+        scenarios
+    }
+
+    #[test]
+    fn extended_mixes_hold_stepped_budgets_with_the_runtime_lifecycle() {
+        let scenarios = reduced_extended_scenarios(2012);
+        assert!(
+            scenarios[1].budget_steps.iter().any(|s| s.quantum < 28),
+            "the reduced stepped mix must still step its budget"
+        );
+        let fig = Figure5::compute_scenarios(&scenarios, 2012);
+        for scenario in &fig.scenarios {
+            assert_eq!(
+                scenario.coordinated.cap_violation_rate, 0.0,
+                "{}: coordinated SEEC must hold the (stepping) cap",
+                scenario.name
+            );
+            assert!(
+                scenario.coordinated.performance_per_watt
+                    > scenario.uncoordinated.performance_per_watt,
+                "{}: coordinated ({:.4}) must beat uncoordinated ({:.4}) on perf/W",
+                scenario.name,
+                scenario.coordinated.performance_per_watt,
+                scenario.uncoordinated.performance_per_watt
+            );
+            assert!(scenario.no_adaptation.cap_violation_rate > 0.5, "{}", scenario.name);
+        }
+        // Deterministic, including runtime registration/retirement order
+        // and the sharded coordinator path.
+        assert_eq!(fig, Figure5::compute_scenarios(&scenarios, 2012));
     }
 }

@@ -20,6 +20,9 @@ pub struct PiController {
     /// Integral gain.
     pub ki: f64,
     integral: f64,
+    /// Per-period retention factor of the integral state (1.0 = a classical,
+    /// perfectly-retaining integral). See [`PiController::with_leak`].
+    leak: f64,
     /// Bounds on the speedup the controller may request.
     min_output: f64,
     max_output: f64,
@@ -41,9 +44,43 @@ impl PiController {
             kp,
             ki,
             integral: 0.0,
+            leak: 1.0,
             min_output,
             max_output,
         }
+    }
+
+    /// Makes the integral *leaky*: each decision period the accumulated
+    /// integral is multiplied by `leak` before the new error is added, so
+    /// error mass absorbed during a transient decays geometrically (time
+    /// constant `-1/ln(leak)` periods) instead of having to be unwound by
+    /// errors of the opposite sign. The default of 1.0 is the classical
+    /// perfectly-retaining integral and is **bit-for-bit** the historical
+    /// behaviour (`x * 1.0` is an identity for every float, `-0.0` and
+    /// `NaN` included), so existing figure outputs are unchanged unless a
+    /// caller opts in.
+    ///
+    /// The steady-state trade-off: a leaky integral can no longer hold an
+    /// arbitrary constant offset (its fixed point is `error / (1 - leak)`
+    /// rather than unbounded), so `leak` should stay close to 1 — the
+    /// controller here already carries the feed-forward `target/base_rate`
+    /// term, leaving the integral only modelling residue to sweep up.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leak` is in `(0, 1]`.
+    pub fn with_leak(mut self, leak: f64) -> Self {
+        assert!(
+            leak > 0.0 && leak <= 1.0,
+            "integral leak must be in (0, 1], got {leak}"
+        );
+        self.leak = leak;
+        self
+    }
+
+    /// The per-period integral retention factor (1.0 = no leak).
+    pub fn leak(&self) -> f64 {
+        self.leak
     }
 
     /// A tuning that works well for heart-rate tracking: unity proportional
@@ -63,9 +100,11 @@ impl PiController {
         if base_rate <= 0.0 || target <= 0.0 {
             return 1.0;
         }
-        // Error in units of "speedups over nominal".
+        // Error in units of "speedups over nominal". The leak multiplies
+        // first, so saturation's anti-windup undo below leaves exactly the
+        // decayed prior state.
         let error = (target - observed) / base_rate;
-        self.integral += error;
+        self.integral = self.integral * self.leak + error;
         // Feed-forward term: the speedup that would hit the target if the
         // model were perfect, plus PI correction of residual error.
         let feed_forward = target / base_rate;
@@ -227,6 +266,58 @@ mod tests {
     #[should_panic(expected = "output range")]
     fn empty_output_range_panics() {
         let _ = PiController::new(1.0, 1.0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn unit_leak_is_bit_identical_to_the_historical_integral() {
+        let mut classic = PiController::default_tuning();
+        let mut unit_leak = PiController::default_tuning().with_leak(1.0);
+        assert_eq!(unit_leak.leak(), 1.0);
+        // A jagged trace with saturation episodes: outputs must agree
+        // bit-for-bit at every step.
+        for step in 0..200 {
+            let observed = 5.0 + 20.0 * ((step % 17) as f64 - 8.0).abs();
+            let a = classic.next_speedup(40.0, observed, 10.0);
+            let b = unit_leak.next_speedup(40.0, observed, 10.0);
+            assert!(a.to_bits() == b.to_bits(), "step {step}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn leaky_integral_recovers_faster_after_a_transient() {
+        // Both controllers absorb a long shortfall transient, then the
+        // plant returns to the target. The classical integral must unwind
+        // its accumulated mass through overshoot; the leaky one forgets it
+        // geometrically and re-converges to the feed-forward request first.
+        let run = |leak: f64| {
+            let mut pi = PiController::new(1.0, 0.05, 1.0 / 64.0, 64.0).with_leak(leak);
+            for _ in 0..40 {
+                pi.next_speedup(20.0, 12.0, 10.0); // transient: 40% short
+            }
+            // Settled again: the right answer is the feed-forward 2.0.
+            let mut settled_at = None;
+            let mut request = 0.0;
+            for step in 0..200 {
+                request = pi.next_speedup(20.0, 20.0, 10.0);
+                if settled_at.is_none() && (request - 2.0).abs() < 0.05 {
+                    settled_at = Some(step);
+                }
+            }
+            (settled_at.unwrap_or(usize::MAX), request)
+        };
+        let (classic_settle, _) = run(1.0);
+        let (leaky_settle, leaky_final) = run(0.9);
+        assert!(
+            leaky_settle < classic_settle,
+            "leaky should settle sooner: {leaky_settle} vs {classic_settle}"
+        );
+        assert!((leaky_final - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "leak")]
+    fn out_of_range_leak_panics() {
+        let _ = PiController::default_tuning().with_leak(0.0);
     }
 
     #[test]

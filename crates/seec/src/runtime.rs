@@ -412,6 +412,41 @@ impl SeecRuntime {
     /// configuration, so an infeasibly small envelope degrades to "as cheap
     /// as the action space allows".
     ///
+    /// ```
+    /// use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+    /// use heartbeats::{Goal, HeartbeatRegistry, PerformanceGoal};
+    /// use seec::SeecRuntime;
+    ///
+    /// // A DVFS knob: "fast" doubles speed at 2.6x power.
+    /// let dvfs = ActuatorSpec::builder("dvfs")
+    ///     .setting(SettingSpec::new("nominal"))
+    ///     .setting(SettingSpec::new("fast").effect(Axis::Performance, 2.0).effect(Axis::Power, 2.6))
+    ///     .build()
+    ///     .unwrap();
+    /// let registry = HeartbeatRegistry::new("app");
+    /// registry.issuer().set_goal(Goal::Performance(PerformanceGoal::heart_rate(100.0)));
+    /// let mut runtime = SeecRuntime::builder(registry.monitor())
+    ///     .actuator(Box::new(TableActuator::new(dvfs)))
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// // The application needs ~2x its nominal ~50 beats/s, but its awarded
+    /// // power envelope only admits configurations up to 1.5x power: the
+    /// // decision stays inside the envelope instead of chasing the goal.
+    /// let mut now = 0.0;
+    /// for _ in 0..20 {
+    ///     for _ in 0..4 {
+    ///         now += 0.02; // ~50 beats/s under the nominal configuration
+    ///         registry.issuer().heartbeat(now);
+    ///     }
+    ///     let decision = runtime.decide_under_power_cap(now, 1.5).unwrap();
+    ///     assert!(decision.believed_powerup <= 1.5);
+    /// }
+    /// // Uncapped, the same runtime may pick the fast (2.6x power) setting.
+    /// let unrestricted = runtime.decide_under_power_cap(now, f64::INFINITY).unwrap();
+    /// assert!(unrestricted.required_speedup > 1.0);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Same contract as [`Self::decide`].

@@ -37,4 +37,4 @@ mod scenario;
 pub use driver::HeartbeatedWorkload;
 pub use phases::{QuantumDemand, Workload};
 pub use profile::{SplashBenchmark, WorkloadProfile};
-pub use scenario::{scenario_mixes, Scenario, ScenarioApp};
+pub use scenario::{extended_scenario_mixes, scenario_mixes, BudgetStep, Scenario, ScenarioApp};

@@ -43,6 +43,17 @@ impl ScenarioApp {
     }
 }
 
+/// A mid-run step of the machine power budget: operator- or rack-level
+/// power management changing how much the fleet may draw while it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetStep {
+    /// Quantum (on the shared schedule) the new budget takes effect.
+    pub quantum: usize,
+    /// The new budget, as a fraction of the platform's full-load power
+    /// above idle, in `(0, 1]`.
+    pub fraction: f64,
+}
+
 /// One multi-application mix on one machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -53,8 +64,12 @@ pub struct Scenario {
     /// Length of the shared quantum schedule.
     pub quanta: usize,
     /// Machine power budget as a fraction of the platform's full-load power
-    /// above idle, in `(0, 1]`.
+    /// above idle, in `(0, 1]`. This is the *initial* budget; it may step
+    /// mid-run ([`Self::budget_steps`]).
     pub power_budget_fraction: f64,
+    /// Mid-run budget changes, sorted by quantum (empty for the original
+    /// mixes, whose budgets are constant).
+    pub budget_steps: Vec<BudgetStep>,
 }
 
 impl Scenario {
@@ -64,6 +79,19 @@ impl Scenario {
             .map(|q| self.apps.iter().filter(|a| a.active_at(q)).count())
             .max()
             .unwrap_or(0)
+    }
+
+    /// The budget fraction in force at `quantum`: the initial fraction
+    /// until the first step at or before `quantum`, then the latest such
+    /// step. Works whatever order `budget_steps` is in (ties on the same
+    /// quantum resolve to the later list entry).
+    pub fn budget_fraction_at(&self, quantum: usize) -> f64 {
+        self.budget_steps
+            .iter()
+            .enumerate()
+            .filter(|(_, step)| step.quantum <= quantum)
+            .max_by_key(|(index, step)| (step.quantum, *index))
+            .map_or(self.power_budget_fraction, |(_, step)| step.fraction)
     }
 }
 
@@ -119,6 +147,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         ],
         quanta: 96,
         power_budget_fraction: 0.6,
+        budget_steps: Vec::new(),
     };
 
     let quanta = 120;
@@ -143,6 +172,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         apps: staggered_apps,
         quanta,
         power_budget_fraction: 0.5,
+        budget_steps: Vec::new(),
     };
 
     let mut tiered_apps = Vec::new();
@@ -162,9 +192,102 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         apps: tiered_apps,
         quanta: 96,
         power_budget_fraction: 0.4,
+        budget_steps: Vec::new(),
     };
 
     vec![steady, staggered, tiered]
+}
+
+/// The *extended* scenario family: mixes that exercise the coordinator's
+/// runtime lifecycle and sharding at fleet sizes the original three mixes
+/// never reach. Deterministic for a seed, like [`scenario_mixes`], but kept
+/// separate so the original fig5 outputs stay byte-identical (the fig5
+/// binary includes these only under `--extended`).
+///
+/// * **arrival-storm** — 100 applications: a 10-app resident base plus
+///   three 30-app bursts that arrive within two quanta of each other and
+///   retire ~20 quanta later. Per-app goals are small (4–10 % of solo max)
+///   — the point is churn, not per-app headroom: the arbiter re-divides
+///   the budget as ~30 apps register or retire at once.
+/// * **budget-steps** — 1200 applications arriving in eight waves over the
+///   first eight quanta, under a machine budget that *steps* mid-run
+///   (70 % → 35 % → 55 % of full-load power above idle): the fleet must
+///   absorb an operator-driven budget cut with no warning.
+pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce7_a210_0000_0002);
+    let mut pick = || SplashBenchmark::ALL[rng.gen_range(0..SplashBenchmark::ALL.len())];
+
+    // ---- arrival-storm: 10 residents + 3 bursts of 30 -----------------
+    let quanta = 64;
+    let mut storm_apps = Vec::new();
+    for slot in 0..10 {
+        storm_apps.push(ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(1_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: 0,
+            departure: None,
+            target_fraction: 0.08 + 0.02 * (slot % 2) as f64,
+        });
+    }
+    for burst in 0..3usize {
+        let burst_start = 12 + burst * 14;
+        for slot in 0..30usize {
+            // Each burst lands within two quanta and retires ~20 later.
+            let arrival = burst_start + slot % 3;
+            storm_apps.push(ScenarioApp {
+                benchmark: pick(),
+                seed: seed.wrapping_add(2_000 + (burst * 100 + slot) as u64),
+                weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+                arrival,
+                departure: Some((arrival + 18 + slot % 4).min(quanta)),
+                target_fraction: 0.04 + 0.01 * (slot % 3) as f64,
+            });
+        }
+    }
+    let storm = Scenario {
+        name: "arrival-storm".to_string(),
+        apps: storm_apps,
+        quanta,
+        power_budget_fraction: 0.5,
+        budget_steps: Vec::new(),
+    };
+
+    // ---- budget-steps: 1200 apps under a stepping machine budget ------
+    let quanta = 56;
+    let mut stepped_apps = Vec::new();
+    for slot in 0..1_200usize {
+        // Eight arrival waves over the first eight quanta; a small slice
+        // of the fleet (every 16th app) retires two-thirds through.
+        let arrival = slot % 8;
+        let departure = (slot % 16 == 7).then_some(quanta * 2 / 3);
+        stepped_apps.push(ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(10_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival,
+            departure,
+            target_fraction: 0.01 + 0.005 * (slot % 3) as f64,
+        });
+    }
+    let stepped = Scenario {
+        name: "budget-steps".to_string(),
+        apps: stepped_apps,
+        quanta,
+        power_budget_fraction: 0.7,
+        budget_steps: vec![
+            BudgetStep {
+                quantum: 24,
+                fraction: 0.35,
+            },
+            BudgetStep {
+                quantum: 40,
+                fraction: 0.55,
+            },
+        ],
+    };
+
+    vec![storm, stepped]
 }
 
 #[cfg(test)]
@@ -209,6 +332,56 @@ mod tests {
         weights.sort_by(f64::total_cmp);
         weights.dedup();
         assert!(weights.len() >= 3, "three priority tiers, got {weights:?}");
+    }
+
+    #[test]
+    fn extended_mixes_reach_coordinator_scale() {
+        let mixes = extended_scenario_mixes(2012);
+        assert_eq!(extended_scenario_mixes(2012), mixes, "deterministic");
+        assert_eq!(mixes.len(), 2);
+
+        let storm = &mixes[0];
+        assert_eq!(storm.name, "arrival-storm");
+        assert_eq!(storm.apps.len(), 100);
+        assert!(storm.budget_steps.is_empty());
+        // Bursty: each 30-app burst lands over three consecutive quanta,
+        // so some quantum sees 10 registrations in a single step.
+        let arrivals_at = |q: usize| storm.apps.iter().filter(|a| a.arrival == q).count();
+        assert!(
+            (0..storm.quanta).any(|q| arrivals_at(q) >= 10),
+            "the storm must land many apps in one quantum"
+        );
+        assert!(storm.apps.iter().any(|a| a.departure.is_some()));
+
+        let stepped = &mixes[1];
+        assert_eq!(stepped.name, "budget-steps");
+        assert!(stepped.apps.len() >= 1_000, "thousand-app scale");
+        assert_eq!(stepped.budget_steps.len(), 2);
+        assert!(stepped
+            .budget_steps
+            .windows(2)
+            .all(|pair| pair[0].quantum < pair[1].quantum));
+        assert_eq!(stepped.budget_fraction_at(0), 0.7);
+        assert_eq!(stepped.budget_fraction_at(24), 0.35);
+        assert_eq!(stepped.budget_fraction_at(39), 0.35);
+        assert_eq!(stepped.budget_fraction_at(55), 0.55);
+        // Robust to unsorted steps: the latest step at or before the
+        // quantum wins regardless of list order.
+        let mut unsorted = stepped.clone();
+        unsorted.budget_steps.reverse();
+        assert_eq!(unsorted.budget_fraction_at(30), 0.35);
+        assert_eq!(unsorted.budget_fraction_at(55), 0.55);
+
+        for scenario in &mixes {
+            for app in &scenario.apps {
+                assert!(app.weight > 0.0);
+                assert!(app.target_fraction > 0.0 && app.target_fraction <= 1.0);
+                assert!(app.arrival < scenario.quanta);
+                if let Some(departure) = app.departure {
+                    assert!(departure > app.arrival && departure <= scenario.quanta);
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,19 @@ impl MachineMeter {
         self.cap_watts
     }
 
+    /// Steps the cap mid-run (operator- or rack-level power management).
+    /// Already-recorded intervals keep the verdicts of the cap in force
+    /// when they were recorded; only future intervals are judged against
+    /// the new cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cap is positive (`f64::INFINITY` = uncapped).
+    pub fn set_cap(&mut self, cap_watts: f64) {
+        assert!(cap_watts > 0.0, "machine power cap must be positive");
+        self.cap_watts = cap_watts;
+    }
+
     /// Records that the machine drew `total_watts` (summed across every
     /// application) for `seconds` of simulated time. Non-positive durations
     /// are ignored.
@@ -193,6 +206,24 @@ mod tests {
         assert_eq!(meter.mean_watts(), 0.0);
         assert_eq!(meter.violation_interval_rate(), 0.0);
         assert!(!meter.violated());
+    }
+
+    #[test]
+    fn stepping_the_cap_rejudges_only_future_intervals() {
+        let mut meter = MachineMeter::new(100.0);
+        meter.record(1.0, 90.0); // under the 100 W cap
+        meter.set_cap(50.0);
+        assert_eq!(meter.cap_watts(), 50.0);
+        meter.record(1.0, 90.0); // over the new 50 W cap
+        assert!((meter.violation_rate() - 0.5).abs() < 1e-12);
+        assert!((meter.excess_energy_joules() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_cap_step_panics() {
+        let mut meter = MachineMeter::new(100.0);
+        meter.set_cap(-1.0);
     }
 
     #[test]

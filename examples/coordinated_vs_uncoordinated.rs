@@ -5,15 +5,18 @@
 //! one independent SEEC instance *per actuator* and nobody watching the cap
 //! (§5.2's uncoordinated-composition baseline), and once under a
 //! [`Coordinator`] whose performance market splits the budget into per-app
-//! power envelopes each quantum. The uncoordinated machine overshoots the
-//! budget most of the run; the coordinated one holds it at zero violations
-//! while delivering more goal-weighted throughput per watt.
+//! power envelopes each quantum. Halfway through, the machine budget
+//! *steps down* by a third — rack-level power management the fleet gets no
+//! warning about. The uncoordinated machine overshoots the budget most of
+//! the run; the coordinated one holds both the original and the cut budget
+//! at zero violations while delivering more goal-weighted throughput per
+//! watt.
 //!
 //! Run with: `cargo run --release --example coordinated_vs_uncoordinated`
 
 use angstrom_seec::experiments::fig5::{budget_watts, QUANTUM_SECONDS};
 use angstrom_seec::prelude::*;
-use angstrom_seec::workloads::{Scenario, ScenarioApp};
+use angstrom_seec::workloads::{BudgetStep, Scenario, ScenarioApp};
 use angstrom_seec::xeon_sim::XeonServer;
 
 fn main() {
@@ -28,11 +31,18 @@ fn main() {
         ],
         quanta: 72,
         power_budget_fraction: 0.45,
+        budget_steps: vec![BudgetStep {
+            quantum: 36,
+            fraction: 0.3,
+        }],
     };
     println!(
-        "four applications, {} quanta of {QUANTUM_SECONDS:.0} s, budget {:.0} W above idle\n",
+        "four applications, {} quanta of {QUANTUM_SECONDS:.0} s, budget {:.0} W above idle \
+         stepping to {:.0} W at quantum 36\n",
         scenario.quanta,
         budget_watts(&server, &scenario),
+        scenario.budget_fraction_at(36)
+            * (server.max_power_watts() - server.idle_power_watts()),
     );
 
     // Figure 5's harness runs exactly this comparison; reuse it so the
