@@ -196,22 +196,75 @@ struct CoordinatorStepBench {
     /// power-capped decision per app over the 560-configuration Xeon
     /// action space — with every per-app stage inline on one thread.
     ns_per_step_sequential: TimingSummary,
-    /// The same step sharded across `sharded_workers` scoped threads
-    /// (bit-identical output; only the wall-clock differs).
-    ns_per_step_sharded: TimingSummary,
-    /// Worker threads the sharded measurement used
+    /// The same step with its per-app stages sharded across the
+    /// coordinator's *persistent* `exec::ExecPool` (`pool_workers`
+    /// threads, shard threshold forced to 0 so every fleet size exercises
+    /// the pool). Bit-identical output; only the wall-clock differs.
+    ns_per_step_pool: TimingSummary,
+    /// Worker threads the pooled measurement used
     /// (`min(available_parallelism, 8)`; 1 on single-core hosts, where
-    /// sharded ≈ sequential plus scheduling noise).
-    sharded_workers: usize,
-    /// `sequential median / sharded median` — above 1.0 when sharding pays.
-    sharded_speedup: f64,
+    /// pooled ≈ sequential plus scheduling noise).
+    pool_workers: usize,
+    /// `sequential median / pool median` — above 1.0 when sharding pays.
+    pool_speedup: f64,
+}
+
+/// Raw fan-out hand-off cost: what one no-op dispatch round costs under
+/// per-call `std::thread::scope` spawning (the coordinator's pre-pool
+/// design, reconstructed here) vs. the persistent pool's wake-up.
+#[derive(Serialize)]
+struct DispatchBench {
+    /// Threads per round (fixed, so the comparison is host-independent).
+    workers: usize,
+    /// Spawn `workers` no-op scoped threads and join them — the per-step
+    /// price the old `thread::scope` sharding paid at every quantum.
+    ns_per_scope_round: TimingSummary,
+    /// One `ExecPool::map_indexed` round over `workers` no-op tasks on a
+    /// pool that was spawned once and is reused across rounds.
+    ns_per_pool_round: TimingSummary,
+    /// `scope median / pool median` — how much the persistent pool
+    /// amortises the per-quantum hand-off.
+    pool_amortization: f64,
 }
 
 #[derive(Serialize)]
 struct Fig5Bench {
     mode: &'static str,
-    /// Sequential-vs-sharded step latency at each fleet size.
+    /// Pool-vs-scope dispatch cost (no-op tasks, fixed thread count).
+    dispatch: DispatchBench,
+    /// Sequential-vs-pooled step latency at each fleet size.
     fleet: Vec<CoordinatorStepBench>,
+}
+
+fn bench_dispatch(samples: usize, iterations: usize) -> DispatchBench {
+    let workers = 4;
+    let rounds = iterations.max(50);
+    let (scope_summary, scope_iters) = sample(samples, || {
+        for _ in 0..rounds {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| black_box(()));
+                }
+            });
+        }
+        rounds
+    });
+    let pool = exec::ExecPool::new(workers);
+    let (pool_summary, pool_iters) = sample(samples, || {
+        for _ in 0..rounds {
+            black_box(pool.map_indexed(workers, |_| ()));
+        }
+        rounds
+    });
+    let scope = TimingSummary::from_summary(&scope_summary, "nanoseconds", 1.0e9 / scope_iters);
+    let pooled = TimingSummary::from_summary(&pool_summary, "nanoseconds", 1.0e9 / pool_iters);
+    let amortization = scope.median / pooled.median.max(f64::MIN_POSITIVE);
+    DispatchBench {
+        workers,
+        ns_per_scope_round: scope,
+        ns_per_pool_round: pooled,
+        pool_amortization: amortization,
+    }
 }
 
 fn coordinator_with_apps(apps: usize) -> (Coordinator, Vec<coordinator::AppHandle>) {
@@ -240,7 +293,8 @@ fn coordinator_with_apps(apps: usize) -> (Coordinator, Vec<coordinator::AppHandl
 }
 
 fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str) -> Fig5Bench {
-    let sharded_workers = Coordinator::default_workers();
+    let dispatch = bench_dispatch(samples, iterations / 4);
+    let pool_workers = Coordinator::default_workers();
     let fleet = [10usize, 100, 1000, 5000]
         .into_iter()
         .map(|apps| {
@@ -277,28 +331,35 @@ fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str)
             let mut sequential = Vec::with_capacity(samples);
             coordinator.set_workers(1);
             sample_steps(&mut coordinator, &mut sequential);
-            let mut sharded = Vec::with_capacity(samples);
-            coordinator.set_workers(sharded_workers);
-            sample_steps(&mut coordinator, &mut sharded);
+            let mut pooled = Vec::with_capacity(samples);
+            coordinator.set_workers(pool_workers);
+            // Threshold 0: even the 10-app fleet goes through the pool, so
+            // the column measures the pooled path at every size.
+            coordinator.set_shard_threshold(0);
+            sample_steps(&mut coordinator, &mut pooled);
             let scale = 1.0e9 / steps as f64;
             let sequential = TimingSummary::from_summary(
                 &summarize(&sequential),
                 "nanoseconds",
                 scale,
             );
-            let sharded =
-                TimingSummary::from_summary(&summarize(&sharded), "nanoseconds", scale);
-            let speedup = sequential.median / sharded.median.max(f64::MIN_POSITIVE);
+            let pooled =
+                TimingSummary::from_summary(&summarize(&pooled), "nanoseconds", scale);
+            let speedup = sequential.median / pooled.median.max(f64::MIN_POSITIVE);
             CoordinatorStepBench {
                 apps,
                 ns_per_step_sequential: sequential,
-                ns_per_step_sharded: sharded,
-                sharded_workers,
-                sharded_speedup: speedup,
+                ns_per_step_pool: pooled,
+                pool_workers,
+                pool_speedup: speedup,
             }
         })
         .collect();
-    Fig5Bench { mode, fleet }
+    Fig5Bench {
+        mode,
+        dispatch,
+        fleet,
+    }
 }
 
 fn write_json<T: Serialize>(path: &str, value: &T) {
@@ -345,15 +406,23 @@ fn main() {
     write_json("BENCH_decide.json", &decide);
 
     let fig5 = bench_coordinator_step(micro_samples, decide_iterations, mode);
+    println!(
+        "dispatch round ({} workers): thread::scope median {:.1} µs, persistent pool {:.1} µs \
+         ({:.1}x amortised)",
+        fig5.dispatch.workers,
+        fig5.dispatch.ns_per_scope_round.median / 1.0e3,
+        fig5.dispatch.ns_per_pool_round.median / 1.0e3,
+        fig5.dispatch.pool_amortization,
+    );
     for entry in &fig5.fleet {
         println!(
-            "coordinator step @ {:4} apps: sequential median {:.1} µs, sharded {:.1} µs \
+            "coordinator step @ {:4} apps: sequential median {:.1} µs, pooled {:.1} µs \
              ({} workers, {:.2}x)",
             entry.apps,
             entry.ns_per_step_sequential.median / 1.0e3,
-            entry.ns_per_step_sharded.median / 1.0e3,
-            entry.sharded_workers,
-            entry.sharded_speedup,
+            entry.ns_per_step_pool.median / 1.0e3,
+            entry.pool_workers,
+            entry.pool_speedup,
         );
     }
     write_json("BENCH_fig5.json", &fig5);

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use exec::ExecPool;
 use heartbeats::{observe_fleet, HeartbeatMonitor, MonitorObservation};
 use seec::{CapDecision, SeecError, SeecRuntime};
 use workloads::{HeartbeatedWorkload, QuantumDemand};
@@ -17,6 +18,15 @@ impl AppHandle {
     /// The registration index of the application (registration order).
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// The handle for registration index `index` — the inverse of
+    /// [`Self::index`], for drivers that iterate a fleet by position
+    /// (handles are issued densely, in registration order, by
+    /// [`Coordinator::register`]). Indexes past the fleet size panic when
+    /// used, exactly like a slice index.
+    pub fn from_index(index: usize) -> Self {
+        AppHandle(index)
     }
 }
 
@@ -223,6 +233,28 @@ fn request_for(
     }
 }
 
+/// Folds per-app requests into one fleet-level aggregate (see
+/// [`Coordinator::fleet_request`] for the field semantics). Registration
+/// order, so every floating-point sum is deterministic.
+fn aggregate_requests(requests: &[AppRequest]) -> AppRequest {
+    let mut active = false;
+    let mut weight = 0.0;
+    let mut weighted_urgency = 0.0;
+    let mut max_power_watts = 0.0;
+    for request in requests.iter().filter(|request| request.active) {
+        active = true;
+        weight += request.weight;
+        weighted_urgency += request.weight * request.urgency;
+        max_power_watts += request.max_power_watts;
+    }
+    AppRequest {
+        active,
+        weight: if weight > 0.0 { weight } else { 1.0 },
+        urgency: if weight > 0.0 { weighted_urgency / weight } else { 1.0 },
+        max_power_watts,
+    }
+}
+
 /// Runs the decide stage over one contiguous fleet chunk: records the award
 /// on every app and lets each *present* app decide under its envelope.
 /// Returns the chunk-local index and error of the first failing decision;
@@ -281,15 +313,25 @@ fn decide_chunk(
 /// # Sharding
 ///
 /// With [`Coordinator::with_workers`] above 1, the per-application stages —
-/// observe/request (1–2) and decide (3) — run on `std::thread::scope`
-/// workers over contiguous fleet shards, while arbitration (the only stage
-/// that couples applications) stays a sequential fold over the full request
-/// list. Because each application's observation, request, and decision are
+/// observe/request (1–2) and decide (3) — run on a **persistent**
+/// [`exec::ExecPool`] over contiguous fleet shards, while arbitration (the
+/// only stage that couples applications) stays a sequential fold over the
+/// full request list. The pool is created once (when the worker count is
+/// set) and reused across every quantum, so the steady-state step pays a
+/// wake-up instead of the per-step `std::thread::scope` spawn it replaced.
+/// Because each application's observation, request, and decision are
 /// functions of *its own* state plus the arbitration output, and the
 /// arbitration input/output are identical regardless of how the fleet was
 /// partitioned, the sharded step is **bit-identical** to the sequential one
 /// at every worker count (pinned by the property suite,
 /// `tests/lifecycle_props.rs`).
+///
+/// Sharding only engages once the registered fleet reaches
+/// [`Coordinator::shard_threshold`] applications (default
+/// [`Coordinator::DEFAULT_SHARD_THRESHOLD`]); below it, the fan-out
+/// hand-off costs more than the per-app work it spreads out, so the step
+/// runs inline. The threshold is purely a performance knob — output is
+/// bit-identical on either side of it.
 ///
 /// # Application lifecycle
 ///
@@ -308,9 +350,14 @@ pub struct Coordinator {
     budget_watts: f64,
     headroom: f64,
     quantum: usize,
-    /// Worker threads the per-app stages shard across (1 = inline).
-    workers: usize,
-    // Reused per-step buffers: the steady-state step allocates nothing.
+    /// Persistent worker pool the per-app stages shard across (`None` =
+    /// everything inline). Sized once by [`Self::set_workers`] (or shared
+    /// via [`Self::with_pool`]) and reused across every quantum.
+    pool: Option<Arc<ExecPool>>,
+    /// Fleet size from which the per-app stages use the pool.
+    shard_threshold: usize,
+    // Reused per-step buffers: the steady-state sequential step allocates
+    // nothing (the pooled step allocates one small per-shard Vec).
     observations: Vec<MonitorObservation>,
     requests: Vec<AppRequest>,
     awards: Vec<f64>,
@@ -344,42 +391,83 @@ impl Coordinator {
             budget_watts,
             headroom: 0.95,
             quantum: 0,
-            workers: 1,
+            pool: None,
+            shard_threshold: Self::DEFAULT_SHARD_THRESHOLD,
             observations: Vec::new(),
             requests: Vec::new(),
             awards: Vec::new(),
         }
     }
 
+    /// Default [`Self::shard_threshold`]: fleets below 64 apps step inline
+    /// even when a pool is attached, because at the fleet sizes tracked in
+    /// `BENCH_fig5.json` the fan-out hand-off outgrows the per-app decide
+    /// work it spreads out.
+    pub const DEFAULT_SHARD_THRESHOLD: usize = 64;
+
     /// Sets how many worker threads the per-application stages of
     /// [`Self::step`] shard across (default 1 = everything inline on the
-    /// caller's thread). Values are clamped to at least 1; counts above the
-    /// fleet size simply leave workers idle. Sharded output is bit-identical
-    /// to sequential output at every worker count — see the type-level
-    /// sharding notes.
+    /// caller's thread). Counts above 1 create a persistent
+    /// [`exec::ExecPool`], sized once and reused across every quantum;
+    /// counts above the fleet size simply leave workers idle. Sharded
+    /// output is bit-identical to sequential output at every worker count —
+    /// see the type-level sharding notes.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.set_workers(workers);
         self
     }
 
     /// Changes the worker-thread count mid-run (see [`Self::with_workers`]).
+    /// Replaces the pool only when the count actually changes.
     pub fn set_workers(&mut self, workers: usize) {
-        self.workers = workers.max(1);
+        let workers = workers.max(1);
+        if workers == self.workers() {
+            return;
+        }
+        self.pool = (workers > 1).then(|| Arc::new(ExecPool::new(workers)));
+    }
+
+    /// Shards the per-application stages across an existing pool instead of
+    /// creating a private one — the natural wiring when many coordinators
+    /// (e.g. the racks of a [`crate::DatacenterArbiter`]) share one host.
+    pub fn with_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = (pool.threads() > 1).then_some(pool);
+        self
+    }
+
+    /// Sets the fleet size from which the per-application stages use the
+    /// worker pool (default [`Self::DEFAULT_SHARD_THRESHOLD`]; 0 = always).
+    /// Purely a performance knob: output is bit-identical on either side.
+    pub fn with_shard_threshold(mut self, threshold: usize) -> Self {
+        self.set_shard_threshold(threshold);
+        self
+    }
+
+    /// Changes the sharding threshold mid-run (see
+    /// [`Self::with_shard_threshold`]).
+    pub fn set_shard_threshold(&mut self, threshold: usize) {
+        self.shard_threshold = threshold;
+    }
+
+    /// Fleet size from which the per-application stages use the pool.
+    pub fn shard_threshold(&self) -> usize {
+        self.shard_threshold
     }
 
     /// A sensible worker count for sharding on the current host: the
-    /// available parallelism, capped at 8 (past that, per-step
-    /// `thread::scope` hand-off outgrows what extra shards buy at the
-    /// fleet sizes tracked in BENCH_fig5.json). 1 on single-core hosts —
-    /// i.e. the sequential step. The shared default keeps the experiment
-    /// harness and the benchmark measuring the same configuration.
+    /// available parallelism, capped at 8 (past that, per-step fan-out
+    /// hand-off outgrows what extra shards buy at the fleet sizes tracked
+    /// in BENCH_fig5.json). 1 on single-core hosts — i.e. the sequential
+    /// step. The shared default keeps the experiment harness and the
+    /// benchmark measuring the same configuration.
     pub fn default_workers() -> usize {
         std::thread::available_parallelism().map_or(1, |n| n.get()).min(8)
     }
 
-    /// Worker threads the per-application stages shard across.
+    /// Worker threads the per-application stages shard across (the attached
+    /// pool's thread count; 1 when everything runs inline).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.as_ref().map_or(1, |pool| pool.threads())
     }
 
     /// Sets the fraction of the budget actually handed out (default 0.95).
@@ -483,13 +571,47 @@ impl Coordinator {
         &self.awards
     }
 
+    /// Folds the whole fleet's state into one machine-level [`AppRequest`]
+    /// for the quantum [`Self::step`] will run next — what a
+    /// [`crate::DatacenterArbiter`] arbitrates *between* coordinators, so
+    /// budget can flow datacenter → rack → app through the same
+    /// [`ArbitrationPolicy`] trait at both levels:
+    ///
+    /// * `active` — whether any application is present this quantum;
+    /// * `weight` — the sum of present applications' weights (a rack full
+    ///   of high-priority apps outweighs one full of batch jobs);
+    /// * `urgency` — the weight-weighted mean of present applications'
+    ///   heartbeat-gap urgencies;
+    /// * `max_power_watts` — the sum of present applications' absorption
+    ///   ceilings (water-filling at the datacenter level then returns a
+    ///   rack's surplus to racks that can still use it).
+    ///
+    /// Observes the fleet (one lock per app, same snapshot `step` would
+    /// take; the warmed buffers are reused by the following `step`, whose
+    /// own observation of an unchanged fleet yields identical values).
+    /// Deterministic: the folds run in registration order.
+    pub fn fleet_request(&mut self) -> AppRequest {
+        let quantum = self.quantum;
+        let budget = self.budget_watts;
+        observe_fleet(&self.monitors, &mut self.observations);
+        self.requests.clear();
+        self.requests.extend(
+            self.apps
+                .iter()
+                .zip(&self.observations)
+                .map(|(app, observation)| request_for(app, observation, quantum, budget)),
+        );
+        aggregate_requests(&self.requests)
+    }
+
     /// Runs one coordinated quantum at simulation time `now`:
     /// observe the fleet, arbitrate the budget, and let every present app
     /// decide under its envelope. Advances the shared quantum counter.
     ///
-    /// The per-application stages shard across [`Self::workers`] scoped
-    /// threads; the output is bit-identical at every worker count (see the
-    /// type-level sharding notes).
+    /// The per-application stages shard across the persistent worker pool
+    /// ([`Self::workers`] threads, once the fleet reaches
+    /// [`Self::shard_threshold`]); the output is bit-identical at every
+    /// worker count (see the type-level sharding notes).
     ///
     /// # Errors
     ///
@@ -500,7 +622,15 @@ impl Coordinator {
     /// apps at higher indices than the failing one.
     pub fn step(&mut self, now: f64) -> Result<StepSummary, SeecError> {
         let quantum = self.quantum;
-        let shard = Self::shard_size(self.apps.len(), self.workers);
+        let pool = self
+            .pool
+            .as_ref()
+            .filter(|_| self.apps.len() >= self.shard_threshold)
+            .cloned();
+        let shard = match &pool {
+            Some(pool) => Self::shard_size(self.apps.len(), pool.threads()),
+            None => self.apps.len().max(1),
+        };
 
         // ---- Observe + build requests (per-app, sharded) ------------
         let budget = self.budget_watts;
@@ -516,25 +646,37 @@ impl Coordinator {
                     .map(|(app, observation)| request_for(app, observation, quantum, budget)),
             );
         } else {
-            // Warm buffers: overwrite them in place, one shard per worker.
-            // Shards are handed out as `&mut` chunks even though this stage
-            // only reads the apps: exclusive chunks need `ManagedApp: Send`
-            // rather than `Sync`, which boxed actuators do not promise.
-            std::thread::scope(|scope| {
-                for ((apps, observations), requests) in self
+            // Warm buffers: overwrite them in place, one shard per pool
+            // task. Shards are handed out as `&mut` chunks even though this
+            // stage only reads the apps: exclusive chunks need
+            // `ManagedApp: Send` rather than `Sync`, which boxed actuators
+            // do not promise.
+            struct ObserveShard<'a> {
+                apps: &'a mut [ManagedApp],
+                observations: &'a mut [MonitorObservation],
+                requests: &'a mut [AppRequest],
+            }
+            let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
+            let mut shards: Vec<ObserveShard> = self
+                .apps
+                .chunks_mut(shard)
+                .zip(self.observations.chunks_mut(shard))
+                .zip(self.requests.chunks_mut(shard))
+                .map(|((apps, observations), requests)| ObserveShard {
+                    apps,
+                    observations,
+                    requests,
+                })
+                .collect();
+            pool.for_each_mut(&mut shards, |_, task| {
+                for ((app, observation), request) in task
                     .apps
-                    .chunks_mut(shard)
-                    .zip(self.observations.chunks_mut(shard))
-                    .zip(self.requests.chunks_mut(shard))
+                    .iter()
+                    .zip(task.observations.iter_mut())
+                    .zip(task.requests.iter_mut())
                 {
-                    scope.spawn(move || {
-                        for ((app, observation), request) in
-                            apps.iter().zip(observations).zip(requests)
-                        {
-                            *observation = app.monitor.observation();
-                            *request = request_for(app, observation, quantum, budget);
-                        }
-                    });
+                    *observation = app.monitor.observation();
+                    *request = request_for(app, observation, quantum, budget);
                 }
             });
         }
@@ -558,32 +700,36 @@ impl Coordinator {
                 return Err(err);
             }
         } else {
-            let shards = self.apps.len().div_ceil(shard);
-            let mut failures: Vec<Option<(usize, SeecError)>> = Vec::new();
-            failures.resize_with(shards, || None);
-            std::thread::scope(|scope| {
-                for (index, (((apps, observations), awards), failure)) in self
-                    .apps
-                    .chunks_mut(shard)
-                    .zip(self.observations.chunks(shard))
-                    .zip(self.awards.chunks(shard))
-                    .zip(failures.iter_mut())
-                    .enumerate()
-                {
-                    scope.spawn(move || {
-                        if let Err((offset, err)) =
-                            decide_chunk(apps, observations, awards, now, quantum)
-                        {
-                            *failure = Some((index * shard + offset, err));
-                        }
-                    });
-                }
+            struct DecideShard<'a> {
+                apps: &'a mut [ManagedApp],
+                observations: &'a [MonitorObservation],
+                awards: &'a [f64],
+                failure: Option<(usize, SeecError)>,
+            }
+            let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
+            let mut shards: Vec<DecideShard> = self
+                .apps
+                .chunks_mut(shard)
+                .zip(self.observations.chunks(shard))
+                .zip(self.awards.chunks(shard))
+                .map(|((apps, observations), awards)| DecideShard {
+                    apps,
+                    observations,
+                    awards,
+                    failure: None,
+                })
+                .collect();
+            pool.for_each_mut(&mut shards, |index, task| {
+                task.failure =
+                    decide_chunk(task.apps, task.observations, task.awards, now, quantum)
+                        .err()
+                        .map(|(offset, err)| (index * shard + offset, err));
             });
             // Report the lowest-indexed failure, matching the sequential
             // path's choice when several apps would have failed.
-            if let Some((_, err)) = failures
+            if let Some((_, err)) = shards
                 .into_iter()
-                .flatten()
+                .filter_map(|task| task.failure)
                 .min_by_key(|(index, _)| *index)
             {
                 return Err(err);
@@ -609,6 +755,14 @@ impl Coordinator {
             active_apps,
             awarded_watts_total: awarded_total,
         })
+    }
+
+    /// Advances the shared quantum counter without deciding — used by the
+    /// datacenter arbiter to keep a rack whose step failed in lockstep
+    /// with the racks that succeeded (the failing rack simply takes no new
+    /// decisions for that quantum).
+    pub(crate) fn skip_quantum(&mut self) {
+        self.quantum += 1;
     }
 
     /// Contiguous chunk length that spreads `apps` across `workers` shards
@@ -841,8 +995,9 @@ mod tests {
         // every tick (the full property version lives in
         // tests/lifecycle_props.rs).
         let run = |workers: usize| {
-            let mut coordinator =
-                Coordinator::new(40.0, Box::new(WeightedFair)).with_workers(workers);
+            let mut coordinator = Coordinator::new(40.0, Box::new(WeightedFair))
+                .with_workers(workers)
+                .with_shard_threshold(0);
             let handles: Vec<AppHandle> = (0..5)
                 .map(|i| {
                     coordinator.register(
@@ -916,7 +1071,9 @@ mod tests {
 
     #[test]
     fn mid_run_registration_joins_arbitration_immediately() {
-        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair)).with_workers(2);
+        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair))
+            .with_workers(2)
+            .with_shard_threshold(0);
         let first = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
         let mut now = 0.0;
         for _ in 0..5 {
@@ -962,11 +1119,47 @@ mod tests {
         assert_eq!(coordinator.workers(), 1);
         coordinator.set_workers(8);
         assert_eq!(coordinator.workers(), 8);
+        coordinator.set_shard_threshold(0);
+        assert_eq!(coordinator.shard_threshold(), 0);
         // Empty fleets and fleets smaller than the worker count still step.
         coordinator.step(1.0).unwrap();
         coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 10.0));
         coordinator.step(2.0).unwrap();
         assert_eq!(coordinator.quantum(), 2);
+        // An externally shared pool is adopted as-is.
+        let pool = std::sync::Arc::new(exec::ExecPool::new(3));
+        let shared = Coordinator::new(10.0, Box::new(StaticShare)).with_pool(pool);
+        assert_eq!(shared.workers(), 3);
+        assert_eq!(shared.shard_threshold(), Coordinator::DEFAULT_SHARD_THRESHOLD);
+    }
+
+    #[test]
+    fn fleet_request_aggregates_present_apps() {
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare));
+        // Empty fleet: inactive aggregate with neutral weight/urgency.
+        let idle = coordinator.fleet_request();
+        assert!(!idle.active);
+        assert_eq!(idle.weight, 1.0);
+        assert_eq!(idle.urgency, 1.0);
+        assert_eq!(idle.max_power_watts, 0.0);
+
+        coordinator
+            .register(managed_app(SplashBenchmark::Barnes, 1, 15.0).with_weight(2.0));
+        coordinator.register(
+            managed_app(SplashBenchmark::Volrend, 2, 15.0)
+                .with_weight(3.0)
+                .with_arrival(10), // absent at quantum 0: excluded from the fold
+        );
+        let request = coordinator.fleet_request();
+        assert!(request.active);
+        assert_eq!(request.weight, 2.0);
+        // Present app's ceiling: 10 W nominal hint x the space's most
+        // expensive declared powerup (2.6 x 2.0).
+        assert!((request.max_power_watts - 10.0 * 5.2).abs() < 1e-9);
+        assert!(request.urgency >= 1.0);
+        // A fleet_request followed by a step must not perturb the step.
+        coordinator.step(1.0).unwrap();
+        assert_eq!(coordinator.quantum(), 1);
     }
 
     #[test]

@@ -1,0 +1,736 @@
+//! Two-level (rack → datacenter) coordination.
+//!
+//! One [`Coordinator`] arbitrates one machine. A datacenter is many
+//! machines under one power envelope, and the paper's platform premise
+//! (§2) scales the same way its single-machine story does: each level runs
+//! the *same* observe–arbitrate–decide structure over the level below it.
+//! This module adds that second level:
+//!
+//! * [`RackCoordinator`] — one fleet shard: a [`Coordinator`] owning the
+//!   rack's applications, plus the rack's own [`xeon_sim::MachineMeter`]
+//!   auditing the power it actually drew against the budget it was awarded.
+//! * [`DatacenterArbiter`] — owns N racks and re-runs an
+//!   [`ArbitrationPolicy`] — the *same trait* the racks use on their apps —
+//!   over rack-level aggregate requests ([`Coordinator::fleet_request`]),
+//!   so the budget flows datacenter → rack → app.
+//!
+//! Every datacenter step is three phases, mirroring [`Coordinator::step`]:
+//!
+//! 1. **observe** — each rack folds its fleet into one aggregate request
+//!    (sum of present weights, weight-weighted mean urgency, summed
+//!    absorption ceilings);
+//! 2. **arbitrate** — the datacenter policy splits the datacenter budget
+//!    into per-rack watt envelopes (a sequential fold, exactly like the
+//!    rack-level stage 2);
+//! 3. **step** — each rack adopts its envelope as its machine budget and
+//!    runs an ordinary coordinator step under it.
+//!
+//! Phases 1 and 3 are per-rack and independent, so they fan out across the
+//! same persistent [`exec::ExecPool`] machinery the racks themselves shard
+//! on — and for the same reason the result is bit-identical at every
+//! worker count.
+//!
+//! ## The flat coordinator is the 1-rack degenerate case
+//!
+//! With a single rack under a [`StaticShare`](crate::StaticShare)
+//! datacenter policy and the default datacenter headroom of 1.0, the rack
+//! is awarded `min(budget, Σ app ceilings)`; whenever the fleet can absorb
+//! the budget (the common case — any app whose power draw is still unknown
+//! absorbs the whole budget by construction), that is *exactly* the
+//! datacenter budget, and the hierarchy reproduces the flat
+//! [`Coordinator`] bit for bit (pinned by `tests/hierarchy_props.rs`).
+//! Water-filling datacenter policies divide through the weight sum, whose
+//! rounding makes the 1-rack award agree only to within an ulp — the
+//! degenerate pin therefore uses `StaticShare`, and the conservation
+//! property is pinned for all three policies under arbitrary partitions.
+
+use std::sync::Arc;
+
+use exec::ExecPool;
+use seec::SeecError;
+use xeon_sim::MachineMeter;
+
+use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};
+use crate::policy::{AppRequest, ArbitrationPolicy};
+
+/// One rack: a fleet shard under its own [`Coordinator`], with a
+/// rack-level [`MachineMeter`] auditing the power the rack's applications
+/// actually drew against the budget the datacenter awarded it.
+///
+/// The meter is fed from the data the rack already receives: every
+/// [`Self::advance`] accumulates `power × duration` into the in-flight
+/// interval, and the step that closes the interval records its mean power
+/// against the cap that governed it (the award adopted at the *previous*
+/// step), before adopting the new award. Simulation time is assumed to
+/// start at 0, the workspace convention.
+pub struct RackCoordinator {
+    name: String,
+    coordinator: Coordinator,
+    meter: MachineMeter,
+    interval_energy_joules: f64,
+    last_step_time: f64,
+    awarded_watts: f64,
+}
+
+impl std::fmt::Debug for RackCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RackCoordinator")
+            .field("name", &self.name)
+            .field("apps", &self.coordinator.len())
+            .field("awarded_watts", &self.awarded_watts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RackCoordinator {
+    /// A rack named `name` driving `coordinator`'s fleet. The coordinator's
+    /// construction budget doubles as the rack's initial meter cap; both
+    /// are replaced by the datacenter's award at every step.
+    pub fn new(name: impl Into<String>, coordinator: Coordinator) -> Self {
+        let initial_budget = coordinator.budget_watts();
+        RackCoordinator {
+            name: name.into(),
+            coordinator,
+            meter: MachineMeter::new(initial_budget),
+            interval_energy_joules: 0.0,
+            last_step_time: 0.0,
+            awarded_watts: 0.0,
+        }
+    }
+
+    /// The rack's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rack's fleet coordinator.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// Mutable access to the rack's fleet coordinator (registration,
+    /// policy swaps, tuning).
+    pub fn coordinator_mut(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// The rack-level power audit: what the rack drew vs. what it was
+    /// awarded.
+    pub fn meter(&self) -> &MachineMeter {
+        &self.meter
+    }
+
+    /// The watt envelope the datacenter awarded at the most recent step
+    /// (0 before the first step).
+    pub fn awarded_watts(&self) -> f64 {
+        self.awarded_watts
+    }
+
+    /// Registers an application on this rack (see
+    /// [`Coordinator::register`]).
+    pub fn register(&mut self, app: ManagedApp) -> AppHandle {
+        self.coordinator.register(app)
+    }
+
+    /// Retires an application on this rack (see [`Coordinator::retire`]).
+    pub fn retire(&mut self, handle: AppHandle) {
+        self.coordinator.retire(handle)
+    }
+
+    /// Feeds one quantum's outcome back to an application (see
+    /// [`Coordinator::advance`]) and accumulates its power into the rack's
+    /// in-flight metering interval.
+    pub fn advance(
+        &mut self,
+        handle: AppHandle,
+        start: f64,
+        end: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) {
+        self.coordinator
+            .advance(handle, start, end, work_units, power_above_idle_watts);
+        self.interval_energy_joules += power_above_idle_watts * (end - start).max(0.0);
+    }
+
+    /// Closes the in-flight metering interval (judged against the award in
+    /// force while it ran), adopts `awarded_watts` as the rack budget, and
+    /// steps the rack's fleet under it. Awards of exactly 0 W (an inactive
+    /// rack) leave the previous budget in place — with no present apps the
+    /// step hands out nothing regardless.
+    fn step_under(&mut self, now: f64, awarded_watts: f64) -> Result<StepSummary, SeecError> {
+        let elapsed = now - self.last_step_time;
+        if elapsed > 0.0 {
+            self.meter
+                .record(elapsed, self.interval_energy_joules / elapsed);
+        }
+        self.interval_energy_joules = 0.0;
+        self.last_step_time = now;
+        self.awarded_watts = awarded_watts;
+        if awarded_watts > 0.0 {
+            self.coordinator.set_budget(awarded_watts);
+            self.meter.set_cap(awarded_watts);
+        }
+        self.coordinator.step(now)
+    }
+}
+
+/// Summary of one datacenter step, as plain `Copy` data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatacenterStepSummary {
+    /// The shared quantum index this step covered.
+    pub quantum: usize,
+    /// Racks with at least one present application.
+    pub active_racks: usize,
+    /// Applications present across all racks.
+    pub active_apps: usize,
+    /// Watts the datacenter handed to racks (≤ budget × headroom).
+    pub rack_awarded_watts_total: f64,
+    /// Watts the racks handed on to applications (≤ the rack total: each
+    /// rack keeps its own headroom margin).
+    pub app_awarded_watts_total: f64,
+}
+
+/// Arbitrates one datacenter power budget across N [`RackCoordinator`]s,
+/// re-running an [`ArbitrationPolicy`] over rack-level aggregate requests
+/// every quantum so budget flows datacenter → rack → app.
+///
+/// See the [module docs](self) for the phase structure, the determinism
+/// argument, and the sense in which the flat [`Coordinator`] is the 1-rack
+/// degenerate case.
+pub struct DatacenterArbiter {
+    racks: Vec<RackCoordinator>,
+    policy: Box<dyn ArbitrationPolicy>,
+    budget_watts: f64,
+    headroom: f64,
+    quantum: usize,
+    /// Pool the per-rack phases (observe, step) fan out on; `None` =
+    /// inline. Racks' own coordinators may share this pool or run their
+    /// own.
+    pool: Option<Arc<ExecPool>>,
+    requests: Vec<AppRequest>,
+    awards: Vec<f64>,
+}
+
+impl std::fmt::Debug for DatacenterArbiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatacenterArbiter")
+            .field("racks", &self.racks.len())
+            .field("policy", &self.policy.name())
+            .field("budget_watts", &self.budget_watts)
+            .field("quantum", &self.quantum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DatacenterArbiter {
+    /// An arbiter splitting `budget_watts` (datacenter power above idle)
+    /// across racks under `policy`. The datacenter headroom defaults to
+    /// 1.0 — each rack's coordinator already keeps its own margin, and
+    /// stacking a second one would double-discount the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is positive (it may be infinite).
+    pub fn new(budget_watts: f64, policy: Box<dyn ArbitrationPolicy>) -> Self {
+        assert!(budget_watts > 0.0, "power budget must be positive");
+        DatacenterArbiter {
+            racks: Vec::new(),
+            policy,
+            budget_watts,
+            headroom: 1.0,
+            quantum: 0,
+            pool: None,
+            requests: Vec::new(),
+            awards: Vec::new(),
+        }
+    }
+
+    /// Sets the fraction of the datacenter budget handed to racks
+    /// (default 1.0; see [`Self::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `headroom` is in `(0, 1]`.
+    pub fn with_headroom(mut self, headroom: f64) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be in (0, 1], got {headroom}"
+        );
+        self.headroom = headroom;
+        self
+    }
+
+    /// Fans the per-rack phases of [`Self::step`] out across `workers`
+    /// threads (default 1 = inline; output is bit-identical either way,
+    /// because racks are mutually independent within a step).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.pool = (workers > 1).then(|| Arc::new(ExecPool::new(workers)));
+        self
+    }
+
+    /// Fans the per-rack phases out across an existing pool.
+    pub fn with_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = (pool.threads() > 1).then_some(pool);
+        self
+    }
+
+    /// Worker threads the per-rack phases fan out across.
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, |pool| pool.threads())
+    }
+
+    /// Adds a rack; returns its index (registration order).
+    pub fn add_rack(&mut self, rack: RackCoordinator) -> usize {
+        self.racks.push(rack);
+        self.racks.len() - 1
+    }
+
+    /// The rack at `index` (registration order).
+    pub fn rack(&self, index: usize) -> &RackCoordinator {
+        &self.racks[index]
+    }
+
+    /// Mutable access to the rack at `index`.
+    pub fn rack_mut(&mut self, index: usize) -> &mut RackCoordinator {
+        &mut self.racks[index]
+    }
+
+    /// Every rack, in registration order.
+    pub fn racks(&self) -> &[RackCoordinator] {
+        &self.racks
+    }
+
+    /// Number of racks.
+    pub fn len(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Whether no rack has been added.
+    pub fn is_empty(&self) -> bool {
+        self.racks.is_empty()
+    }
+
+    /// The datacenter power budget being arbitrated, in watts.
+    pub fn budget_watts(&self) -> f64 {
+        self.budget_watts
+    }
+
+    /// Replaces the datacenter budget (takes effect next step) — the
+    /// operator-level "budget step".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is positive (it may be infinite).
+    pub fn set_budget(&mut self, budget_watts: f64) {
+        assert!(budget_watts > 0.0, "power budget must be positive");
+        self.budget_watts = budget_watts;
+    }
+
+    /// The next shared quantum index [`Self::step`] will run.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// The datacenter-level arbitration policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The per-rack watt envelopes of the most recent step, in rack order.
+    pub fn rack_awards(&self) -> &[f64] {
+        &self.awards
+    }
+
+    /// Runs one datacenter quantum at simulation time `now`: fold each
+    /// rack's fleet into an aggregate request, arbitrate the datacenter
+    /// budget into rack envelopes, and step every rack under its envelope.
+    /// Advances the shared quantum counter (every rack's coordinator steps
+    /// exactly once per datacenter step, so all quantum counters stay in
+    /// lockstep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the decision error of the lowest-indexed failing rack
+    /// (itself the error of that rack's lowest-indexed failing app). Racks
+    /// whose steps completed keep their decisions, and every quantum
+    /// counter — the datacenter's and each rack's, including the failing
+    /// rack's — still advances, so a caller that handles the error can
+    /// keep stepping with the hierarchy in lockstep (the failing rack
+    /// simply took no new decisions that quantum).
+    pub fn step(&mut self, now: f64) -> Result<DatacenterStepSummary, SeecError> {
+        let quantum = self.quantum;
+
+        // ---- Phase 1: rack aggregate requests (per-rack, pooled) ----
+        struct RequestTask<'a> {
+            rack: &'a mut RackCoordinator,
+            request: AppRequest,
+        }
+        let mut tasks: Vec<RequestTask> = self
+            .racks
+            .iter_mut()
+            .map(|rack| RequestTask {
+                rack,
+                request: AppRequest {
+                    active: false,
+                    weight: 1.0,
+                    urgency: 1.0,
+                    max_power_watts: 0.0,
+                },
+            })
+            .collect();
+        let fold = |task: &mut RequestTask| {
+            task.request = task.rack.coordinator.fleet_request();
+        };
+        match &self.pool {
+            Some(pool) => pool.for_each_mut(&mut tasks, |_, task| fold(task)),
+            None => tasks.iter_mut().for_each(fold),
+        }
+        self.requests.clear();
+        self.requests.extend(tasks.iter().map(|task| task.request));
+        drop(tasks);
+
+        // ---- Phase 2: arbitrate (sequential deterministic fold) -----
+        self.policy.arbitrate(
+            self.budget_watts * self.headroom,
+            &self.requests,
+            &mut self.awards,
+        );
+
+        // ---- Phase 3: step each rack under its envelope (pooled) ----
+        struct StepTask<'a> {
+            rack: &'a mut RackCoordinator,
+            award: f64,
+            outcome: Option<Result<StepSummary, SeecError>>,
+        }
+        let mut tasks: Vec<StepTask> = self
+            .racks
+            .iter_mut()
+            .zip(&self.awards)
+            .map(|(rack, &award)| StepTask {
+                rack,
+                award,
+                outcome: None,
+            })
+            .collect();
+        let run = |task: &mut StepTask| {
+            task.outcome = Some(task.rack.step_under(now, task.award));
+        };
+        match &self.pool {
+            Some(pool) => pool.for_each_mut(&mut tasks, |_, task| run(task)),
+            None => tasks.iter_mut().for_each(run),
+        }
+
+        // ---- Summarise (sequential, rack order) ---------------------
+        let mut active_racks = 0;
+        let mut active_apps = 0;
+        let mut rack_awarded_total = 0.0;
+        let mut app_awarded_total = 0.0;
+        let mut failure: Option<SeecError> = None;
+        for task in tasks {
+            match task.outcome.expect("every rack was stepped") {
+                Ok(summary) => {
+                    if summary.active_apps > 0 {
+                        active_racks += 1;
+                        rack_awarded_total += task.award;
+                    }
+                    active_apps += summary.active_apps;
+                    app_awarded_total += summary.awarded_watts_total;
+                }
+                Err(err) => {
+                    // A failed rack step does not advance that rack's own
+                    // quantum counter; advance it here so every rack stays
+                    // in lockstep with the datacenter (the failing rack
+                    // simply took no new decisions this quantum) and a
+                    // caller that handles the error can keep stepping.
+                    task.rack.coordinator.skip_quantum();
+                    if failure.is_none() {
+                        failure = Some(err);
+                    }
+                }
+            }
+        }
+        // The datacenter quantum advances whether or not a rack failed —
+        // time moved for the racks that succeeded.
+        self.quantum += 1;
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        Ok(DatacenterStepSummary {
+            quantum,
+            active_racks,
+            active_apps,
+            rack_awarded_watts_total: rack_awarded_total,
+            app_awarded_watts_total: app_awarded_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PerformanceMarket, StaticShare, WeightedFair};
+    use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+    use seec::{ExplorationPolicy, SeecRuntime};
+    use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
+
+    fn actuators() -> Vec<Box<dyn actuation::Actuator>> {
+        let dvfs = ActuatorSpec::builder("dvfs")
+            .setting(
+                SettingSpec::new("slow")
+                    .effect(Axis::Performance, 0.5)
+                    .effect(Axis::Power, 0.4),
+            )
+            .setting(SettingSpec::new("nominal"))
+            .setting(
+                SettingSpec::new("fast")
+                    .effect(Axis::Performance, 2.0)
+                    .effect(Axis::Power, 2.6),
+            )
+            .nominal(1)
+            .build()
+            .unwrap();
+        vec![Box::new(TableActuator::new(dvfs))]
+    }
+
+    fn managed_app(seed: u64, target: f64) -> ManagedApp {
+        let benchmark = SplashBenchmark::ALL[seed as usize % SplashBenchmark::ALL.len()];
+        let driver = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
+        driver.set_heart_rate_goal(target);
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(actuators())
+            .exploration(ExplorationPolicy {
+                epsilon: 0.0,
+                ..ExplorationPolicy::default()
+            })
+            .seed(seed)
+            .build()
+            .unwrap();
+        ManagedApp::new(driver, runtime).with_nominal_power_hint(10.0)
+    }
+
+    /// Drives the whole hierarchy against a platform mirroring each app's
+    /// declared effects exactly; returns the final summary.
+    fn drive(datacenter: &mut DatacenterArbiter, ticks: usize) -> DatacenterStepSummary {
+        let mut now = 0.0;
+        let mut last = None;
+        for _ in 0..ticks {
+            now += 1.0;
+            for rack_index in 0..datacenter.len() {
+                let handles: Vec<AppHandle> = (0..datacenter.rack(rack_index).coordinator().len())
+                    .map(AppHandle::from_index)
+                    .collect();
+                for handle in handles {
+                    let effect = {
+                        let runtime =
+                            datacenter.rack(rack_index).coordinator().app(handle).runtime();
+                        runtime
+                            .model()
+                            .space()
+                            .predicted_effect(runtime.current_configuration())
+                            .unwrap()
+                    };
+                    datacenter.rack_mut(rack_index).advance(
+                        handle,
+                        now - 1.0,
+                        now,
+                        10.0 * effect.performance,
+                        10.0 * effect.power,
+                    );
+                }
+            }
+            last = Some(datacenter.step(now).unwrap());
+        }
+        last.expect("at least one tick")
+    }
+
+    #[test]
+    fn budget_flows_datacenter_to_rack_to_app() {
+        let mut datacenter = DatacenterArbiter::new(40.0, Box::new(WeightedFair));
+        for rack_index in 0..2 {
+            let mut rack = RackCoordinator::new(
+                format!("rack-{rack_index}"),
+                Coordinator::new(40.0, Box::new(PerformanceMarket::default())),
+            );
+            for app in 0..3 {
+                rack.register(managed_app(rack_index * 10 + app + 1, 1000.0));
+            }
+            datacenter.add_rack(rack);
+        }
+        let summary = drive(&mut datacenter, 25);
+        assert_eq!(summary.active_racks, 2);
+        assert_eq!(summary.active_apps, 6);
+        assert!(
+            summary.rack_awarded_watts_total <= 40.0 + 1e-9,
+            "rack envelopes {} must conserve the datacenter budget",
+            summary.rack_awarded_watts_total
+        );
+        assert!(
+            summary.app_awarded_watts_total <= summary.rack_awarded_watts_total + 1e-9,
+            "apps cannot be handed more than their racks were"
+        );
+        for rack in datacenter.racks() {
+            assert!(rack.awarded_watts() > 0.0, "{}: both racks host apps", rack.name());
+            assert!(rack.meter().elapsed_seconds() > 0.0);
+            let fleet_total: f64 = rack.coordinator().awards().iter().sum();
+            assert!(fleet_total <= rack.awarded_watts() * 0.95 + 1e-9);
+        }
+        assert!(format!("{datacenter:?}").contains("DatacenterArbiter"));
+        assert!(format!("{:?}", datacenter.rack(0)).contains("rack-0"));
+    }
+
+    #[test]
+    fn inactive_racks_are_awarded_nothing() {
+        let mut datacenter = DatacenterArbiter::new(30.0, Box::new(StaticShare));
+        let mut busy = RackCoordinator::new(
+            "busy",
+            Coordinator::new(30.0, Box::new(StaticShare)),
+        );
+        busy.register(managed_app(1, 100.0));
+        datacenter.add_rack(busy);
+        let mut idle = RackCoordinator::new(
+            "idle",
+            Coordinator::new(30.0, Box::new(StaticShare)),
+        );
+        idle.register(managed_app(2, 100.0).with_arrival(1_000));
+        datacenter.add_rack(idle);
+        let empty = RackCoordinator::new(
+            "empty",
+            Coordinator::new(30.0, Box::new(StaticShare)),
+        );
+        datacenter.add_rack(empty);
+
+        let summary = drive(&mut datacenter, 5);
+        assert_eq!(summary.active_racks, 1);
+        assert_eq!(summary.active_apps, 1);
+        assert_eq!(datacenter.rack_awards().len(), 3);
+        assert_eq!(datacenter.rack(1).awarded_watts(), 0.0);
+        assert_eq!(datacenter.rack(2).awarded_watts(), 0.0);
+        // The busy rack is clamped at its one app's absorption ceiling:
+        // 10 W nominal hint x the space's 2.6 max declared powerup.
+        assert_eq!(datacenter.rack(0).awarded_watts(), 26.0);
+    }
+
+    #[test]
+    fn pooled_rack_stepping_is_bit_identical_to_inline() {
+        let build = |workers: usize| {
+            let mut datacenter = DatacenterArbiter::new(35.0, Box::new(WeightedFair))
+                .with_workers(workers);
+            for rack_index in 0..3u64 {
+                let mut rack = RackCoordinator::new(
+                    format!("rack-{rack_index}"),
+                    Coordinator::new(35.0, Box::new(PerformanceMarket::default())),
+                );
+                for app in 0..2 {
+                    rack.register(managed_app(rack_index * 7 + app + 1, 1000.0));
+                }
+                datacenter.add_rack(rack);
+            }
+            datacenter
+        };
+        let trace = |mut datacenter: DatacenterArbiter| {
+            let mut out = Vec::new();
+            let mut now = 0.0;
+            for _ in 0..15 {
+                now += 1.0;
+                for rack_index in 0..datacenter.len() {
+                    for app in 0..datacenter.rack(rack_index).coordinator().len() {
+                        let handle = AppHandle::from_index(app);
+                        let effect = {
+                            let runtime = datacenter
+                                .rack(rack_index)
+                                .coordinator()
+                                .app(handle)
+                                .runtime();
+                            runtime
+                                .model()
+                                .space()
+                                .predicted_effect(runtime.current_configuration())
+                                .unwrap()
+                        };
+                        datacenter.rack_mut(rack_index).advance(
+                            handle,
+                            now - 1.0,
+                            now,
+                            10.0 * effect.performance,
+                            10.0 * effect.power,
+                        );
+                    }
+                }
+                let summary = datacenter.step(now).unwrap();
+                let awards = datacenter.rack_awards().to_vec();
+                let fleet: Vec<Vec<f64>> = datacenter
+                    .racks()
+                    .iter()
+                    .map(|rack| rack.coordinator().awards().to_vec())
+                    .collect();
+                out.push((summary, awards, fleet));
+            }
+            out
+        };
+        let inline = trace(build(1));
+        for workers in [2, 5] {
+            assert_eq!(inline, trace(build(workers)), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn rack_meter_audits_awards() {
+        let mut datacenter = DatacenterArbiter::new(1000.0, Box::new(StaticShare));
+        let mut rack =
+            RackCoordinator::new("r", Coordinator::new(1000.0, Box::new(StaticShare)));
+        let handle = rack.register(managed_app(1, 10.0));
+        datacenter.add_rack(rack);
+        let mut now = 0.0;
+        for _ in 0..10 {
+            now += 1.0;
+            datacenter.rack_mut(0).advance(handle, now - 1.0, now, 10.0, 10.0);
+            datacenter.step(now).unwrap();
+        }
+        let meter = datacenter.rack(0).meter();
+        assert_eq!(meter.elapsed_seconds(), 10.0);
+        assert!((meter.mean_watts() - 10.0).abs() < 1e-9);
+        // A 1000 W award over a 10 W draw: never violated.
+        assert!(!meter.violated());
+    }
+
+    #[test]
+    fn rack_errors_propagate_and_keep_the_hierarchy_in_lockstep() {
+        let mut datacenter = DatacenterArbiter::new(30.0, Box::new(StaticShare));
+        let mut healthy =
+            RackCoordinator::new("healthy", Coordinator::new(30.0, Box::new(StaticShare)));
+        healthy.register(managed_app(1, 100.0));
+        datacenter.add_rack(healthy);
+        let mut broken =
+            RackCoordinator::new("broken", Coordinator::new(30.0, Box::new(StaticShare)));
+        // An app without any goal: the rack step fails with NoGoal.
+        let driver = HeartbeatedWorkload::new(Workload::new(SplashBenchmark::Barnes, 1));
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(actuators())
+            .build()
+            .unwrap();
+        broken.register(ManagedApp::new(driver, runtime));
+        datacenter.add_rack(broken);
+
+        for step in 1..=3 {
+            assert!(matches!(datacenter.step(step as f64), Err(SeecError::NoGoal)));
+            // Every counter advanced in lockstep — the healthy rack
+            // stepped, the broken one skipped, the datacenter moved on.
+            assert_eq!(datacenter.quantum(), step);
+            assert_eq!(datacenter.rack(0).coordinator().quantum(), step);
+            assert_eq!(datacenter.rack(1).coordinator().quantum(), step);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_datacenter_budget_panics() {
+        let _ = DatacenterArbiter::new(0.0, Box::new(StaticShare));
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn out_of_range_datacenter_headroom_panics() {
+        let _ = DatacenterArbiter::new(10.0, Box::new(StaticShare)).with_headroom(0.0);
+    }
+}

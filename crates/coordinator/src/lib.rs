@@ -15,6 +15,12 @@
 //!   [`StaticShare`] (equal shares), [`WeightedFair`] (water-filling by
 //!   priority weight), and [`PerformanceMarket`] (bidding by
 //!   `weight × heartbeat-gap urgency`).
+//! * [`RackCoordinator`] / [`DatacenterArbiter`] — the same structure one
+//!   level up: racks fold their fleets into aggregate requests
+//!   ([`Coordinator::fleet_request`]), the datacenter re-runs an
+//!   [`ArbitrationPolicy`] across racks, and budget flows
+//!   datacenter → rack → app (the flat coordinator is the 1-rack
+//!   degenerate case; see the [`hierarchy`] module docs).
 //!
 //! Awarded watt envelopes become per-application *powerup caps*
 //! (`envelope / estimated nominal watts`), and each runtime decides under
@@ -86,9 +92,11 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 mod coordinator;
+pub mod hierarchy;
 mod policy;
 
 pub use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};
+pub use crate::hierarchy::{DatacenterArbiter, DatacenterStepSummary, RackCoordinator};
 pub use crate::policy::{
     AppRequest, ArbitrationPolicy, PerformanceMarket, StaticShare, WeightedFair,
 };

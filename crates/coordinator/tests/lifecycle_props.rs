@@ -131,7 +131,11 @@ fn drive(
     quanta: usize,
     workers: usize,
 ) -> Trace {
-    let mut coordinator = Coordinator::new(35.0, policy).with_workers(workers);
+    // Threshold 0: even these small generated fleets exercise the pooled
+    // (sharded) step rather than the inline one.
+    let mut coordinator = Coordinator::new(35.0, policy)
+        .with_workers(workers)
+        .with_shard_threshold(0);
     let handles: Vec<AppHandle> = slots
         .iter()
         .enumerate()
@@ -226,7 +230,9 @@ proptest! {
         let budget = 30.0;
         let policy = policies().swap_remove(policy_pick);
         let policy_name = policy.name();
-        let mut coordinator = Coordinator::new(budget, policy).with_workers(workers);
+        let mut coordinator = Coordinator::new(budget, policy)
+            .with_workers(workers)
+            .with_shard_threshold(0);
         let mut handles: Vec<AppHandle> = Vec::new();
         let mut next_app = 0usize;
         let mut register = |coordinator: &mut Coordinator, handles: &mut Vec<AppHandle>, seed: u64| {

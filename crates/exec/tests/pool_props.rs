@@ -1,0 +1,72 @@
+//! Property pins for the execution layer's determinism guarantee.
+//!
+//! For arbitrary inputs and thread counts, [`exec::ExecPool::map_indexed`]
+//! must return **bit-identical** results, in index order, to the plain
+//! sequential map — this is the contract that lets the coordinator and the
+//! experiment harness treat the pool as a pure performance knob. The tasks
+//! here mix float arithmetic (where any reassociation or reordering would
+//! show up in the bits) with index-dependent control flow.
+
+use exec::ExecPool;
+use proptest::prelude::*;
+
+/// A deliberately order-sensitive float fold: the sequential reference and
+/// the pooled run must agree on every bit.
+fn cell(inputs: &[f64], index: usize) -> f64 {
+    let mut acc = inputs[index];
+    // A few serial dependent operations so the result is sensitive to any
+    // deviation in evaluation order or operand values.
+    for (offset, &x) in inputs.iter().enumerate() {
+        acc = acc * 0.75 + (x + offset as f64) * 0.25;
+        if offset % 3 == index % 3 {
+            acc = acc.sqrt().max(1e-3) * 1.5;
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn map_indexed_is_bit_identical_to_sequential(
+        inputs in proptest::collection::vec(0.001..1.0e6f64, 1..40),
+        threads_a in 2usize..9,
+        threads_b in 2usize..9,
+    ) {
+        let count = inputs.len();
+        let sequential: Vec<u64> =
+            (0..count).map(|i| cell(&inputs, i).to_bits()).collect();
+        for threads in [1, threads_a, threads_b] {
+            let pool = ExecPool::new(threads);
+            // Several batches per pool: reuse must not perturb results.
+            for _ in 0..3 {
+                let pooled: Vec<u64> = pool
+                    .map_indexed(count, |i| cell(&inputs, i).to_bits());
+                prop_assert!(
+                    pooled == sequential,
+                    "pooled run diverged at {} threads over {} tasks",
+                    threads,
+                    count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_matches_the_sequential_update(
+        inputs in proptest::collection::vec(0.001..1.0e6f64, 1..40),
+        threads in 2usize..9,
+    ) {
+        let mut sequential = inputs.clone();
+        for (i, slot) in sequential.iter_mut().enumerate() {
+            *slot += cell(&inputs, i);
+        }
+        let pool = ExecPool::new(threads);
+        let mut pooled = inputs.clone();
+        pool.for_each_mut(&mut pooled, |i, slot| *slot += cell(&inputs, i));
+        let sequential: Vec<u64> = sequential.iter().map(|x| x.to_bits()).collect();
+        let pooled: Vec<u64> = pooled.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(pooled, sequential);
+    }
+}

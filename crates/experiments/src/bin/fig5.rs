@@ -5,11 +5,16 @@
 //! scenario family — the 100-app arrival storm and the 1200-app
 //! stepped-budget mix, exercising runtime registration/retirement, mid-run
 //! budget steps, and the sharded coordinator — and write it to
-//! `fig5_extended.json`. The default output is unchanged either way.
+//! `fig5_extended.json`. Pass `--hierarchy` to run the same rack-tagged
+//! extended mixes through the two-level (rack → datacenter) coordination
+//! stack — uncoordinated vs. one flat coordinator vs.
+//! `DatacenterArbiter` over per-rack `RackCoordinator`s — and write
+//! `fig5_hierarchy.json`. The default output is unchanged either way.
 
-use experiments::Figure5;
+use experiments::{Figure5, Figure5Hierarchy};
+use serde::Serialize;
 
-fn write_figure(figure: &Figure5, path: &str) {
+fn write_figure<T: Serialize>(figure: &T, path: &str) {
     match serde_json::to_string_pretty(figure) {
         Ok(json) => {
             if let Err(err) = std::fs::write(path, json) {
@@ -23,7 +28,9 @@ fn write_figure(figure: &Figure5, path: &str) {
 }
 
 fn main() {
-    let extended = std::env::args().any(|arg| arg == "--extended");
+    let args: Vec<String> = std::env::args().collect();
+    let extended = args.iter().any(|arg| arg == "--extended");
+    let hierarchy = args.iter().any(|arg| arg == "--hierarchy");
 
     let figure = Figure5::compute();
     println!(
@@ -39,5 +46,15 @@ fn main() {
         );
         println!("{}", figure.to_table());
         write_figure(&figure, "fig5_extended.json");
+    }
+
+    if hierarchy {
+        let figure = Figure5Hierarchy::compute();
+        println!(
+            "\nHierarchical coordination — the rack-tagged extended mixes, budget flowing \
+             datacenter → rack → app\n"
+        );
+        println!("{}", figure.to_table());
+        write_figure(&figure, "fig5_hierarchy.json");
     }
 }

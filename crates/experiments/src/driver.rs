@@ -12,41 +12,21 @@ use xeon_sim::{
 
 /// Runs `count` independent cells, returning their results in cell order.
 ///
-/// Cells run on at most `available_parallelism` `std::thread::scope`
-/// workers (each worker takes a contiguous chunk of cell indices), and
-/// inline when the host has a single hardware thread — spawning workers
-/// there only adds overhead. Results are identical either way: every cell
-/// is a pure function of its index (closed-loop cells own their seeded
-/// RNGs), and results are collected by index, so worker count and
-/// interleaving cannot leak into the output.
+/// Cells fan out across the process-wide persistent worker pool
+/// ([`exec::global_pool`]), sized once to the host's available parallelism
+/// and reused by every figure, sweep, and bench in the process — the
+/// per-call `std::thread::scope` spawn this replaced is paid never instead
+/// of once per call. On single-hardware-thread hosts (or single-cell
+/// batches) the pool runs the cells inline. Results are identical either
+/// way: every cell is a pure function of its index (closed-loop cells own
+/// their seeded RNGs), and [`exec::ExecPool::map_indexed`] collects by
+/// index, so thread count and interleaving cannot leak into the output.
 pub fn run_cells<T, F>(count: usize, cell: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(count);
-    if workers <= 1 {
-        return (0..count).map(cell).collect();
-    }
-    let chunk = count.div_ceil(workers);
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let cell = &cell;
-        for (worker, slots) in results.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (offset, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(cell(worker * chunk + offset));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every cell index is covered by one worker"))
-        .collect()
+    exec::global_pool().map_indexed(count, cell)
 }
 
 /// Converts one workload quantum into the Angstrom simulator's demand type.

@@ -37,6 +37,18 @@ pub const DECISION_OVERHEAD_SECONDS: f64 = 1.0e-3;
 /// costs `utilisation^1.15` under the convex one).
 pub const CONVEX_PROTOCOL_KI: f64 = 0.01;
 
+/// The belief-aging halflives (in decision periods) the
+/// `fig3 --belief-aging` experiment sweeps through the calibrated
+/// (convex, goal-respecting) protocol — the ROADMAP's probe at the
+/// *phase-stale beliefs* residue: SEEC settles one duty notch above the
+/// optimum because the cheaper notch's belief was learned in an earlier
+/// phase and is never revisited. Aging decays beliefs toward their
+/// declared priors ([`seec::SeecRuntimeBuilder::belief_halflife`]), so the
+/// stale notch is re-tried once per halflife-ish. Default-off: the
+/// historical pipeline never ages (halflife ∞, bit-for-bit identical);
+/// measured results live in EXPERIMENTS.md.
+pub const BELIEF_AGING_HALFLIVES: [f64; 4] = [8.0, 16.0, 32.0, 64.0];
+
 /// The integral retention factor the *leaky-integral experiment* applies to
 /// the convex protocol's PI controller
 /// ([`seec::control::PiController::with_leak`]): error mass absorbed over a
@@ -48,6 +60,29 @@ pub const CONVEX_PROTOCOL_KI: f64 = 0.01;
 /// recover the residue (leaks 0.8–0.995 all land at or slightly below the
 /// classical 0.839 of the dynamic oracle) — is recorded in EXPERIMENTS.md.
 pub const CONVEX_PROTOCOL_LEAK: f64 = 0.99;
+
+/// Controller/model knobs of the convex (goal-respecting) protocol that
+/// individual experiments flip, bundled so each new experiment does not
+/// grow every closed-loop runner's signature. The default is bit-for-bit
+/// the historical protocol: classical integral, no belief aging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvexTuning {
+    /// PI integral retention ([`seec::control::PiController::with_leak`];
+    /// 1.0 = classical).
+    pub leak: f64,
+    /// Belief-aging halflife in decision periods
+    /// ([`seec::SeecRuntimeBuilder::belief_halflife`]; ∞ = no aging).
+    pub belief_halflife: f64,
+}
+
+impl Default for ConvexTuning {
+    fn default() -> Self {
+        ConvexTuning {
+            leak: 1.0,
+            belief_halflife: f64::INFINITY,
+        }
+    }
+}
 
 /// Per-benchmark results, as raw performance per watt beyond idle.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -113,9 +148,9 @@ impl Figure3 {
     /// over the duty-1.0 candidates, and each benchmark then memoizes its
     /// full grid in an [`XeonEvalTable`] from which the oracles and
     /// closed-loop runs are indexed lookups. The five benchmarks, and the
-    /// policy cells within each benchmark, fan out across
-    /// `std::thread::scope` workers (via [`crate::driver::run_cells`], which
-    /// degrades to inline execution on single-core hosts). Every closed-loop
+    /// policy cells within each benchmark, fan out across the persistent
+    /// worker pool (via [`crate::driver::run_cells`], which degrades to
+    /// inline execution on single-core hosts). Every closed-loop
     /// cell owns its own seeded runtime, so results are bit-for-bit
     /// identical to the sequential pipeline regardless of worker
     /// interleaving.
@@ -135,6 +170,28 @@ impl Figure3 {
         seed: u64,
         quanta_per_run: usize,
         leak: f64,
+    ) -> Self {
+        Figure3::compute_on_tuned(
+            server,
+            seed,
+            quanta_per_run,
+            ConvexTuning {
+                leak,
+                ..ConvexTuning::default()
+            },
+        )
+    }
+
+    /// [`Self::compute_on`] with explicit [`ConvexTuning`] knobs (the
+    /// default tuning is bit-for-bit [`Self::compute_on`]). Like the leak,
+    /// the knobs touch only the closed-loop SEEC and uncoordinated cells
+    /// of the goal-respecting protocol — oracles and fixed runs are
+    /// untouched, and the linear historical pipeline ignores them.
+    pub fn compute_on_tuned(
+        server: &XeonServer,
+        seed: u64,
+        quanta_per_run: usize,
+        tuning: ConvexTuning,
     ) -> Self {
         // Under the convex power model the capped efficiency ratio is
         // gameable by deep under-utilisation, so selections (oracles and
@@ -237,14 +294,14 @@ impl Figure3 {
                     seed,
                 )
                 .performance_per_watt(cell.target),
-                (2, true) => run_seec_convex_on_table_with_leak(
+                (2, true) => run_seec_convex_on_table_tuned(
                     server,
                     cell.benchmark,
                     &cell.quanta,
                     &table,
                     cell.target,
                     seed,
-                    leak,
+                    tuning,
                 )
                 .performance_per_watt(cell.target),
                 (_, false) => run_uncoordinated_on_table(
@@ -256,14 +313,14 @@ impl Figure3 {
                     seed,
                 )
                 .performance_per_watt(cell.target),
-                (_, true) => run_uncoordinated_convex_on_table_with_leak(
+                (_, true) => run_uncoordinated_convex_on_table_tuned(
                     server,
                     cell.benchmark,
                     &cell.quanta,
                     &table,
                     cell.target,
                     seed,
-                    leak,
+                    tuning,
                 )
                 .performance_per_watt(cell.target),
             });
@@ -585,13 +642,40 @@ pub fn run_seec_convex_on_table_with_leak(
     seed: u64,
     leak: f64,
 ) -> XeonRunOutcome {
+    run_seec_convex_on_table_tuned(
+        server,
+        benchmark,
+        quanta,
+        table,
+        target_heart_rate,
+        seed,
+        ConvexTuning {
+            leak,
+            ..ConvexTuning::default()
+        },
+    )
+}
+
+/// [`run_seec_convex_on_table`] with explicit [`ConvexTuning`] knobs (the
+/// default tuning is bit-for-bit the plain convex run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_seec_convex_on_table_tuned(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+    tuning: ConvexTuning,
+) -> XeonRunOutcome {
     let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
     app.set_heart_rate_goal(target_heart_rate);
     let mut runtime = SeecRuntime::builder(app.monitor())
         .actuators(xeon_actuators(server))
         .anchored_estimation(true)
+        .belief_halflife(tuning.belief_halflife)
         .controller(
-            PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0).with_leak(leak),
+            PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0).with_leak(tuning.leak),
         )
         .seed(seed)
         .build()
@@ -652,6 +736,33 @@ pub fn run_uncoordinated_convex_on_table_with_leak(
     seed: u64,
     leak: f64,
 ) -> XeonRunOutcome {
+    run_uncoordinated_convex_on_table_tuned(
+        server,
+        benchmark,
+        quanta,
+        table,
+        target_heart_rate,
+        seed,
+        ConvexTuning {
+            leak,
+            ..ConvexTuning::default()
+        },
+    )
+}
+
+/// [`run_uncoordinated_convex_on_table`] with explicit [`ConvexTuning`]
+/// knobs in every per-actuator instance (the default tuning is bit-for-bit
+/// the plain convex run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_uncoordinated_convex_on_table_tuned(
+    server: &XeonServer,
+    benchmark: SplashBenchmark,
+    quanta: &[QuantumDemand],
+    table: &XeonEvalTable,
+    target_heart_rate: f64,
+    seed: u64,
+    tuning: ConvexTuning,
+) -> XeonRunOutcome {
     let app = HeartbeatedWorkload::new(Workload::new(benchmark, seed));
     app.set_heart_rate_goal(target_heart_rate);
     let mut uncoordinated = UncoordinatedRuntime::new_with(
@@ -659,9 +770,13 @@ pub fn run_uncoordinated_convex_on_table_with_leak(
         xeon_actuators(server),
         seed,
         |builder| {
-            builder.anchored_estimation(true).controller(
-                PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0).with_leak(leak),
-            )
+            builder
+                .anchored_estimation(true)
+                .belief_halflife(tuning.belief_halflife)
+                .controller(
+                    PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0)
+                        .with_leak(tuning.leak),
+                )
         },
     )
     .expect("actuators");

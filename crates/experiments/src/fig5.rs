@@ -34,11 +34,11 @@
 //! distinguish the regimes.
 
 use coordinator::{
-    AppHandle, ArbitrationPolicy, Coordinator, ManagedApp, PerformanceMarket, StaticShare,
-    WeightedFair,
+    AppHandle, ArbitrationPolicy, Coordinator, DatacenterArbiter, ManagedApp, PerformanceMarket,
+    RackCoordinator, StaticShare, WeightedFair,
 };
 use seec::control::PiController;
-use seec::{SeecRuntime, UncoordinatedRuntime};
+use seec::{SeecRuntime, SeecRuntimeBuilder, UncoordinatedRuntime};
 use serde::{Deserialize, Serialize};
 use workloads::{
     extended_scenario_mixes, scenario_mixes, HeartbeatedWorkload, QuantumDemand, Scenario,
@@ -51,13 +51,6 @@ use crate::fig3::{map_configuration, xeon_actuators, CONVEX_PROTOCOL_KI};
 
 /// Length of one shared scheduling quantum, in seconds.
 pub const QUANTUM_SECONDS: f64 = 1.0;
-
-/// Fleet size from which the coordinated arms shard the coordinator across
-/// worker threads ([`Coordinator::with_workers`]). Sharded output is
-/// bit-identical to sequential, so the threshold is purely a performance
-/// choice: below it the per-step thread hand-off costs more than the
-/// per-app decide work it spreads out.
-pub const SHARD_FLEET_THRESHOLD: usize = 64;
 
 /// Beats each application should emit per quantum when exactly on target
 /// (sets its work-per-beat granularity; the 64-beat window then spans eight
@@ -259,6 +252,16 @@ pub fn budget_watts(server: &XeonServer, scenario: &Scenario) -> f64 {
     scenario.power_budget_fraction * (server.max_power_watts() - server.idle_power_watts())
 }
 
+/// The scenario's absolute *datacenter* power budget: its fraction of the
+/// datacenter's full-load power above idle, which is one machine's range
+/// per rack. A datacenter of R racks brings R machines' worth of cores
+/// *and* watts; applying the fraction to a single machine's range would
+/// make large rack-tagged mixes infeasible by construction (even every app
+/// parked in its cheapest configuration would exceed the cap).
+pub fn datacenter_budget_watts(server: &XeonServer, scenario: &Scenario) -> f64 {
+    budget_watts(server, scenario) * scenario.rack_count() as f64
+}
+
 /// Per-app simulation state shared by every regime.
 struct AppSim {
     /// The scenario slot (activity window, weight, seed, benchmark); the
@@ -321,6 +324,42 @@ fn build_apps(server: &XeonServer, scenario: &Scenario) -> Vec<AppSim> {
         .collect()
 }
 
+/// The convex (goal-respecting) protocol tuning every closed-loop runtime
+/// in this figure uses — anchored estimation plus the gentle
+/// [`CONVEX_PROTOCOL_KI`] integral (see [`crate::fig3`]).
+fn tuned(builder: SeecRuntimeBuilder) -> SeecRuntimeBuilder {
+    builder
+        .anchored_estimation(true)
+        .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
+}
+
+/// A heartbeat-instrumented driver for one scenario app, its goal set to
+/// the scenario's target rate.
+fn heartbeated(sim: &AppSim) -> HeartbeatedWorkload {
+    let workload = Workload::new(sim.spec.benchmark, sim.spec.seed);
+    let driver = HeartbeatedWorkload::with_work_per_beat(workload, sim.work_per_beat);
+    driver.set_heart_rate_goal(sim.target_rate / sim.work_per_beat);
+    driver
+}
+
+/// Builds the [`ManagedApp`] a coordinated arm registers for `sim` at its
+/// arrival quantum.
+fn managed_for(server: &XeonServer, sim: &AppSim, seed: u64, index: usize) -> ManagedApp {
+    let driver = heartbeated(sim);
+    let runtime = tuned(
+        SeecRuntime::builder(driver.monitor())
+            .actuators(xeon_actuators(server))
+            .seed(seed.wrapping_add(index as u64)),
+    )
+    .build()
+    .expect("actuators registered");
+    ManagedApp::new(driver, runtime)
+        .with_weight(sim.spec.weight)
+        .with_arrival(sim.spec.arrival)
+        .with_phases(sim.phases.clone())
+        .with_nominal_power_hint(sim.launch_power_watts)
+}
+
 /// The per-app decision state of one regime.
 enum Controller {
     Fixed,
@@ -339,31 +378,18 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
     let budget = budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
 
-    let tuned = |builder: seec::SeecRuntimeBuilder| {
-        builder
-            .anchored_estimation(true)
-            .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
-    };
-    let heartbeated = |sim: &AppSim| {
-        let workload = Workload::new(sim.spec.benchmark, sim.spec.seed);
-        let driver = HeartbeatedWorkload::with_work_per_beat(workload, sim.work_per_beat);
-        driver.set_heart_rate_goal(sim.target_rate / sim.work_per_beat);
-        driver
-    };
-
     // Coordinated arms start from an *empty* coordinator: every app
     // registers at its arrival quantum and retires at its departure, so
     // churny mixes exercise the runtime lifecycle rather than a fleet
-    // declared up front. Fleets past the sharding threshold spread their
-    // per-app observe/decide stages across worker threads (bit-identical
-    // to sequential, so this is invisible in the output).
+    // declared up front. The coordinator shares the process-wide
+    // persistent pool (the same one this cell is running on — nested
+    // dispatch degrades gracefully, and no extra threads are spawned);
+    // the shard threshold (default 64 apps) decides per step whether the
+    // registered fleet is big enough to fan out (bit-identical to
+    // sequential, so this is invisible in the output).
     let mut coordinator_state: Option<Coordinator> = arm.policy().map(|policy| {
-        let workers = if apps.len() >= SHARD_FLEET_THRESHOLD {
-            Coordinator::default_workers()
-        } else {
-            1
-        };
-        Coordinator::new(budget, policy).with_workers(workers)
+        Coordinator::new(budget, policy)
+            .with_pool(std::sync::Arc::clone(exec::global_pool_arc()))
     });
 
     let mut controllers: Vec<Controller> = apps
@@ -417,19 +443,7 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
                 // coordinator with no departure ever stamped.
                 let never_active = sim.spec.departure.is_some_and(|d| d <= sim.spec.arrival);
                 if sim.spec.arrival == quantum && !never_active {
-                    let driver = heartbeated(sim);
-                    let runtime = tuned(
-                        SeecRuntime::builder(driver.monitor())
-                            .actuators(xeon_actuators(server))
-                            .seed(seed.wrapping_add(index as u64)),
-                    )
-                    .build()
-                    .expect("actuators registered");
-                    let managed = ManagedApp::new(driver, runtime)
-                        .with_weight(sim.spec.weight)
-                        .with_arrival(sim.spec.arrival)
-                        .with_phases(sim.phases.clone())
-                        .with_nominal_power_hint(sim.launch_power_watts);
+                    let managed = managed_for(server, sim, seed, index);
                     controllers[index] = Controller::Coordinated(Some(coordinator.register(managed)));
                 }
                 if sim.spec.departure == Some(quantum) {
@@ -549,6 +563,428 @@ fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> Arm
     }
 }
 
+// ---------------------------------------------------------------------
+// The hierarchical (rack → datacenter) arm: `fig5 --hierarchy`.
+// ---------------------------------------------------------------------
+
+/// One scenario's results in the hierarchy experiment: the same
+/// rack-partitioned datacenter (each rack is its own machine, so contention
+/// is per rack; the watt budget is shared datacenter-wide) under three
+/// coordination topologies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyScenario {
+    /// Scenario name (see [`workloads::extended_scenario_mixes`]).
+    pub name: String,
+    /// Number of applications in the mix.
+    pub apps: usize,
+    /// Number of racks the mix is partitioned into
+    /// ([`workloads::ScenarioApp::rack`]).
+    pub racks: usize,
+    /// Quanta simulated.
+    pub quanta: usize,
+    /// The shared datacenter power budget (above idle), in watts.
+    pub budget_watts: f64,
+    /// No arbitration anywhere: every app its own uncoordinated
+    /// (one-instance-per-actuator) adaptation.
+    pub uncoordinated: ArmOutcome,
+    /// One flat [`Coordinator`] arbitrating every app across all racks.
+    pub flat: ArmOutcome,
+    /// A [`DatacenterArbiter`] over per-rack [`RackCoordinator`]s:
+    /// budget flows datacenter → rack → app.
+    pub rack_coordinated: ArmOutcome,
+    /// Worst per-rack audit in the rack-coordinated arm: the highest
+    /// fraction of time any rack spent above the envelope the datacenter
+    /// awarded it ([`RackCoordinator::meter`]).
+    pub max_rack_violation_rate: f64,
+}
+
+/// The `fig5 --hierarchy` data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure5Hierarchy {
+    /// One entry per rack-tagged scenario mix.
+    pub scenarios: Vec<HierarchyScenario>,
+}
+
+/// Which coordination topology a hierarchy cell runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HierarchyArm {
+    Uncoordinated,
+    Flat,
+    RackCoordinated,
+}
+
+impl HierarchyArm {
+    const ALL: [HierarchyArm; 3] = [
+        HierarchyArm::Uncoordinated,
+        HierarchyArm::Flat,
+        HierarchyArm::RackCoordinated,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            HierarchyArm::Uncoordinated => "uncoordinated",
+            HierarchyArm::Flat => "flat-coordinated",
+            HierarchyArm::RackCoordinated => "rack-coordinated",
+        }
+    }
+}
+
+impl Figure5Hierarchy {
+    /// Runs the hierarchy experiment on the rack-tagged extended mixes
+    /// with the workspace's canonical seed.
+    pub fn compute() -> Self {
+        Figure5Hierarchy::compute_with(2012)
+    }
+
+    /// [`Self::compute`] for an explicit seed.
+    pub fn compute_with(seed: u64) -> Self {
+        Figure5Hierarchy::compute_scenarios(&extended_scenario_mixes(seed), seed)
+    }
+
+    /// Runs the experiment over explicit scenarios (tests use reduced
+    /// mixes). Every (scenario, topology) pair is one worker cell with a
+    /// seed derived from `(seed, scenario, topology)`, so results are
+    /// identical regardless of worker count or interleaving.
+    pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        let server = XeonServer::dell_r410_calibrated();
+        let arms = HierarchyArm::ALL;
+        let cells: Vec<(ArmOutcome, f64)> = run_cells(scenarios.len() * arms.len(), |index| {
+            let scenario = &scenarios[index / arms.len()];
+            let arm = arms[index % arms.len()];
+            let cell_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x5ace_0000)
+                .wrapping_add(index as u64);
+            run_hierarchy_cell(&server, scenario, arm, cell_seed)
+        });
+        let scenarios = scenarios
+            .iter()
+            .zip(cells.chunks(arms.len()))
+            .map(|(scenario, outcomes)| HierarchyScenario {
+                name: scenario.name.clone(),
+                apps: scenario.apps.len(),
+                racks: scenario.rack_count(),
+                quanta: scenario.quanta,
+                budget_watts: datacenter_budget_watts(&server, scenario),
+                uncoordinated: outcomes[0].0.clone(),
+                flat: outcomes[1].0.clone(),
+                rack_coordinated: outcomes[2].0.clone(),
+                max_rack_violation_rate: outcomes[2].1,
+            })
+            .collect();
+        Figure5Hierarchy { scenarios }
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "scenario            topology          perf/W  goal%  viol%  rack-viol%  meanW  peakW\n",
+        );
+        for scenario in &self.scenarios {
+            let rows = [
+                (&scenario.uncoordinated, None),
+                (&scenario.flat, None),
+                (&scenario.rack_coordinated, Some(scenario.max_rack_violation_rate)),
+            ];
+            for (i, (arm, rack_violation)) in rows.iter().enumerate() {
+                let label = if i == 0 {
+                    format!(
+                        "{} ({} apps, {} racks)",
+                        scenario.name, scenario.apps, scenario.racks
+                    )
+                } else {
+                    String::new()
+                };
+                let rack_violation = rack_violation
+                    .map_or("     -".to_string(), |rate| format!("{:6.1}", rate * 100.0));
+                out.push_str(&format!(
+                    "{label:19} {:16}  {:6.4} {:6.1} {:6.1} {rack_violation:>10} {:6.1} {:6.1}\n",
+                    arm.name,
+                    arm.performance_per_watt,
+                    arm.goal_attainment * 100.0,
+                    arm.cap_violation_rate * 100.0,
+                    arm.mean_power_watts,
+                    arm.peak_power_watts,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The per-app decision state of one hierarchy topology.
+enum HierarchyControl {
+    Uncoordinated(Box<UncoordinatedRuntime>, HeartbeatedWorkload),
+    /// Handle within the single flat coordinator.
+    Flat(Option<AppHandle>),
+    /// Handle within the app's rack coordinator.
+    RackCoordinated(Option<AppHandle>),
+}
+
+/// Runs one (scenario, topology) hierarchy cell.
+///
+/// The physical layout is identical across topologies, so the comparison
+/// isolates the *coordination structure*: the scenario's apps are placed on
+/// their tagged racks, each rack is one machine (core oversubscription
+/// contends per rack), and one datacenter-wide watt budget — stepping
+/// mid-run where the scenario says so — is audited by a datacenter-level
+/// [`MachineMeter`]. Only who arbitrates differs: nobody (uncoordinated),
+/// one flat [`Coordinator`] spanning every rack, or a
+/// [`DatacenterArbiter`] re-running the performance market over rack
+/// aggregates so budget flows datacenter → rack → app.
+///
+/// Returns the arm outcome plus the worst per-rack envelope-violation rate
+/// (0.0 for the arms without rack meters).
+fn run_hierarchy_cell(
+    server: &XeonServer,
+    scenario: &Scenario,
+    arm: HierarchyArm,
+    seed: u64,
+) -> (ArmOutcome, f64) {
+    let mut apps = build_apps(server, scenario);
+    let racks = scenario.rack_count();
+    let budget_range =
+        (server.max_power_watts() - server.idle_power_watts()) * racks as f64;
+    let budget = datacenter_budget_watts(server, scenario);
+    let mut meter = MachineMeter::new(budget);
+
+    // Every coordinator in this arm shares the process-wide pool the cell
+    // itself already runs on (nested dispatch degrades gracefully, and
+    // Coordinator::with_pool exists precisely so racks share a host's
+    // workers instead of spawning one idle private pool each); the shard
+    // threshold then decides per step whether any fleet is big enough to
+    // fan out.
+    let mut flat_state: Option<Coordinator> = (arm == HierarchyArm::Flat).then(|| {
+        Coordinator::new(budget, Box::new(PerformanceMarket::default()))
+            .with_pool(std::sync::Arc::clone(exec::global_pool_arc()))
+    });
+    let mut datacenter_state: Option<DatacenterArbiter> =
+        (arm == HierarchyArm::RackCoordinated).then(|| {
+            let mut datacenter =
+                DatacenterArbiter::new(budget, Box::new(PerformanceMarket::default()));
+            for rack in 0..racks {
+                datacenter.add_rack(RackCoordinator::new(
+                    format!("rack-{rack}"),
+                    Coordinator::new(budget, Box::new(PerformanceMarket::default()))
+                        .with_pool(std::sync::Arc::clone(exec::global_pool_arc())),
+                ));
+            }
+            datacenter
+        });
+
+    let mut controllers: Vec<HierarchyControl> = apps
+        .iter()
+        .enumerate()
+        .map(|(index, sim)| match arm {
+            HierarchyArm::Uncoordinated => {
+                let driver = heartbeated(sim);
+                let runtime = UncoordinatedRuntime::new_with(
+                    &driver.monitor(),
+                    xeon_actuators(server),
+                    seed.wrapping_add(index as u64),
+                    tuned,
+                )
+                .expect("actuators registered");
+                HierarchyControl::Uncoordinated(Box::new(runtime), driver)
+            }
+            HierarchyArm::Flat => HierarchyControl::Flat(None),
+            HierarchyArm::RackCoordinated => HierarchyControl::RackCoordinated(None),
+        })
+        .collect();
+
+    let mut now = 0.0;
+    let mut per_app_power = vec![0.0f64; apps.len()];
+    let mut rates = vec![0.0f64; apps.len()];
+    let mut rack_core_duty = vec![0.0f64; racks];
+    for quantum in 0..scenario.quanta {
+        let start = now;
+        now += QUANTUM_SECONDS;
+
+        // ---- Lifecycle: budget steps bind the meter; arrivals register
+        // with their topology's coordinator, departures retire.
+        let cap = scenario.budget_fraction_at(quantum) * budget_range;
+        if cap != meter.cap_watts() {
+            meter.set_cap(cap);
+        }
+        for (index, sim) in apps.iter().enumerate() {
+            let never_active = sim.spec.departure.is_some_and(|d| d <= sim.spec.arrival);
+            if sim.spec.arrival == quantum && !never_active {
+                if let Some(coordinator) = flat_state.as_mut() {
+                    let managed = managed_for(server, sim, seed, index);
+                    controllers[index] = HierarchyControl::Flat(Some(coordinator.register(managed)));
+                } else if let Some(datacenter) = datacenter_state.as_mut() {
+                    let managed = managed_for(server, sim, seed, index);
+                    controllers[index] = HierarchyControl::RackCoordinated(Some(
+                        datacenter.rack_mut(sim.spec.rack).register(managed),
+                    ));
+                }
+            }
+            if sim.spec.departure == Some(quantum) {
+                match &controllers[index] {
+                    HierarchyControl::Flat(Some(handle)) => {
+                        flat_state.as_mut().expect("flat arm").retire(*handle);
+                    }
+                    HierarchyControl::RackCoordinated(Some(handle)) => {
+                        datacenter_state
+                            .as_mut()
+                            .expect("rack arm")
+                            .rack_mut(sim.spec.rack)
+                            .retire(*handle);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- Coordinated arms arbitrate and decide at the *start* of
+        // the quantum, after registration: a just-arrived app decides
+        // under an envelope before drawing its first watt (an envelope
+        // below its launch power admits it into the cheapest
+        // configuration), so arrival bursts cannot blow the cap during
+        // their own landing quantum. Mid-run budget steps bind the same
+        // way, with no violation lag.
+        if let Some(coordinator) = flat_state.as_mut() {
+            if cap != coordinator.budget_watts() {
+                coordinator.set_budget(cap);
+            }
+            coordinator.step(start).expect("every app declares a goal");
+        } else if let Some(datacenter) = datacenter_state.as_mut() {
+            if cap != datacenter.budget_watts() {
+                datacenter.set_budget(cap);
+            }
+            datacenter.step(start).expect("every app declares a goal");
+        }
+
+        // ---- Evaluate every active app under its current configuration.
+        rack_core_duty.fill(0.0);
+        for (index, sim) in apps.iter().enumerate() {
+            per_app_power[index] = 0.0;
+            rates[index] = 0.0;
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            let configuration = match &controllers[index] {
+                HierarchyControl::Uncoordinated(runtime, _) => {
+                    map_configuration(server, &runtime.joint_configuration())
+                }
+                HierarchyControl::Flat(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    let coordinator = flat_state.as_ref().expect("flat arm");
+                    map_configuration(
+                        server,
+                        coordinator.app(handle).runtime().current_configuration(),
+                    )
+                }
+                HierarchyControl::RackCoordinated(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    let datacenter = datacenter_state.as_ref().expect("rack arm");
+                    map_configuration(
+                        server,
+                        datacenter
+                            .rack(sim.spec.rack)
+                            .coordinator()
+                            .app(handle)
+                            .runtime()
+                            .current_configuration(),
+                    )
+                }
+            };
+            let report = server.evaluate(&to_server_demand(sim.demand_at(quantum)), &configuration);
+            rates[index] = report.work_units / report.seconds;
+            per_app_power[index] = report.power_above_idle_watts;
+            rack_core_duty[sim.spec.rack] +=
+                configuration.cores as f64 * configuration.active_cycle_fraction;
+        }
+
+        // ---- Time-multiplex each rack's machine independently: cores
+        // contend within a rack, never across racks.
+        let rack_contention: Vec<f64> = rack_core_duty
+            .iter()
+            .map(|&duty| {
+                if duty > server.total_cores() as f64 {
+                    server.total_cores() as f64 / duty
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let mut machine_power = 0.0;
+        for (index, sim) in apps.iter_mut().enumerate() {
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            let contention = rack_contention[sim.spec.rack];
+            let work = rates[index] * contention * QUANTUM_SECONDS;
+            let power = per_app_power[index] * contention;
+            machine_power += power;
+            sim.active_seconds += QUANTUM_SECONDS;
+            sim.work_done += work;
+            match &mut controllers[index] {
+                HierarchyControl::Uncoordinated(_, driver) => {
+                    driver.advance_metered(start, now, work, power);
+                }
+                HierarchyControl::Flat(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    flat_state
+                        .as_mut()
+                        .expect("flat arm")
+                        .advance(handle, start, now, work, power);
+                }
+                HierarchyControl::RackCoordinated(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    datacenter_state
+                        .as_mut()
+                        .expect("rack arm")
+                        .rack_mut(sim.spec.rack)
+                        .advance(handle, start, now, work, power);
+                }
+            }
+        }
+        meter.record(QUANTUM_SECONDS, machine_power);
+
+        // ---- Uncoordinated apps decide at end of quantum (their
+        // decisions govern the next one; nothing budgets them anyway).
+        for (index, sim) in apps.iter().enumerate() {
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            if let HierarchyControl::Uncoordinated(runtime, _) = &mut controllers[index] {
+                runtime.decide(now).expect("goal declared");
+            }
+        }
+    }
+
+    let attainments: Vec<f64> = apps.iter().map(AppSim::attainment).collect();
+    let goal_attainment = attainments.iter().sum::<f64>() / attainments.len().max(1) as f64;
+    let mean_power = meter.mean_watts();
+    let performance_per_watt = if mean_power > 0.0 {
+        attainments.iter().sum::<f64>() / mean_power
+    } else {
+        0.0
+    };
+    let max_rack_violation_rate = datacenter_state
+        .as_ref()
+        .map_or(0.0, |datacenter| {
+            datacenter
+                .racks()
+                .iter()
+                .map(|rack| rack.meter().violation_rate())
+                .fold(0.0, f64::max)
+        });
+    (
+        ArmOutcome {
+            name: arm.name().to_string(),
+            performance_per_watt,
+            goal_attainment,
+            cap_violation_rate: meter.violation_rate(),
+            mean_power_watts: mean_power,
+            peak_power_watts: meter.peak_watts(),
+        },
+        max_rack_violation_rate,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +1062,26 @@ mod tests {
         scenarios
     }
 
+    /// [`reduced_extended_scenarios`] further adapted for the hierarchy
+    /// test: rack tags folded down to two racks (40 remaining apps cannot
+    /// load 8 racks' worth of budget), and the stepped mix's budget
+    /// fractions quartered so the truncated fleet still makes the
+    /// datacenter budget *bind* — the regime the full mixes are in.
+    fn reduced_hierarchy_scenarios(seed: u64) -> Vec<Scenario> {
+        let mut scenarios = reduced_extended_scenarios(seed);
+        for scenario in &mut scenarios {
+            for app in &mut scenario.apps {
+                app.rack %= 2;
+            }
+        }
+        let stepped = &mut scenarios[1];
+        stepped.power_budget_fraction /= 4.0;
+        for step in &mut stepped.budget_steps {
+            step.fraction /= 4.0;
+        }
+        scenarios
+    }
+
     #[test]
     fn extended_mixes_hold_stepped_budgets_with_the_runtime_lifecycle() {
         let scenarios = reduced_extended_scenarios(2012);
@@ -653,5 +1109,61 @@ mod tests {
         // Deterministic, including runtime registration/retirement order
         // and the sharded coordinator path.
         assert_eq!(fig, Figure5::compute_scenarios(&scenarios, 2012));
+    }
+
+    #[test]
+    fn hierarchy_holds_the_datacenter_budget_across_rack_partitions() {
+        let scenarios = reduced_hierarchy_scenarios(2012);
+        let fig = Figure5Hierarchy::compute_scenarios(&scenarios, 2012);
+        assert_eq!(fig.scenarios.len(), scenarios.len());
+        for scenario in &fig.scenarios {
+            assert!(
+                scenario.racks > 1,
+                "{}: the extended mixes are rack-tagged",
+                scenario.name
+            );
+            assert_eq!(
+                scenario.rack_coordinated.cap_violation_rate, 0.0,
+                "{}: rack-coordinated SEEC must hold the datacenter cap",
+                scenario.name
+            );
+            assert_eq!(
+                scenario.flat.cap_violation_rate, 0.0,
+                "{}: the flat coordinator must hold the datacenter cap",
+                scenario.name
+            );
+            // The hierarchy's whole point: decentralising into per-rack
+            // coordinators costs (almost) nothing against the flat
+            // arbiter over the same fleet.
+            let ratio = scenario.rack_coordinated.performance_per_watt
+                / scenario.flat.performance_per_watt;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{}: rack-coordinated perf/W must track flat, ratio {ratio:.4}",
+                scenario.name
+            );
+            assert!(scenario.rack_coordinated.goal_attainment > 0.0);
+            assert!(scenario.budget_watts > 0.0);
+        }
+        // Where the budget binds (the stepped mix), coordination is what
+        // keeps the cap: uncoordinated adaptation violates it massively
+        // and pays for the overdraw in perf/W.
+        let stepped = &fig.scenarios[1];
+        assert!(
+            stepped.uncoordinated.cap_violation_rate > 0.2,
+            "budget-steps: uncoordinated must blow the stepping cap, got {:.3}",
+            stepped.uncoordinated.cap_violation_rate
+        );
+        assert!(
+            stepped.rack_coordinated.performance_per_watt
+                > stepped.uncoordinated.performance_per_watt,
+            "budget-steps: rack-coordinated ({:.4}) must beat uncoordinated ({:.4}) on perf/W",
+            stepped.rack_coordinated.performance_per_watt,
+            stepped.uncoordinated.performance_per_watt
+        );
+        assert!(fig.to_table().contains("rack-coordinated"));
+        // Deterministic across runs, including the pooled coordinator and
+        // datacenter paths.
+        assert_eq!(fig, Figure5Hierarchy::compute_scenarios(&scenarios, 2012));
     }
 }

@@ -43,4 +43,4 @@ pub mod sweep;
 pub use fig2::Figure2;
 pub use fig3::{Figure3, Figure3Row};
 pub use fig4::{Figure4, Figure4Row};
-pub use fig5::{Figure5, Figure5Scenario};
+pub use fig5::{Figure5, Figure5Hierarchy, Figure5Scenario, HierarchyScenario};

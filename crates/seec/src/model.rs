@@ -80,6 +80,12 @@ pub struct ActionModel {
     pub learning_rate: f64,
     policy: ExplorationPolicy,
     divergent_streak: u32,
+    /// Belief-aging halflife in [`Self::age_beliefs`] ticks (∞ = aging
+    /// disabled, the default).
+    belief_halflife: f64,
+    /// Per-tick retention factor derived from the halflife
+    /// (`0.5^(1/halflife)`; 1.0 = aging disabled).
+    aging_retention: f64,
     rng: StdRng,
 }
 
@@ -122,6 +128,8 @@ impl ActionModel {
             learning_rate: 0.3,
             policy: ExplorationPolicy::default(),
             divergent_streak: 0,
+            belief_halflife: f64::INFINITY,
+            aging_retention: 1.0,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -129,6 +137,84 @@ impl ActionModel {
     /// Overrides the exploration policy.
     pub fn set_policy(&mut self, policy: ExplorationPolicy) {
         self.policy = policy;
+    }
+
+    /// Enables *belief aging* with the given halflife, in
+    /// [`Self::age_beliefs`] ticks (one tick per decision period when
+    /// driven by the runtime). Aged beliefs decay **toward their declared
+    /// priors**: a learned deviation loses half its amplitude every
+    /// `halflife` ticks unless re-observed, so beliefs that have gone
+    /// stale — learned in a phase the application has since left — lose
+    /// their grip on selection instead of pinning it to the old phase.
+    ///
+    /// An infinite (or non-positive) halflife disables aging entirely:
+    /// [`Self::age_beliefs`] becomes a no-op and the model is bit-for-bit
+    /// the unaged one (no arithmetic, no RNG draws — pinned by the unit
+    /// suite).
+    pub fn with_belief_halflife(mut self, halflife_ticks: f64) -> Self {
+        self.set_belief_halflife(halflife_ticks);
+        self
+    }
+
+    /// Changes the belief-aging halflife (see
+    /// [`Self::with_belief_halflife`]).
+    pub fn set_belief_halflife(&mut self, halflife_ticks: f64) {
+        self.belief_halflife = halflife_ticks;
+        self.aging_retention = if halflife_ticks.is_finite() && halflife_ticks > 0.0 {
+            0.5f64.powf(1.0 / halflife_ticks)
+        } else {
+            1.0
+        };
+    }
+
+    /// The belief-aging halflife in ticks (∞ = aging disabled).
+    pub fn belief_halflife(&self) -> f64 {
+        self.belief_halflife
+    }
+
+    /// One aging tick: every belief decays toward its declared prior by
+    /// the retention factor derived from the halflife, and the two sorted
+    /// selection indices are rebuilt to match. A no-op (early return,
+    /// nothing touched) when aging is disabled.
+    ///
+    /// Unobserved beliefs already *equal* their declared priors, so the
+    /// decay leaves them bit-identical; observation counts are not aged —
+    /// they record how often a configuration was tried, not how fresh the
+    /// belief is.
+    pub fn age_beliefs(&mut self) {
+        if self.aging_retention >= 1.0 {
+            return;
+        }
+        let retention = self.aging_retention;
+        for (index, belief) in self.beliefs.iter_mut().enumerate() {
+            let declared = self.table.declared_effect(ConfigId(index as u32));
+            belief.speedup = declared.performance + (belief.speedup - declared.performance) * retention;
+            belief.powerup = declared.power + (belief.powerup - declared.power) * retention;
+        }
+        // The decay is monotone per belief but not order-preserving across
+        // beliefs (each decays toward a different prior), so both indices
+        // are re-sorted wholesale. In-place, allocation-free, and O(n log n)
+        // on the aging path only — the unaged hot path never gets here.
+        let beliefs = &self.beliefs;
+        self.by_speedup
+            .sort_unstable_by(|&a, &b| {
+                beliefs[a.index()]
+                    .speedup
+                    .total_cmp(&beliefs[b.index()].speedup)
+                    .then(a.cmp(&b))
+            });
+        self.by_power.sort_unstable_by(|&a, &b| {
+            beliefs[a.index()]
+                .powerup
+                .total_cmp(&beliefs[b.index()].powerup)
+                .then(a.cmp(&b))
+        });
+        for (pos, id) in self.by_speedup.iter().enumerate() {
+            self.rank_speedup[id.index()] = pos as u32;
+        }
+        for (pos, id) in self.by_power.iter().enumerate() {
+            self.rank_power[id.index()] = pos as u32;
+        }
     }
 
 
@@ -773,6 +859,108 @@ mod tests {
                 "exploration must clamp to the envelope"
             );
         }
+    }
+
+    #[test]
+    fn belief_aging_decays_toward_declared_priors_with_the_halflife() {
+        let mut model = ActionModel::new(space(), 1).with_belief_halflife(10.0);
+        assert_eq!(model.belief_halflife(), 10.0);
+        let config = Configuration::new(vec![1, 1]);
+        let declared = model.believed_effect(&config);
+        // Learn a strong deviation: reality is twice the declared speedup.
+        for _ in 0..50 {
+            model.observe(&config, declared.speedup * 2.0, declared.powerup * 2.0);
+        }
+        let learned = model.believed_effect(&config);
+        assert!(learned.speedup > declared.speedup * 1.9);
+        // Ten aging ticks = one halflife: half the deviation remains.
+        for _ in 0..10 {
+            model.age_beliefs();
+        }
+        let aged = model.believed_effect(&config);
+        let remaining =
+            (aged.speedup - declared.speedup) / (learned.speedup - declared.speedup);
+        assert!(
+            (remaining - 0.5).abs() < 1e-9,
+            "one halflife must leave half the deviation, left {remaining}"
+        );
+        assert_eq!(aged.observations, learned.observations, "counts are not aged");
+        // Unobserved configurations stay bit-identical to their priors.
+        let untouched = Configuration::new(vec![0, 0]);
+        let before = model.believed_effect(&untouched);
+        model.age_beliefs();
+        let after = model.believed_effect(&untouched);
+        assert_eq!(before.speedup.to_bits(), after.speedup.to_bits());
+        assert_eq!(before.powerup.to_bits(), after.powerup.to_bits());
+    }
+
+    #[test]
+    fn aged_indices_still_match_the_reference_scans() {
+        // Interleave observations and aging ticks, then check every
+        // selection against the first-match reference scans — the re-sorted
+        // indices must stay exactly consistent with the aged beliefs.
+        let mut model = ActionModel::new(space(), 3).with_belief_halflife(4.0);
+        model.set_policy(ExplorationPolicy {
+            epsilon: 0.0,
+            divergence_threshold: f64::INFINITY,
+            patience: u32::MAX,
+        });
+        for step in 0..60 {
+            let id = ConfigId((step * 5 % model.table().len()) as u32);
+            model.observe_id(id, 0.3 + (step % 11) as f64 * 0.35, 0.3 + (step % 7) as f64 * 0.5);
+            model.age_beliefs();
+            for i in 0..=12 {
+                let required = i as f64 * 0.3;
+                assert_eq!(
+                    model.bracket_below(required),
+                    reference::bracket_below(&model, required),
+                    "bracket mismatch at step {step} req {required}"
+                );
+                let nominal = model.table().nominal();
+                let chosen = model.choose_id(required, nominal);
+                assert_eq!(
+                    model.table().config_of(chosen),
+                    reference::choose_exploit(&model, required),
+                    "choose mismatch at step {step} req {required}"
+                );
+            }
+            assert_eq!(model.cheapest(), reference::cheapest(&model));
+        }
+    }
+
+    #[test]
+    fn infinite_halflife_is_bit_identical_to_no_aging() {
+        let drive = |aged: bool| {
+            let mut model = ActionModel::new(space(), 9);
+            if aged {
+                model.set_belief_halflife(f64::INFINITY);
+            }
+            // age_beliefs must be a pure no-op: beliefs, indices, and the
+            // RNG stream (exercised via epsilon exploration) all untouched.
+            model.set_policy(ExplorationPolicy {
+                epsilon: 0.4,
+                ..ExplorationPolicy::default()
+            });
+            let nominal = model.table().nominal();
+            let mut picks = Vec::new();
+            for step in 0..80 {
+                let id = ConfigId((step % model.table().len()) as u32);
+                model.observe_id(id, 0.5 + (step % 5) as f64, 0.5 + (step % 3) as f64);
+                if aged {
+                    model.age_beliefs();
+                }
+                picks.push(model.choose_id(1.0 + (step % 4) as f64 * 0.5, nominal));
+            }
+            picks
+        };
+        assert_eq!(drive(false), drive(true));
+        // Non-positive halflives also disable aging.
+        let mut model = ActionModel::new(space(), 1).with_belief_halflife(0.0);
+        assert_eq!(model.belief_halflife(), 0.0);
+        let before = model.believed_effect(&Configuration::new(vec![1, 1]));
+        model.age_beliefs();
+        let after = model.believed_effect(&Configuration::new(vec![1, 1]));
+        assert_eq!(before.speedup.to_bits(), after.speedup.to_bits());
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub struct SeecRuntimeBuilder {
     estimator: KalmanEstimator,
     policy: ExplorationPolicy,
     anchored_estimation: bool,
+    belief_halflife: f64,
     seed: u64,
 }
 
@@ -151,6 +152,31 @@ impl SeecRuntimeBuilder {
         self
     }
 
+    /// Enables belief aging with the given halflife, in decision periods
+    /// (default ∞ = disabled, bit-for-bit the unaged runtime).
+    ///
+    /// The model's learned beliefs then decay toward their declared priors
+    /// ([`ActionModel::with_belief_halflife`]), one tick per decision with
+    /// feedback: a belief learned during one application phase loses half
+    /// its deviation every `halflife` periods unless the configuration is
+    /// re-observed. This is the *phase-stale beliefs* experiment — a
+    /// runtime that has settled one duty notch above the optimum only
+    /// re-tries the cheaper configuration once its stale belief has aged
+    /// back toward the prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `halflife_periods` is NaN, zero, or negative (use
+    /// `f64::INFINITY` to disable).
+    pub fn belief_halflife(mut self, halflife_periods: f64) -> Self {
+        assert!(
+            halflife_periods > 0.0,
+            "belief halflife must be positive, got {halflife_periods}"
+        );
+        self.belief_halflife = halflife_periods;
+        self
+    }
+
     /// Seeds the exploration randomness (decisions are deterministic for a
     /// given seed).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -180,6 +206,7 @@ impl SeecRuntimeBuilder {
         let current = space.nominal();
         let mut model = ActionModel::new(space, self.seed);
         model.set_policy(self.policy);
+        model.set_belief_halflife(self.belief_halflife);
         let current_id = model.table().nominal();
         let mut history = std::collections::VecDeque::with_capacity(HISTORY_CAPACITY);
         history.push_back(AppliedSegment {
@@ -288,6 +315,7 @@ impl SeecRuntime {
             estimator: KalmanEstimator::default_tuning(),
             policy: ExplorationPolicy::default(),
             anchored_estimation: false,
+            belief_halflife: f64::INFINITY,
             seed: 0x5eec,
         }
     }
@@ -540,6 +568,12 @@ impl SeecRuntime {
                 lower_speedup: 1.0,
             });
         }
+
+        // ---- Age beliefs (no-op unless a finite halflife was set) -----
+        // One tick per decision period with feedback: stale learned
+        // deviations decay toward the declared priors before this period's
+        // fresh observation lands at full strength below.
+        self.model.age_beliefs();
 
         // ---- Adaptive layer: track the nominal-configuration rate -----
         // The observed rate is a window average, and time-division schedules
@@ -1157,6 +1191,47 @@ mod tests {
         runtime.apply(&Configuration::new(vec![2, 2])).unwrap();
         let _ = runtime.decide(2.0).unwrap();
         assert_eq!(runtime.current_configuration(), &Configuration::new(vec![2, 2]));
+    }
+
+    #[test]
+    fn infinite_belief_halflife_reproduces_the_unaged_run() {
+        // The flag-gate pin: a runtime built with an explicit infinite
+        // halflife takes byte-for-byte the decisions of one built without.
+        let run = |halflife: Option<f64>| {
+            let registry = HeartbeatRegistry::new("app");
+            registry
+                .issuer()
+                .set_goal(Goal::Performance(PerformanceGoal::heart_rate(20.0)));
+            let mut builder = SeecRuntime::builder(registry.monitor())
+                .actuator(Box::new(TableActuator::new(dvfs_spec())))
+                .actuator(Box::new(TableActuator::new(cores_spec())))
+                .seed(11);
+            if let Some(halflife) = halflife {
+                builder = builder.belief_halflife(halflife);
+            }
+            let mut runtime = builder.build().unwrap();
+            let issuer = registry.issuer();
+            let mut now = 0.0;
+            let mut configs = Vec::new();
+            for _ in 0..40 {
+                for _ in 0..4 {
+                    now += 0.05;
+                    issuer.heartbeat(now);
+                }
+                configs.push(runtime.decide(now).unwrap().configuration);
+            }
+            configs
+        };
+        assert_eq!(run(None), run(Some(f64::INFINITY)));
+        // A finite halflife is allowed to differ (and typically does).
+        assert_eq!(run(Some(2.0)).len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "halflife")]
+    fn non_positive_belief_halflife_panics() {
+        let registry = HeartbeatRegistry::new("app");
+        let _ = SeecRuntime::builder(registry.monitor()).belief_halflife(0.0);
     }
 
     #[test]

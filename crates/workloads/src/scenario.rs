@@ -34,6 +34,10 @@ pub struct ScenarioApp {
     /// Fraction of the application's solo maximum heart rate it requests as
     /// its performance goal, in `(0, 1]`.
     pub target_fraction: f64,
+    /// Which rack (fleet shard) hosts the application — consumed by the
+    /// hierarchical (rack → datacenter) coordination experiments, ignored
+    /// by single-machine runs. The original mixes put everything on rack 0.
+    pub rack: usize,
 }
 
 impl ScenarioApp {
@@ -42,6 +46,7 @@ impl ScenarioApp {
         quantum >= self.arrival && self.departure.is_none_or(|d| quantum < d)
     }
 }
+
 
 /// A mid-run step of the machine power budget: operator- or rack-level
 /// power management changing how much the fleet may draw while it runs.
@@ -81,6 +86,12 @@ impl Scenario {
             .unwrap_or(0)
     }
 
+    /// Number of racks the mix spans: one more than the highest rack tag
+    /// (at least 1, so untagged mixes read as single-rack).
+    pub fn rack_count(&self) -> usize {
+        self.apps.iter().map(|app| app.rack + 1).max().unwrap_or(1)
+    }
+
     /// The budget fraction in force at `quantum`: the initial fraction
     /// until the first step at or before `quantum`, then the latest such
     /// step. Works whatever order `budget_steps` is in (ties on the same
@@ -98,6 +109,12 @@ impl Scenario {
 /// The priority tiers scenario generation draws from (the paper's platform
 /// distinguishes applications the operator cares about more).
 const PRIORITY_TIERS: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Racks the arrival-storm mix spreads its 100 applications across.
+const STORM_RACKS: usize = 4;
+
+/// Racks the budget-steps mix spreads its 1200 applications across.
+const STEPPED_RACKS: usize = 8;
 
 /// A deterministic family of heterogeneous multi-application mixes.
 ///
@@ -135,6 +152,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
                 arrival: 0,
                 departure: None,
                 target_fraction: 0.5,
+                rack: 0,
             },
             ScenarioApp {
                 benchmark: steady_b,
@@ -143,6 +161,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
                 arrival: 0,
                 departure: None,
                 target_fraction: 0.5,
+                rack: 0,
             },
         ],
         quanta: 96,
@@ -165,6 +184,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
             arrival,
             departure,
             target_fraction: 0.5,
+            rack: 0,
         });
     }
     let staggered = Scenario {
@@ -185,6 +205,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
             departure: None,
             // Demands vary across the tiers: 0.4, 0.5, or 0.6 of solo max.
             target_fraction: 0.4 + 0.1 * (slot % 3) as f64,
+            rack: 0,
         });
     }
     let tiered = Scenario {
@@ -213,6 +234,12 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
 ///   first eight quanta, under a machine budget that *steps* mid-run
 ///   (70 % → 35 % → 55 % of full-load power above idle): the fleet must
 ///   absorb an operator-driven budget cut with no warning.
+///
+/// Both mixes are **rack-tagged** ([`ScenarioApp::rack`]): the storm
+/// spreads its fleet round-robin over 4 racks and the stepped mix over 8,
+/// so the hierarchical (rack → datacenter) coordination experiment can
+/// partition them without inventing its own placement. Single-machine runs
+/// ignore the tags, so flat results are unchanged.
 pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce7_a210_0000_0002);
     let mut pick = || SplashBenchmark::ALL[rng.gen_range(0..SplashBenchmark::ALL.len())];
@@ -228,6 +255,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
             arrival: 0,
             departure: None,
             target_fraction: 0.08 + 0.02 * (slot % 2) as f64,
+            rack: slot % STORM_RACKS,
         });
     }
     for burst in 0..3usize {
@@ -242,6 +270,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
                 arrival,
                 departure: Some((arrival + 18 + slot % 4).min(quanta)),
                 target_fraction: 0.04 + 0.01 * (slot % 3) as f64,
+                rack: (burst * 30 + slot) % STORM_RACKS,
             });
         }
     }
@@ -268,6 +297,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
             arrival,
             departure,
             target_fraction: 0.01 + 0.005 * (slot % 3) as f64,
+            rack: slot % STEPPED_RACKS,
         });
     }
     let stepped = Scenario {
@@ -317,6 +347,8 @@ mod tests {
                 }
             }
             assert!(scenario.peak_concurrency() >= 2, "{}", scenario.name);
+            // The original single-machine mixes live entirely on rack 0.
+            assert_eq!(scenario.rack_count(), 1, "{}", scenario.name);
         }
     }
 
@@ -344,6 +376,12 @@ mod tests {
         assert_eq!(storm.name, "arrival-storm");
         assert_eq!(storm.apps.len(), 100);
         assert!(storm.budget_steps.is_empty());
+        // Rack-tagged: four racks, each hosting a non-trivial share.
+        assert_eq!(storm.rack_count(), 4);
+        for rack in 0..4 {
+            let hosted = storm.apps.iter().filter(|a| a.rack == rack).count();
+            assert!(hosted >= 20, "rack {rack} hosts only {hosted} apps");
+        }
         // Bursty: each 30-app burst lands over three consecutive quanta,
         // so some quantum sees 10 registrations in a single step.
         let arrivals_at = |q: usize| storm.apps.iter().filter(|a| a.arrival == q).count();
@@ -356,6 +394,7 @@ mod tests {
         let stepped = &mixes[1];
         assert_eq!(stepped.name, "budget-steps");
         assert!(stepped.apps.len() >= 1_000, "thousand-app scale");
+        assert_eq!(stepped.rack_count(), 8);
         assert_eq!(stepped.budget_steps.len(), 2);
         assert!(stepped
             .budget_steps
@@ -393,6 +432,7 @@ mod tests {
             arrival: 10,
             departure: Some(20),
             target_fraction: 0.5,
+            rack: 0,
         };
         assert!(!app.active_at(9));
         assert!(app.active_at(10));

@@ -91,5 +91,6 @@ fn app(
         arrival,
         departure,
         target_fraction: 0.5,
+        rack: 0,
     }
 }
