@@ -230,6 +230,11 @@ struct DispatchBench {
 #[derive(Serialize)]
 struct Fig5Bench {
     mode: &'static str,
+    /// Cores the host actually exposes (`std::thread::available_parallelism`;
+    /// 1 when detection fails). Interprets `pool_workers` and the pooled
+    /// timings: on a 1-core host pooled ≈ sequential and that is not a
+    /// regression.
+    host_cores: usize,
     /// Pool-vs-scope dispatch cost (no-op tasks, fixed thread count).
     dispatch: DispatchBench,
     /// Sequential-vs-pooled step latency at each fleet size.
@@ -357,6 +362,9 @@ fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str)
         .collect();
     Fig5Bench {
         mode,
+        host_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         dispatch,
         fleet,
     }
@@ -407,9 +415,10 @@ fn main() {
 
     let fig5 = bench_coordinator_step(micro_samples, decide_iterations, mode);
     println!(
-        "dispatch round ({} workers): thread::scope median {:.1} µs, persistent pool {:.1} µs \
-         ({:.1}x amortised)",
+        "dispatch round ({} workers, {} host cores): thread::scope median {:.1} µs, \
+         persistent pool {:.1} µs ({:.1}x amortised)",
         fig5.dispatch.workers,
+        fig5.host_cores,
         fig5.dispatch.ns_per_scope_round.median / 1.0e3,
         fig5.dispatch.ns_per_pool_round.median / 1.0e3,
         fig5.dispatch.pool_amortization,

@@ -8,26 +8,22 @@
 //!   (re-exported from the companion [`serde_derive`] proc-macro crate),
 //! * a [`Serialize`] trait that lowers values into a JSON-like [`ser::Value`]
 //!   tree, which the vendored `serde_json` crate renders as text,
-//! * a [`Deserialize`] marker trait (nothing in the workspace deserialises
-//!   yet; the derive emits an empty impl so signatures stay compatible).
+//! * a [`Deserialize`] trait that lifts values back out of the same tree,
+//!   which the vendored `serde_json` parser produces from text (used by the
+//!   scenario-fuzz corpus and regression-fixture loaders).
 //!
 //! Swapping back to the real serde later only requires replacing the three
 //! `crates/compat/serde*` path dependencies with crates.io versions — the
 //! call sites (`derive`, `use serde::{Serialize, Deserialize}`,
-//! `serde_json::to_string_pretty`) are source-compatible.
+//! `serde_json::to_string_pretty`, `serde_json::from_str`) are
+//! source-compatible.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod de;
 pub mod ser;
 
+pub use de::{DeError, Deserialize};
 pub use ser::Serialize;
 pub use serde_derive::{Deserialize, Serialize};
-
-/// Marker trait standing in for serde's `Deserialize`.
-///
-/// The workspace only serialises (figure binaries write JSON reports), so
-/// this trait carries no methods; the derive macro emits an empty impl to
-/// keep `#[derive(Serialize, Deserialize)]` lines source-compatible with the
-/// real serde.
-pub trait Deserialize: Sized {}

@@ -6,7 +6,8 @@
 //! dependency on `syn`/`quote`, which cannot be fetched in this offline
 //! build environment. The generated `Serialize` impl lowers the type into
 //! the `serde::ser::Value` tree following serde's externally-tagged JSON
-//! conventions; the generated `Deserialize` impl is an empty marker impl.
+//! conventions; the generated `Deserialize` impl inverts it, lifting the
+//! type back out of the same tree so derived round trips are the identity.
 
 #![deny(missing_docs)]
 
@@ -30,13 +31,25 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// Derives the `serde::Deserialize` marker impl.
+/// Derives `serde::Deserialize` by lifting the type out of
+/// `serde::ser::Value`, inverting the derived `Serialize` conventions.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("generated Deserialize impl parses")
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct_body(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::ser::Value) \
+                 -> ::core::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+        body = body
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
 }
 
 /// The field list of a struct or of one enum variant.
@@ -122,6 +135,110 @@ fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
         })
         .collect();
     format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        // Unit structs serialise to `Null`; accept any value so a bare
+        // `null` in hand-edited JSON still round-trips.
+        Fields::Unit => format!("let _ = value;\nOk({name})"),
+        Fields::Unnamed(1) => {
+            format!("Ok({name}(::serde::de::Deserialize::from_value(value)?))")
+        }
+        Fields::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de::as_array(value, {n}, \"{name}\")?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let fields: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(entries, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let entries = ::serde::de::as_object(value, \"{name}\")?;\n\
+                 Ok({name} {{ {} }})",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    // Externally tagged: unit variants are a bare string, payload-carrying
+    // variants a single-entry `{tag: payload}` object.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, fields)| matches!(fields, Fields::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(vname, fields)| {
+            let body = match fields {
+                Fields::Unit => return None,
+                Fields::Unnamed(1) => format!(
+                    "Ok({name}::{vname}(::serde::de::Deserialize::from_value(payload)?))"
+                ),
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::de::Deserialize::from_value(&items[{i}])?")
+                        })
+                        .collect();
+                    format!(
+                        "{{ let items = \
+                             ::serde::de::as_array(payload, {n}, \"{name}::{vname}\")?;\n\
+                         Ok({name}::{vname}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fnames) => {
+                    let fields: Vec<String> = fnames
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::de::field(fields, \"{f}\", \"{name}::{vname}\")?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{ let fields = \
+                             ::serde::de::as_object(payload, \"{name}::{vname}\")?;\n\
+                         Ok({name}::{vname} {{ {} }}) }}",
+                        fields.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{vname}\" => {body},"))
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::ser::Value::String(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(::serde::de::DeError::unknown_variant(\"{name}\", other)),\n\
+             }},\n\
+             ::serde::ser::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                     {tagged}\n\
+                     other => Err(::serde::de::DeError::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+             }},\n\
+             other => Err(::serde::de::DeError::mismatch(\n\
+                 \"string or single-entry object for `{name}`\", other)),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+        name = name
+    )
 }
 
 fn parse_item(input: TokenStream) -> Item {

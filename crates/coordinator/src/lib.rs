@@ -93,6 +93,7 @@
 
 mod coordinator;
 pub mod hierarchy;
+pub mod invariants;
 mod policy;
 
 pub use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};

@@ -4,10 +4,14 @@
 //!   mixes (activity, weights, urgencies, absorption ceilings), the sum of
 //!   awards never exceeds the budget, inactive apps are awarded exactly
 //!   zero, and every award is non-negative, finite, and within the app's
-//!   ceiling.
+//!   ceiling. The checks are the shared [`coordinator::invariants`]
+//!   oracles — the same ones the scenario fuzzer asserts every quantum.
 //! * **WeightedFair monotonicity** — raising one app's weight (all else
 //!   fixed) never lowers that app's award.
 
+use coordinator::invariants::{
+    active_total, check_award_vector, check_budget_conservation, AwardedApp,
+};
 use coordinator::{AppRequest, ArbitrationPolicy, PerformanceMarket, StaticShare, WeightedFair};
 use proptest::prelude::*;
 
@@ -45,27 +49,26 @@ proptest! {
             .enumerate()
             .map(|(i, &active)| request(active, weights[i], urgencies[i], ceilings[i]))
             .collect();
+        let apps: Vec<AwardedApp> = requests
+            .iter()
+            .map(|request| AwardedApp {
+                active: request.active,
+                ceiling: Some(request.max_power_watts),
+            })
+            .collect();
         let mut awards = Vec::new();
         for mut policy in policies() {
             policy.arbitrate(budget, &requests, &mut awards);
             prop_assert_eq!(awards.len(), requests.len());
-            let mut total = 0.0;
-            for (award, request) in awards.iter().zip(&requests) {
-                prop_assert!(award.is_finite(), "{}: award {award}", policy.name());
-                prop_assert!(*award >= 0.0, "{}: award {award}", policy.name());
-                if !request.active {
-                    prop_assert!(*award == 0.0, "{}: inactive app paid {award}", policy.name());
-                }
-                prop_assert!(
-                    *award <= request.max_power_watts + 1e-9,
-                    "{}: award {award} above ceiling {}",
-                    policy.name(),
-                    request.max_power_watts
-                );
-                total += *award;
-            }
+            let violations = check_award_vector(&awards, &apps);
             prop_assert!(
-                total <= budget * (1.0 + 1e-9),
+                violations.is_empty(),
+                "{}: award invariants violated: {violations:?}",
+                policy.name()
+            );
+            let total = active_total(&awards, &apps);
+            prop_assert!(
+                check_budget_conservation(total, budget).is_none(),
                 "{}: awards {total} exceed budget {budget}",
                 policy.name()
             );

@@ -6,6 +6,9 @@
 //!   rack's app awards conserve its envelope, and therefore the
 //!   app-awarded total across the whole datacenter conserves the budget
 //!   end to end. Absent apps and app-less racks are awarded exactly 0 W.
+//!   The conservation chain is the shared
+//!   [`coordinator::invariants::check_hierarchy_conservation`] oracle —
+//!   the same one the scenario fuzzer asserts for hierarchical runs.
 //! * **The flat coordinator is the 1-rack degenerate case** — a
 //!   [`DatacenterArbiter`] holding one rack (under a `StaticShare`
 //!   datacenter policy and unit headroom) produces byte-for-byte the
@@ -14,6 +17,10 @@
 //!   only to within a division round-off — see the hierarchy module docs —
 //!   so the exact pin uses `StaticShare`.)
 
+use coordinator::invariants::{
+    check_award_vector, check_hierarchy_conservation, check_summary_total, AwardedApp,
+    HierarchyTotals,
+};
 use coordinator::{
     AppHandle, ArbitrationPolicy, Coordinator, DatacenterArbiter, ManagedApp, PerformanceMarket,
     RackCoordinator, StaticShare, WeightedFair,
@@ -195,51 +202,56 @@ proptest! {
             advance_datacenter(&mut datacenter, now, quantum);
             let summary = datacenter.step(now).unwrap();
 
-            // Rack envelopes conserve the datacenter budget; app-less or
-            // all-absent racks get exactly 0 W.
-            let mut rack_total = 0.0;
-            for (rack, &award) in datacenter.racks().iter().zip(datacenter.rack_awards()) {
-                prop_assert!(award.is_finite() && award >= 0.0);
-                let any_active = (0..rack.coordinator().len()).any(|position| {
-                    rack.coordinator()
-                        .app(AppHandle::from_index(position))
-                        .active_at(quantum)
-                });
-                if !any_active {
-                    prop_assert!(
-                        award == 0.0,
-                        "{policy_name}: inactive rack {} paid {award}",
-                        rack.name()
-                    );
-                }
-                rack_total += award;
-            }
+            // Rack envelopes are judged like an award vector: finite,
+            // non-negative, and exactly 0 W for app-less or all-absent
+            // racks.
+            let rack_slots: Vec<AwardedApp> = datacenter
+                .racks()
+                .iter()
+                .map(|rack| {
+                    let any_active = (0..rack.coordinator().len()).any(|position| {
+                        rack.coordinator()
+                            .app(AppHandle::from_index(position))
+                            .active_at(quantum)
+                    });
+                    AwardedApp {
+                        active: any_active,
+                        ceiling: None,
+                    }
+                })
+                .collect();
+            let violations = check_award_vector(datacenter.rack_awards(), &rack_slots);
             prop_assert!(
-                rack_total <= budget * (1.0 + 1e-9),
-                "{policy_name}: rack envelopes {rack_total} exceed the datacenter budget \
-                 at quantum {quantum}"
-            );
-            prop_assert!(
-                (summary.rack_awarded_watts_total - rack_total).abs()
-                    <= 1e-9 * rack_total.max(1.0) + 1e-12
+                violations.is_empty(),
+                "{policy_name}: rack award invariants violated at quantum {quantum}: \
+                 {violations:?}"
             );
 
-            // Each rack's fleet conserves its envelope (with the rack's own
-            // 0.95 headroom), so the datacenter conserves end to end.
-            let mut app_total = 0.0;
-            for rack in datacenter.racks() {
-                let fleet_total: f64 = rack.coordinator().awards().iter().sum();
-                prop_assert!(
-                    fleet_total <= rack.awarded_watts() * 0.95 * (1.0 + 1e-9) + 1e-12,
-                    "{policy_name}: rack {} handed out {fleet_total} of its {} envelope",
-                    rack.name(),
-                    rack.awarded_watts()
-                );
-                app_total += fleet_total;
-            }
+            // Budget conservation datacenter → rack → app, via the shared
+            // oracle: envelopes conserve the budget, each fleet conserves
+            // its headroomed envelope, the app total conserves the
+            // headroomed budget.
+            let totals = HierarchyTotals {
+                budget,
+                rack_envelopes: datacenter.rack_awards().to_vec(),
+                rack_fleet_totals: datacenter
+                    .racks()
+                    .iter()
+                    .map(|rack| rack.coordinator().awards().iter().sum())
+                    .collect(),
+                headroom: 0.95,
+            };
+            let violations = check_hierarchy_conservation(&totals);
             prop_assert!(
-                app_total <= budget * 0.95 * (1.0 + 1e-9) + 1e-12,
-                "{policy_name}: app awards {app_total} exceed the headroomed budget"
+                violations.is_empty(),
+                "{policy_name}: hierarchy conservation violated at quantum {quantum}: \
+                 {violations:?} (totals {totals:?})"
+            );
+            let rack_total: f64 = totals.rack_envelopes.iter().sum();
+            prop_assert!(
+                check_summary_total(summary.rack_awarded_watts_total, rack_total).is_none(),
+                "{policy_name}: summary rack total {} vs recomputed {rack_total}",
+                summary.rack_awarded_watts_total
             );
         }
     }

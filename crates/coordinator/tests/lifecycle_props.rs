@@ -11,8 +11,13 @@
 //!   arbitrary interleavings of register/retire events during a run, the
 //!   awards of present apps never exceed the headroomed budget, retired
 //!   and not-yet-arrived apps are awarded exactly 0 W, and every award is
-//!   non-negative and finite.
+//!   non-negative and finite. The checks are the shared
+//!   [`coordinator::invariants`] oracles, so the pins here and the
+//!   scenario fuzzer's oracles cannot drift apart.
 
+use coordinator::invariants::{
+    active_total, check_award_vector, check_budget_conservation, check_summary_total, AwardedApp,
+};
 use coordinator::{
     AppHandle, ArbitrationPolicy, Coordinator, ManagedApp, PerformanceMarket, StaticShare,
     WeightedFair,
@@ -291,30 +296,27 @@ proptest! {
             let summary = coordinator.step(now).unwrap();
             prop_assert_eq!(summary.quantum, stepped_at);
 
-            let mut total = 0.0;
-            for (&handle, &award) in handles.iter().zip(coordinator.awards()) {
-                prop_assert!(
-                    award.is_finite() && award >= 0.0,
-                    "{policy_name}: award {award}"
-                );
-                if !coordinator.app(handle).active_at(stepped_at) {
-                    prop_assert!(
-                        award == 0.0,
-                        "{policy_name}: absent app {} paid {award}",
-                        handle.index()
-                    );
-                } else {
-                    total += award;
-                }
-            }
+            let apps: Vec<AwardedApp> = handles
+                .iter()
+                .map(|&handle| AwardedApp {
+                    active: coordinator.app(handle).active_at(stepped_at),
+                    ceiling: None,
+                })
+                .collect();
+            let violations = check_award_vector(coordinator.awards(), &apps);
             prop_assert!(
-                total <= budget * 0.95 * (1.0 + 1e-9),
+                violations.is_empty(),
+                "{policy_name}: award invariants violated at quantum {stepped_at}: {violations:?}"
+            );
+            let total = active_total(coordinator.awards(), &apps);
+            prop_assert!(
+                check_budget_conservation(total, budget * 0.95).is_none(),
                 "{policy_name}: awards {total} exceed the headroomed budget at quantum {stepped_at} \
                  with {} registered apps",
                 handles.len()
             );
             prop_assert!(
-                (summary.awarded_watts_total - total).abs() <= 1e-9 * total.max(1.0),
+                check_summary_total(summary.awarded_watts_total, total).is_none(),
                 "{policy_name}: summary total {} vs recomputed {total}",
                 summary.awarded_watts_total
             );

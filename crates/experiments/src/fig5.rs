@@ -110,7 +110,7 @@ pub struct Figure5 {
 
 /// Which regime a simulation cell runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Arm {
+pub(crate) enum Arm {
     NoAdaptation,
     Uncoordinated,
     PerAppSeec,
@@ -120,7 +120,7 @@ enum Arm {
 }
 
 impl Arm {
-    const ALL: [Arm; 6] = [
+    pub(crate) const ALL: [Arm; 6] = [
         Arm::NoAdaptation,
         Arm::Uncoordinated,
         Arm::PerAppSeec,
@@ -129,7 +129,7 @@ impl Arm {
         Arm::CoordinatedWeighted,
     ];
 
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             Arm::NoAdaptation => "no-adaptation",
             Arm::Uncoordinated => "uncoordinated",
@@ -263,33 +263,33 @@ pub fn datacenter_budget_watts(server: &XeonServer, scenario: &Scenario) -> f64 
 }
 
 /// Per-app simulation state shared by every regime.
-struct AppSim {
+pub(crate) struct AppSim {
     /// The scenario slot (activity window, weight, seed, benchmark); the
     /// single source of the half-open residency semantics
     /// ([`workloads::ScenarioApp::active_at`]).
-    spec: workloads::ScenarioApp,
-    phases: Vec<QuantumDemand>,
+    pub(crate) spec: workloads::ScenarioApp,
+    pub(crate) phases: Vec<QuantumDemand>,
     /// Target work rate (work units per second): the app's solo maximum
     /// under the default configuration, scaled by its requested fraction.
-    target_rate: f64,
-    work_per_beat: f64,
-    launch_power_watts: f64,
+    pub(crate) target_rate: f64,
+    pub(crate) work_per_beat: f64,
+    pub(crate) launch_power_watts: f64,
     // Accumulators over the app's residency.
-    active_seconds: f64,
-    work_done: f64,
+    pub(crate) active_seconds: f64,
+    pub(crate) work_done: f64,
 }
 
 impl AppSim {
-    fn active_at(&self, quantum: usize) -> bool {
+    pub(crate) fn active_at(&self, quantum: usize) -> bool {
         self.spec.active_at(quantum)
     }
 
-    fn demand_at(&self, quantum: usize) -> &QuantumDemand {
+    pub(crate) fn demand_at(&self, quantum: usize) -> &QuantumDemand {
         &self.phases[(quantum - self.spec.arrival) % self.phases.len()]
     }
 
     /// `min(rate/target, 1)` over the app's residency.
-    fn attainment(&self) -> f64 {
+    pub(crate) fn attainment(&self) -> f64 {
         if self.active_seconds <= 0.0 || self.target_rate <= 0.0 {
             return 0.0;
         }
@@ -298,7 +298,7 @@ impl AppSim {
 }
 
 /// Builds the per-app simulation state for one scenario.
-fn build_apps(server: &XeonServer, scenario: &Scenario) -> Vec<AppSim> {
+pub(crate) fn build_apps(server: &XeonServer, scenario: &Scenario) -> Vec<AppSim> {
     let launch = ServerConfiguration::new(1, server.pstates().len() - 1, 1.0);
     scenario
         .apps
@@ -344,7 +344,7 @@ fn heartbeated(sim: &AppSim) -> HeartbeatedWorkload {
 
 /// Builds the [`ManagedApp`] a coordinated arm registers for `sim` at its
 /// arrival quantum.
-fn managed_for(server: &XeonServer, sim: &AppSim, seed: u64, index: usize) -> ManagedApp {
+pub(crate) fn managed_for(server: &XeonServer, sim: &AppSim, seed: u64, index: usize) -> ManagedApp {
     let driver = heartbeated(sim);
     let runtime = tuned(
         SeecRuntime::builder(driver.monitor())
@@ -372,7 +372,7 @@ enum Controller {
 }
 
 /// Runs one (scenario, regime) cell and reports machine-level outcomes.
-fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> ArmOutcome {
+pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> ArmOutcome {
     let mut apps = build_apps(server, scenario);
     let budget_range = server.max_power_watts() - server.idle_power_watts();
     let budget = budget_watts(server, scenario);
@@ -607,7 +607,7 @@ pub struct Figure5Hierarchy {
 
 /// Which coordination topology a hierarchy cell runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum HierarchyArm {
+pub(crate) enum HierarchyArm {
     Uncoordinated,
     Flat,
     RackCoordinated,
@@ -620,7 +620,7 @@ impl HierarchyArm {
         HierarchyArm::RackCoordinated,
     ];
 
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             HierarchyArm::Uncoordinated => "uncoordinated",
             HierarchyArm::Flat => "flat-coordinated",
@@ -735,7 +735,7 @@ enum HierarchyControl {
 ///
 /// Returns the arm outcome plus the worst per-rack envelope-violation rate
 /// (0.0 for the arms without rack meters).
-fn run_hierarchy_cell(
+pub(crate) fn run_hierarchy_cell(
     server: &XeonServer,
     scenario: &Scenario,
     arm: HierarchyArm,

@@ -37,6 +37,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fuzz;
 pub mod pareto;
 pub mod sweep;
 

@@ -1,0 +1,121 @@
+//! The coverage corpus: one scenario per distinct behavior signature.
+
+use serde::{Deserialize, Serialize};
+use workloads::Scenario;
+
+use crate::signature::BehaviorSignature;
+
+/// One corpus slot: the scenario, its signature, and its lineage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The (sanitized) scenario.
+    pub scenario: Scenario,
+    /// The behavior signature that earned the slot.
+    pub signature: BehaviorSignature,
+    /// The mutation strategy that produced it (`None` for seed entries).
+    pub strategy: Option<String>,
+    /// Index of the corpus entry it was mutated from (`None` for seeds).
+    pub parent: Option<usize>,
+    /// The fuzz iteration that produced it (`None` for seeds).
+    pub iteration: Option<u64>,
+}
+
+/// The corpus: entries in admission order, at most one per signature key.
+///
+/// Serialized as plain JSON (`to_json` / `from_json`) so a saved corpus
+/// re-seeds a later fuzz run or an offline investigation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Admitted entries, oldest first.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether some entry already carries this signature key.
+    ///
+    /// Linear scan: corpora are tens-to-hundreds of entries and every
+    /// candidate lookup is preceded by a full scenario execution, which
+    /// dominates by orders of magnitude.
+    pub fn contains_signature(&self, key: &str) -> bool {
+        self.entries.iter().any(|entry| entry.signature.key() == key)
+    }
+
+    /// Admits `entry` if its signature is new; returns whether it was kept.
+    pub fn admit(&mut self, entry: CorpusEntry) -> bool {
+        if self.contains_signature(&entry.signature.key()) {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// The sorted signature keys currently covered.
+    pub fn signature_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .entries
+            .iter()
+            .map(|entry| entry.signature.key())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Serializes the corpus as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("corpus serializes")
+    }
+
+    /// Reloads a corpus saved by [`Corpus::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{PolicyPathCounters, ScenarioOutcome};
+
+    fn entry(apps: usize) -> CorpusEntry {
+        let outcome = ScenarioOutcome {
+            violations: Vec::new(),
+            counters: PolicyPathCounters::default(),
+            apps,
+            racks: 1,
+            cap_violation_fraction: 0.0,
+            mean_attainment: 0.5,
+            perf_per_watt: 0.01,
+            baseline_perf_per_watt: 0.008,
+        };
+        CorpusEntry {
+            scenario: workloads::vocabulary_mixes(1).swap_remove(0),
+            signature: BehaviorSignature::of(&outcome),
+            strategy: Some("nudge".to_string()),
+            parent: Some(0),
+            iteration: Some(3),
+        }
+    }
+
+    #[test]
+    fn admission_dedups_by_signature_and_json_round_trips() {
+        let mut corpus = Corpus::default();
+        assert!(corpus.admit(entry(5)));
+        assert!(!corpus.admit(entry(5)), "same signature must be rejected");
+        assert!(corpus.admit(entry(9)), "new fleet bucket is new coverage");
+        assert_eq!(corpus.len(), 2);
+
+        let reloaded = Corpus::from_json(&corpus.to_json()).unwrap();
+        assert_eq!(reloaded, corpus);
+        assert_eq!(reloaded.signature_keys(), corpus.signature_keys());
+    }
+}

@@ -1,0 +1,56 @@
+//! # Coverage-guided scenario fuzzing
+//!
+//! The multi-application experiments ([`workloads::Scenario`]) are only as
+//! trustworthy as the scenarios someone thought to write down. This crate
+//! searches the scenario space adversarially: it mutates scenario specs
+//! (arrival/departure quanta, priority weights, budget staircases, rack
+//! partitions, app counts), executes each mutant through a caller-supplied
+//! probe, and keeps the mutants whose *behavior* — not spec — is new.
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`mod@mutate`] — named mutation strategies (`nudge`, `swap`,
+//!   `duplicate-app`, `havoc`) over [`workloads::Scenario`], every mutant
+//!   repaired into the well-formed envelope by
+//!   [`workloads::Scenario::sanitize`].
+//! * An executor: any `FnMut(&Scenario) -> ScenarioOutcome`. The crate
+//!   never simulates anything itself, so the same fuzzer runs against the
+//!   full Xeon pipeline (the `experiments` crate's probe) or against the
+//!   cheap synthetic executors the tests here use. The outcome carries the
+//!   [`coordinator::invariants`] violations the probe observed — the
+//!   oracle layer is shared with the proptest suites, so the fuzzer and
+//!   the property pins cannot drift apart.
+//! * [`signature`] — executions are fingerprinted by a coarse behavior
+//!   signature (violation classes, policy-path deciles, fleet-size
+//!   bucket); a mutant earns a [`corpus`] slot only when its signature is
+//!   new. This is the splax-style coverage feedback, with behavior
+//!   signatures standing in for branch coverage.
+//! * [`shrink`] — when an execution violates an invariant, a deterministic
+//!   shrinker minimises the scenario (drop apps, flatten budget steps,
+//!   shorten the horizon) while the same incident classes still reproduce,
+//!   yielding the pinnable fixtures under `tests/corpus/`.
+//! * [`fuzzer`] — the driving loop: seed corpus, per-iteration RNG derived
+//!   from `(run seed, iteration)`, incident discovery keyed by violation
+//!   class set, and a machine-readable [`fuzzer::FuzzReport`].
+//!
+//! Everything is deterministic by construction: the same seed scenarios,
+//! run seed, and iteration budget produce byte-identical corpus and report
+//! JSON, regardless of when or where the run happens (no timestamps, no
+//! ambient randomness).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod corpus;
+pub mod fuzzer;
+pub mod mutate;
+pub mod outcome;
+pub mod shrink;
+pub mod signature;
+
+pub use corpus::{Corpus, CorpusEntry};
+pub use fuzzer::{fuzz, FuzzConfig, FuzzReport, Incident, StrategyStat};
+pub use mutate::{mutate, MutationLimits, MutationStrategy};
+pub use outcome::{violation_label, PolicyPathCounters, ScenarioOutcome};
+pub use shrink::shrink_incident;
+pub use signature::BehaviorSignature;

@@ -1,0 +1,126 @@
+//! Behavior signatures: the fuzzer's coverage feedback.
+//!
+//! An execution is fingerprinted by *what happened*, not what the spec
+//! looked like: which invariant classes fired, coarse deciles of the
+//! policy-path mix, and log-scale buckets of fleet and rack size. A mutant
+//! joins the corpus only when its signature is new, so the corpus grows
+//! along behavioral frontiers instead of accumulating near-duplicates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::ScenarioOutcome;
+
+/// The coarse fingerprint of one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorSignature {
+    /// Sorted, deduplicated incident labels
+    /// ([`ScenarioOutcome::incident_labels`]); empty for a clean run.
+    pub classes: Vec<String>,
+    /// Bit-length of the app count (0 → 0, 1 → 1, 2–3 → 2, 4–7 → 3, …).
+    pub fleet_bucket: u8,
+    /// Number of racks (already small; used directly).
+    pub rack_bucket: u8,
+    /// Decile of `goal_met / decisions`.
+    pub goal_met_decile: u8,
+    /// Decile of the fraction of decisions taken before the goal could be
+    /// judged (arrival churn shows up here).
+    pub goal_unknown_decile: u8,
+    /// Decile of the machine cap-violation fraction.
+    pub violation_decile: u8,
+    /// Decile of mean goal attainment.
+    pub attainment_decile: u8,
+    /// Whether the budget staircase actually stepped during the run.
+    pub stepped: bool,
+    /// Whether coordinated perf/W fell below the uncoordinated baseline.
+    pub cliff: bool,
+}
+
+/// Clamps a `[0, 1]` quantity into deciles 0..=10 (NaN and negatives → 0).
+fn decile(x: f64) -> u8 {
+    if !x.is_finite() || x <= 0.0 {
+        return 0;
+    }
+    (x * 10.0).floor().min(10.0) as u8
+}
+
+impl BehaviorSignature {
+    /// Fingerprints one execution.
+    pub fn of(outcome: &ScenarioOutcome) -> Self {
+        let decisions = outcome.counters.decisions.max(1) as f64;
+        BehaviorSignature {
+            classes: outcome.incident_labels(),
+            fleet_bucket: (usize::BITS - outcome.apps.leading_zeros()) as u8,
+            rack_bucket: outcome.racks.min(u8::MAX as usize) as u8,
+            goal_met_decile: decile(outcome.counters.goal_met as f64 / decisions),
+            goal_unknown_decile: decile(outcome.counters.goal_unknown as f64 / decisions),
+            violation_decile: decile(outcome.cap_violation_fraction),
+            attainment_decile: decile(outcome.mean_attainment),
+            stepped: outcome.counters.budget_steps > 0,
+            cliff: outcome.baseline_perf_per_watt > 0.0
+                && outcome.perf_per_watt < outcome.baseline_perf_per_watt,
+        }
+    }
+
+    /// A canonical string key (used for corpus dedup and the report's
+    /// sorted signature listing).
+    pub fn key(&self) -> String {
+        format!(
+            "[{}]|a{}|r{}|g{}|u{}|v{}|t{}|s{}|c{}",
+            self.classes.join("+"),
+            self.fleet_bucket,
+            self.rack_bucket,
+            self.goal_met_decile,
+            self.goal_unknown_decile,
+            self.violation_decile,
+            self.attainment_decile,
+            u8::from(self.stepped),
+            u8::from(self.cliff),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::PolicyPathCounters;
+
+    fn clean_outcome(apps: usize) -> ScenarioOutcome {
+        ScenarioOutcome {
+            violations: Vec::new(),
+            counters: PolicyPathCounters {
+                decisions: 100,
+                goal_met: 70,
+                goal_missed: 20,
+                goal_unknown: 10,
+                ..PolicyPathCounters::default()
+            },
+            apps,
+            racks: 1,
+            cap_violation_fraction: 0.0,
+            mean_attainment: 0.93,
+            perf_per_watt: 0.01,
+            baseline_perf_per_watt: 0.004,
+        }
+    }
+
+    #[test]
+    fn signatures_bucket_by_behavior_not_exact_values() {
+        let a = BehaviorSignature::of(&clean_outcome(5));
+        let mut almost = clean_outcome(5);
+        almost.mean_attainment = 0.96; // same decile
+        almost.perf_per_watt = 0.011;
+        assert_eq!(a.key(), BehaviorSignature::of(&almost).key());
+
+        let bigger = BehaviorSignature::of(&clean_outcome(9)); // 5 vs 9: new bucket
+        assert_ne!(a.key(), bigger.key());
+    }
+
+    #[test]
+    fn deciles_saturate_and_tolerate_nan() {
+        assert_eq!(decile(1.0), 10);
+        assert_eq!(decile(7.3), 10);
+        assert_eq!(decile(f64::NAN), 0);
+        assert_eq!(decile(-0.2), 0);
+        assert_eq!(decile(0.55), 5);
+    }
+}

@@ -37,4 +37,8 @@ mod scenario;
 pub use driver::HeartbeatedWorkload;
 pub use phases::{QuantumDemand, Workload};
 pub use profile::{SplashBenchmark, WorkloadProfile};
-pub use scenario::{extended_scenario_mixes, scenario_mixes, BudgetStep, Scenario, ScenarioApp};
+pub use scenario::{
+    extended_scenario_mixes, scenario_mixes, vocabulary_mixes, BudgetStep, Scenario, ScenarioApp,
+    MAX_APP_WEIGHT, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_APP_WEIGHT, MIN_BUDGET_FRACTION,
+    MIN_SCENARIO_QUANTA, MIN_TARGET_FRACTION,
+};

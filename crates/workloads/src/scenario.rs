@@ -106,6 +106,99 @@ impl Scenario {
     }
 }
 
+impl Scenario {
+    /// Whether every field is inside the domain the generators promise and
+    /// the experiment drivers assume (positive weights, `(0, 1]` fractions,
+    /// arrivals before the horizon, departures inside `(arrival, quanta]`,
+    /// budget steps before the horizon, racks within
+    /// [`MAX_SCENARIO_RACKS`]).
+    pub fn is_well_formed(&self) -> bool {
+        self.quanta >= MIN_SCENARIO_QUANTA
+            && self.quanta <= MAX_SCENARIO_QUANTA
+            && self.power_budget_fraction >= MIN_BUDGET_FRACTION
+            && self.power_budget_fraction <= 1.0
+            && self.apps.iter().all(|app| {
+                app.weight >= MIN_APP_WEIGHT
+                    && app.weight <= MAX_APP_WEIGHT
+                    && app.target_fraction >= MIN_TARGET_FRACTION
+                    && app.target_fraction <= 1.0
+                    && app.arrival < self.quanta
+                    && app.rack < MAX_SCENARIO_RACKS
+                    && app
+                        .departure
+                        .is_none_or(|d| d > app.arrival && d <= self.quanta)
+            })
+            && self.budget_steps.iter().all(|step| {
+                step.quantum < self.quanta
+                    && step.fraction >= MIN_BUDGET_FRACTION
+                    && step.fraction <= 1.0
+            })
+    }
+
+    /// Repairs the scenario in place into the well-formed domain by
+    /// clamping every field: mutation engines may perturb freely and call
+    /// this afterwards instead of special-casing each field's bounds.
+    /// Idempotent, and the identity on already-well-formed scenarios.
+    pub fn sanitize(&mut self) {
+        self.quanta = self.quanta.clamp(MIN_SCENARIO_QUANTA, MAX_SCENARIO_QUANTA);
+        self.power_budget_fraction = self
+            .power_budget_fraction
+            .clamp(MIN_BUDGET_FRACTION, 1.0);
+        if !self.power_budget_fraction.is_finite() {
+            self.power_budget_fraction = MIN_BUDGET_FRACTION;
+        }
+        let quanta = self.quanta;
+        for app in &mut self.apps {
+            app.weight = if app.weight.is_finite() {
+                app.weight.clamp(MIN_APP_WEIGHT, MAX_APP_WEIGHT)
+            } else {
+                1.0
+            };
+            app.target_fraction = if app.target_fraction.is_finite() {
+                app.target_fraction.clamp(MIN_TARGET_FRACTION, 1.0)
+            } else {
+                MIN_TARGET_FRACTION
+            };
+            app.arrival = app.arrival.min(quanta - 1);
+            app.rack %= MAX_SCENARIO_RACKS;
+            if let Some(departure) = app.departure {
+                app.departure = Some(departure.clamp(app.arrival + 1, quanta));
+            }
+        }
+        for step in &mut self.budget_steps {
+            step.quantum = step.quantum.min(quanta - 1);
+            step.fraction = if step.fraction.is_finite() {
+                step.fraction.clamp(MIN_BUDGET_FRACTION, 1.0)
+            } else {
+                MIN_BUDGET_FRACTION
+            };
+        }
+    }
+}
+
+/// Shortest shared schedule a sanitized scenario may have.
+pub const MIN_SCENARIO_QUANTA: usize = 2;
+
+/// Longest shared schedule a sanitized scenario may have (bounds fuzz
+/// executor cost).
+pub const MAX_SCENARIO_QUANTA: usize = 4_096;
+
+/// Exclusive upper bound on rack tags after sanitization (bounds hierarchy
+/// width).
+pub const MAX_SCENARIO_RACKS: usize = 16;
+
+/// Smallest machine budget fraction after sanitization.
+pub const MIN_BUDGET_FRACTION: f64 = 0.05;
+
+/// Smallest per-app priority weight after sanitization.
+pub const MIN_APP_WEIGHT: f64 = 0.1;
+
+/// Largest per-app priority weight after sanitization.
+pub const MAX_APP_WEIGHT: f64 = 8.0;
+
+/// Smallest per-app target fraction after sanitization.
+pub const MIN_TARGET_FRACTION: f64 = 0.01;
+
 /// The priority tiers scenario generation draws from (the paper's platform
 /// distinguishes applications the operator cares about more).
 const PRIORITY_TIERS: [f64; 3] = [1.0, 2.0, 4.0];
@@ -320,6 +413,124 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
     vec![storm, stepped]
 }
 
+/// The adversarial *vocabulary* mixes: the seed corpus the scenario fuzzer
+/// mutates from. Deterministic for a seed, like the other families, and
+/// deliberately small (tens of apps, short horizons) so a fuzz iteration
+/// stays cheap; the mutation engine grows them where that pays.
+///
+/// * **diurnal-budget** — a six-app resident fleet under a budget that
+///   follows a day curve as a staircase (peak → trough → recovery, eight
+///   steps): every step forces a re-division, and the trough is tight
+///   enough that priority tiers matter.
+/// * **flash-crowd** — four residents, then twenty-four applications
+///   landing on the *same* quantum with aggressive goals, gone twelve
+///   quanta later: the hardest single re-arbitration step, aimed at the
+///   landing-quantum transient.
+/// * **phase-shift** — three racks of four apps each, where the apps of a
+///   rack share one workload seed (their compute/memory phases move in
+///   lockstep) and each rack's arrivals shift by a fixed offset: rack
+///   demand peaks are correlated within a rack and staggered across racks,
+///   stressing envelope re-auditing at the datacenter level.
+pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce7_a210_0000_0003);
+    let mut pick = || SplashBenchmark::ALL[rng.gen_range(0..SplashBenchmark::ALL.len())];
+
+    // ---- diurnal-budget: staircase day curve over a resident fleet ----
+    let quanta = 64;
+    let diurnal_apps: Vec<ScenarioApp> = (0..6)
+        .map(|slot| ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(20_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: 0,
+            departure: None,
+            target_fraction: 0.3 + 0.1 * (slot % 3) as f64,
+            rack: 0,
+        })
+        .collect();
+    // Eight steps of a (1 - cos) day curve between 25 % and 70 % of
+    // full-load power: high at "midday", tight overnight.
+    let budget_steps: Vec<BudgetStep> = (1..8)
+        .map(|step| {
+            let phase = step as f64 / 8.0 * std::f64::consts::TAU;
+            let fraction = 0.25 + 0.45 * 0.5 * (1.0 - phase.cos());
+            BudgetStep {
+                quantum: step * quanta / 8,
+                fraction: (fraction * 100.0).round() / 100.0,
+            }
+        })
+        .collect();
+    let diurnal = Scenario {
+        name: "diurnal-budget".to_string(),
+        apps: diurnal_apps,
+        quanta,
+        power_budget_fraction: 0.25,
+        budget_steps,
+    };
+
+    // ---- flash-crowd: one-quantum mass landing ------------------------
+    let quanta = 48;
+    let crowd_lands = 16;
+    let mut crowd_apps: Vec<ScenarioApp> = (0..4)
+        .map(|slot| ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(21_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: 0,
+            departure: None,
+            target_fraction: 0.4,
+            rack: 0,
+        })
+        .collect();
+    for slot in 0..24usize {
+        crowd_apps.push(ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(22_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: crowd_lands,
+            departure: Some(crowd_lands + 12),
+            target_fraction: 0.25 + 0.05 * (slot % 3) as f64,
+            rack: 0,
+        });
+    }
+    let flash_crowd = Scenario {
+        name: "flash-crowd".to_string(),
+        apps: crowd_apps,
+        quanta,
+        power_budget_fraction: 0.45,
+        budget_steps: Vec::new(),
+    };
+
+    // ---- phase-shift: correlated phases within racks, staggered across -
+    let quanta = 48;
+    let mut shifted_apps = Vec::new();
+    for rack in 0..3usize {
+        // One workload seed per rack: the rack's apps phase-move together.
+        let rack_seed = seed.wrapping_add(23_000 + rack as u64);
+        let benchmark = pick();
+        for slot in 0..4usize {
+            shifted_apps.push(ScenarioApp {
+                benchmark,
+                seed: rack_seed,
+                weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+                arrival: rack * 6,
+                departure: None,
+                target_fraction: 0.35,
+                rack,
+            });
+        }
+    }
+    let phase_shift = Scenario {
+        name: "phase-shift".to_string(),
+        apps: shifted_apps,
+        quanta,
+        power_budget_fraction: 0.4,
+        budget_steps: Vec::new(),
+    };
+
+    vec![diurnal, flash_crowd, phase_shift]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +631,101 @@ mod tests {
                     assert!(departure > app.arrival && departure <= scenario.quanta);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn vocabulary_mixes_cover_the_adversarial_shapes() {
+        let mixes = vocabulary_mixes(2012);
+        assert_eq!(vocabulary_mixes(2012), mixes, "deterministic");
+        assert_ne!(vocabulary_mixes(7), mixes);
+        assert_eq!(mixes.len(), 3);
+        for scenario in &mixes {
+            assert!(scenario.is_well_formed(), "{}", scenario.name);
+        }
+
+        let diurnal = &mixes[0];
+        assert_eq!(diurnal.name, "diurnal-budget");
+        assert!(diurnal.budget_steps.len() >= 6, "a staircase day curve");
+        let fractions: Vec<f64> = (0..diurnal.quanta)
+            .map(|q| diurnal.budget_fraction_at(q))
+            .collect();
+        let peak = fractions.iter().copied().fold(0.0, f64::max);
+        let trough = fractions.iter().copied().fold(1.0, f64::min);
+        assert!(peak >= 0.6 && trough <= 0.3, "peak {peak}, trough {trough}");
+
+        let crowd = &mixes[1];
+        assert_eq!(crowd.name, "flash-crowd");
+        let landing = crowd
+            .apps
+            .iter()
+            .filter(|a| a.arrival > 0)
+            .map(|a| a.arrival)
+            .collect::<Vec<_>>();
+        assert!(landing.len() >= 20);
+        assert!(
+            landing.windows(2).all(|w| w[0] == w[1]),
+            "the crowd lands on one quantum"
+        );
+
+        let shifted = &mixes[2];
+        assert_eq!(shifted.name, "phase-shift");
+        assert_eq!(shifted.rack_count(), 3);
+        for rack in 0..3 {
+            let seeds: Vec<u64> = shifted
+                .apps
+                .iter()
+                .filter(|a| a.rack == rack)
+                .map(|a| a.seed)
+                .collect();
+            assert!(seeds.len() >= 2);
+            assert!(
+                seeds.windows(2).all(|w| w[0] == w[1]),
+                "rack {rack} phases are correlated"
+            );
+        }
+        let mut arrivals: Vec<usize> = shifted.apps.iter().map(|a| a.arrival).collect();
+        arrivals.sort_unstable();
+        arrivals.dedup();
+        assert!(arrivals.len() >= 3, "arrivals stagger across racks");
+    }
+
+    #[test]
+    fn sanitize_repairs_arbitrary_damage_and_is_idempotent() {
+        let mut wrecked = Scenario {
+            name: "wreck".to_string(),
+            apps: vec![ScenarioApp {
+                benchmark: SplashBenchmark::Volrend,
+                seed: 3,
+                weight: f64::NAN,
+                arrival: 10_000,
+                departure: Some(0),
+                target_fraction: -2.0,
+                rack: 99,
+            }],
+            quanta: 0,
+            power_budget_fraction: f64::INFINITY,
+            budget_steps: vec![BudgetStep {
+                quantum: usize::MAX,
+                fraction: 0.0,
+            }],
+        };
+        assert!(!wrecked.is_well_formed());
+        wrecked.sanitize();
+        assert!(wrecked.is_well_formed(), "{wrecked:?}");
+        let once = wrecked.clone();
+        wrecked.sanitize();
+        assert_eq!(wrecked, once, "sanitize is idempotent");
+
+        // Sanitize is the identity on every generated mix.
+        for scenario in scenario_mixes(5)
+            .into_iter()
+            .chain(extended_scenario_mixes(5))
+            .chain(vocabulary_mixes(5))
+        {
+            let mut sanitized = scenario.clone();
+            sanitized.sanitize();
+            assert_eq!(sanitized, scenario, "{}", scenario.name);
         }
     }
 

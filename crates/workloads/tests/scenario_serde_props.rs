@@ -1,0 +1,118 @@
+//! Property pin: scenario specs round-trip through JSON as the identity.
+//!
+//! The scenario fuzzer's corpus and the shrunk regression fixtures under
+//! `tests/corpus/` are plain JSON files holding [`Scenario`] values. This
+//! suite pins the contract that makes those files trustworthy: for
+//! arbitrary scenarios (names with escapes, any app mix, optional
+//! departures, budget staircases), `serde_json::from_str ∘
+//! serde_json::to_string` is the identity — both compact and
+//! pretty-printed — so a fixture replayed later reconstructs exactly the
+//! scenario that was shrunk.
+
+use proptest::prelude::*;
+use workloads::{BudgetStep, Scenario, ScenarioApp, SplashBenchmark};
+
+/// Names exercise the string escaping paths (quotes, control characters,
+/// multi-byte UTF-8, emptiness).
+const NAMES: [&str; 5] = [
+    "plain-name",
+    "with \"quotes\" and \\ backslash",
+    "new\nline\tand tab",
+    "ünïcode-日本語-😀",
+    "",
+];
+
+#[allow(clippy::too_many_arguments)] // one parameter per proptest-drawn axis
+fn decode_scenario(
+    name_pick: usize,
+    benches: &[usize],
+    seeds: &[u64],
+    weights: &[f64],
+    arrivals: &[usize],
+    departures: &[usize],
+    targets: &[f64],
+    racks: &[usize],
+    quanta: usize,
+    budget: f64,
+    step_quanta: &[usize],
+    step_fractions: &[f64],
+) -> Scenario {
+    let apps: Vec<ScenarioApp> = benches
+        .iter()
+        .enumerate()
+        .map(|(i, &bench)| ScenarioApp {
+            benchmark: SplashBenchmark::ALL[bench % SplashBenchmark::ALL.len()],
+            seed: seeds[i],
+            weight: weights[i],
+            arrival: arrivals[i] % quanta,
+            // Departure scalar 0 = resident; otherwise a half-open window.
+            departure: (departures[i] > 0)
+                .then(|| (arrivals[i] % quanta + departures[i]).min(quanta)),
+            target_fraction: targets[i],
+            rack: racks[i],
+        })
+        .collect();
+    let budget_steps: Vec<BudgetStep> = step_quanta
+        .iter()
+        .enumerate()
+        .map(|(i, &at)| BudgetStep {
+            quantum: at % quanta,
+            fraction: step_fractions[i],
+        })
+        .collect();
+    Scenario {
+        name: NAMES[name_pick % NAMES.len()].to_string(),
+        apps,
+        quanta,
+        power_budget_fraction: budget,
+        budget_steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn scenario_json_round_trip_is_identity(
+        name_pick in 0usize..8,
+        benches in proptest::collection::vec(0usize..8, 1..12),
+        seeds in proptest::collection::vec(0u64..1_000_000_000_000, 12),
+        weights in proptest::collection::vec(0.1..8.0f64, 12),
+        arrivals in proptest::collection::vec(0usize..4_096, 12),
+        departures in proptest::collection::vec(0usize..4_096, 12),
+        targets in proptest::collection::vec(0.01..1.0f64, 12),
+        racks in proptest::collection::vec(0usize..16, 12),
+        quanta in 2usize..4_096,
+        budget in 0.05..1.0f64,
+        step_quanta in proptest::collection::vec(0usize..4_096, 0..4),
+        step_fractions in proptest::collection::vec(0.05..1.0f64, 4),
+    ) {
+        let scenario = decode_scenario(
+            name_pick, &benches, &seeds, &weights, &arrivals, &departures, &targets,
+            &racks, quanta, budget, &step_quanta, &step_fractions,
+        );
+
+        let compact = serde_json::to_string(&scenario).unwrap();
+        let from_compact: Scenario = serde_json::from_str(&compact).unwrap();
+        prop_assert_eq!(&from_compact, &scenario);
+
+        let pretty = serde_json::to_string_pretty(&scenario).unwrap();
+        let from_pretty: Scenario = serde_json::from_str(&pretty).unwrap();
+        prop_assert_eq!(&from_pretty, &scenario);
+
+        // Serialisation is canonical: one more lap produces identical text.
+        prop_assert_eq!(serde_json::to_string(&from_compact).unwrap(), compact);
+    }
+
+    #[test]
+    fn generated_mixes_round_trip(seed in 0u64..1_000_000) {
+        for scenario in workloads::scenario_mixes(seed)
+            .into_iter()
+            .chain(workloads::vocabulary_mixes(seed))
+        {
+            let text = serde_json::to_string_pretty(&scenario).unwrap();
+            let back: Scenario = serde_json::from_str(&text).unwrap();
+            prop_assert_eq!(back, scenario);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! End-to-end determinism pin for the scenario fuzzer.
+//!
+//! The fuzzer's own unit tests pin determinism against a toy executor;
+//! this test closes the loop with the real instrumented probe: the same
+//! seed and iteration budget must produce byte-identical corpus and
+//! report JSON, because CI and incident triage both rely on replaying a
+//! run from its two numbers alone.
+
+use scenario_fuzz::{fuzz, FuzzConfig};
+
+fn run(seed: u64) -> (String, String) {
+    let config = FuzzConfig {
+        seed,
+        iterations: 16,
+        ..FuzzConfig::default()
+    };
+    let seeds = workloads::scenario_mixes(seed);
+    let mut executor = experiments::fuzz::probe_executor(seed);
+    let (corpus, report) = fuzz(&config, &seeds, &mut executor);
+    (
+        corpus.to_json(),
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+}
+
+#[test]
+fn same_seed_same_bytes_different_seed_different_run() {
+    let (corpus_a, report_a) = run(2012);
+    let (corpus_b, report_b) = run(2012);
+    assert_eq!(corpus_a, corpus_b, "corpus JSON must be byte-identical");
+    assert_eq!(report_a, report_b, "report JSON must be byte-identical");
+
+    let (corpus_c, report_c) = run(2013);
+    assert!(
+        corpus_a != corpus_c || report_a != report_c,
+        "a different seed explores differently"
+    );
+}

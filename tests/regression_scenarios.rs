@@ -1,0 +1,109 @@
+//! Replays the pinned fuzz corpus under `tests/corpus/`.
+//!
+//! Every fixture is a shrunk incident emitted by the scenario fuzzer
+//! (`cargo run --release --bin fuzz`), wrapped with a status:
+//!
+//! * `"expected"` — a known incident class: the replay must still raise
+//!   every recorded class. If one of these starts passing clean, the
+//!   underlying behavior changed (possibly a fix!) and the fixture must be
+//!   consciously retired, not ignored.
+//! * `"clean"` — a scenario pinned to stay violation-free.
+//!
+//! Replays are fully deterministic: the fixture records the probe seed,
+//! and `fuzz_probe` derives everything else from it.
+
+use experiments::fuzz::fuzz_probe;
+use scenario_fuzz::Incident;
+use serde::Deserialize;
+use xeon_sim::XeonServer;
+
+#[derive(Deserialize)]
+struct Fixture {
+    status: String,
+    note: String,
+    seed: u64,
+    incident: Incident,
+}
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+fn load_fixtures() -> Vec<(String, Fixture)> {
+    let mut fixtures: Vec<(String, Fixture)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|entry| entry.expect("corpus entry is readable").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .expect("fixture has a stem")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&path).expect("fixture is readable");
+            let fixture: Fixture = serde_json::from_str(&text)
+                .unwrap_or_else(|err| panic!("fixture {name} parses: {err}"));
+            (name, fixture)
+        })
+        .collect();
+    fixtures.sort_by(|a, b| a.0.cmp(&b.0));
+    fixtures
+}
+
+#[test]
+fn corpus_is_present_and_well_formed() {
+    let fixtures = load_fixtures();
+    assert!(
+        fixtures.len() >= 5,
+        "the pinned corpus holds at least the five discovered incident classes, found {}",
+        fixtures.len()
+    );
+    for (name, fixture) in &fixtures {
+        assert!(
+            fixture.incident.scenario.is_well_formed(),
+            "fixture {name} carries a well-formed scenario"
+        );
+        assert!(
+            matches!(fixture.status.as_str(), "expected" | "clean"),
+            "fixture {name} has unknown status {:?}",
+            fixture.status
+        );
+        assert!(!fixture.note.is_empty(), "fixture {name} documents itself");
+        if fixture.status == "expected" {
+            assert!(
+                !fixture.incident.classes.is_empty(),
+                "expected fixture {name} names its incident classes"
+            );
+        }
+    }
+}
+
+#[test]
+fn replaying_the_corpus_reproduces_every_pinned_verdict() {
+    let server = XeonServer::dell_r410_calibrated();
+    for (name, fixture) in load_fixtures() {
+        let outcome = fuzz_probe(&server, &fixture.incident.scenario, fixture.seed);
+        let labels = outcome.incident_labels();
+        match fixture.status.as_str() {
+            "expected" => {
+                for class in &fixture.incident.classes {
+                    assert!(
+                        labels.contains(class),
+                        "fixture {name}: class {class} no longer reproduces \
+                         (got {labels:?}); if this is an intentional fix, retire \
+                         the fixture"
+                    );
+                }
+            }
+            "clean" => {
+                assert!(
+                    labels.is_empty(),
+                    "fixture {name}: pinned-clean scenario now violates {labels:?}"
+                );
+            }
+            other => panic!("fixture {name} has unknown status {other:?}"),
+        }
+    }
+}
