@@ -30,6 +30,105 @@ impl AppHandle {
     }
 }
 
+/// Where an application sits on the watchdog's degradation ladder.
+///
+/// The ladder is `Healthy → Suspect → Quarantined → Readmitted`, driven
+/// entirely by telemetry the coordinator already sees (no side channel to
+/// the fault injector): missing heartbeats, non-finite reports, and
+/// believed power persistently over the awarded envelope. `Readmitted` is
+/// behaviourally identical to `Healthy` — it only records that the app
+/// earned its way back — and a readmitted app can be quarantined again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No watchdog rule has fired recently.
+    Healthy,
+    /// A rule fired this quantum but has not persisted long enough to
+    /// quarantine: the app keeps its normal arbitration seat.
+    Suspect,
+    /// A rule persisted past its threshold (or telemetry went non-finite):
+    /// the app is pinned to the conservative floor envelope and its
+    /// reclaimed watts are redistributed by the normal arbitration fold.
+    Quarantined,
+    /// The app produced [`WatchdogConfig::readmit_quanta`] consecutive
+    /// clean quanta while quarantined and holds a normal seat again.
+    Readmitted,
+}
+
+/// Thresholds for the coordinator's per-app watchdog (see
+/// [`Coordinator::with_watchdog`]). All rules are evaluated once per step,
+/// per app, in registration order, so the ladder is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Consecutive active quanta without a fresh heartbeat before
+    /// quarantine (the paper's platform treats a silent app as gone).
+    pub stale_beat_quanta: usize,
+    /// Consecutive quanta of reported power above the envelope (times
+    /// `1 + overdraw_tolerance`) before quarantine.
+    pub overdraw_quanta: usize,
+    /// Fractional slack on the overdraw comparison; believed power may
+    /// legitimately exceed the envelope transiently while models learn.
+    pub overdraw_tolerance: f64,
+    /// The conservative watt envelope a quarantined app is pinned to (also
+    /// the floor of the overdraw comparison, so freshly-arrived apps with
+    /// a 0 W award are not instantly suspect). Should be at least the
+    /// fleet's cheapest-configuration draw, or honest recovered apps can
+    /// never requalify.
+    pub quarantine_floor_watts: f64,
+    /// Consecutive clean quanta (fresh beats, finite telemetry, no
+    /// overdraw) a quarantined app needs before readmission.
+    pub readmit_quanta: usize,
+    /// Active quanta an app is judged before stale-beat and overdraw
+    /// strikes count. A freshly-launched app's power model is uncalibrated
+    /// (its first awards are guesses, so early "overdraw" is the model
+    /// learning) and its heart rate is still ramping (a slow app may
+    /// legitimately not beat for several quanta). Only the NaN rule is
+    /// exempt — non-finite telemetry needs no calibration to be damning.
+    pub warmup_quanta: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stale_beat_quanta: 4,
+            overdraw_quanta: 4,
+            overdraw_tolerance: 0.5,
+            quarantine_floor_watts: 5.0,
+            readmit_quanta: 8,
+            warmup_quanta: 8,
+        }
+    }
+}
+
+/// Per-app watchdog bookkeeping (counters and the ladder position).
+#[derive(Debug, Clone, Copy)]
+struct HealthTracker {
+    state: HealthState,
+    /// Heartbeat count at the previous watchdog pass.
+    last_beats: u64,
+    /// Active quanta this app has been judged (the warmup clock).
+    judged_quanta: usize,
+    stale_quanta: usize,
+    overdraw_quanta: usize,
+    clean_quanta: usize,
+    quarantined_at: Option<usize>,
+    readmitted_at: Option<usize>,
+}
+
+impl HealthTracker {
+    fn new() -> Self {
+        HealthTracker {
+            state: HealthState::Healthy,
+            last_beats: 0,
+            judged_quanta: 0,
+            stale_quanta: 0,
+            overdraw_quanta: 0,
+            clean_quanta: 0,
+            quarantined_at: None,
+            readmitted_at: None,
+        }
+    }
+}
+
 /// One application under coordination: its heartbeat-instrumented workload
 /// (the phase driver), the SEEC runtime that manages it, and its place on
 /// the shared schedule.
@@ -49,6 +148,14 @@ pub struct ManagedApp {
     nominal_power_hint: f64,
     awarded_watts: f64,
     last_decision: Option<CapDecision>,
+    /// Watchdog ladder state (inert until the coordinator enables a
+    /// [`WatchdogConfig`]).
+    health: HealthTracker,
+    /// Work units reported through [`Coordinator::advance`] since the last
+    /// step (`None` = nothing reported — a stalled or crashed app).
+    reported_work: Option<f64>,
+    /// Power reported through [`Coordinator::advance`] since the last step.
+    reported_power: Option<f64>,
 }
 
 impl std::fmt::Debug for ManagedApp {
@@ -81,6 +188,9 @@ impl ManagedApp {
             nominal_power_hint: 0.0,
             awarded_watts: 0.0,
             last_decision: None,
+            health: HealthTracker::new(),
+            reported_work: None,
+            reported_power: None,
         }
     }
 
@@ -179,6 +289,125 @@ impl ManagedApp {
         self.runtime
             .estimated_nominal_power()
             .unwrap_or(self.nominal_power_hint)
+    }
+
+    /// The app's position on the watchdog's degradation ladder
+    /// ([`HealthState::Healthy`] forever when no watchdog is enabled).
+    pub fn health_state(&self) -> HealthState {
+        self.health.state
+    }
+
+    /// The quantum at which the watchdog first quarantined the app
+    /// (`None` = never quarantined).
+    pub fn quarantined_at(&self) -> Option<usize> {
+        self.health.quarantined_at
+    }
+
+    /// The quantum at which the watchdog most recently readmitted the app
+    /// (`None` = never readmitted).
+    pub fn readmitted_at(&self) -> Option<usize> {
+        self.health.readmitted_at
+    }
+}
+
+/// Runs the watchdog ladder over one application for the quantum about to
+/// be arbitrated, mutating its request in place when quarantine pins it to
+/// the floor envelope. Sequential, registration order, plain comparisons —
+/// the ladder is bit-deterministic and, when no watchdog is configured,
+/// never runs at all.
+fn watchdog_app(
+    app: &mut ManagedApp,
+    request: &mut AppRequest,
+    config: &WatchdogConfig,
+    quantum: usize,
+) {
+    let beats = app.driver.emitted_beats();
+    let reported_work = app.reported_work.take();
+    let reported_power = app.reported_power.take();
+    if !app.active_at(quantum) {
+        // Absent apps are not judged; syncing the beat cursor makes the
+        // staleness clock start at arrival, not registration.
+        app.health.last_beats = beats;
+        return;
+    }
+    let fresh = beats != app.health.last_beats;
+    app.health.last_beats = beats;
+    let warming_up = app.health.judged_quanta < config.warmup_quanta;
+    app.health.judged_quanta = app.health.judged_quanta.saturating_add(1);
+
+    // Non-finite telemetry or request fields quarantine immediately: a NaN
+    // entering the arbitration fold would poison every downstream award.
+    // (An *infinite* request ceiling is legitimate — apps without power
+    // samples absorb anything — so only NaN is judged there.)
+    let non_finite = reported_work.is_some_and(|w| !w.is_finite())
+        || reported_power.is_some_and(|p| !p.is_finite())
+        || request.urgency.is_nan()
+        || request.max_power_watts.is_nan()
+        || request.weight.is_nan();
+    // Believed power persistently over the envelope (with slack for model
+    // learning); the floor keeps 0 W-award quanta from counting. The
+    // envelope also admits the believed draw of the app's *cheapest*
+    // configuration: when awards squeeze an app below what it can
+    // physically reach, drawing its floor is obedience, not overdraw —
+    // and without this an honest app whose cheapest draw exceeds the
+    // quarantine floor could never produce a clean quantum to requalify.
+    // (A misreporter cannot hide behind this: at fault onset its believed
+    // cheapest draw still reflects the honest model, and the Kalman
+    // nominal-power estimate re-converges slower than the strike window.)
+    let cheapest_watts =
+        app.nominal_power_watts() * app.runtime.model().table().min_declared_power();
+    let envelope = app
+        .awarded_watts
+        .max(config.quarantine_floor_watts)
+        .max(cheapest_watts);
+    let overdraw = !warming_up
+        && reported_power
+            .is_some_and(|p| p.is_finite() && p > envelope * (1.0 + config.overdraw_tolerance));
+    app.health.stale_quanta = if fresh || warming_up {
+        0
+    } else {
+        app.health.stale_quanta + 1
+    };
+    app.health.overdraw_quanta = if overdraw {
+        app.health.overdraw_quanta + 1
+    } else {
+        0
+    };
+
+    match app.health.state {
+        HealthState::Quarantined => {
+            let clean = fresh && !non_finite && !overdraw;
+            app.health.clean_quanta = if clean { app.health.clean_quanta + 1 } else { 0 };
+            if app.health.clean_quanta >= config.readmit_quanta {
+                app.health.state = HealthState::Readmitted;
+                app.health.readmitted_at = Some(quantum);
+                app.health.clean_quanta = 0;
+                app.health.stale_quanta = 0;
+                app.health.overdraw_quanta = 0;
+            }
+        }
+        HealthState::Healthy | HealthState::Suspect | HealthState::Readmitted => {
+            if non_finite
+                || app.health.stale_quanta >= config.stale_beat_quanta
+                || app.health.overdraw_quanta >= config.overdraw_quanta
+            {
+                app.health.state = HealthState::Quarantined;
+                app.health.quarantined_at.get_or_insert(quantum);
+                app.health.clean_quanta = 0;
+            } else if !fresh || overdraw {
+                app.health.state = HealthState::Suspect;
+            } else if app.health.state == HealthState::Suspect {
+                app.health.state = HealthState::Healthy;
+            }
+        }
+    }
+
+    if app.health.state == HealthState::Quarantined {
+        // The conservative floor seat: unit urgency, ceiling pinned to the
+        // floor. The normal arbitration fold then redistributes the watts
+        // the app can no longer absorb.
+        request.urgency = 1.0;
+        request.max_power_watts = config.quarantine_floor_watts;
     }
 }
 
@@ -356,6 +585,15 @@ pub struct Coordinator {
     pool: Option<Arc<ExecPool>>,
     /// Fleet size from which the per-app stages use the pool.
     shard_threshold: usize,
+    /// Watchdog thresholds; `None` (the default) disables the degradation
+    /// ladder entirely — the step is bit-identical to a pre-watchdog build.
+    watchdog: Option<WatchdogConfig>,
+    /// Whether a mid-run registration is immediately dropped to its
+    /// cheapest configuration (see [`Self::with_admission_control`]).
+    admission_control: bool,
+    /// Simulation time of the most recent step (timestamps admission-
+    /// control decisions for mid-run registrations).
+    last_now: f64,
     // Reused per-step buffers: the steady-state sequential step allocates
     // nothing (the pooled step allocates one small per-shard Vec).
     observations: Vec<MonitorObservation>,
@@ -393,6 +631,9 @@ impl Coordinator {
             quantum: 0,
             pool: None,
             shard_threshold: Self::DEFAULT_SHARD_THRESHOLD,
+            watchdog: None,
+            admission_control: false,
+            last_now: 0.0,
             observations: Vec::new(),
             requests: Vec::new(),
             awards: Vec::new(),
@@ -487,12 +728,74 @@ impl Coordinator {
         self
     }
 
+    /// Enables or disables the per-app watchdog (default: disabled). With a
+    /// config attached, every step runs the degradation ladder —
+    /// [`HealthState`] transitions driven by stale heartbeats, non-finite
+    /// telemetry, and persistent envelope overdraw — and quarantined apps
+    /// are pinned to [`WatchdogConfig::quarantine_floor_watts`]. With
+    /// `None`, the ladder never runs and the step is bit-identical to a
+    /// watchdog-free coordinator.
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Changes the watchdog mid-run (see [`Self::with_watchdog`]).
+    /// `None` disables it; ladder positions are kept but stop evolving.
+    pub fn set_watchdog(&mut self, config: Option<WatchdogConfig>) {
+        self.watchdog = config;
+    }
+
+    /// The active watchdog thresholds, if any.
+    pub fn watchdog(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+    }
+
+    /// Enables admission control for mid-run registrations (default: off).
+    ///
+    /// Without it, an application that registers between steps executes its
+    /// landing quantum in whatever configuration it launched with — awards
+    /// only bind at the *next* arbitration, so a hungry arrival can
+    /// transiently blow the machine cap (the fuzzer's 2-app/3-quantum
+    /// `cap_violation_machine` reproducer). With it, [`Self::register`]
+    /// immediately decides the newcomer under a zero powerup cap, dropping
+    /// it to its cheapest configuration until the next step awards it a
+    /// real envelope.
+    pub fn with_admission_control(mut self, enabled: bool) -> Self {
+        self.admission_control = enabled;
+        self
+    }
+
+    /// Changes admission control mid-run (see
+    /// [`Self::with_admission_control`]).
+    pub fn set_admission_control(&mut self, enabled: bool) {
+        self.admission_control = enabled;
+    }
+
+    /// Whether mid-run registrations are admission-controlled.
+    pub fn admission_control(&self) -> bool {
+        self.admission_control
+    }
+
     /// Registers an application; returns its handle. May be called at any
     /// point of the run: a mid-run registration takes part in arbitration
     /// from the next [`Self::step`] onward (its default arrival of 0 makes
     /// it present immediately; use [`ManagedApp::with_arrival`] to schedule
     /// it later on the shared quantum schedule).
-    pub fn register(&mut self, app: ManagedApp) -> AppHandle {
+    ///
+    /// With [`Self::with_admission_control`] enabled, a registration after
+    /// the first step is immediately decided under a zero powerup cap — the
+    /// cheapest-configuration landing that keeps its first quantum from
+    /// executing under pre-arrival awards. Decision errors (e.g. a missing
+    /// goal) are ignored: admission is best-effort, the next step decides
+    /// properly.
+    pub fn register(&mut self, mut app: ManagedApp) -> AppHandle {
+        if self.admission_control && self.quantum > 0 {
+            let observation = app.monitor.observation();
+            let _ = app
+                .runtime
+                .decide_under_power_cap_with_observation(self.last_now, &observation, 0.0);
+        }
         self.monitors.push(app.monitor.clone());
         self.apps.push(app);
         AppHandle(self.apps.len() - 1)
@@ -622,6 +925,7 @@ impl Coordinator {
     /// apps at higher indices than the failing one.
     pub fn step(&mut self, now: f64) -> Result<StepSummary, SeecError> {
         let quantum = self.quantum;
+        self.last_now = now;
         let pool = self
             .pool
             .as_ref()
@@ -679,6 +983,17 @@ impl Coordinator {
                     *request = request_for(app, observation, quantum, budget);
                 }
             });
+        }
+
+        // ---- Watchdog (sequential, registration order) --------------
+        // Runs between request building and arbitration so quarantine
+        // rewrites are part of the same fold every policy sees. With no
+        // watchdog configured this is a no-op branch, keeping the step
+        // bit-identical to a pre-watchdog build.
+        if let Some(config) = self.watchdog {
+            for (app, request) in self.apps.iter_mut().zip(self.requests.iter_mut()) {
+                watchdog_app(app, request, &config, quantum);
+            }
         }
 
         // ---- Arbitrate (sequential deterministic fold) --------------
@@ -789,8 +1104,13 @@ impl Coordinator {
         work_units: f64,
         power_above_idle_watts: f64,
     ) {
-        self.apps[handle.0]
-            .driver
+        let app = &mut self.apps[handle.0];
+        // Remember the raw report for the watchdog: the driver clamps NaN
+        // work to 0 and the power estimator rejects non-finite samples, so
+        // the *sanitised* path never sees what the app actually claimed.
+        app.reported_work = Some(work_units);
+        app.reported_power = Some(power_above_idle_watts);
+        app.driver
             .advance_metered(start, end, work_units, power_above_idle_watts);
     }
 }
@@ -1166,6 +1486,233 @@ mod tests {
     fn managed_app_shards_across_threads() {
         fn assert_send<T: Send>() {}
         assert_send::<ManagedApp>();
+    }
+
+    /// Advances `handle` one quantum with the platform mirroring its
+    /// declared effects (nominal 10 beats/s, 10 W), like `drive` does.
+    fn advance_honestly(coordinator: &mut Coordinator, handle: AppHandle, now: f64) {
+        let effect = {
+            let runtime = coordinator.app(handle).runtime();
+            runtime
+                .model()
+                .space()
+                .predicted_effect(runtime.current_configuration())
+                .unwrap()
+        };
+        coordinator.advance(
+            handle,
+            now - 1.0,
+            now,
+            10.0 * effect.performance,
+            10.0 * effect.power,
+        );
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_stalled_app_and_readmits_on_recovery() {
+        let config = WatchdogConfig::default();
+        let mut coordinator =
+            Coordinator::new(30.0, Box::new(WeightedFair)).with_watchdog(config);
+        assert_eq!(coordinator.watchdog(), Some(config));
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|i| {
+                coordinator
+                    .register(managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 1000.0))
+            })
+            .collect();
+        let mut now = 0.0;
+        for _ in 0..8 {
+            now += 1.0;
+            for &handle in &handles {
+                advance_honestly(&mut coordinator, handle, now);
+            }
+            coordinator.step(now).unwrap();
+        }
+        for &handle in &handles {
+            assert_eq!(coordinator.app(handle).health_state(), HealthState::Healthy);
+        }
+
+        // App 2's heartbeat pipe wedges: no reports for ten quanta.
+        let stall_start = coordinator.quantum();
+        for _ in 0..10 {
+            now += 1.0;
+            for &handle in &handles[..2] {
+                advance_honestly(&mut coordinator, handle, now);
+            }
+            coordinator.step(now).unwrap();
+        }
+        let stalled = coordinator.app(handles[2]);
+        assert_eq!(stalled.health_state(), HealthState::Quarantined);
+        let quarantined_at = stalled.quarantined_at().unwrap();
+        assert!(
+            (stall_start..stall_start + config.stale_beat_quanta + 1)
+                .contains(&quarantined_at),
+            "quarantined at {quarantined_at}, stall began at {stall_start}"
+        );
+        assert!(
+            stalled.awarded_watts() <= config.quarantine_floor_watts + 1e-9,
+            "quarantine pins the floor envelope, got {}",
+            stalled.awarded_watts()
+        );
+        // The reclaimed watts flow to the healthy apps via the normal fold.
+        for &handle in &handles[..2] {
+            assert!(
+                coordinator.app(handle).awarded_watts() > config.quarantine_floor_watts,
+                "healthy apps absorb the reclaimed budget"
+            );
+        }
+
+        // The pipe recovers; after readmit_quanta clean quanta the app is
+        // readmitted (cheapest-config draw 4 W fits under the floor seat).
+        for _ in 0..(config.readmit_quanta + 2) {
+            now += 1.0;
+            for &handle in &handles {
+                advance_honestly(&mut coordinator, handle, now);
+            }
+            coordinator.step(now).unwrap();
+        }
+        let recovered = coordinator.app(handles[2]);
+        assert_eq!(recovered.health_state(), HealthState::Readmitted);
+        assert!(recovered.readmitted_at().is_some());
+    }
+
+    #[test]
+    fn watchdog_quarantines_non_finite_telemetry_immediately() {
+        let mut coordinator = Coordinator::new(30.0, Box::new(WeightedFair))
+            .with_watchdog(WatchdogConfig::default());
+        let honest = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        let liar = coordinator.register(managed_app(SplashBenchmark::Volrend, 2, 1000.0));
+        coordinator.step(1.0).unwrap();
+        advance_honestly(&mut coordinator, honest, 2.0);
+        coordinator.advance(liar, 1.0, 2.0, 10.0, f64::NAN);
+        coordinator.step(2.0).unwrap();
+        assert_eq!(
+            coordinator.app(liar).health_state(),
+            HealthState::Quarantined,
+            "one NaN report is enough"
+        );
+        assert_eq!(coordinator.app(liar).quarantined_at(), Some(1));
+        assert_eq!(coordinator.app(honest).health_state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn watchdog_quarantines_persistent_overdraw() {
+        let config = WatchdogConfig::default();
+        let mut coordinator =
+            Coordinator::new(30.0, Box::new(WeightedFair)).with_watchdog(config);
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|i| {
+                coordinator
+                    .register(managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 1000.0))
+            })
+            .collect();
+        let mut now = 0.0;
+        // Long enough that the overdraw strikes land after the warmup
+        // window (strikes only count once the model has had its grace).
+        for tick in 0..16 {
+            now += 1.0;
+            for (slot, &handle) in handles.iter().enumerate() {
+                if slot == 0 && tick >= 2 {
+                    // A rogue reporting 3x the whole budget, every quantum.
+                    coordinator.advance(handle, now - 1.0, now, 10.0, 90.0);
+                } else {
+                    advance_honestly(&mut coordinator, handle, now);
+                }
+            }
+            coordinator.step(now).unwrap();
+        }
+        assert_eq!(
+            coordinator.app(handles[0]).health_state(),
+            HealthState::Quarantined,
+            "persistent overdraw must quarantine"
+        );
+        for &handle in &handles[1..] {
+            let state = coordinator.app(handle).health_state();
+            assert!(
+                state == HealthState::Healthy || state == HealthState::Suspect,
+                "honest apps stay off the quarantine rung, got {state:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_on_a_healthy_fleet_changes_nothing() {
+        // With every app honest, the enabled ladder must not perturb a
+        // single award or decision relative to the watchdog-free run.
+        let run = |watchdog: Option<WatchdogConfig>| {
+            let mut coordinator = Coordinator::new(30.0, Box::new(WeightedFair));
+            coordinator.set_watchdog(watchdog);
+            let handles: Vec<AppHandle> = (0..3)
+                .map(|i| {
+                    coordinator.register(managed_app(
+                        SplashBenchmark::ALL[i],
+                        i as u64 + 1,
+                        1000.0,
+                    ))
+                })
+                .collect();
+            let mut now = 0.0;
+            let mut trace = Vec::new();
+            for _ in 0..20 {
+                now += 1.0;
+                for &handle in &handles {
+                    advance_honestly(&mut coordinator, handle, now);
+                }
+                let summary = coordinator.step(now).unwrap();
+                trace.push((summary, coordinator.awards().to_vec()));
+            }
+            trace
+        };
+        assert_eq!(run(None), run(Some(WatchdogConfig::default())));
+    }
+
+    #[test]
+    fn admission_control_lands_midrun_arrivals_in_the_cheapest_configuration() {
+        let current_power = |coordinator: &Coordinator, handle: AppHandle| {
+            let runtime = coordinator.app(handle).runtime();
+            runtime
+                .model()
+                .space()
+                .predicted_effect(runtime.current_configuration())
+                .unwrap()
+                .power
+        };
+
+        let mut coordinator =
+            Coordinator::new(60.0, Box::new(WeightedFair)).with_admission_control(true);
+        assert!(coordinator.admission_control());
+        // A registration before the first step is untouched (bit-identity
+        // with the admission-free run for whole-fleet-at-start scenarios).
+        let early = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        assert_eq!(current_power(&coordinator, early), 1.0, "launch config kept");
+
+        let mut now = 0.0;
+        for _ in 0..5 {
+            now += 1.0;
+            advance_honestly(&mut coordinator, early, now);
+            coordinator.step(now).unwrap();
+        }
+        // The mid-run arrival is decided under a zero cap at registration:
+        // its landing quantum executes in the cheapest configuration.
+        let late =
+            coordinator.register(managed_app(SplashBenchmark::OceanNonContiguous, 2, 1000.0));
+        assert!(
+            current_power(&coordinator, late) < 1.0,
+            "admission must drop the newcomer below its launch power, got {}",
+            current_power(&coordinator, late)
+        );
+
+        // Control: without admission, the newcomer lands in launch config.
+        let mut naive = Coordinator::new(60.0, Box::new(WeightedFair));
+        let first = naive.register(managed_app(SplashBenchmark::Barnes, 1, 1000.0));
+        let mut now = 0.0;
+        for _ in 0..5 {
+            now += 1.0;
+            advance_honestly(&mut naive, first, now);
+            naive.step(now).unwrap();
+        }
+        let late = naive.register(managed_app(SplashBenchmark::OceanNonContiguous, 2, 1000.0));
+        assert_eq!(current_power(&naive, late), 1.0);
     }
 
     #[test]

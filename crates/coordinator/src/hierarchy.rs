@@ -53,6 +53,33 @@ use xeon_sim::MachineMeter;
 use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};
 use crate::policy::{AppRequest, ArbitrationPolicy};
 
+/// What a rack does when its fleet's physical draw exceeds the watt
+/// envelope the datacenter awarded it.
+///
+/// [`Audit`](EnforcementMode::Audit) (the default) is the historical
+/// behaviour: the rack's [`MachineMeter`] records the overdraw and the
+/// violation shows up in the audit, but the power is drawn — the rack
+/// trusts its applications' closed loops to converge back under the
+/// envelope. [`Clamp`](EnforcementMode::Clamp) models a hard rack-level
+/// breaker (per-circuit power capping): [`RackCoordinator::advance`]
+/// debits each report against the quantum's energy allowance
+/// (`envelope × quantum length`) in arrival order, and a report that would
+/// overdraw the allowance is *throttled* — work and power scale down by
+/// the same factor, because an application denied watts also loses the
+/// progress those watts would have bought. With Clamp the meter can never
+/// record a violated interval; the cost is paid in throughput by whichever
+/// applications report after the allowance runs dry, and
+/// [`RackCoordinator::clamp_events`] / [`RackCoordinator::shed_joules`]
+/// expose how often and how much.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// Record overdraw in the meter but let the power flow (default).
+    #[default]
+    Audit,
+    /// Hard-throttle reports that would overdraw the rack envelope.
+    Clamp,
+}
+
 /// One rack: a fleet shard under its own [`Coordinator`], with a
 /// rack-level [`MachineMeter`] auditing the power the rack's applications
 /// actually drew against the budget the datacenter awarded it.
@@ -70,6 +97,9 @@ pub struct RackCoordinator {
     interval_energy_joules: f64,
     last_step_time: f64,
     awarded_watts: f64,
+    enforcement: EnforcementMode,
+    clamp_events: u64,
+    shed_joules: f64,
 }
 
 impl std::fmt::Debug for RackCoordinator {
@@ -95,7 +125,41 @@ impl RackCoordinator {
             interval_energy_joules: 0.0,
             last_step_time: 0.0,
             awarded_watts: 0.0,
+            enforcement: EnforcementMode::Audit,
+            clamp_events: 0,
+            shed_joules: 0.0,
         }
+    }
+
+    /// Sets the rack's [`EnforcementMode`] (builder form; default
+    /// [`Audit`](EnforcementMode::Audit), which is byte-for-byte the
+    /// pre-enforcement behaviour).
+    pub fn with_enforcement(mut self, mode: EnforcementMode) -> Self {
+        self.enforcement = mode;
+        self
+    }
+
+    /// Replaces the rack's [`EnforcementMode`] mid-run (takes effect on the
+    /// next [`Self::advance`]).
+    pub fn set_enforcement(&mut self, mode: EnforcementMode) {
+        self.enforcement = mode;
+    }
+
+    /// The rack's current [`EnforcementMode`].
+    pub fn enforcement(&self) -> EnforcementMode {
+        self.enforcement
+    }
+
+    /// How many [`Self::advance`] reports the breaker throttled (0 in
+    /// [`Audit`](EnforcementMode::Audit) mode).
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
+    }
+
+    /// Total energy the breaker refused, in joules (0 in
+    /// [`Audit`](EnforcementMode::Audit) mode).
+    pub fn shed_joules(&self) -> f64 {
+        self.shed_joules
     }
 
     /// The rack's name.
@@ -137,10 +201,60 @@ impl RackCoordinator {
         self.coordinator.retire(handle)
     }
 
+    /// The rack's physical metering-and-enforcement point: debits one
+    /// quantum's *actual* draw against the in-flight interval and, under
+    /// [`EnforcementMode::Clamp`], throttles it to the envelope's remaining
+    /// energy allowance (`envelope × elapsed`, arrival order), recording
+    /// the refused energy in [`Self::shed_joules`]. Returns the admitted
+    /// `(work, power)` — equal to the input under
+    /// [`EnforcementMode::Audit`]; under Clamp the breaker is a physical
+    /// gate (per-circuit power capping), so callers should adopt the
+    /// admitted values as ground truth for whatever they meter downstream.
+    pub fn admit(
+        &mut self,
+        start: f64,
+        end: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) -> (f64, f64) {
+        let duration = (end - start).max(0.0);
+        let (work_units, power_above_idle_watts) = match self.enforcement {
+            EnforcementMode::Audit => (work_units, power_above_idle_watts),
+            EnforcementMode::Clamp => {
+                self.clamp_report(start, duration, work_units, power_above_idle_watts)
+            }
+        };
+        self.interval_energy_joules += power_above_idle_watts * duration;
+        (work_units, power_above_idle_watts)
+    }
+
     /// Feeds one quantum's outcome back to an application (see
-    /// [`Coordinator::advance`]) and accumulates its power into the rack's
-    /// in-flight metering interval.
+    /// [`Coordinator::advance`]) after routing it through [`Self::admit`],
+    /// and returns the admitted `(work, power)`.
+    ///
+    /// Here the app's telemetry and its physical draw coincide — the
+    /// common case. Harnesses that separate the two (a faulty application
+    /// misreports what it actually drew) call [`Self::admit`] with the
+    /// physical truth and [`Self::advance_report`] with whatever the app
+    /// claims, so enforcement watches the rail rather than the claim.
     pub fn advance(
+        &mut self,
+        handle: AppHandle,
+        start: f64,
+        end: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) -> (f64, f64) {
+        let admitted = self.admit(start, end, work_units, power_above_idle_watts);
+        self.coordinator
+            .advance(handle, start, end, admitted.0, admitted.1);
+        admitted
+    }
+
+    /// Telemetry-only feedback: forwards the app's *claimed*
+    /// `(work, power)` to its runtime without touching the rack's physical
+    /// accounting (which [`Self::admit`] owns).
+    pub fn advance_report(
         &mut self,
         handle: AppHandle,
         start: f64,
@@ -150,7 +264,43 @@ impl RackCoordinator {
     ) {
         self.coordinator
             .advance(handle, start, end, work_units, power_above_idle_watts);
-        self.interval_energy_joules += power_above_idle_watts * (end - start).max(0.0);
+    }
+
+    /// The breaker: throttles one report so the interval's accumulated
+    /// energy never exceeds the envelope's allowance. Returns the admitted
+    /// `(work, power)`.
+    fn clamp_report(
+        &mut self,
+        start: f64,
+        duration: f64,
+        work_units: f64,
+        power_above_idle_watts: f64,
+    ) -> (f64, f64) {
+        // Before the first datacenter award lands, the rack's own budget is
+        // the envelope (the same value the meter was constructed with).
+        let envelope = if self.awarded_watts > 0.0 {
+            self.awarded_watts
+        } else {
+            self.coordinator.budget_watts()
+        };
+        let elapsed = (start + duration - self.last_step_time).max(duration);
+        let allowance = envelope * elapsed;
+        let contribution = power_above_idle_watts * duration;
+        if !contribution.is_finite() || contribution <= 0.0 || !allowance.is_finite() {
+            return (work_units, power_above_idle_watts);
+        }
+        let headroom = (allowance - self.interval_energy_joules).max(0.0);
+        if contribution <= headroom {
+            return (work_units, power_above_idle_watts);
+        }
+        // Shaved by a nano-fraction so a saturated interval's re-rounded
+        // sum of admitted contributions can never land an ulp *above* the
+        // allowance (a breaker that overdraws by one ulp still audits as
+        // a violated interval).
+        let admitted = headroom / contribution * (1.0 - 1e-9);
+        self.clamp_events += 1;
+        self.shed_joules += contribution - headroom;
+        (work_units * admitted, power_above_idle_watts * admitted)
     }
 
     /// Closes the in-flight metering interval (judged against the award in
@@ -720,6 +870,53 @@ mod tests {
             assert_eq!(datacenter.rack(0).coordinator().quantum(), step);
             assert_eq!(datacenter.rack(1).coordinator().quantum(), step);
         }
+    }
+
+    #[test]
+    fn clamp_mode_prevents_rack_overdraw_audit_records_it() {
+        // Three apps each physically drawing 10 W under a 15 W rack
+        // envelope: a 2x overdraw every quantum.
+        let run = |mode: EnforcementMode| {
+            let mut datacenter = DatacenterArbiter::new(15.0, Box::new(StaticShare));
+            let mut rack = RackCoordinator::new(
+                "r",
+                Coordinator::new(15.0, Box::new(StaticShare)),
+            )
+            .with_enforcement(mode);
+            let handles: Vec<AppHandle> =
+                (0..3).map(|app| rack.register(managed_app(app + 1, 10.0))).collect();
+            datacenter.add_rack(rack);
+            let mut now = 0.0;
+            for _ in 0..10 {
+                now += 1.0;
+                for &handle in &handles {
+                    datacenter.rack_mut(0).advance(handle, now - 1.0, now, 10.0, 10.0);
+                }
+                datacenter.step(now).unwrap();
+            }
+            datacenter
+        };
+
+        let audited = run(EnforcementMode::Audit);
+        let rack = audited.rack(0);
+        assert_eq!(rack.enforcement(), EnforcementMode::Audit);
+        assert!(rack.meter().violated(), "audit records the overdraw");
+        assert!((rack.meter().mean_watts() - 30.0).abs() < 1e-9);
+        assert_eq!(rack.clamp_events(), 0);
+        assert_eq!(rack.shed_joules(), 0.0);
+
+        let clamped = run(EnforcementMode::Clamp);
+        let rack = clamped.rack(0);
+        assert_eq!(rack.enforcement(), EnforcementMode::Clamp);
+        assert!(!rack.meter().violated(), "the breaker holds the envelope");
+        assert!(
+            rack.meter().mean_watts() <= 15.0 + 1e-9,
+            "mean draw {} must fit the 15 W envelope",
+            rack.meter().mean_watts()
+        );
+        assert!(rack.clamp_events() > 0);
+        // 30 W demanded, 15 W admitted, 10 s: about 150 J refused.
+        assert!((rack.shed_joules() - 150.0).abs() < 1.0, "{}", rack.shed_joules());
     }
 
     #[test]

@@ -96,8 +96,13 @@ pub mod hierarchy;
 pub mod invariants;
 mod policy;
 
-pub use crate::coordinator::{AppHandle, Coordinator, ManagedApp, StepSummary};
-pub use crate::hierarchy::{DatacenterArbiter, DatacenterStepSummary, RackCoordinator};
+pub use crate::coordinator::{
+    AppHandle, Coordinator, HealthState, ManagedApp, StepSummary, WatchdogConfig,
+};
+pub use crate::hierarchy::{
+    DatacenterArbiter, DatacenterStepSummary, EnforcementMode, RackCoordinator,
+};
 pub use crate::policy::{
-    AppRequest, ArbitrationPolicy, PerformanceMarket, StaticShare, WeightedFair,
+    AppRequest, ArbitrationPolicy, AwardHysteresis, PerformanceMarket, StarvationFloor,
+    StaticShare, WeightedFair,
 };

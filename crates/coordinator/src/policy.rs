@@ -184,6 +184,328 @@ impl ArbitrationPolicy for PerformanceMarket {
     }
 }
 
+/// Hysteresis wrapper: suppresses award oscillation by holding the previous
+/// award vector when the inner policy's fresh proposal differs by less than
+/// a dead band.
+///
+/// Feedback-driven policies (notably [`PerformanceMarket`]) can *limit-cycle*:
+/// an app that wins watts speeds up, its urgency drops, it loses the watts
+/// next quantum, slows down, and wins them back — forever. The fuzzer's
+/// pinned `oscillation` fixture is exactly this orbit. The wrapper breaks
+/// the cycle without touching steady-state fairness: each quantum the inner
+/// policy proposes a fresh vector, and the proposal is *adopted* only when
+/// some award moved by more than `dead_band_fraction × budget`; otherwise
+/// the previous awards are re-issued unchanged.
+///
+/// Reuse is refused (the proposal is always adopted) whenever it could be
+/// unsound or mask a real change: the fleet's size or active set changed,
+/// the budget dropped below what the held vector spends, or any held award
+/// now exceeds a request's absorption ceiling.
+///
+/// A dead band alone cannot damp a *large*-amplitude limit cycle — when the
+/// market swings an award by a third of the budget each quantum, every
+/// proposal clears the band and is adopted whole, flip after flip. The
+/// optional slew limit ([`AwardHysteresis::with_max_step_fraction`]) closes
+/// that gap: a released proposal is approached, not adopted — the whole
+/// vector moves proportionally toward it, with no single award moving more
+/// than `max_step_fraction × budget` in one quantum. Sustained
+/// redistribution still arrives (as a ramp over a few quanta); a limit
+/// cycle decays into sub-band dither the hold then flattens. Proportional
+/// movement keeps the emitted vector between two conserving vectors, so it
+/// conserves the budget whenever the inner policy does.
+///
+/// ```
+/// use coordinator::{AppRequest, ArbitrationPolicy, AwardHysteresis, WeightedFair};
+///
+/// let mut policy = AwardHysteresis::new(Box::new(WeightedFair), 0.05);
+/// let mut awards = Vec::new();
+/// let mut requests = [
+///     AppRequest { active: true, weight: 1.0, urgency: 1.0, max_power_watts: 100.0 },
+///     AppRequest { active: true, weight: 1.0, urgency: 1.0, max_power_watts: 100.0 },
+/// ];
+/// policy.arbitrate(60.0, &requests, &mut awards);
+/// assert_eq!(awards, vec![30.0, 30.0]);
+///
+/// // A sub-dead-band wiggle (weight 1.0 -> 1.05 proposes ~0.7 W of
+/// // movement, under 5% of 60 W): the held vector is re-issued.
+/// requests[0].weight = 1.05;
+/// policy.arbitrate(60.0, &requests, &mut awards);
+/// assert_eq!(awards, vec![30.0, 30.0]);
+///
+/// // A real shift (weight 3.0) clears the band and is adopted.
+/// requests[0].weight = 3.0;
+/// policy.arbitrate(60.0, &requests, &mut awards);
+/// assert_eq!(awards, vec![45.0, 15.0]);
+/// ```
+pub struct AwardHysteresis {
+    inner: Box<dyn ArbitrationPolicy>,
+    dead_band_fraction: f64,
+    max_step_fraction: f64,
+    held_awards: Vec<f64>,
+    held_active: Vec<bool>,
+    proposal: Vec<f64>,
+}
+
+impl AwardHysteresis {
+    /// Wraps `inner`, holding its previous award vector until a fresh
+    /// proposal moves some award by more than `dead_band_fraction` of the
+    /// budget (clamped into `[0, 1]`; 0 disables the hold entirely).
+    pub fn new(inner: Box<dyn ArbitrationPolicy>, dead_band_fraction: f64) -> Self {
+        AwardHysteresis {
+            inner,
+            dead_band_fraction: if dead_band_fraction.is_finite() {
+                dead_band_fraction.clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            max_step_fraction: 0.0,
+            held_awards: Vec::new(),
+            held_active: Vec::new(),
+            proposal: Vec::new(),
+        }
+    }
+
+    /// Enables the slew limit: a released proposal is approached
+    /// proportionally, with no single award moving more than
+    /// `max_step_fraction` of the budget per quantum (clamped into
+    /// `[0, 1]`; 0 restores whole-vector adoption). Structural changes —
+    /// fleet shape, active set, a ceiling the held vector now violates —
+    /// still adopt the fresh proposal outright.
+    pub fn with_max_step_fraction(mut self, max_step_fraction: f64) -> Self {
+        self.max_step_fraction = if max_step_fraction.is_finite() {
+            max_step_fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// The configured dead band, as a fraction of the budget.
+    pub fn dead_band_fraction(&self) -> f64 {
+        self.dead_band_fraction
+    }
+
+    /// The configured slew limit, as a fraction of the budget (0 when
+    /// disabled).
+    pub fn max_step_fraction(&self) -> f64 {
+        self.max_step_fraction
+    }
+
+    /// True when the held vector is still *structurally* valid: same fleet
+    /// shape and active set, finite budget, and under every absorption
+    /// ceiling. Affordability is judged separately — a hold needs the held
+    /// spend to fit the budget outright, while the slew path can scale the
+    /// vector down to fit.
+    fn structurally_reusable(&self, budget: f64, requests: &[AppRequest], proposal: &[f64]) -> bool {
+        self.held_awards.len() == proposal.len()
+            && budget.is_finite()
+            && !self
+                .held_active
+                .iter()
+                .zip(requests)
+                .any(|(&held, request)| held != request.active)
+            && self
+                .held_awards
+                .iter()
+                .zip(requests)
+                .all(|(&held, request)| held <= request.max_power_watts.max(0.0) + 1e-9)
+    }
+
+    /// True when the held vector can stand in for `proposal` this quantum:
+    /// same fleet shape and active set, still affordable under `budget`,
+    /// under every ceiling, and within the dead band of the proposal.
+    fn can_hold(&self, budget: f64, requests: &[AppRequest], proposal: &[f64]) -> bool {
+        if !self.structurally_reusable(budget, requests, proposal) {
+            return false;
+        }
+        if self.held_awards.iter().sum::<f64>() > budget * (1.0 + 1e-9) {
+            return false;
+        }
+        let band = self.dead_band_fraction * budget;
+        self.held_awards
+            .iter()
+            .zip(proposal)
+            .all(|(&held, &fresh)| (fresh - held).abs() <= band)
+    }
+}
+
+impl std::fmt::Debug for AwardHysteresis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AwardHysteresis")
+            .field("inner", &self.inner.name())
+            .field("dead_band_fraction", &self.dead_band_fraction)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArbitrationPolicy for AwardHysteresis {
+    fn name(&self) -> &'static str {
+        "award-hysteresis"
+    }
+
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+        self.inner.arbitrate(budget_watts, requests, &mut self.proposal);
+        let hold = self.dead_band_fraction > 0.0
+            && self.can_hold(budget_watts, requests, &self.proposal);
+        if !hold {
+            if self.max_step_fraction > 0.0
+                && self.structurally_reusable(budget_watts, requests, &self.proposal)
+            {
+                // Slew toward the released proposal: scale the held vector
+                // down if a budget cut made it unaffordable, then move the
+                // whole vector proportionally so no award steps more than
+                // the slew limit. Every emitted award lies between its held
+                // and proposed values, so conservation and ceilings carry
+                // over from the two endpoint vectors.
+                let held_sum: f64 = self.held_awards.iter().sum();
+                if held_sum > budget_watts {
+                    let scale = budget_watts.max(0.0) / held_sum;
+                    for held in &mut self.held_awards {
+                        *held *= scale;
+                    }
+                }
+                let widest = self
+                    .held_awards
+                    .iter()
+                    .zip(&self.proposal)
+                    .map(|(&held, &fresh)| (fresh - held).abs())
+                    .fold(0.0, f64::max);
+                let step = self.max_step_fraction * budget_watts;
+                let advance = if widest > step { step / widest } else { 1.0 };
+                for (held, &fresh) in self.held_awards.iter_mut().zip(&self.proposal) {
+                    *held += advance * (fresh - *held);
+                }
+            } else {
+                self.held_awards.clear();
+                self.held_awards.extend_from_slice(&self.proposal);
+                self.held_active.clear();
+                self.held_active.extend(requests.iter().map(|r| r.active));
+            }
+        }
+        awards.clear();
+        awards.extend_from_slice(&self.held_awards);
+    }
+}
+
+/// Starvation-floor wrapper: reserves an opt-in minimum envelope share for
+/// every present application before the inner policy divides the rest.
+///
+/// Urgency- and weight-driven policies can starve a low-priority app
+/// outright when heavy apps can absorb the whole budget. The wrapper
+/// guarantees each active app at least
+/// `floor_share × budget / active_count` (clamped to the app's own
+/// absorption ceiling, so an app that cannot use its floor seat returns the
+/// surplus), then lets the inner policy arbitrate the remaining budget on
+/// top. Awards are `floor + inner award`, so the wrapper conserves the
+/// budget whenever the inner policy does.
+///
+/// ```
+/// use coordinator::{AppRequest, ArbitrationPolicy, StarvationFloor, WeightedFair};
+///
+/// // Weight 99 vs 1: bare WeightedFair awards the light app 1 W of 100.
+/// let requests = [
+///     AppRequest { active: true, weight: 99.0, urgency: 1.0, max_power_watts: 1000.0 },
+///     AppRequest { active: true, weight: 1.0, urgency: 1.0, max_power_watts: 1000.0 },
+/// ];
+/// let mut awards = Vec::new();
+/// // A 20% floor reserves 10 W per app; the inner policy splits the rest.
+/// let mut policy = StarvationFloor::new(Box::new(WeightedFair), 0.2);
+/// policy.arbitrate(100.0, &requests, &mut awards);
+/// assert!(awards[1] >= 10.0);
+/// assert!(awards.iter().sum::<f64>() <= 100.0 + 1e-9);
+/// ```
+pub struct StarvationFloor {
+    inner: Box<dyn ArbitrationPolicy>,
+    floor_share: f64,
+    floors: Vec<f64>,
+    adjusted: Vec<AppRequest>,
+    inner_awards: Vec<f64>,
+}
+
+impl StarvationFloor {
+    /// Wraps `inner`, reserving `floor_share` of the budget (clamped into
+    /// `[0, 1]`; 0 disables the floor) as equal minimum seats for active
+    /// apps.
+    pub fn new(inner: Box<dyn ArbitrationPolicy>, floor_share: f64) -> Self {
+        StarvationFloor {
+            inner,
+            floor_share: if floor_share.is_finite() {
+                floor_share.clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            floors: Vec::new(),
+            adjusted: Vec::new(),
+            inner_awards: Vec::new(),
+        }
+    }
+
+    /// The fraction of the budget reserved for minimum seats.
+    pub fn floor_share(&self) -> f64 {
+        self.floor_share
+    }
+}
+
+impl std::fmt::Debug for StarvationFloor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StarvationFloor")
+            .field("inner", &self.inner.name())
+            .field("floor_share", &self.floor_share)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArbitrationPolicy for StarvationFloor {
+    fn name(&self) -> &'static str {
+        "starvation-floor"
+    }
+
+    fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+        let active = requests.iter().filter(|r| r.active).count();
+        if active == 0
+            || self.floor_share <= 0.0
+            || !budget_watts.is_finite()
+            || budget_watts.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        {
+            // Nothing to reserve: degenerate cases fall through unchanged.
+            self.inner.arbitrate(budget_watts, requests, awards);
+            return;
+        }
+        let seat = self.floor_share * budget_watts / active as f64;
+        self.floors.clear();
+        self.floors.extend(requests.iter().map(|request| {
+            if request.active {
+                seat.min(request.max_power_watts.max(0.0))
+            } else {
+                0.0
+            }
+        }));
+        let reserved: f64 = self.floors.iter().sum();
+        // The inner pass sees each ceiling reduced by the seat already
+        // granted, so `floor + inner` never exceeds what an app can absorb.
+        self.adjusted.clear();
+        self.adjusted
+            .extend(requests.iter().zip(&self.floors).map(|(request, &floor)| {
+                AppRequest {
+                    max_power_watts: (request.max_power_watts - floor).max(0.0),
+                    ..*request
+                }
+            }));
+        self.inner.arbitrate(
+            (budget_watts - reserved).max(0.0),
+            &self.adjusted,
+            &mut self.inner_awards,
+        );
+        awards.clear();
+        awards.extend(
+            self.floors
+                .iter()
+                .zip(&self.inner_awards)
+                .map(|(&floor, &inner)| floor + inner),
+        );
+    }
+}
+
 /// Water-filling proportional division: split `budget_watts` among active
 /// requests proportionally to `key`, clamping each award at the request's
 /// `max_power_watts` and re-dividing the freed surplus among the unclamped
@@ -410,6 +732,171 @@ mod tests {
             );
             assert_eq!(awards[1], 40.0, "{}", policy.name());
             assert_eq!(awards[2], 0.0, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_small_wiggles_and_releases_on_fleet_changes() {
+        let mut policy = AwardHysteresis::new(Box::new(PerformanceMarket::default()), 0.05);
+        assert_eq!(policy.name(), "award-hysteresis");
+        let mut awards = Vec::new();
+        let mut requests = vec![request(1.0, 1.0, 1000.0), request(1.0, 1.0, 1000.0)];
+        policy.arbitrate(80.0, &requests, &mut awards);
+        assert_eq!(awards, vec![40.0, 40.0]);
+
+        // An urgency limit-cycle inside the band is flattened out.
+        for step in 0..6 {
+            requests[step % 2].urgency = 1.05;
+            requests[(step + 1) % 2].urgency = 1.0;
+            policy.arbitrate(80.0, &requests, &mut awards);
+            assert_eq!(awards, vec![40.0, 40.0], "held through wiggle {step}");
+        }
+
+        // An app departing invalidates the held vector immediately.
+        requests[1].active = false;
+        policy.arbitrate(80.0, &requests, &mut awards);
+        assert_eq!(awards[1], 0.0);
+        assert!(awards[0] > 40.0);
+
+        // A budget step below the held spend also forces re-adoption.
+        requests[1].active = true;
+        policy.arbitrate(80.0, &requests, &mut awards);
+        let before: f64 = total(&awards);
+        policy.arbitrate(30.0, &requests, &mut awards);
+        assert!(total(&awards) <= 30.0 + 1e-9, "was {before}, now {awards:?}");
+    }
+
+    #[test]
+    fn slew_limit_damps_a_large_limit_cycle_into_the_band() {
+        // A scripted inner policy that swings one app's award by half the
+        // budget every quantum — the large-amplitude cycle a dead band
+        // alone cannot hold.
+        struct Swing(usize);
+        impl ArbitrationPolicy for Swing {
+            fn name(&self) -> &'static str {
+                "swing"
+            }
+            fn arbitrate(&mut self, budget: f64, _: &[AppRequest], awards: &mut Vec<f64>) {
+                let hi = 0.75 * budget;
+                let lo = 0.25 * budget;
+                awards.clear();
+                if self.0.is_multiple_of(2) {
+                    awards.extend([hi, lo]);
+                } else {
+                    awards.extend([lo, hi]);
+                }
+                self.0 += 1;
+            }
+        }
+        let requests = vec![request(1.0, 1.0, 1000.0), request(1.0, 1.0, 1000.0)];
+
+        // Without the slew limit every swing is adopted whole.
+        let mut bare = AwardHysteresis::new(Box::new(Swing(0)), 0.02);
+        let mut awards = Vec::new();
+        bare.arbitrate(100.0, &requests, &mut awards);
+        let first = awards.clone();
+        bare.arbitrate(100.0, &requests, &mut awards);
+        assert!((awards[0] - first[0]).abs() > 2.0, "swing passes the band");
+
+        // With it, no award ever moves more than the step per quantum and
+        // the total stays conserved: the 50 W cycle decays into sub-band
+        // dither an oscillation oracle reads as no material move at all.
+        let mut damped =
+            AwardHysteresis::new(Box::new(Swing(0)), 0.02).with_max_step_fraction(0.02);
+        assert_eq!(damped.max_step_fraction(), 0.02);
+        let mut previous: Option<Vec<f64>> = None;
+        for quantum in 0..50 {
+            damped.arbitrate(100.0, &requests, &mut awards);
+            assert!(total(&awards) <= 100.0 + 1e-9);
+            if let Some(previous) = previous {
+                let widest = awards
+                    .iter()
+                    .zip(&previous)
+                    .map(|(&a, &b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                assert!(widest <= 2.0 + 1e-9, "quantum {quantum} stepped {widest}");
+            }
+            previous = Some(awards.clone());
+        }
+
+        // A fleet change still releases the vector outright.
+        let mut changed = requests.clone();
+        changed[1].active = false;
+        damped.arbitrate(100.0, &changed, &mut awards);
+        assert_eq!(awards.len(), 2);
+    }
+
+    #[test]
+    fn hysteresis_with_zero_band_is_the_inner_policy() {
+        let mut wrapped = AwardHysteresis::new(Box::new(WeightedFair), 0.0);
+        let mut bare = WeightedFair;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for urgency in [1.0, 4.0, 0.5, 2.0] {
+            let requests = [request(1.0, urgency, 1000.0), request(2.0, 1.0, 50.0)];
+            wrapped.arbitrate(90.0, &requests, &mut a);
+            bare.arbitrate(90.0, &requests, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn starvation_floor_feeds_the_lightest_app() {
+        let requests = [
+            request(99.0, 8.0, 1000.0),
+            request(1.0, 0.25, 1000.0),
+            AppRequest {
+                active: false,
+                ..request(1.0, 1.0, 1000.0)
+            },
+        ];
+        let mut bare = PerformanceMarket::default();
+        let mut awards = Vec::new();
+        bare.arbitrate(100.0, &requests, &mut awards);
+        let starved = awards[1];
+
+        let mut floored =
+            StarvationFloor::new(Box::new(PerformanceMarket::default()), 0.2);
+        assert_eq!(floored.name(), "starvation-floor");
+        floored.arbitrate(100.0, &requests, &mut awards);
+        assert!(awards[1] >= 10.0, "floor seat guaranteed, got {}", awards[1]);
+        assert!(awards[1] > starved);
+        assert_eq!(awards[2], 0.0, "absent apps get no seat");
+        assert!(total(&awards) <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn starvation_floor_returns_unusable_seats_to_the_pool() {
+        // App 0 can only absorb 2 W; its 10 W seat is clamped and the
+        // freed 8 W stays arbitrable by the inner policy.
+        let requests = [request(1.0, 1.0, 2.0), request(1.0, 1.0, 1000.0)];
+        let mut policy = StarvationFloor::new(Box::new(WeightedFair), 0.2);
+        let mut awards = Vec::new();
+        policy.arbitrate(100.0, &requests, &mut awards);
+        assert!(awards[0] <= 2.0 + 1e-9, "never above the ceiling: {awards:?}");
+        assert!(total(&awards) > 95.0, "freed seat reused: {awards:?}");
+        assert!(total(&awards) <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn wrappers_preserve_degenerate_budget_handling() {
+        let mut policies: Vec<Box<dyn ArbitrationPolicy>> = vec![
+            Box::new(AwardHysteresis::new(Box::new(WeightedFair), 0.05)),
+            Box::new(StarvationFloor::new(Box::new(WeightedFair), 0.25)),
+        ];
+        let requests = [request(1.0, 1.0, f64::INFINITY), request(2.0, 1.0, 40.0)];
+        let mut awards = Vec::new();
+        for policy in &mut policies {
+            policy.arbitrate(f64::INFINITY, &requests, &mut awards);
+            assert!(
+                awards.iter().all(|a| a.is_finite() && *a >= 0.0),
+                "{}: {awards:?}",
+                policy.name()
+            );
+            policy.arbitrate(0.0, &requests, &mut awards);
+            assert_eq!(awards, vec![0.0, 0.0], "{}", policy.name());
+            policy.arbitrate(f64::NAN, &requests, &mut awards);
+            assert_eq!(awards, vec![0.0, 0.0], "{}", policy.name());
         }
     }
 

@@ -9,9 +9,14 @@
 //! extended mixes through the two-level (rack → datacenter) coordination
 //! stack — uncoordinated vs. one flat coordinator vs.
 //! `DatacenterArbiter` over per-rack `RackCoordinator`s — and write
-//! `fig5_hierarchy.json`. The default output is unchanged either way.
+//! `fig5_hierarchy.json`. Pass `--chaos` to run the fault-injected chaos
+//! mixes through all five robustness regimes (uncoordinated, naive and
+//! degraded coordination, each behind audit-only or clamping rack
+//! enforcement) and write `fig5_chaos.json`; `--enforce` writes the
+//! breaker-focused projection of the same runs to `fig5_enforce.json`.
+//! The default output is unchanged either way.
 
-use experiments::{Figure5, Figure5Hierarchy};
+use experiments::{Figure5, Figure5Hierarchy, FigureChaos, FigureEnforce};
 use serde::Serialize;
 
 fn write_figure<T: Serialize>(figure: &T, path: &str) {
@@ -31,6 +36,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let extended = args.iter().any(|arg| arg == "--extended");
     let hierarchy = args.iter().any(|arg| arg == "--hierarchy");
+    let chaos = args.iter().any(|arg| arg == "--chaos");
+    let enforce = args.iter().any(|arg| arg == "--enforce");
 
     let figure = Figure5::compute();
     println!(
@@ -56,5 +63,24 @@ fn main() {
         );
         println!("{}", figure.to_table());
         write_figure(&figure, "fig5_hierarchy.json");
+    }
+
+    if chaos || enforce {
+        let figure = FigureChaos::compute();
+        if chaos {
+            println!(
+                "\nChaos — fault-injected mixes under degradation and rack enforcement\n"
+            );
+            println!("{}", figure.to_table());
+            write_figure(&figure, "fig5_chaos.json");
+        }
+        if enforce {
+            let projection = FigureEnforce::from_chaos(&figure);
+            println!(
+                "\nEnforcement — what the rack breaker closes, and what it costs\n"
+            );
+            println!("{}", projection.to_table());
+            write_figure(&projection, "fig5_enforce.json");
+        }
     }
 }

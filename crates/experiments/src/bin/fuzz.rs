@@ -13,7 +13,10 @@
 //!
 //! Writes `fuzz_corpus.json` (the coverage corpus) and `fuzz_report.json`
 //! (executions, per-strategy stats, shrunk incidents) to the working
-//! directory; override with `--corpus PATH` / `--report PATH`.
+//! directory; override with `--corpus PATH` / `--report PATH`. When the
+//! corpus file already exists it is reloaded first and its scenarios join
+//! the seed pool, so successive runs (and the CI corpus cache) accumulate
+//! coverage instead of rediscovering it.
 
 use scenario_fuzz::{fuzz, FuzzConfig};
 
@@ -42,6 +45,23 @@ fn main() {
     };
     let mut seeds = workloads::scenario_mixes(seed);
     seeds.extend(workloads::vocabulary_mixes(seed));
+
+    // Re-seed from a previous run's corpus when the file already exists
+    // (the CI corpus cache hands successive runs their accumulated
+    // coverage). Still deterministic: same seed + same corpus file, same
+    // output.
+    if let Ok(text) = std::fs::read_to_string(&corpus_path) {
+        match scenario_fuzz::Corpus::from_json(&text) {
+            Ok(previous) => {
+                println!(
+                    "reloaded {} corpus entries from {corpus_path}",
+                    previous.entries.len()
+                );
+                seeds.extend(previous.entries.into_iter().map(|entry| entry.scenario));
+            }
+            Err(err) => eprintln!("ignoring unreadable corpus {corpus_path}: {err}"),
+        }
+    }
 
     println!(
         "scenario fuzz: seed {seed}, {iterations} iterations, {} seed scenarios",

@@ -1,0 +1,866 @@
+//! The chaos experiment (`fig5 --chaos` / `--enforce`): fault-injected
+//! mixes under graceful degradation and hard rack enforcement.
+//!
+//! [`workloads::chaos_mixes`] schedules every [`workloads::FaultKind`]
+//! against otherwise-honest fleets; this module runs those scenarios
+//! through five regimes and reports what each fault costs and what each
+//! defence buys:
+//!
+//! * **uncoordinated** — every app its own uncoordinated adaptation;
+//!   nobody even notices the faults.
+//! * **coordinated-naive/audit** — the rack → datacenter hierarchy with
+//!   every robustness knob off: the pre-degradation coordinator, which
+//!   keeps paying awards to stalled, crashed, and lying applications.
+//! * **coordinated-naive/clamp** — same naive coordination, but each
+//!   rack's breaker ([`EnforcementMode::Clamp`]) physically throttles the
+//!   rack to its awarded envelope.
+//! * **coordinated-degraded/audit** — the watchdog ladder
+//!   ([`Coordinator::with_watchdog`]) plus admission control: faulty apps
+//!   are quarantined onto the floor envelope and readmitted when they
+//!   recover; overdraw is still only audited.
+//! * **coordinated-degraded/clamp** — degradation *and* the breaker: the
+//!   watchdog handles what telemetry reveals (stalls, crashes, non-finite
+//!   or inflated reports), the breaker contains what it cannot —
+//!   an app that *under*-reports its draw looks healthy to every
+//!   telemetry rule and is only stopped at the rail.
+//!
+//! Metrics are physical: the datacenter meter and per-app attainment see
+//! the watts actually drawn and the work actually done ([the admitted
+//! values under Clamp — a throttled app really is denied the energy](
+//! coordinator::RackCoordinator::admit)), while coordinators see only
+//! what each app reports. Per app the figure records the watchdog's
+//! verdict (health state, quarantine and readmission quanta); per arm it
+//! aggregates cap-violation rates, worst rack overdraw, quarantine
+//! latency, false quarantines, clamp activity, and the goal attainment of
+//! the *healthy* population — the fairness cost any defence must be
+//! judged by.
+
+use coordinator::{
+    AppHandle, Coordinator, DatacenterArbiter, EnforcementMode, HealthState, PerformanceMarket,
+    RackCoordinator, WatchdogConfig,
+};
+use seec::UncoordinatedRuntime;
+use serde::{Deserialize, Serialize};
+use workloads::{chaos_mixes, FaultKind, HeartbeatedWorkload, Scenario};
+use xeon_sim::{MachineMeter, XeonServer};
+
+use crate::driver::{run_cells, to_server_demand};
+use crate::faults::FaultRuntime;
+use crate::fig3::{map_configuration, xeon_actuators};
+use crate::fig5::{
+    build_apps, datacenter_budget_watts, heartbeated, managed_for, tuned, AppSim, QUANTUM_SECONDS,
+};
+
+/// One application's fate in one chaos cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosAppOutcome {
+    /// Index into the scenario's app list.
+    pub index: usize,
+    /// Whether the scenario's fault plan targets this app at all.
+    pub faulty: bool,
+    /// Whether at least one of its faults is visible to the watchdog's
+    /// telemetry rules (stalls, crashes, non-finite telemetry, power
+    /// *over*-reports beyond the overdraw tolerance). Under-reports and
+    /// frozen-but-plausible telemetry are not: they are the breaker's
+    /// problem, not the watchdog's.
+    pub detectable: bool,
+    /// Final position on the degradation ladder (`"unmanaged"` in the
+    /// uncoordinated arm, `"healthy"` forever when the watchdog is off).
+    pub health: String,
+    /// Coordinator quantum at which the app was first quarantined.
+    pub quarantined_at: Option<usize>,
+    /// Quanta from the app's first fault onset to quarantine.
+    pub time_to_quarantine: Option<usize>,
+    /// Coordinator quantum of the most recent readmission.
+    pub readmitted_at: Option<usize>,
+    /// `min(rate/target, 1)` over the app's residency (physical work).
+    pub attainment: f64,
+}
+
+/// One regime's outcome on one chaos scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosArmOutcome {
+    /// Regime name.
+    pub name: String,
+    /// Fraction of simulated time the datacenter's physical draw exceeded
+    /// the budget.
+    pub cap_violation_rate: f64,
+    /// Worst per-rack fraction of time spent above the rack's awarded
+    /// envelope (0.0 for the uncoordinated arm, which has no racks).
+    pub max_rack_violation_rate: f64,
+    /// Mean datacenter power above idle, in watts.
+    pub mean_power_watts: f64,
+    /// Goal-weighted throughput per watt (as in Figure 5).
+    pub performance_per_watt: f64,
+    /// Mean attainment over every app, faulty ones included.
+    pub goal_attainment: f64,
+    /// Mean attainment over the apps the fault plan leaves alone — the
+    /// number a defence is not allowed to ruin.
+    pub healthy_attainment: f64,
+    /// Apps targeted by the fault plan.
+    pub faulty_apps: usize,
+    /// Apps the watchdog quarantined at least once.
+    pub quarantined_apps: usize,
+    /// Quarantined apps the fault plan does *not* target (watchdog
+    /// false positives).
+    pub false_quarantines: usize,
+    /// Worst quanta-to-quarantine over detectably-faulty apps that were
+    /// quarantined.
+    pub max_time_to_quarantine: Option<usize>,
+    /// Total breaker activations across racks ([`RackCoordinator::clamp_events`]).
+    pub clamp_events: u64,
+    /// Total energy the breakers refused, in joules.
+    pub shed_joules: f64,
+    /// Per-app verdicts.
+    pub apps: Vec<ChaosAppOutcome>,
+}
+
+/// One chaos scenario across every regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosScenarioResult {
+    /// Scenario name (see [`workloads::chaos_mixes`]).
+    pub name: String,
+    /// Number of applications in the mix.
+    pub apps: usize,
+    /// Number of racks.
+    pub racks: usize,
+    /// Quanta simulated.
+    pub quanta: usize,
+    /// The shared datacenter power budget (above idle), in watts.
+    pub budget_watts: f64,
+    /// No coordination at all.
+    pub uncoordinated: ChaosArmOutcome,
+    /// Hierarchy with every robustness knob off.
+    pub naive_audit: ChaosArmOutcome,
+    /// Naive coordination behind the rack breaker.
+    pub naive_clamp: ChaosArmOutcome,
+    /// Watchdog + admission control, overdraw audited only.
+    pub degraded_audit: ChaosArmOutcome,
+    /// Watchdog + admission control + rack breaker.
+    pub degraded_clamp: ChaosArmOutcome,
+}
+
+/// The `fig5 --chaos` data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureChaos {
+    /// One entry per chaos mix.
+    pub scenarios: Vec<ChaosScenarioResult>,
+}
+
+/// One scenario's enforcement summary: what the breaker changes, and what
+/// it costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnforceScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Worst rack overdraw with naive coordination and the breaker off —
+    /// the defect the breaker exists to close.
+    pub audit_overdraw_rate: f64,
+    /// Worst rack overdraw with naive coordination behind the breaker
+    /// (structurally 0: the meter records admitted power).
+    pub clamp_overdraw_rate: f64,
+    /// Worst rack overdraw with degradation on and the breaker off.
+    pub degraded_audit_overdraw_rate: f64,
+    /// Worst rack overdraw with degradation *and* the breaker.
+    pub degraded_clamp_overdraw_rate: f64,
+    /// Healthy-population attainment lost by turning the breaker on under
+    /// naive coordination (audit minus clamp; positive = the breaker taxed
+    /// innocent apps).
+    pub clamp_fairness_cost: f64,
+    /// Perf/W lost by turning the breaker on under naive coordination.
+    pub clamp_perf_cost: f64,
+    /// Breaker activations in the naive/clamp arm.
+    pub clamp_events: u64,
+    /// Energy the naive/clamp arm's breakers refused, in joules.
+    pub shed_joules: f64,
+}
+
+/// The `fig5 --enforce` data set, derived from [`FigureChaos`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureEnforce {
+    /// One entry per chaos mix.
+    pub scenarios: Vec<EnforceScenarioResult>,
+}
+
+/// Which regime a chaos cell runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ChaosArm {
+    Uncoordinated,
+    Coordinated {
+        degradation: bool,
+        enforcement: EnforcementMode,
+    },
+}
+
+impl ChaosArm {
+    pub(crate) const ALL: [ChaosArm; 5] = [
+        ChaosArm::Uncoordinated,
+        ChaosArm::Coordinated {
+            degradation: false,
+            enforcement: EnforcementMode::Audit,
+        },
+        ChaosArm::Coordinated {
+            degradation: false,
+            enforcement: EnforcementMode::Clamp,
+        },
+        ChaosArm::Coordinated {
+            degradation: true,
+            enforcement: EnforcementMode::Audit,
+        },
+        ChaosArm::Coordinated {
+            degradation: true,
+            enforcement: EnforcementMode::Clamp,
+        },
+    ];
+
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            ChaosArm::Uncoordinated => "uncoordinated",
+            ChaosArm::Coordinated {
+                degradation: false,
+                enforcement: EnforcementMode::Audit,
+            } => "coordinated-naive/audit",
+            ChaosArm::Coordinated {
+                degradation: false,
+                enforcement: EnforcementMode::Clamp,
+            } => "coordinated-naive/clamp",
+            ChaosArm::Coordinated {
+                degradation: true,
+                enforcement: EnforcementMode::Audit,
+            } => "coordinated-degraded/audit",
+            ChaosArm::Coordinated {
+                degradation: true,
+                enforcement: EnforcementMode::Clamp,
+            } => "coordinated-degraded/clamp",
+        }
+    }
+}
+
+/// The watchdog thresholds a chaos cell runs: the defaults, with the
+/// quarantine floor raised to the fleet's most expensive cheapest
+/// configuration so an honest quarantined app (whose floor-capped decide
+/// lands it in its cheapest configuration) can always requalify under the
+/// overdraw rule, and the overdraw tolerance opened to 1.75x. The tolerance
+/// has to clear the fleet's *steady-state* calibration error — on this
+/// platform an honest app squeezed under a tight rack budget can draw
+/// ~1.5x its award for as long as the squeeze lasts (the model believes
+/// the cheap config it was put in, the rail disagrees) — while staying
+/// under the 3x a deliberate misreporter shows at fault onset (the
+/// market re-converges toward a self-consistent lie within a few quanta,
+/// so the threshold must catch the transient before award inflation
+/// closes the gap).
+pub(crate) fn chaos_watchdog(apps: &[AppSim]) -> WatchdogConfig {
+    let default = WatchdogConfig::default();
+    WatchdogConfig {
+        quarantine_floor_watts: apps
+            .iter()
+            .map(|sim| sim.launch_power_watts)
+            .fold(default.quarantine_floor_watts, f64::max),
+        overdraw_tolerance: 0.75,
+        ..default
+    }
+}
+
+/// Whether `kind` is visible to the watchdog's telemetry rules under
+/// `config` (see [`ChaosAppOutcome::detectable`]).
+fn watchdog_visible(kind: FaultKind, config: &WatchdogConfig) -> bool {
+    match kind {
+        FaultKind::StallHeartbeats | FaultKind::Crash | FaultKind::NonFiniteTelemetry => true,
+        FaultKind::MisreportPower { factor } => factor > 1.0 + config.overdraw_tolerance,
+        FaultKind::FreezeTelemetry => false,
+    }
+}
+
+fn health_label(state: HealthState) -> &'static str {
+    match state {
+        HealthState::Healthy => "healthy",
+        HealthState::Suspect => "suspect",
+        HealthState::Quarantined => "quarantined",
+        HealthState::Readmitted => "readmitted",
+    }
+}
+
+/// The per-app decision state of one chaos regime.
+enum ChaosControl {
+    Uncoordinated(Box<UncoordinatedRuntime>, HeartbeatedWorkload),
+    /// Handle within the app's rack coordinator.
+    Managed(Option<AppHandle>),
+}
+
+/// Runs one (scenario, regime) chaos cell.
+///
+/// Every coordinated regime uses the rack → datacenter hierarchy (a
+/// single-rack scenario is simply a one-rack datacenter), so the same
+/// runner measures machine-level storms and rack-level rogues. Physical
+/// accounting follows [`crate::fig5::run_hierarchy_cell`]: racks admit
+/// the rail draw first ([`RackCoordinator::admit`] — the enforcement
+/// point), the datacenter meter and attainment accumulate the admitted
+/// truth, and coordinators receive only what the fault plan lets each app
+/// claim.
+pub(crate) fn run_chaos_cell(
+    server: &XeonServer,
+    scenario: &Scenario,
+    arm: ChaosArm,
+    seed: u64,
+) -> ChaosArmOutcome {
+    let mut apps = build_apps(server, scenario);
+    let racks = scenario.rack_count();
+    let budget_range = (server.max_power_watts() - server.idle_power_watts()) * racks as f64;
+    let budget = datacenter_budget_watts(server, scenario);
+    let mut meter = MachineMeter::new(budget);
+    let mut faults = FaultRuntime::for_plan(&scenario.fault_plan, apps.len());
+    let watchdog = chaos_watchdog(&apps);
+
+    let mut datacenter_state: Option<DatacenterArbiter> = match arm {
+        ChaosArm::Uncoordinated => None,
+        ChaosArm::Coordinated {
+            degradation,
+            enforcement,
+        } => {
+            let mut datacenter =
+                DatacenterArbiter::new(budget, Box::new(PerformanceMarket::default()));
+            for rack in 0..racks {
+                let mut coordinator =
+                    Coordinator::new(budget, Box::new(PerformanceMarket::default()))
+                        .with_pool(std::sync::Arc::clone(exec::global_pool_arc()));
+                if degradation {
+                    coordinator = coordinator
+                        .with_watchdog(watchdog)
+                        .with_admission_control(true);
+                }
+                datacenter.add_rack(
+                    RackCoordinator::new(format!("rack-{rack}"), coordinator)
+                        .with_enforcement(enforcement),
+                );
+            }
+            Some(datacenter)
+        }
+    };
+
+    let mut controllers: Vec<ChaosControl> = apps
+        .iter()
+        .enumerate()
+        .map(|(index, sim)| match arm {
+            ChaosArm::Uncoordinated => {
+                let driver = heartbeated(sim);
+                let runtime = UncoordinatedRuntime::new_with(
+                    &driver.monitor(),
+                    xeon_actuators(server),
+                    seed.wrapping_add(index as u64),
+                    tuned,
+                )
+                .expect("actuators registered");
+                ChaosControl::Uncoordinated(Box::new(runtime), driver)
+            }
+            ChaosArm::Coordinated { .. } => ChaosControl::Managed(None),
+        })
+        .collect();
+
+    let mut now = 0.0;
+    let mut per_app_power = vec![0.0f64; apps.len()];
+    let mut rates = vec![0.0f64; apps.len()];
+    let mut rack_core_duty = vec![0.0f64; racks];
+    for quantum in 0..scenario.quanta {
+        let start = now;
+        now += QUANTUM_SECONDS;
+
+        // ---- Lifecycle: budget steps bind the meter; arrivals register
+        // with their rack, departures retire.
+        let cap = scenario.budget_fraction_at(quantum) * budget_range;
+        if cap != meter.cap_watts() {
+            meter.set_cap(cap);
+        }
+        if let Some(datacenter) = datacenter_state.as_mut() {
+            for (index, sim) in apps.iter().enumerate() {
+                let never_active = sim.spec.departure.is_some_and(|d| d <= sim.spec.arrival);
+                if sim.spec.arrival == quantum && !never_active {
+                    let managed = managed_for(server, sim, seed, index);
+                    controllers[index] = ChaosControl::Managed(Some(
+                        datacenter.rack_mut(sim.spec.rack).register(managed),
+                    ));
+                }
+                if sim.spec.departure == Some(quantum) {
+                    if let ChaosControl::Managed(Some(handle)) = controllers[index] {
+                        datacenter.rack_mut(sim.spec.rack).retire(handle);
+                    }
+                }
+            }
+
+            // ---- Arbitrate and decide at the start of the quantum (the
+            // hierarchy discipline): envelopes bind before any watt is
+            // drawn, budget steps included.
+            if cap != datacenter.budget_watts() {
+                datacenter.set_budget(cap);
+            }
+            datacenter.step(start).expect("every app declares a goal");
+        }
+
+        // ---- Evaluate every active app under its current configuration.
+        rack_core_duty.fill(0.0);
+        for (index, sim) in apps.iter().enumerate() {
+            per_app_power[index] = 0.0;
+            rates[index] = 0.0;
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
+                continue; // crashed: no cycles, no watts
+            }
+            let configuration = match &controllers[index] {
+                ChaosControl::Uncoordinated(runtime, _) => {
+                    map_configuration(server, &runtime.joint_configuration())
+                }
+                ChaosControl::Managed(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    let datacenter = datacenter_state.as_ref().expect("coordinated arm");
+                    map_configuration(
+                        server,
+                        datacenter
+                            .rack(sim.spec.rack)
+                            .coordinator()
+                            .app(handle)
+                            .runtime()
+                            .current_configuration(),
+                    )
+                }
+            };
+            let report = server.evaluate(&to_server_demand(sim.demand_at(quantum)), &configuration);
+            rates[index] = report.work_units / report.seconds;
+            per_app_power[index] = report.power_above_idle_watts;
+            rack_core_duty[sim.spec.rack] +=
+                configuration.cores as f64 * configuration.active_cycle_fraction;
+        }
+
+        // ---- Time-multiplex each rack's machine independently.
+        let rack_contention: Vec<f64> = rack_core_duty
+            .iter()
+            .map(|&duty| {
+                if duty > server.total_cores() as f64 {
+                    server.total_cores() as f64 / duty
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let mut machine_power = 0.0;
+        for (index, sim) in apps.iter_mut().enumerate() {
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            let contention = rack_contention[sim.spec.rack];
+            let mut work = rates[index] * contention * QUANTUM_SECONDS;
+            let mut power = per_app_power[index] * contention;
+            // The rack admits the rail draw first: under Clamp the breaker
+            // physically gates the app, so the admitted values *are* the
+            // ground truth everything downstream meters.
+            if let ChaosControl::Managed(Some(_)) = &controllers[index] {
+                (work, power) = datacenter_state
+                    .as_mut()
+                    .expect("coordinated arm")
+                    .rack_mut(sim.spec.rack)
+                    .admit(start, now, work, power);
+            }
+            machine_power += power;
+            sim.active_seconds += QUANTUM_SECONDS;
+            sim.work_done += work;
+            // Telemetry: whatever the fault plan lets the app claim about
+            // the (possibly throttled) quantum it just ran.
+            let report = match faults.as_mut() {
+                None => Some((work, power)),
+                Some(f) => f.report(index, quantum, work, power),
+            };
+            let Some((reported_work, reported_power)) = report else {
+                continue; // stalled pipe or dead app: nothing arrives
+            };
+            match &mut controllers[index] {
+                ChaosControl::Uncoordinated(_, driver) => {
+                    driver.advance_metered(start, now, reported_work, reported_power);
+                }
+                ChaosControl::Managed(handle) => {
+                    let handle = handle.expect("active apps have registered");
+                    datacenter_state
+                        .as_mut()
+                        .expect("coordinated arm")
+                        .rack_mut(sim.spec.rack)
+                        .advance_report(handle, start, now, reported_work, reported_power);
+                }
+            }
+        }
+        meter.record(QUANTUM_SECONDS, machine_power);
+
+        // ---- Uncoordinated apps decide at end of quantum.
+        for (index, sim) in apps.iter().enumerate() {
+            if !sim.active_at(quantum) {
+                continue;
+            }
+            if let ChaosControl::Uncoordinated(runtime, _) = &mut controllers[index] {
+                runtime.decide(now).expect("goal declared");
+            }
+        }
+    }
+
+    // ---- Per-app verdicts.
+    let app_outcomes: Vec<ChaosAppOutcome> = apps
+        .iter()
+        .enumerate()
+        .map(|(index, sim)| {
+            let first_fault = scenario
+                .fault_plan
+                .faults
+                .iter()
+                .filter(|fault| fault.app == index)
+                .map(|fault| fault.from)
+                .min();
+            let detectable = scenario
+                .fault_plan
+                .faults
+                .iter()
+                .any(|fault| fault.app == index && watchdog_visible(fault.kind, &watchdog));
+            let (health, quarantined_at, readmitted_at) = match &controllers[index] {
+                ChaosControl::Uncoordinated(..) => ("unmanaged".to_string(), None, None),
+                ChaosControl::Managed(Some(handle)) => {
+                    let datacenter = datacenter_state.as_ref().expect("coordinated arm");
+                    let app = datacenter.rack(sim.spec.rack).coordinator().app(*handle);
+                    (
+                        health_label(app.health_state()).to_string(),
+                        app.quarantined_at(),
+                        app.readmitted_at(),
+                    )
+                }
+                ChaosControl::Managed(None) => ("healthy".to_string(), None, None),
+            };
+            ChaosAppOutcome {
+                index,
+                faulty: scenario.fault_plan.targets_app(index),
+                detectable,
+                health,
+                quarantined_at,
+                time_to_quarantine: quarantined_at
+                    .zip(first_fault)
+                    .map(|(quarantined, from)| quarantined.saturating_sub(from)),
+                readmitted_at,
+                attainment: sim.attainment(),
+            }
+        })
+        .collect();
+
+    // ---- Arm aggregates.
+    let attainments: Vec<f64> = apps.iter().map(AppSim::attainment).collect();
+    let goal_attainment = attainments.iter().sum::<f64>() / attainments.len().max(1) as f64;
+    let healthy: Vec<f64> = app_outcomes
+        .iter()
+        .filter(|app| !app.faulty)
+        .map(|app| app.attainment)
+        .collect();
+    let healthy_attainment = if healthy.is_empty() {
+        goal_attainment
+    } else {
+        healthy.iter().sum::<f64>() / healthy.len() as f64
+    };
+    let mean_power = meter.mean_watts();
+    let performance_per_watt = if mean_power > 0.0 {
+        attainments.iter().sum::<f64>() / mean_power
+    } else {
+        0.0
+    };
+    let (max_rack_violation_rate, clamp_events, shed_joules) = datacenter_state
+        .as_ref()
+        .map_or((0.0, 0, 0.0), |datacenter| {
+            datacenter.racks().iter().fold(
+                (0.0f64, 0u64, 0.0f64),
+                |(violation, events, shed), rack| {
+                    (
+                        violation.max(rack.meter().violation_rate()),
+                        events + rack.clamp_events(),
+                        shed + rack.shed_joules(),
+                    )
+                },
+            )
+        });
+    ChaosArmOutcome {
+        name: arm.name().to_string(),
+        cap_violation_rate: meter.violation_rate(),
+        max_rack_violation_rate,
+        mean_power_watts: mean_power,
+        performance_per_watt,
+        goal_attainment,
+        healthy_attainment,
+        faulty_apps: app_outcomes.iter().filter(|app| app.faulty).count(),
+        quarantined_apps: app_outcomes
+            .iter()
+            .filter(|app| app.quarantined_at.is_some())
+            .count(),
+        false_quarantines: app_outcomes
+            .iter()
+            .filter(|app| app.quarantined_at.is_some() && !app.faulty)
+            .count(),
+        max_time_to_quarantine: app_outcomes
+            .iter()
+            .filter(|app| app.detectable)
+            .filter_map(|app| app.time_to_quarantine)
+            .max(),
+        clamp_events,
+        shed_joules,
+        apps: app_outcomes,
+    }
+}
+
+impl FigureChaos {
+    /// Runs the chaos experiment with the workspace's canonical seed.
+    pub fn compute() -> Self {
+        FigureChaos::compute_with(2012)
+    }
+
+    /// [`Self::compute`] for an explicit seed.
+    pub fn compute_with(seed: u64) -> Self {
+        FigureChaos::compute_scenarios(&chaos_mixes(seed), seed)
+    }
+
+    /// Runs the experiment over explicit scenarios. Every
+    /// (scenario, regime) pair is one worker cell with a seed derived from
+    /// `(seed, scenario, regime)`, so results are identical regardless of
+    /// worker count or interleaving.
+    pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        let server = XeonServer::dell_r410_calibrated();
+        let arms = ChaosArm::ALL;
+        let cells: Vec<ChaosArmOutcome> = run_cells(scenarios.len() * arms.len(), |index| {
+            let scenario = &scenarios[index / arms.len()];
+            let arm = arms[index % arms.len()];
+            let cell_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0xc4a0_5000)
+                .wrapping_add(index as u64);
+            run_chaos_cell(&server, scenario, arm, cell_seed)
+        });
+        let scenarios = scenarios
+            .iter()
+            .zip(cells.chunks(arms.len()))
+            .map(|(scenario, outcomes)| ChaosScenarioResult {
+                name: scenario.name.clone(),
+                apps: scenario.apps.len(),
+                racks: scenario.rack_count(),
+                quanta: scenario.quanta,
+                budget_watts: datacenter_budget_watts(&server, scenario),
+                uncoordinated: outcomes[0].clone(),
+                naive_audit: outcomes[1].clone(),
+                naive_clamp: outcomes[2].clone(),
+                degraded_audit: outcomes[3].clone(),
+                degraded_clamp: outcomes[4].clone(),
+            })
+            .collect();
+        FigureChaos { scenarios }
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "scenario       regime                      viol%  rack%  goal%  hlthy%  quar  falseQ  maxTTQ  clamps   shedJ\n",
+        );
+        for scenario in &self.scenarios {
+            let rows = [
+                &scenario.uncoordinated,
+                &scenario.naive_audit,
+                &scenario.naive_clamp,
+                &scenario.degraded_audit,
+                &scenario.degraded_clamp,
+            ];
+            for (i, arm) in rows.iter().enumerate() {
+                let label = if i == 0 {
+                    format!("{} ({})", scenario.name, scenario.apps)
+                } else {
+                    String::new()
+                };
+                let ttq = arm
+                    .max_time_to_quarantine
+                    .map_or("     -".to_string(), |q| format!("{q:6}"));
+                out.push_str(&format!(
+                    "{label:14} {:26} {:6.1} {:6.1} {:6.1} {:7.1} {:5} {:7} {ttq} {:7} {:7.1}\n",
+                    arm.name,
+                    arm.cap_violation_rate * 100.0,
+                    arm.max_rack_violation_rate * 100.0,
+                    arm.goal_attainment * 100.0,
+                    arm.healthy_attainment * 100.0,
+                    arm.quarantined_apps,
+                    arm.false_quarantines,
+                    arm.clamp_events,
+                    arm.shed_joules,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl FigureEnforce {
+    /// Runs the enforcement comparison with the workspace's canonical
+    /// seed.
+    pub fn compute() -> Self {
+        FigureEnforce::compute_with(2012)
+    }
+
+    /// [`Self::compute`] for an explicit seed.
+    pub fn compute_with(seed: u64) -> Self {
+        FigureEnforce::from_chaos(&FigureChaos::compute_with(seed))
+    }
+
+    /// Derives the enforcement summary from a computed [`FigureChaos`].
+    pub fn from_chaos(chaos: &FigureChaos) -> Self {
+        let scenarios = chaos
+            .scenarios
+            .iter()
+            .map(|scenario| EnforceScenarioResult {
+                name: scenario.name.clone(),
+                audit_overdraw_rate: scenario.naive_audit.max_rack_violation_rate,
+                clamp_overdraw_rate: scenario.naive_clamp.max_rack_violation_rate,
+                degraded_audit_overdraw_rate: scenario.degraded_audit.max_rack_violation_rate,
+                degraded_clamp_overdraw_rate: scenario.degraded_clamp.max_rack_violation_rate,
+                clamp_fairness_cost: scenario.naive_audit.healthy_attainment
+                    - scenario.naive_clamp.healthy_attainment,
+                clamp_perf_cost: scenario.naive_audit.performance_per_watt
+                    - scenario.naive_clamp.performance_per_watt,
+                clamp_events: scenario.naive_clamp.clamp_events,
+                shed_joules: scenario.naive_clamp.shed_joules,
+            })
+            .collect();
+        FigureEnforce { scenarios }
+    }
+
+    /// Renders the summary as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "scenario       audit%  clamp%  degr-audit%  degr-clamp%  fairness-cost  perf-cost  clamps   shedJ\n",
+        );
+        for scenario in &self.scenarios {
+            out.push_str(&format!(
+                "{:14} {:6.1} {:7.1} {:12.1} {:12.1} {:14.4} {:10.4} {:7} {:7.1}\n",
+                scenario.name,
+                scenario.audit_overdraw_rate * 100.0,
+                scenario.clamp_overdraw_rate * 100.0,
+                scenario.degraded_audit_overdraw_rate * 100.0,
+                scenario.degraded_clamp_overdraw_rate * 100.0,
+                scenario.clamp_fairness_cost,
+                scenario.clamp_perf_cost,
+                scenario.clamp_events,
+                scenario.shed_joules,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full chaos mixes at the canonical seed: degradation holds the
+    /// physical datacenter cap, quarantines every watchdog-visible fault
+    /// within the ladder's window, readmits the transient one, and the
+    /// breaker zeroes rack overdraw wherever audit records it.
+    #[test]
+    fn degradation_contains_the_chaos_mixes() {
+        let fig = FigureChaos::compute();
+        assert_eq!(fig.scenarios.len(), 2);
+
+        for scenario in &fig.scenarios {
+            // Robustness knobs must not smuggle violations *in*: with the
+            // breaker on, the rack meters record admitted power and can
+            // never show overdraw.
+            assert_eq!(
+                scenario.naive_clamp.max_rack_violation_rate, 0.0,
+                "{}: the breaker zeroes rack overdraw",
+                scenario.name
+            );
+            assert_eq!(
+                scenario.degraded_clamp.max_rack_violation_rate, 0.0,
+                "{}: degradation + breaker zeroes rack overdraw",
+                scenario.name
+            );
+            // The full degradation stack holds the physical datacenter cap.
+            assert_eq!(
+                scenario.degraded_clamp.cap_violation_rate, 0.0,
+                "{}: degraded+clamp must hold the datacenter cap",
+                scenario.name
+            );
+            // Every watchdog-visible faulty app lands in quarantine within
+            // the ladder's window (worst rule threshold + persistence),
+            // and the watchdog never quarantines a healthy app.
+            let watchdog = WatchdogConfig::default();
+            let window = watchdog.stale_beat_quanta.max(watchdog.overdraw_quanta) + 8;
+            for arm in [&scenario.degraded_audit, &scenario.degraded_clamp] {
+                for app in arm.apps.iter().filter(|app| app.detectable) {
+                    assert!(
+                        app.quarantined_at.is_some(),
+                        "{}/{}: detectable app {} must be quarantined",
+                        scenario.name,
+                        arm.name,
+                        app.index
+                    );
+                    assert!(
+                        app.time_to_quarantine.unwrap() <= window,
+                        "{}/{}: app {} quarantined after {:?} quanta (window {window})",
+                        scenario.name,
+                        arm.name,
+                        app.index,
+                        app.time_to_quarantine
+                    );
+                }
+                assert_eq!(
+                    arm.false_quarantines, 0,
+                    "{}/{}: no healthy app may be quarantined",
+                    scenario.name, arm.name
+                );
+            }
+            // Naive coordination quarantines nothing (the knob is off).
+            assert_eq!(scenario.naive_audit.quarantined_apps, 0);
+        }
+
+        // The storm's transient stall (app 6, quanta 8..16) must recover:
+        // quarantined during the outage, readmitted after it clears.
+        let storm = &fig.scenarios[0];
+        assert_eq!(storm.name, "fault-storm");
+        let transient = &storm.degraded_audit.apps[6];
+        assert!(transient.quarantined_at.is_some(), "{transient:?}");
+        assert!(
+            transient.readmitted_at.is_some(),
+            "the transient stall must be readmitted once clean: {transient:?}"
+        );
+
+        // The rogue rack's under-reporter is invisible to telemetry rules
+        // (it *under*-claims) — that containment is the breaker's job, and
+        // audit mode records the overdraw the breaker would have refused.
+        let rogues = &fig.scenarios[1];
+        assert_eq!(rogues.name, "rack-rogues");
+        assert!(
+            !rogues.degraded_audit.apps[0].detectable,
+            "an under-reporter evades every telemetry rule"
+        );
+        assert!(
+            rogues.naive_audit.max_rack_violation_rate > 0.0,
+            "audit must record the rogue rack's overdraw, got {:.3}",
+            rogues.naive_audit.max_rack_violation_rate
+        );
+        assert!(
+            rogues.naive_clamp.clamp_events > 0 && rogues.naive_clamp.shed_joules > 0.0,
+            "the breaker must actually fire on the rogue rack"
+        );
+
+        // The enforcement summary is a pure projection of the same run.
+        let enforce = FigureEnforce::from_chaos(&fig);
+        assert_eq!(enforce.scenarios.len(), 2);
+        assert!(enforce.scenarios[1].audit_overdraw_rate > 0.0);
+        assert_eq!(enforce.scenarios[1].clamp_overdraw_rate, 0.0);
+        assert!(fig.to_table().contains("coordinated-degraded/clamp"));
+        assert!(enforce.to_table().contains("rack-rogues"));
+    }
+
+    #[test]
+    fn chaos_cells_are_deterministic() {
+        let scenarios = chaos_mixes(7);
+        let a = FigureChaos::compute_scenarios(&scenarios, 7);
+        let b = FigureChaos::compute_scenarios(&scenarios, 7);
+        assert_eq!(a, b);
+        let c = FigureChaos::compute_scenarios(&scenarios, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+}

@@ -1,0 +1,121 @@
+//! Harness-side interpretation of a scenario's [`FaultPlan`].
+//!
+//! The plan only *describes* misbehaviour; this module is where the
+//! experiment harnesses act it out. Per quantum and per app, the runtime
+//! answers two questions:
+//!
+//! * does the app **execute** this quantum? ([`FaultRuntime::executes`] —
+//!   a crashed app stops running and drawing power, everything else keeps
+//!   executing);
+//! * what telemetry, if any, reaches the platform?
+//!   ([`FaultRuntime::report`] — stalls and crashes report nothing,
+//!   freezes replay the last pre-fault report, the rest corrupt the
+//!   ground truth).
+//!
+//! The split matters for the metrics: the machine meter and the
+//! goal-attainment accumulators always see *physical* truth (what was
+//! actually drawn and done), while the coordinator sees only what the
+//! faulty app chose to report — which is precisely the gap its watchdog
+//! ladder has to detect from the outside.
+
+use workloads::FaultPlan;
+
+/// Interprets one scenario's [`FaultPlan`] over the run, tracking the
+/// per-app frozen telemetry [`workloads::FaultKind::FreezeTelemetry`]
+/// replays. Construct via [`FaultRuntime::for_plan`]; harnesses hold an
+/// `Option<FaultRuntime>` so fault-free scenarios take byte-identical
+/// code paths.
+pub(crate) struct FaultRuntime<'a> {
+    plan: &'a FaultPlan,
+    /// Last pre-fault `(work, power)` report per app, captured while the
+    /// app reports honestly and replayed verbatim during a freeze window.
+    frozen: Vec<Option<(f64, f64)>>,
+}
+
+impl<'a> FaultRuntime<'a> {
+    /// A runtime for `plan` over `apps` applications, or `None` when the
+    /// plan schedules nothing (the fault-free fast path).
+    pub(crate) fn for_plan(plan: &'a FaultPlan, apps: usize) -> Option<Self> {
+        (!plan.is_empty()).then(|| FaultRuntime {
+            plan,
+            frozen: vec![None; apps],
+        })
+    }
+
+    /// Whether `app` physically executes (and draws power) at `quantum`.
+    pub(crate) fn executes(&self, app: usize, quantum: usize) -> bool {
+        self.plan
+            .active_fault(app, quantum)
+            .is_none_or(|kind| !kind.halts_execution())
+    }
+
+    /// The telemetry report the platform receives for `app` at `quantum`,
+    /// given the physical `(work, power)` the quantum produced. `None`
+    /// means no report arrives at all (stalled pipe, dead app).
+    pub(crate) fn report(
+        &mut self,
+        app: usize,
+        quantum: usize,
+        work: f64,
+        power: f64,
+    ) -> Option<(f64, f64)> {
+        match self.plan.active_fault(app, quantum) {
+            None => {
+                self.frozen[app] = Some((work, power));
+                Some((work, power))
+            }
+            Some(kind) => kind.corrupt_telemetry(work, power, self.frozen[app]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{AppFault, FaultKind};
+
+    #[test]
+    fn fault_free_plans_have_no_runtime() {
+        assert!(FaultRuntime::for_plan(&FaultPlan::default(), 4).is_none());
+    }
+
+    #[test]
+    fn freeze_replays_the_last_honest_report() {
+        let plan = FaultPlan {
+            faults: vec![AppFault {
+                app: 0,
+                kind: FaultKind::FreezeTelemetry,
+                from: 2,
+                until: Some(4),
+            }],
+        };
+        let mut runtime = FaultRuntime::for_plan(&plan, 2).unwrap();
+        assert_eq!(runtime.report(0, 0, 10.0, 5.0), Some((10.0, 5.0)));
+        assert_eq!(runtime.report(0, 1, 12.0, 6.0), Some((12.0, 6.0)));
+        // Frozen: the quantum-1 report replays regardless of ground truth.
+        assert_eq!(runtime.report(0, 2, 99.0, 50.0), Some((12.0, 6.0)));
+        assert_eq!(runtime.report(0, 3, 1.0, 1.0), Some((12.0, 6.0)));
+        // Window closed: honest again, and the frozen value re-tracks.
+        assert_eq!(runtime.report(0, 4, 7.0, 3.0), Some((7.0, 3.0)));
+        // The untargeted app is untouched throughout.
+        assert_eq!(runtime.report(1, 2, 4.0, 2.0), Some((4.0, 2.0)));
+        assert!(runtime.executes(0, 2), "freezes keep executing");
+    }
+
+    #[test]
+    fn crash_halts_execution_and_reports_nothing() {
+        let plan = FaultPlan {
+            faults: vec![AppFault {
+                app: 1,
+                kind: FaultKind::Crash,
+                from: 1,
+                until: None,
+            }],
+        };
+        let mut runtime = FaultRuntime::for_plan(&plan, 2).unwrap();
+        assert!(runtime.executes(1, 0));
+        assert!(!runtime.executes(1, 1));
+        assert!(!runtime.executes(1, 100), "crashes never clear");
+        assert_eq!(runtime.report(1, 1, 10.0, 5.0), None);
+    }
+}

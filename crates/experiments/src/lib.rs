@@ -32,7 +32,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod driver;
+mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -44,4 +46,5 @@ pub mod sweep;
 pub use fig2::Figure2;
 pub use fig3::{Figure3, Figure3Row};
 pub use fig4::{Figure4, Figure4Row};
+pub use chaos::{FigureChaos, FigureEnforce};
 pub use fig5::{Figure5, Figure5Hierarchy, Figure5Scenario, HierarchyScenario};

@@ -10,8 +10,13 @@
 //!   re-partitioning it.
 //! * **duplicate-app** — clones an app with a fresh workload seed and a
 //!   shifted arrival: the cheapest way to grow arrival bursts.
+//! * **fault-plan** — edits the scenario's [`workloads::FaultPlan`]:
+//!   schedules a fresh fault (stall, crash, freeze, NaN, misreport)
+//!   against a random app, perturbs an existing fault's window or factor,
+//!   or removes one. The only strategy that grows misbehaviour, so
+//!   fault-free corpus entries stay fault-free under the other four.
 //! * **havoc** — several random heavy edits at once (field rewrites,
-//!   app/step insertion and removal, horizon rewrites).
+//!   app/step insertion and removal, horizon rewrites, fault edits).
 //!
 //! Every mutant is clamped to the fuzzer's [`MutationLimits`] and repaired
 //! by [`Scenario::sanitize`], so executors only ever see well-formed
@@ -21,8 +26,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use workloads::{
-    BudgetStep, Scenario, SplashBenchmark, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS,
-    MIN_SCENARIO_QUANTA,
+    AppFault, BudgetStep, FaultKind, Scenario, SplashBenchmark, MAX_MISREPORT_FACTOR,
+    MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_MISREPORT_FACTOR, MIN_SCENARIO_QUANTA,
 };
 
 /// The named mutation strategies.
@@ -34,16 +39,19 @@ pub enum MutationStrategy {
     Swap,
     /// Clone an app with a fresh seed and shifted arrival.
     DuplicateApp,
+    /// Schedule, perturb, or remove one fault in the fault plan.
+    FaultPlan,
     /// Several random heavy edits at once.
     Havoc,
 }
 
 impl MutationStrategy {
     /// Every strategy, in reporting order.
-    pub const ALL: [MutationStrategy; 4] = [
+    pub const ALL: [MutationStrategy; 5] = [
         MutationStrategy::Nudge,
         MutationStrategy::Swap,
         MutationStrategy::DuplicateApp,
+        MutationStrategy::FaultPlan,
         MutationStrategy::Havoc,
     ];
 
@@ -53,6 +61,7 @@ impl MutationStrategy {
             MutationStrategy::Nudge => "nudge",
             MutationStrategy::Swap => "swap",
             MutationStrategy::DuplicateApp => "duplicate-app",
+            MutationStrategy::FaultPlan => "fault-plan",
             MutationStrategy::Havoc => "havoc",
         }
     }
@@ -87,9 +96,10 @@ pub fn mutate(
     rng: &mut StdRng,
 ) -> (Scenario, MutationStrategy) {
     let strategy = match rng.gen_range(0u64..100) {
-        0..=39 => MutationStrategy::Nudge,
-        40..=59 => MutationStrategy::Swap,
-        60..=74 => MutationStrategy::DuplicateApp,
+        0..=34 => MutationStrategy::Nudge,
+        35..=54 => MutationStrategy::Swap,
+        55..=69 => MutationStrategy::DuplicateApp,
+        70..=79 => MutationStrategy::FaultPlan,
         _ => MutationStrategy::Havoc,
     };
     let mut mutant = scenario.clone();
@@ -97,6 +107,7 @@ pub fn mutate(
         MutationStrategy::Nudge => nudge_once(&mut mutant, rng),
         MutationStrategy::Swap => swap(&mut mutant, rng),
         MutationStrategy::DuplicateApp => duplicate_app(&mut mutant, rng),
+        MutationStrategy::FaultPlan => mutate_fault_plan(&mut mutant, rng),
         MutationStrategy::Havoc => havoc(&mut mutant, limits, rng),
     }
     clamp(&mut mutant, limits);
@@ -218,11 +229,84 @@ fn duplicate_app(scenario: &mut Scenario, rng: &mut StdRng) {
     scenario.apps.push(clone);
 }
 
+/// Draws a random fault kind (factor drawn inside the sanitized band, both
+/// under- and over-reports).
+fn random_fault_kind(rng: &mut StdRng) -> FaultKind {
+    match rng.gen_range(0u64..5) {
+        0 => FaultKind::StallHeartbeats,
+        1 => FaultKind::FreezeTelemetry,
+        2 => FaultKind::NonFiniteTelemetry,
+        3 => FaultKind::MisreportPower {
+            factor: rng.gen_range(MIN_MISREPORT_FACTOR..MAX_MISREPORT_FACTOR),
+        },
+        _ => FaultKind::Crash,
+    }
+}
+
+/// Schedules a fresh fault, perturbs an existing one (window bounds,
+/// misreport factor, kind, or target app), or removes one. Scheduling is
+/// the most likely edit so fault plans *grow* under fuzzing pressure;
+/// [`Scenario::sanitize`] clamps whatever this produces back into the
+/// well-formed envelope. Falls back to a nudge on an app-less scenario.
+fn mutate_fault_plan(scenario: &mut Scenario, rng: &mut StdRng) {
+    let app_count = scenario.apps.len();
+    if app_count == 0 {
+        nudge_once(scenario, rng);
+        return;
+    }
+    let quanta = scenario.quanta;
+    let fault_count = scenario.fault_plan.faults.len();
+    match rng.gen_range(0u64..4) {
+        // Schedule a fresh fault with a random onset; half the time it
+        // clears mid-run (the recovery/readmission path needs `until`).
+        0 | 1 => {
+            let from = rng.gen_range(0..quanta);
+            scenario.fault_plan.faults.push(AppFault {
+                app: rng.gen_range(0..app_count),
+                kind: random_fault_kind(rng),
+                from,
+                until: rng.gen_bool(0.5).then(|| from + 1 + rng.gen_range(0..quanta)),
+            });
+        }
+        2 if fault_count > 0 => {
+            let fault = &mut scenario.fault_plan.faults[rng.gen_range(0..fault_count)];
+            match rng.gen_range(0u64..4) {
+                0 => fault.from = shift(fault.from, 8, rng),
+                1 => {
+                    fault.until = match fault.until {
+                        Some(u) if !rng.gen_bool(0.25) => Some(shift(u, 8, rng)),
+                        Some(_) => None,
+                        None => Some(fault.from + 1 + rng.gen_range(0..quanta)),
+                    }
+                }
+                2 => fault.kind = random_fault_kind(rng),
+                _ => fault.app = rng.gen_range(0..app_count),
+            }
+        }
+        3 if fault_count > 0 => {
+            scenario
+                .fault_plan
+                .faults
+                .remove(rng.gen_range(0..fault_count));
+        }
+        // Perturb/remove on an empty plan: schedule instead.
+        _ => {
+            let from = rng.gen_range(0..quanta);
+            scenario.fault_plan.faults.push(AppFault {
+                app: rng.gen_range(0..app_count),
+                kind: random_fault_kind(rng),
+                from,
+                until: None,
+            });
+        }
+    }
+}
+
 /// Several random heavy edits at once.
 fn havoc(scenario: &mut Scenario, limits: &MutationLimits, rng: &mut StdRng) {
     let edits = 2 + rng.gen_range(0u64..6);
     for _ in 0..edits {
-        match rng.gen_range(0u64..12) {
+        match rng.gen_range(0u64..13) {
             0..=6 => nudge_once(scenario, rng),
             7 => {
                 if scenario.apps.len() > 1 {
@@ -250,6 +334,7 @@ fn havoc(scenario: &mut Scenario, limits: &MutationLimits, rng: &mut StdRng) {
                     .gen_bool(0.5)
                     .then(|| rng.gen_range(0..quanta * 2));
             }
+            11 => mutate_fault_plan(scenario, rng),
             _ => {
                 if !scenario.budget_steps.is_empty() {
                     let index = rng.gen_range(0..scenario.budget_steps.len());
@@ -311,7 +396,7 @@ mod tests {
         let limits = MutationLimits::default();
         let seed = seed_scenario();
         let mut rng = StdRng::seed_from_u64(5);
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for _ in 0..200 {
             let (_, strategy) = mutate(&seed, &limits, &mut rng);
             let index = MutationStrategy::ALL
@@ -321,5 +406,62 @@ mod tests {
             seen[index] = true;
         }
         assert!(seen.iter().all(|&s| s), "not all strategies drawn: {seen:?}");
+    }
+
+    #[test]
+    fn only_fault_strategies_touch_the_fault_plan() {
+        // Fault-free corpus entries must stay fault-free unless the
+        // fault-plan (or havoc) strategy fires — the byte-identity of the
+        // pre-fault corpus depends on plans staying absent.
+        let limits = MutationLimits::default();
+        let seed = seed_scenario();
+        assert!(seed.fault_plan.is_empty());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut grown = false;
+        for _ in 0..500 {
+            let (mutant, strategy) = mutate(&seed, &limits, &mut rng);
+            if !mutant.fault_plan.is_empty() {
+                grown = true;
+                assert!(
+                    strategy == MutationStrategy::FaultPlan
+                        || strategy == MutationStrategy::Havoc,
+                    "{} must not grow faults",
+                    strategy.name()
+                );
+            }
+        }
+        assert!(grown, "the fault-plan strategy never scheduled a fault");
+    }
+
+    #[test]
+    fn fault_plan_mutants_eventually_cover_every_fault_kind() {
+        let limits = MutationLimits::default();
+        let mut scenario = seed_scenario();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut stalls = 0usize;
+        let mut freezes = 0usize;
+        let mut nans = 0usize;
+        let mut misreports = 0usize;
+        let mut crashes = 0usize;
+        for _ in 0..400 {
+            let (mutant, _) = mutate(&scenario, &limits, &mut rng);
+            for fault in &mutant.fault_plan.faults {
+                match fault.kind {
+                    workloads::FaultKind::StallHeartbeats => stalls += 1,
+                    workloads::FaultKind::FreezeTelemetry => freezes += 1,
+                    workloads::FaultKind::NonFiniteTelemetry => nans += 1,
+                    workloads::FaultKind::MisreportPower { factor } => {
+                        assert!((MIN_MISREPORT_FACTOR..=MAX_MISREPORT_FACTOR).contains(&factor));
+                        misreports += 1;
+                    }
+                    workloads::FaultKind::Crash => crashes += 1,
+                }
+            }
+            scenario = mutant;
+        }
+        assert!(
+            stalls > 0 && freezes > 0 && nans > 0 && misreports > 0 && crashes > 0,
+            "kinds drawn: stall={stalls} freeze={freezes} nan={nans} misreport={misreports} crash={crashes}"
+        );
     }
 }

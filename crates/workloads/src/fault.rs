@@ -1,0 +1,297 @@
+//! Deterministic fault injection: serializable schedules of application
+//! misbehaviour.
+//!
+//! The coordination experiments assume well-behaved applications — they
+//! beat, they report finite telemetry, they retire when they leave. A
+//! [`FaultPlan`] scripts the opposite: per-app windows on the shared
+//! quantum schedule during which an application stalls its heartbeats,
+//! freezes or corrupts its telemetry, misreports its power draw, or
+//! crashes without retiring. Plans are plain data attached to
+//! [`crate::Scenario`], so the scenario fuzzer mutates them like any other
+//! scenario field and a pinned fixture replays the exact same misbehaviour
+//! forever.
+//!
+//! The plan only *describes* faults; the experiment harness interprets it
+//! when feeding telemetry to the platform (see
+//! [`FaultKind::corrupt_telemetry`]). The coordinator never reads the plan
+//! — it must detect the misbehaviour from the telemetry alone, which is
+//! exactly what its watchdog ladder is for.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest power-misreport factor a sanitized plan may carry.
+pub const MIN_MISREPORT_FACTOR: f64 = 0.25;
+
+/// Largest power-misreport factor a sanitized plan may carry.
+pub const MAX_MISREPORT_FACTOR: f64 = 8.0;
+
+/// Most faults a sanitized plan may schedule (bounds fuzz executor cost).
+pub const MAX_PLAN_FAULTS: usize = 8;
+
+/// What a faulty application does while its fault window is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The heartbeat pipe wedges: no beats or power samples reach the
+    /// platform, but the application keeps executing (and drawing power).
+    StallHeartbeats,
+    /// Telemetry freezes: the application reports its last pre-fault work
+    /// and power every quantum, regardless of what it actually does.
+    FreezeTelemetry,
+    /// Telemetry corrupts: reported power becomes NaN.
+    NonFiniteTelemetry,
+    /// The application misreports its power draw by a multiplicative
+    /// factor (its believed power is off by ×factor); actual draw is
+    /// unchanged.
+    MisreportPower {
+        /// Multiplier applied to the reported power.
+        factor: f64,
+    },
+    /// The application dies without retiring: it stops executing (drawing
+    /// nothing, reporting nothing) but stays registered forever.
+    Crash,
+}
+
+impl FaultKind {
+    /// Whether the application stops executing (and drawing power) under
+    /// this fault.
+    pub fn halts_execution(&self) -> bool {
+        matches!(self, FaultKind::Crash)
+    }
+
+    /// Applies the fault to one quantum's telemetry report. `work` and
+    /// `power` are the ground truth the quantum produced; `frozen` is the
+    /// last pre-fault report (captured by the harness at fault onset).
+    /// Returns the corrupted `(work, power)` report, or `None` when no
+    /// report reaches the platform at all.
+    pub fn corrupt_telemetry(
+        &self,
+        work: f64,
+        power: f64,
+        frozen: Option<(f64, f64)>,
+    ) -> Option<(f64, f64)> {
+        match self {
+            FaultKind::StallHeartbeats | FaultKind::Crash => None,
+            FaultKind::FreezeTelemetry => Some(frozen.unwrap_or((work, power))),
+            FaultKind::NonFiniteTelemetry => Some((work, f64::NAN)),
+            FaultKind::MisreportPower { factor } => Some((work, power * factor)),
+        }
+    }
+}
+
+/// One scheduled fault window for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppFault {
+    /// Index of the target application in [`crate::Scenario::apps`].
+    pub app: usize,
+    /// What the application does during the window.
+    pub kind: FaultKind,
+    /// First shared quantum (inclusive) the fault is active.
+    pub from: usize,
+    /// Quantum (exclusive) at which the fault clears; `None` = the fault
+    /// persists to the end of the run.
+    pub until: Option<usize>,
+}
+
+impl AppFault {
+    /// Whether the fault window covers shared quantum `quantum`.
+    pub fn active_at(&self, quantum: usize) -> bool {
+        quantum >= self.from && self.until.is_none_or(|u| quantum < u)
+    }
+}
+
+/// A deterministic, serializable schedule of fault injections over one
+/// scenario's shared quantum timeline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, in injection order. When two windows cover
+    /// the same app and quantum, the earliest list entry wins.
+    pub faults: Vec<AppFault>,
+}
+
+impl FaultPlan {
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault (if any) governing `app` at `quantum`: the earliest list
+    /// entry whose window covers the pair.
+    pub fn active_fault(&self, app: usize, quantum: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|fault| fault.app == app && fault.active_at(quantum))
+            .map(|fault| fault.kind)
+    }
+
+    /// Whether any fault window ever targets `app`.
+    pub fn targets_app(&self, app: usize) -> bool {
+        self.faults.iter().any(|fault| fault.app == app)
+    }
+
+    /// Whether every fault is inside the domain the experiment drivers
+    /// assume for a scenario with `apps` applications and `quanta` quanta.
+    pub fn is_well_formed(&self, apps: usize, quanta: usize) -> bool {
+        self.faults.len() <= MAX_PLAN_FAULTS
+            && self.faults.iter().all(|fault| {
+                fault.app < apps.max(1)
+                    && fault.from < quanta
+                    && fault.until.is_none_or(|u| u > fault.from && u <= quanta)
+                    && match fault.kind {
+                        FaultKind::MisreportPower { factor } => {
+                            (MIN_MISREPORT_FACTOR..=MAX_MISREPORT_FACTOR).contains(&factor)
+                        }
+                        _ => true,
+                    }
+            })
+            && (apps > 0 || self.faults.is_empty())
+    }
+
+    /// Repairs the plan in place for a scenario with `apps` applications
+    /// and `quanta` quanta (clamping mirrors
+    /// [`crate::Scenario::sanitize`]). Idempotent, and the identity on
+    /// already-well-formed plans.
+    pub fn sanitize(&mut self, apps: usize, quanta: usize) {
+        if apps == 0 || quanta == 0 {
+            self.faults.clear();
+            return;
+        }
+        self.faults.truncate(MAX_PLAN_FAULTS);
+        for fault in &mut self.faults {
+            fault.app %= apps;
+            fault.from = fault.from.min(quanta - 1);
+            if let Some(until) = fault.until {
+                fault.until = Some(until.clamp(fault.from + 1, quanta));
+            }
+            if let FaultKind::MisreportPower { factor } = &mut fault.kind {
+                *factor = if factor.is_finite() {
+                    factor.clamp(MIN_MISREPORT_FACTOR, MAX_MISREPORT_FACTOR)
+                } else {
+                    2.0
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            faults: vec![
+                AppFault {
+                    app: 0,
+                    kind: FaultKind::StallHeartbeats,
+                    from: 4,
+                    until: Some(8),
+                },
+                AppFault {
+                    app: 1,
+                    kind: FaultKind::MisreportPower { factor: 3.0 },
+                    from: 2,
+                    until: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open_and_earliest_entry_wins() {
+        let plan = plan();
+        assert_eq!(plan.active_fault(0, 3), None);
+        assert_eq!(plan.active_fault(0, 4), Some(FaultKind::StallHeartbeats));
+        assert_eq!(plan.active_fault(0, 7), Some(FaultKind::StallHeartbeats));
+        assert_eq!(plan.active_fault(0, 8), None);
+        assert_eq!(
+            plan.active_fault(1, 100),
+            Some(FaultKind::MisreportPower { factor: 3.0 })
+        );
+        assert_eq!(plan.active_fault(2, 4), None);
+        assert!(plan.targets_app(0) && plan.targets_app(1) && !plan.targets_app(2));
+
+        let mut overlapping = plan.clone();
+        overlapping.faults.push(AppFault {
+            app: 0,
+            kind: FaultKind::Crash,
+            from: 0,
+            until: None,
+        });
+        assert_eq!(
+            overlapping.active_fault(0, 5),
+            Some(FaultKind::StallHeartbeats),
+            "the earliest list entry governs an overlap"
+        );
+    }
+
+    #[test]
+    fn corruption_matches_the_fault_semantics() {
+        assert_eq!(
+            FaultKind::StallHeartbeats.corrupt_telemetry(3.0, 10.0, None),
+            None
+        );
+        assert_eq!(FaultKind::Crash.corrupt_telemetry(3.0, 10.0, None), None);
+        assert_eq!(
+            FaultKind::FreezeTelemetry.corrupt_telemetry(3.0, 10.0, Some((5.0, 20.0))),
+            Some((5.0, 20.0))
+        );
+        assert_eq!(
+            FaultKind::FreezeTelemetry.corrupt_telemetry(3.0, 10.0, None),
+            Some((3.0, 10.0))
+        );
+        let (work, power) = FaultKind::NonFiniteTelemetry
+            .corrupt_telemetry(3.0, 10.0, None)
+            .unwrap();
+        assert_eq!(work, 3.0);
+        assert!(power.is_nan());
+        assert_eq!(
+            FaultKind::MisreportPower { factor: 2.0 }.corrupt_telemetry(3.0, 10.0, None),
+            Some((3.0, 20.0))
+        );
+        assert!(FaultKind::Crash.halts_execution());
+        assert!(!FaultKind::StallHeartbeats.halts_execution());
+    }
+
+    #[test]
+    fn sanitize_repairs_and_is_idempotent() {
+        let mut wrecked = FaultPlan {
+            faults: vec![
+                AppFault {
+                    app: 99,
+                    kind: FaultKind::MisreportPower { factor: f64::NAN },
+                    from: 1_000,
+                    until: Some(0),
+                },
+                AppFault {
+                    app: 1,
+                    kind: FaultKind::Crash,
+                    from: 0,
+                    until: Some(100),
+                },
+            ],
+        };
+        assert!(!wrecked.is_well_formed(3, 16));
+        wrecked.sanitize(3, 16);
+        assert!(wrecked.is_well_formed(3, 16), "{wrecked:?}");
+        let once = wrecked.clone();
+        wrecked.sanitize(3, 16);
+        assert_eq!(wrecked, once, "sanitize is idempotent");
+
+        let mut well_formed = plan();
+        let before = well_formed.clone();
+        well_formed.sanitize(2, 16);
+        assert_eq!(well_formed, before, "identity on well-formed plans");
+
+        let mut appless = plan();
+        appless.sanitize(0, 16);
+        assert!(appless.is_empty(), "no apps, no faults");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = plan();
+        let text = serde_json::to_string_pretty(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+}

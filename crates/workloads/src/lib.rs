@@ -30,15 +30,19 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod driver;
+pub mod fault;
 mod phases;
 mod profile;
 mod scenario;
 
 pub use driver::HeartbeatedWorkload;
+pub use fault::{
+    AppFault, FaultKind, FaultPlan, MAX_MISREPORT_FACTOR, MAX_PLAN_FAULTS, MIN_MISREPORT_FACTOR,
+};
 pub use phases::{QuantumDemand, Workload};
 pub use profile::{SplashBenchmark, WorkloadProfile};
 pub use scenario::{
-    extended_scenario_mixes, scenario_mixes, vocabulary_mixes, BudgetStep, Scenario, ScenarioApp,
-    MAX_APP_WEIGHT, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_APP_WEIGHT, MIN_BUDGET_FRACTION,
-    MIN_SCENARIO_QUANTA, MIN_TARGET_FRACTION,
+    chaos_mixes, extended_scenario_mixes, scenario_mixes, vocabulary_mixes, BudgetStep, Scenario,
+    ScenarioApp, MAX_APP_WEIGHT, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_APP_WEIGHT,
+    MIN_BUDGET_FRACTION, MIN_SCENARIO_QUANTA, MIN_TARGET_FRACTION,
 };

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{AppFault, FaultKind, FaultPlan};
 use crate::profile::SplashBenchmark;
 
 /// One application's slot in a multi-application scenario.
@@ -60,7 +61,7 @@ pub struct BudgetStep {
 }
 
 /// One multi-application mix on one machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable mix name.
     pub name: String,
@@ -75,6 +76,59 @@ pub struct Scenario {
     /// Mid-run budget changes, sorted by quantum (empty for the original
     /// mixes, whose budgets are constant).
     pub budget_steps: Vec<BudgetStep>,
+    /// Scheduled application misbehaviour (empty for the well-behaved
+    /// mixes; see [`crate::fault`]).
+    pub fault_plan: FaultPlan,
+}
+
+// Serialisation is hand-written (instead of derived, as for every other
+// scenario type) so the `fault_plan` field is *omitted* when empty: every
+// pre-fault fixture under `tests/corpus/` keeps parsing, and fault-free
+// scenarios keep serialising to the exact bytes they produced before the
+// field existed (the corpus/report byte-identity pins depend on this).
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::ser::Value {
+        let mut entries = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("apps".to_string(), self.apps.to_value()),
+            ("quanta".to_string(), self.quanta.to_value()),
+            (
+                "power_budget_fraction".to_string(),
+                self.power_budget_fraction.to_value(),
+            ),
+            ("budget_steps".to_string(), self.budget_steps.to_value()),
+        ];
+        if !self.fault_plan.is_empty() {
+            entries.push(("fault_plan".to_string(), self.fault_plan.to_value()));
+        }
+        serde::ser::Value::Object(entries)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(value: &serde::ser::Value) -> Result<Self, serde::de::DeError> {
+        let entries = serde::de::as_object(value, "Scenario")?;
+        Ok(Scenario {
+            name: serde::de::field(entries, "name", "Scenario")?,
+            apps: serde::de::field(entries, "apps", "Scenario")?,
+            quanta: serde::de::field(entries, "quanta", "Scenario")?,
+            power_budget_fraction: serde::de::field(
+                entries,
+                "power_budget_fraction",
+                "Scenario",
+            )?,
+            budget_steps: serde::de::field(entries, "budget_steps", "Scenario")?,
+            // Absent in pre-fault fixtures: an absent plan is an empty plan.
+            fault_plan: match entries.iter().find(|(key, _)| key == "fault_plan") {
+                Some((_, plan)) => FaultPlan::from_value(plan).map_err(|e| {
+                    serde::de::DeError::new(format!(
+                        "field `fault_plan` of `Scenario`: {e}"
+                    ))
+                })?,
+                None => FaultPlan::default(),
+            },
+        })
+    }
 }
 
 impl Scenario {
@@ -133,6 +187,7 @@ impl Scenario {
                     && step.fraction >= MIN_BUDGET_FRACTION
                     && step.fraction <= 1.0
             })
+            && self.fault_plan.is_well_formed(self.apps.len(), self.quanta)
     }
 
     /// Repairs the scenario in place into the well-formed domain by
@@ -173,6 +228,7 @@ impl Scenario {
                 MIN_BUDGET_FRACTION
             };
         }
+        self.fault_plan.sanitize(self.apps.len(), quanta);
     }
 }
 
@@ -260,6 +316,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         quanta: 96,
         power_budget_fraction: 0.6,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     let quanta = 120;
@@ -286,6 +343,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         quanta,
         power_budget_fraction: 0.5,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     let mut tiered_apps = Vec::new();
@@ -307,6 +365,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         quanta: 96,
         power_budget_fraction: 0.4,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     vec![steady, staggered, tiered]
@@ -373,6 +432,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
         quanta,
         power_budget_fraction: 0.5,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     // ---- budget-steps: 1200 apps under a stepping machine budget ------
@@ -408,6 +468,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
                 fraction: 0.55,
             },
         ],
+        fault_plan: FaultPlan::default(),
     };
 
     vec![storm, stepped]
@@ -466,6 +527,7 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         quanta,
         power_budget_fraction: 0.25,
         budget_steps,
+        fault_plan: FaultPlan::default(),
     };
 
     // ---- flash-crowd: one-quantum mass landing ------------------------
@@ -499,6 +561,7 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         quanta,
         power_budget_fraction: 0.45,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     // ---- phase-shift: correlated phases within racks, staggered across -
@@ -526,9 +589,153 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         quanta,
         power_budget_fraction: 0.4,
         budget_steps: Vec::new(),
+        fault_plan: FaultPlan::default(),
     };
 
     vec![diurnal, flash_crowd, phase_shift]
+}
+
+/// The *chaos* mixes: fault-injected scenarios for the robustness
+/// experiments and the watchdog/degradation ladder. Deterministic for a
+/// seed, like the other families, and kept separate so every fault-free
+/// pipeline's output stays byte-identical.
+///
+/// * **fault-storm** — eight applications on one machine, six scheduled
+///   faults covering every [`FaultKind`]: a persistent ×3 power
+///   over-reporter, a NaN-telemetry app, a persistent heartbeat stall, a
+///   *transient* stall (clears mid-run, for recovery/readmission
+///   measurement), a crash-without-retire, and a telemetry freeze that is
+///   captured at a roomy budget just before an operator cut to 20 % —
+///   so the frozen belief is materially over the post-cut envelope. Two
+///   apps stay healthy throughout (the fairness control).
+/// * **rack-rogues** — three racks of four applications, one rogue per
+///   rack: a hungry ×0.35 power *under*-reporter (the enforcement story —
+///   audit alone never catches it), a heartbeat stall, and a crash. Exercises
+///   the hierarchy path: each rack must degrade locally while the
+///   datacenter keeps netting envelopes.
+pub fn chaos_mixes(seed: u64) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce7_a210_0000_0004);
+    let mut pick = || SplashBenchmark::ALL[rng.gen_range(0..SplashBenchmark::ALL.len())];
+
+    // ---- fault-storm: every fault kind on one machine ------------------
+    let quanta = 48;
+    let storm_apps: Vec<ScenarioApp> = (0..8)
+        .map(|slot| ScenarioApp {
+            benchmark: pick(),
+            seed: seed.wrapping_add(30_000 + slot as u64),
+            weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+            arrival: 0,
+            departure: None,
+            target_fraction: 0.3 + 0.1 * (slot % 3) as f64,
+            rack: 0,
+        })
+        .collect();
+    let fault_storm = Scenario {
+        name: "fault-storm".to_string(),
+        apps: storm_apps,
+        quanta,
+        power_budget_fraction: 0.6,
+        // The freeze (quantum 20) captures its report under the roomy
+        // budget; the cut at 24 strands that belief far over the envelope.
+        budget_steps: vec![BudgetStep {
+            quantum: 24,
+            fraction: 0.2,
+        }],
+        fault_plan: FaultPlan {
+            faults: vec![
+                AppFault {
+                    app: 1,
+                    kind: FaultKind::MisreportPower { factor: 3.0 },
+                    from: 10,
+                    until: None,
+                },
+                AppFault {
+                    app: 2,
+                    kind: FaultKind::NonFiniteTelemetry,
+                    from: 14,
+                    until: None,
+                },
+                AppFault {
+                    app: 3,
+                    kind: FaultKind::StallHeartbeats,
+                    from: 12,
+                    until: None,
+                },
+                AppFault {
+                    app: 4,
+                    kind: FaultKind::Crash,
+                    from: 18,
+                    until: None,
+                },
+                AppFault {
+                    app: 5,
+                    kind: FaultKind::FreezeTelemetry,
+                    from: 20,
+                    until: None,
+                },
+                AppFault {
+                    app: 6,
+                    kind: FaultKind::StallHeartbeats,
+                    from: 8,
+                    until: Some(16),
+                },
+            ],
+        },
+    };
+
+    // ---- rack-rogues: one misbehaving app per rack ---------------------
+    let quanta = 48;
+    let mut rogue_apps = Vec::new();
+    for rack in 0..3usize {
+        for slot in 0..4usize {
+            rogue_apps.push(ScenarioApp {
+                benchmark: pick(),
+                seed: seed.wrapping_add(31_000 + (rack * 10 + slot) as u64),
+                weight: PRIORITY_TIERS[slot % PRIORITY_TIERS.len()],
+                arrival: 0,
+                departure: None,
+                target_fraction: 0.35,
+                rack,
+            });
+        }
+    }
+    // The under-reporter is a *hungry* freeloader: top priority and a
+    // near-saturating target, so its physical draw is large while its
+    // claims stay small — the gap that pushes its rack over the awarded
+    // envelope and that only the breaker (never audit) can contain.
+    rogue_apps[0].weight = PRIORITY_TIERS[2];
+    rogue_apps[0].target_fraction = 0.9;
+    let rack_rogues = Scenario {
+        name: "rack-rogues".to_string(),
+        apps: rogue_apps,
+        quanta,
+        power_budget_fraction: 0.4,
+        budget_steps: Vec::new(),
+        fault_plan: FaultPlan {
+            faults: vec![
+                AppFault {
+                    app: 0,
+                    kind: FaultKind::MisreportPower { factor: 0.35 },
+                    from: 8,
+                    until: None,
+                },
+                AppFault {
+                    app: 5,
+                    kind: FaultKind::StallHeartbeats,
+                    from: 10,
+                    until: None,
+                },
+                AppFault {
+                    app: 10,
+                    kind: FaultKind::Crash,
+                    from: 16,
+                    until: None,
+                },
+            ],
+        },
+    };
+
+    vec![fault_storm, rack_rogues]
 }
 
 #[cfg(test)]
@@ -709,6 +916,16 @@ mod tests {
                 quantum: usize::MAX,
                 fraction: 0.0,
             }],
+            fault_plan: FaultPlan {
+                faults: vec![AppFault {
+                    app: 7,
+                    kind: FaultKind::MisreportPower {
+                        factor: f64::INFINITY,
+                    },
+                    from: usize::MAX,
+                    until: Some(0),
+                }],
+            },
         };
         assert!(!wrecked.is_well_formed());
         wrecked.sanitize();
@@ -722,10 +939,84 @@ mod tests {
             .into_iter()
             .chain(extended_scenario_mixes(5))
             .chain(vocabulary_mixes(5))
+            .chain(chaos_mixes(5))
         {
             let mut sanitized = scenario.clone();
             sanitized.sanitize();
             assert_eq!(sanitized, scenario, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn chaos_mixes_cover_every_fault_kind() {
+        let mixes = chaos_mixes(2012);
+        assert_eq!(chaos_mixes(2012), mixes, "deterministic");
+        assert_ne!(chaos_mixes(7), mixes);
+        assert_eq!(mixes.len(), 2);
+        for scenario in &mixes {
+            assert!(scenario.is_well_formed(), "{}", scenario.name);
+            assert!(!scenario.fault_plan.is_empty(), "{}", scenario.name);
+        }
+
+        let storm = &mixes[0];
+        assert_eq!(storm.name, "fault-storm");
+        assert_eq!(storm.rack_count(), 1);
+        let kinds: Vec<FaultKind> =
+            storm.fault_plan.faults.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FaultKind::StallHeartbeats));
+        assert!(kinds.contains(&FaultKind::FreezeTelemetry));
+        assert!(kinds.contains(&FaultKind::NonFiniteTelemetry));
+        assert!(kinds.contains(&FaultKind::Crash));
+        assert!(
+            kinds
+                .iter()
+                .any(|k| matches!(k, FaultKind::MisreportPower { .. })),
+            "a power misreporter"
+        );
+        assert!(
+            storm
+                .fault_plan
+                .faults
+                .iter()
+                .any(|f| f.until.is_some()),
+            "a transient fault, for recovery measurement"
+        );
+        let healthy = (0..storm.apps.len())
+            .filter(|&app| !storm.fault_plan.targets_app(app))
+            .count();
+        assert!(healthy >= 2, "healthy controls remain, got {healthy}");
+
+        let rogues = &mixes[1];
+        assert_eq!(rogues.name, "rack-rogues");
+        assert_eq!(rogues.rack_count(), 3);
+        // One rogue per rack.
+        for rack in 0..3 {
+            let rogue_count = rogues
+                .fault_plan
+                .faults
+                .iter()
+                .filter(|f| rogues.apps[f.app].rack == rack)
+                .count();
+            assert_eq!(rogue_count, 1, "rack {rack}");
+        }
+    }
+
+    #[test]
+    fn fault_free_scenarios_serialize_without_the_fault_field() {
+        // Byte-compat pin: adding FaultPlan must not disturb the JSON of
+        // fault-free scenarios (corpus/report byte-identity depends on it).
+        let steady = &scenario_mixes(2012)[0];
+        let text = serde_json::to_string_pretty(steady).unwrap();
+        assert!(!text.contains("fault_plan"), "{text}");
+        let back: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, steady, "absent plan reads back as empty");
+
+        // Fault-carrying scenarios round-trip the plan.
+        for scenario in chaos_mixes(2012) {
+            let text = serde_json::to_string_pretty(&scenario).unwrap();
+            assert!(text.contains("fault_plan"), "{}", scenario.name);
+            let back: Scenario = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, scenario, "{}", scenario.name);
         }
     }
 

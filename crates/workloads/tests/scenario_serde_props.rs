@@ -10,7 +10,18 @@
 //! scenario that was shrunk.
 
 use proptest::prelude::*;
-use workloads::{BudgetStep, Scenario, ScenarioApp, SplashBenchmark};
+use workloads::{
+    AppFault, BudgetStep, FaultKind, FaultPlan, Scenario, ScenarioApp, SplashBenchmark,
+};
+
+/// The fault vocabulary a proptest-drawn plan cycles through.
+const FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::StallHeartbeats,
+    FaultKind::FreezeTelemetry,
+    FaultKind::NonFiniteTelemetry,
+    FaultKind::MisreportPower { factor: 2.5 },
+    FaultKind::Crash,
+];
 
 /// Names exercise the string escaping paths (quotes, control characters,
 /// multi-byte UTF-8, emptiness).
@@ -36,6 +47,7 @@ fn decode_scenario(
     budget: f64,
     step_quanta: &[usize],
     step_fractions: &[f64],
+    fault_picks: &[usize],
 ) -> Scenario {
     let apps: Vec<ScenarioApp> = benches
         .iter()
@@ -60,12 +72,27 @@ fn decode_scenario(
             fraction: step_fractions[i],
         })
         .collect();
+    let faults: Vec<AppFault> = fault_picks
+        .iter()
+        .enumerate()
+        .map(|(i, &pick)| {
+            let from = (pick * 7 + i) % quanta;
+            AppFault {
+                app: pick % apps.len(),
+                kind: FAULT_KINDS[pick % FAULT_KINDS.len()],
+                // Alternate persistent and bounded windows.
+                from,
+                until: (pick % 2 == 0).then(|| (from + 1 + pick % 9).min(quanta)),
+            }
+        })
+        .collect();
     Scenario {
         name: NAMES[name_pick % NAMES.len()].to_string(),
         apps,
         quanta,
         power_budget_fraction: budget,
         budget_steps,
+        fault_plan: FaultPlan { faults },
     }
 }
 
@@ -86,10 +113,11 @@ proptest! {
         budget in 0.05..1.0f64,
         step_quanta in proptest::collection::vec(0usize..4_096, 0..4),
         step_fractions in proptest::collection::vec(0.05..1.0f64, 4),
+        fault_picks in proptest::collection::vec(0usize..1_000, 0..8),
     ) {
         let scenario = decode_scenario(
             name_pick, &benches, &seeds, &weights, &arrivals, &departures, &targets,
-            &racks, quanta, budget, &step_quanta, &step_fractions,
+            &racks, quanta, budget, &step_quanta, &step_fractions, &fault_picks,
         );
 
         let compact = serde_json::to_string(&scenario).unwrap();
@@ -109,6 +137,7 @@ proptest! {
         for scenario in workloads::scenario_mixes(seed)
             .into_iter()
             .chain(workloads::vocabulary_mixes(seed))
+            .chain(workloads::chaos_mixes(seed))
         {
             let text = serde_json::to_string_pretty(&scenario).unwrap();
             let back: Scenario = serde_json::from_str(&text).unwrap();

@@ -16,7 +16,7 @@
 
 use angstrom_seec::experiments::fig5::{budget_watts, QUANTUM_SECONDS};
 use angstrom_seec::prelude::*;
-use angstrom_seec::workloads::{BudgetStep, Scenario, ScenarioApp};
+use angstrom_seec::workloads::{BudgetStep, FaultPlan, Scenario, ScenarioApp};
 use angstrom_seec::xeon_sim::XeonServer;
 
 fn main() {
@@ -35,6 +35,7 @@ fn main() {
             quantum: 36,
             fraction: 0.3,
         }],
+        fault_plan: FaultPlan::default(),
     };
     println!(
         "four applications, {} quanta of {QUANTUM_SECONDS:.0} s, budget {:.0} W above idle \
