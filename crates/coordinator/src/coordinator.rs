@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use exec::ExecPool;
 use heartbeats::{observe_fleet, HeartbeatMonitor, MonitorObservation};
+use obs::{Counter, Event, EventKind, Recorder, Stage, StageClock};
 use seec::{CapDecision, SeecError, SeecRuntime};
 use workloads::{HeartbeatedWorkload, QuantumDemand};
 
@@ -494,6 +495,7 @@ fn decide_chunk(
     awards: &[f64],
     now: f64,
     quantum: usize,
+    observer: Option<&Recorder>,
 ) -> Result<(), (usize, SeecError)> {
     for (offset, ((app, observation), &award)) in
         apps.iter_mut().zip(observations).zip(awards).enumerate()
@@ -508,12 +510,20 @@ fn decide_chunk(
         } else {
             f64::INFINITY
         };
+        // Per-decision latency: counter additions are order-free, so timing
+        // from pool workers keeps the bucket counts deterministic; only the
+        // wall-clock values vary.
+        let clock = observer.map(|_| StageClock::start());
         match app
             .runtime
             .decide_under_power_cap_with_observation(now, observation, max_powerup)
         {
             Ok(decision) => app.last_decision = Some(decision),
             Err(err) => return Err((offset, err)),
+        }
+        if let (Some(observer), Some(clock)) = (observer, clock) {
+            observer.count(Counter::AppsDecided);
+            observer.time(Stage::Decision, clock.total());
         }
     }
     Ok(())
@@ -599,6 +609,20 @@ pub struct Coordinator {
     observations: Vec<MonitorObservation>,
     requests: Vec<AppRequest>,
     awards: Vec<f64>,
+    /// Telemetry recorder; `None` (the default) keeps every stage on the
+    /// allocation-free hot path — no counter, no clock, no event. Counters
+    /// and histogram timings go straight to the recorder (order-free
+    /// atomics); discrete events route through [`Self::push_event`] so
+    /// their order stays deterministic.
+    observer: Option<Arc<Recorder>>,
+    /// Events raised inside [`Self::step`] (health transitions), buffered
+    /// so pooled callers can drain them in a deterministic order.
+    pending_events: Vec<Event>,
+    /// When true (set by a [`crate::RackCoordinator`] under a datacenter
+    /// arbiter), [`Self::step`] leaves `pending_events` buffered and the
+    /// owner drains them in rack order; when false, the step flushes its
+    /// own buffer before returning.
+    defer_events: bool,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -637,6 +661,68 @@ impl Coordinator {
             observations: Vec::new(),
             requests: Vec::new(),
             awards: Vec::new(),
+            observer: None,
+            pending_events: Vec::new(),
+            defer_events: false,
+        }
+    }
+
+    /// Attaches a telemetry [`Recorder`]: stage latencies, pipeline
+    /// counters, and the structured event stream flow into it from the next
+    /// call onward. Telemetry is strictly passive — attaching a recorder
+    /// cannot change any award, decision, or summary (pinned by
+    /// `tests/obs_determinism.rs`).
+    pub fn with_obs(mut self, recorder: Arc<Recorder>) -> Self {
+        self.set_obs(Some(recorder));
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder mid-run (see
+    /// [`Self::with_obs`]).
+    pub fn set_obs(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.observer = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn obs(&self) -> Option<&Arc<Recorder>> {
+        self.observer.as_ref()
+    }
+
+    /// Buffers (or emits) one discrete event. Must only be called from
+    /// deterministic contexts — driver-thread lifecycle calls and the
+    /// sequential stages of [`Self::step`] — never from pool workers.
+    fn push_event(&mut self, kind: EventKind) {
+        if self.observer.is_none() {
+            return;
+        }
+        let event = Event {
+            quantum: self.quantum as u64,
+            kind,
+        };
+        if self.defer_events {
+            self.pending_events.push(event);
+        } else if let Some(observer) = &self.observer {
+            observer.emit(event);
+        }
+    }
+
+    /// Switches event delivery between immediate (`false`, the default) and
+    /// deferred (`true`): a [`crate::DatacenterArbiter`] defers, stepping
+    /// its racks on pool workers and draining each rack's buffer in rack
+    /// order afterwards, so the combined stream is identical at every
+    /// worker count.
+    pub(crate) fn set_event_deferral(&mut self, defer: bool) {
+        self.defer_events = defer;
+    }
+
+    /// Emits every buffered event, in buffer order, then clears the buffer.
+    pub(crate) fn flush_events(&mut self) {
+        if let Some(observer) = &self.observer {
+            for event in self.pending_events.drain(..) {
+                observer.emit(event);
+            }
+        } else {
+            self.pending_events.clear();
         }
     }
 
@@ -796,6 +882,15 @@ impl Coordinator {
                 .runtime
                 .decide_under_power_cap_with_observation(self.last_now, &observation, 0.0);
         }
+        if self.observer.is_some() {
+            if let Some(observer) = &self.observer {
+                observer.count(Counter::Registrations);
+            }
+            let kind = EventKind::Register {
+                app: app.name().to_string(),
+            };
+            self.push_event(kind);
+        }
         self.monitors.push(app.monitor.clone());
         self.apps.push(app);
         AppHandle(self.apps.len() - 1)
@@ -810,6 +905,15 @@ impl Coordinator {
         let quantum = self.quantum;
         let app = &mut self.apps[handle.0];
         app.departure = Some(app.departure.map_or(quantum, |d| d.min(quantum)));
+        if self.observer.is_some() {
+            if let Some(observer) = &self.observer {
+                observer.count(Counter::Retirements);
+            }
+            let kind = EventKind::Retire {
+                app: self.apps[handle.0].name().to_string(),
+            };
+            self.push_event(kind);
+        }
     }
 
     /// Replaces the machine power budget (takes effect next step) — the
@@ -820,6 +924,21 @@ impl Coordinator {
     /// Panics unless the budget is positive (it may be infinite, as in
     /// [`Self::new`]).
     pub fn set_budget(&mut self, budget_watts: f64) {
+        self.set_budget_quiet(budget_watts);
+        if self.observer.is_some() {
+            if let Some(observer) = &self.observer {
+                observer.count(Counter::BudgetChanges);
+            }
+            self.push_event(EventKind::BudgetChange {
+                watts: budget_watts,
+            });
+        }
+    }
+
+    /// [`Self::set_budget`] without the telemetry event — for per-quantum
+    /// envelope renewals (a rack re-applying its datacenter award every
+    /// step) that would otherwise flood the event stream with non-changes.
+    pub(crate) fn set_budget_quiet(&mut self, budget_watts: f64) {
         assert!(budget_watts > 0.0, "power budget must be positive");
         self.budget_watts = budget_watts;
     }
@@ -926,6 +1045,10 @@ impl Coordinator {
     pub fn step(&mut self, now: f64) -> Result<StepSummary, SeecError> {
         let quantum = self.quantum;
         self.last_now = now;
+        // Telemetry: the clock exists only when a recorder is attached, so
+        // the disabled step never touches `Instant::now`.
+        let observer = self.observer.clone();
+        let mut clock = observer.as_ref().map(|_| StageClock::start());
         let pool = self
             .pool
             .as_ref()
@@ -985,14 +1108,48 @@ impl Coordinator {
             });
         }
 
+        if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
+            observer.add(Counter::AppsObserved, self.apps.len() as u64);
+            observer.time(Stage::Observe, clock.lap());
+        }
+
         // ---- Watchdog (sequential, registration order) --------------
         // Runs between request building and arbitration so quarantine
         // rewrites are part of the same fold every policy sees. With no
         // watchdog configured this is a no-op branch, keeping the step
         // bit-identical to a pre-watchdog build.
         if let Some(config) = self.watchdog {
-            for (app, request) in self.apps.iter_mut().zip(self.requests.iter_mut()) {
+            for (index, (app, request)) in
+                self.apps.iter_mut().zip(self.requests.iter_mut()).enumerate()
+            {
+                let before = app.health.state;
+                let first_quarantine = app.health.quarantined_at.is_none();
                 watchdog_app(app, request, &config, quantum);
+                let after = app.health.state;
+                if after == before {
+                    continue;
+                }
+                // Ladder telemetry, raised from this sequential loop only:
+                // first-time quarantines match the figure summaries'
+                // `quarantined_apps` (an app re-quarantined after
+                // readmission counts once), readmissions count every time.
+                if let Some(observer) = &observer {
+                    if after == HealthState::Quarantined && first_quarantine {
+                        observer.count(Counter::Quarantines);
+                    }
+                    if after == HealthState::Readmitted {
+                        observer.count(Counter::Readmissions);
+                    }
+                    self.pending_events.push(Event {
+                        quantum: quantum as u64,
+                        kind: EventKind::HealthTransition {
+                            app: app.name().to_string(),
+                            index: index as u64,
+                            from: format!("{before:?}"),
+                            to: format!("{after:?}"),
+                        },
+                    });
+                }
             }
         }
 
@@ -1003,6 +1160,27 @@ impl Coordinator {
             &mut self.awards,
         );
 
+        if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
+            observer.time(Stage::Arbitrate, clock.lap());
+            // Awards changed vs held: bit-for-bit comparison of each
+            // present app's fresh award against the envelope it executed
+            // the previous quantum under (recorded by the decide stage).
+            let mut changed = 0;
+            let mut held = 0;
+            for (app, &award) in self.apps.iter().zip(&self.awards) {
+                if !app.active_at(quantum) {
+                    continue;
+                }
+                if award.to_bits() == app.awarded_watts.to_bits() {
+                    held += 1;
+                } else {
+                    changed += 1;
+                }
+            }
+            observer.add(Counter::AwardsChanged, changed);
+            observer.add(Counter::AwardsHeld, held);
+        }
+
         // ---- Decide under the envelopes (per-app, sharded) ----------
         if shard >= self.apps.len() {
             if let Err((_, err)) = decide_chunk(
@@ -1011,6 +1189,7 @@ impl Coordinator {
                 &self.awards,
                 now,
                 quantum,
+                observer.as_deref(),
             ) {
                 return Err(err);
             }
@@ -1034,11 +1213,18 @@ impl Coordinator {
                     failure: None,
                 })
                 .collect();
+            let decide_observer = observer.as_deref();
             pool.for_each_mut(&mut shards, |index, task| {
-                task.failure =
-                    decide_chunk(task.apps, task.observations, task.awards, now, quantum)
-                        .err()
-                        .map(|(offset, err)| (index * shard + offset, err));
+                task.failure = decide_chunk(
+                    task.apps,
+                    task.observations,
+                    task.awards,
+                    now,
+                    quantum,
+                    decide_observer,
+                )
+                .err()
+                .map(|(offset, err)| (index * shard + offset, err));
             });
             // Report the lowest-indexed failure, matching the sequential
             // path's choice when several apps would have failed.
@@ -1057,6 +1243,9 @@ impl Coordinator {
         // guarantee rather than an exception to it.
         let mut active_apps = 0;
         let mut awarded_total = 0.0;
+        if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
+            observer.time(Stage::Decide, clock.lap());
+        }
         for (app, &award) in self.apps.iter().zip(&self.awards) {
             if app.active_at(quantum) {
                 active_apps += 1;
@@ -1065,6 +1254,15 @@ impl Coordinator {
         }
 
         self.quantum += 1;
+        if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
+            observer.time(Stage::Summarise, clock.lap());
+            observer.time(Stage::Step, clock.total());
+            observer.count(Counter::QuantaStepped);
+            observer.observe_fleet_size(active_apps as u64);
+            if !self.defer_events {
+                self.flush_events();
+            }
+        }
         Ok(StepSummary {
             quantum,
             active_apps,
@@ -1737,5 +1935,136 @@ mod tests {
     #[should_panic(expected = "headroom")]
     fn out_of_range_headroom_panics() {
         let _ = Coordinator::new(10.0, Box::new(StaticShare)).with_headroom(1.5);
+    }
+
+    /// Runs a 3-app fleet for 20 quanta at `workers` threads, optionally
+    /// instrumented, and returns every step summary plus the final awards.
+    fn drive_summaries(
+        recorder: Option<Arc<Recorder>>,
+        workers: usize,
+    ) -> (Vec<StepSummary>, Vec<f64>) {
+        let mut coordinator = Coordinator::new(30.0, Box::new(WeightedFair))
+            .with_workers(workers)
+            .with_shard_threshold(0)
+            .with_watchdog(WatchdogConfig::default());
+        coordinator.set_obs(recorder);
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|i| {
+                coordinator
+                    .register(managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 1000.0))
+            })
+            .collect();
+        let mut summaries = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..20 {
+            now += 1.0;
+            for &handle in &handles {
+                let effect = {
+                    let runtime = coordinator.app(handle).runtime();
+                    runtime
+                        .model()
+                        .space()
+                        .predicted_effect(runtime.current_configuration())
+                        .unwrap()
+                };
+                coordinator.advance(handle, now - 1.0, now, 10.0 * effect.performance, 10.0 * effect.power);
+            }
+            summaries.push(coordinator.step(now).unwrap());
+        }
+        (summaries, coordinator.awards().to_vec())
+    }
+
+    #[test]
+    fn telemetry_is_passive_at_every_worker_count() {
+        // Attaching a recorder — sequential or sharded — must not move a
+        // single bit of any summary or award.
+        let (baseline, baseline_awards) = drive_summaries(None, 1);
+        for workers in [1usize, 3] {
+            let recorder = Arc::new(Recorder::in_memory());
+            let (observed, awards) = drive_summaries(Some(Arc::clone(&recorder)), workers);
+            assert_eq!(observed, baseline, "summaries drifted at {workers} workers");
+            assert_eq!(awards, baseline_awards, "awards drifted at {workers} workers");
+
+            // And the deterministic plane reconciles with the run.
+            let snapshot = recorder.snapshot();
+            assert_eq!(snapshot.counter(Counter::QuantaStepped), 20);
+            assert_eq!(snapshot.counter(Counter::AppsObserved), 60);
+            assert_eq!(snapshot.counter(Counter::Registrations), 3);
+            let decided: usize = baseline.iter().map(|s| s.active_apps).sum();
+            assert_eq!(snapshot.counter(Counter::AppsDecided), decided as u64);
+            assert_eq!(
+                snapshot.stage(Stage::Decision).count,
+                snapshot.counter(Counter::AppsDecided),
+                "one decision timing per decided app"
+            );
+            assert_eq!(snapshot.stage(Stage::Step).count, 20);
+            assert_eq!(
+                snapshot.counter(Counter::AwardsChanged)
+                    + snapshot.counter(Counter::AwardsHeld),
+                decided as u64,
+                "every present app's award is either changed or held"
+            );
+            assert_eq!(snapshot.peak_fleet_size, 3);
+        }
+    }
+
+    #[test]
+    fn lifecycle_events_stream_in_call_order() {
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(100.0, Box::new(StaticShare))
+            .with_obs(Arc::clone(&recorder));
+        let handle = coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 20.0));
+        coordinator.set_budget(80.0);
+        coordinator.step(1.0).unwrap();
+        coordinator.retire(handle);
+        let events = recorder.snapshot().events;
+        assert_eq!(events.len(), 3);
+        assert!(matches!(&events[0].kind, EventKind::Register { app } if app == "barnes"));
+        assert!(
+            matches!(&events[1].kind, EventKind::BudgetChange { watts } if *watts == 80.0)
+        );
+        assert!(matches!(&events[2].kind, EventKind::Retire { app } if app == "barnes"));
+        assert_eq!(events[0].quantum, 0, "registered before the first step");
+        assert_eq!(events[2].quantum, 1, "retired after it");
+        assert_eq!(recorder.counter(Counter::BudgetChanges), 1);
+        assert_eq!(recorder.counter(Counter::Retirements), 1);
+    }
+
+    #[test]
+    fn watchdog_transitions_raise_events_and_count_once() {
+        // A silent app walks Healthy → Suspect → Quarantined; the counter
+        // counts the quarantine once while events record each transition.
+        let config = WatchdogConfig {
+            warmup_quanta: 0,
+            stale_beat_quanta: 3,
+            ..WatchdogConfig::default()
+        };
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(50.0, Box::new(StaticShare))
+            .with_watchdog(config)
+            .with_obs(Arc::clone(&recorder));
+        coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 20.0));
+        let mut now = 0.0;
+        for _ in 0..8 {
+            now += 1.0;
+            // No advance: the app never beats, so it goes stale.
+            coordinator.step(now).unwrap();
+        }
+        assert_eq!(recorder.counter(Counter::Quarantines), 1);
+        let transitions: Vec<(String, String)> = recorder
+            .snapshot()
+            .events
+            .iter()
+            .filter_map(|event| match &event.kind {
+                EventKind::HealthTransition { from, to, .. } => {
+                    Some((from.clone(), to.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(
+            transitions.contains(&("Suspect".to_string(), "Quarantined".to_string())),
+            "expected a Suspect→Quarantined transition, got {transitions:?}"
+        );
     }
 }

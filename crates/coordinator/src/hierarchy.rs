@@ -47,6 +47,7 @@
 use std::sync::Arc;
 
 use exec::ExecPool;
+use obs::{Counter, Event, EventKind, Recorder, Stage, StageClock};
 use seec::SeecError;
 use xeon_sim::MachineMeter;
 
@@ -100,6 +101,9 @@ pub struct RackCoordinator {
     enforcement: EnforcementMode,
     clamp_events: u64,
     shed_joules: f64,
+    /// Telemetry recorder shared with (usually) every rack of a
+    /// datacenter; also attached to the inner coordinator.
+    observer: Option<Arc<Recorder>>,
 }
 
 impl std::fmt::Debug for RackCoordinator {
@@ -128,7 +132,25 @@ impl RackCoordinator {
             enforcement: EnforcementMode::Audit,
             clamp_events: 0,
             shed_joules: 0.0,
+            observer: None,
         }
+    }
+
+    /// Attaches a telemetry [`Recorder`] to the rack and its inner
+    /// coordinator (see [`Coordinator::with_obs`]): breaker clamps raise
+    /// [`EventKind::EnvelopeClamp`], meter intervals over the envelope
+    /// count as [`Counter::RackMeterViolations`], and the inner
+    /// coordinator's stages record as usual.
+    pub fn with_obs(mut self, recorder: Arc<Recorder>) -> Self {
+        self.set_obs(Some(recorder));
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder mid-run (see
+    /// [`Self::with_obs`]).
+    pub fn set_obs(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.coordinator.set_obs(recorder.clone());
+        self.observer = recorder;
     }
 
     /// Sets the rack's [`EnforcementMode`] (builder form; default
@@ -300,6 +322,17 @@ impl RackCoordinator {
         let admitted = headroom / contribution * (1.0 - 1e-9);
         self.clamp_events += 1;
         self.shed_joules += contribution - headroom;
+        // Breaker telemetry: admits run on the sequential driver thread in
+        // report-arrival order, so direct emission stays deterministic.
+        if let Some(observer) = &self.observer {
+            observer.count(Counter::ClampEvents);
+            observer.emit(Event {
+                quantum: self.coordinator.quantum() as u64,
+                kind: EventKind::EnvelopeClamp {
+                    shed_joules: contribution - headroom,
+                },
+            });
+        }
         (work_units * admitted, power_above_idle_watts * admitted)
     }
 
@@ -311,14 +344,23 @@ impl RackCoordinator {
     fn step_under(&mut self, now: f64, awarded_watts: f64) -> Result<StepSummary, SeecError> {
         let elapsed = now - self.last_step_time;
         if elapsed > 0.0 {
+            let violations_before = self.meter.violation_intervals();
             self.meter
                 .record(elapsed, self.interval_energy_joules / elapsed);
+            if let Some(observer) = &self.observer {
+                observer.add(
+                    Counter::RackMeterViolations,
+                    self.meter.violation_intervals() - violations_before,
+                );
+            }
         }
         self.interval_energy_joules = 0.0;
         self.last_step_time = now;
         self.awarded_watts = awarded_watts;
         if awarded_watts > 0.0 {
-            self.coordinator.set_budget(awarded_watts);
+            // The quiet path: renewing the same envelope every quantum is
+            // not a "budget change" worth an event per rack per step.
+            self.coordinator.set_budget_quiet(awarded_watts);
             self.meter.set_cap(awarded_watts);
         }
         self.coordinator.step(now)
@@ -360,6 +402,11 @@ pub struct DatacenterArbiter {
     pool: Option<Arc<ExecPool>>,
     requests: Vec<AppRequest>,
     awards: Vec<f64>,
+    /// Telemetry recorder propagated to every rack. With a recorder
+    /// attached, racks *defer* their step events and [`Self::step`] drains
+    /// each rack's buffer in rack order after the pooled phase — the
+    /// combined stream is identical at every worker count.
+    observer: Option<Arc<Recorder>>,
 }
 
 impl std::fmt::Debug for DatacenterArbiter {
@@ -393,7 +440,28 @@ impl DatacenterArbiter {
             pool: None,
             requests: Vec::new(),
             awards: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attaches a telemetry [`Recorder`] to the arbiter and every rack
+    /// (current and future — [`Self::add_rack`] propagates it). Datacenter
+    /// steps time [`Stage::DatacenterStep`]; racks record their own stages,
+    /// counters, and events, with event delivery deferred so the arbiter
+    /// can drain buffers in rack order.
+    pub fn with_obs(mut self, recorder: Arc<Recorder>) -> Self {
+        self.set_obs(Some(recorder));
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder mid-run (see
+    /// [`Self::with_obs`]).
+    pub fn set_obs(&mut self, recorder: Option<Arc<Recorder>>) {
+        for rack in &mut self.racks {
+            rack.set_obs(recorder.clone());
+            rack.coordinator.set_event_deferral(recorder.is_some());
+        }
+        self.observer = recorder;
     }
 
     /// Sets the fraction of the datacenter budget handed to racks
@@ -430,8 +498,14 @@ impl DatacenterArbiter {
         self.pool.as_ref().map_or(1, |pool| pool.threads())
     }
 
-    /// Adds a rack; returns its index (registration order).
-    pub fn add_rack(&mut self, rack: RackCoordinator) -> usize {
+    /// Adds a rack; returns its index (registration order). An attached
+    /// telemetry recorder (see [`Self::with_obs`]) is propagated to the new
+    /// rack.
+    pub fn add_rack(&mut self, mut rack: RackCoordinator) -> usize {
+        if self.observer.is_some() {
+            rack.set_obs(self.observer.clone());
+            rack.coordinator.set_event_deferral(true);
+        }
         self.racks.push(rack);
         self.racks.len() - 1
     }
@@ -510,6 +584,7 @@ impl DatacenterArbiter {
     /// simply took no new decisions that quantum).
     pub fn step(&mut self, now: f64) -> Result<DatacenterStepSummary, SeecError> {
         let quantum = self.quantum;
+        let clock = self.observer.as_ref().map(|_| StageClock::start());
 
         // ---- Phase 1: rack aggregate requests (per-rack, pooled) ----
         struct RequestTask<'a> {
@@ -578,6 +653,10 @@ impl DatacenterArbiter {
         let mut app_awarded_total = 0.0;
         let mut failure: Option<SeecError> = None;
         for task in tasks {
+            // Drain the rack's deferred step events in rack order — the
+            // pooled phase above finished them in whatever order the
+            // workers ran, but the combined stream is re-serialised here.
+            task.rack.coordinator.flush_events();
             match task.outcome.expect("every rack was stepped") {
                 Ok(summary) => {
                     if summary.active_apps > 0 {
@@ -603,6 +682,9 @@ impl DatacenterArbiter {
         // The datacenter quantum advances whether or not a rack failed —
         // time moved for the racks that succeeded.
         self.quantum += 1;
+        if let (Some(observer), Some(clock)) = (&self.observer, &clock) {
+            observer.time(Stage::DatacenterStep, clock.total());
+        }
         if let Some(err) = failure {
             return Err(err);
         }
@@ -917,6 +999,81 @@ mod tests {
         assert!(rack.clamp_events() > 0);
         // 30 W demanded, 15 W admitted, 10 s: about 150 J refused.
         assert!((rack.shed_joules() - 150.0).abs() < 1.0, "{}", rack.shed_joules());
+    }
+
+    #[test]
+    fn telemetry_reconciles_across_the_hierarchy_and_stays_passive() {
+        // Same overdraw harness as the enforcement test, instrumented: the
+        // recorder must count clamps and rack violations exactly, defer
+        // step events into rack order, and move zero bits of the results.
+        let run = |mode: EnforcementMode,
+                   recorder: Option<Arc<Recorder>>,
+                   workers: usize| {
+            let mut datacenter = DatacenterArbiter::new(15.0, Box::new(StaticShare))
+                .with_workers(workers);
+            if let Some(recorder) = recorder {
+                datacenter.set_obs(Some(recorder));
+            }
+            let mut rack = RackCoordinator::new(
+                "r",
+                Coordinator::new(15.0, Box::new(StaticShare)),
+            )
+            .with_enforcement(mode);
+            let handles: Vec<AppHandle> =
+                (0..3).map(|app| rack.register(managed_app(app + 1, 10.0))).collect();
+            datacenter.add_rack(rack);
+            let mut now = 0.0;
+            for _ in 0..10 {
+                now += 1.0;
+                for &handle in &handles {
+                    datacenter.rack_mut(0).advance(handle, now - 1.0, now, 10.0, 10.0);
+                }
+                datacenter.step(now).unwrap();
+            }
+            datacenter
+        };
+
+        let baseline = run(EnforcementMode::Clamp, None, 1);
+        for workers in [1usize, 2] {
+            let recorder = Arc::new(Recorder::in_memory());
+            let observed = run(EnforcementMode::Clamp, Some(Arc::clone(&recorder)), workers);
+            let rack = observed.rack(0);
+            assert_eq!(
+                rack.meter().mean_watts(),
+                baseline.rack(0).meter().mean_watts(),
+                "telemetry perturbed the metered draw at {workers} workers"
+            );
+            assert_eq!(rack.clamp_events(), baseline.rack(0).clamp_events());
+            let snapshot = recorder.snapshot();
+            assert_eq!(
+                snapshot.counter(Counter::ClampEvents),
+                rack.clamp_events(),
+                "counter reconciles with the rack's own tally"
+            );
+            assert_eq!(
+                snapshot.counter(Counter::RackMeterViolations),
+                rack.meter().violation_intervals()
+            );
+            assert_eq!(snapshot.counter(Counter::QuantaStepped), 10);
+            assert_eq!(snapshot.stage(Stage::DatacenterStep).count, 10);
+            let clamps = snapshot
+                .events
+                .iter()
+                .filter(|event| matches!(event.kind, EventKind::EnvelopeClamp { .. }))
+                .count() as u64;
+            assert_eq!(clamps, rack.clamp_events());
+        }
+
+        // Audit mode: violations counted, no clamp events.
+        let recorder = Arc::new(Recorder::in_memory());
+        let observed = run(EnforcementMode::Audit, Some(Arc::clone(&recorder)), 1);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter(Counter::ClampEvents), 0);
+        assert_eq!(
+            snapshot.counter(Counter::RackMeterViolations),
+            observed.rack(0).meter().violation_intervals()
+        );
+        assert!(snapshot.counter(Counter::RackMeterViolations) > 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -147,6 +147,10 @@ impl Drop for CompletionGuard<'_> {
     }
 }
 
+/// The callback type [`ExecPool::set_dispatch_observer`] accepts: invoked
+/// with each pooled dispatch's wall-clock nanoseconds.
+pub type DispatchObserver = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// A persistent, deterministic worker pool with ordered fan-out/fan-in.
 ///
 /// See the [crate docs](crate) for the determinism argument. Construction
@@ -158,6 +162,14 @@ pub struct ExecPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Fast flag for [`Self::set_dispatch_observer`]: the dispatch hot path
+    /// pays one relaxed load when no observer is attached.
+    observed: AtomicBool,
+    /// Telemetry callback invoked with each pooled dispatch's wall-clock
+    /// nanoseconds (publish → last task finished). Purely passive — it
+    /// observes timing, never task order or results — so this crate stays
+    /// dependency-free while the telemetry layer hooks in from above.
+    observer: Mutex<Option<DispatchObserver>>,
 }
 
 impl std::fmt::Debug for ExecPool {
@@ -196,7 +208,21 @@ impl ExecPool {
             shared,
             workers,
             threads,
+            observed: AtomicBool::new(false),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) a dispatch observer: a callback
+    /// invoked with the wall-clock nanoseconds of every *pooled* dispatch
+    /// (inline fast-path batches are not timed). The observer sees only
+    /// durations — task order, results, and scheduling are unaffected — so
+    /// telemetry layered on top cannot perturb the pool's determinism
+    /// guarantee.
+    pub fn set_dispatch_observer(&self, observer: Option<DispatchObserver>) {
+        let enabled = observer.is_some();
+        *self.observer.lock().unwrap() = observer;
+        self.observed.store(enabled, Ordering::Release);
     }
 
     /// The host's available parallelism (1 when it cannot be queried) —
@@ -267,6 +293,14 @@ impl ExecPool {
             }
             return;
         }
+        // Telemetry: one relaxed flag load when disabled; clone the
+        // callback out of the lock so the dispatch itself runs unlocked.
+        let observer = if self.observed.load(Ordering::Acquire) {
+            self.observer.lock().unwrap().clone()
+        } else {
+            None
+        };
+        let started = observer.as_ref().map(|_| std::time::Instant::now());
         // Erase the lifetime for the hand-off to the persistent threads.
         // SAFETY: the completion guard below blocks this frame (even on
         // unwind) until no worker can touch the reference again.
@@ -299,6 +333,9 @@ impl ExecPool {
         // original payload — the same observable behaviour as a panicking
         // `std::thread::scope` child at join.
         let panicked = batch.panic.lock().unwrap().take();
+        if let (Some(observer), Some(started)) = (observer, started) {
+            observer(started.elapsed().as_nanos() as u64);
+        }
         if let Some(payload) = panicked {
             std::panic::resume_unwind(payload);
         }

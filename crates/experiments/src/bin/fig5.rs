@@ -15,9 +15,26 @@
 //! enforcement) and write `fig5_chaos.json`; `--enforce` writes the
 //! breaker-focused projection of the same runs to `fig5_enforce.json`.
 //! The default output is unchanged either way.
+//!
+//! Pass `--obs PATH` to also write an [`obs::ObsReport`] covering every
+//! figure computed in the run: phase counters, stage latency histograms,
+//! executor dispatch timing, and the structured event stream, merged in
+//! cell-index order so the report is deterministic up to wall-clock
+//! timings. Telemetry is passive — the figure JSONs are byte-identical
+//! with and without `--obs` (the determinism tests pin this).
+
+use std::sync::Arc;
 
 use experiments::{Figure5, Figure5Hierarchy, FigureChaos, FigureEnforce};
+use obs::{ObsSnapshot, Recorder, Stage};
 use serde::Serialize;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|index| args.get(index + 1))
+        .cloned()
+}
 
 fn write_figure<T: Serialize>(figure: &T, path: &str) {
     match serde_json::to_string_pretty(figure) {
@@ -38,8 +55,32 @@ fn main() {
     let hierarchy = args.iter().any(|arg| arg == "--hierarchy");
     let chaos = args.iter().any(|arg| arg == "--chaos");
     let enforce = args.iter().any(|arg| arg == "--enforce");
+    let obs_path = flag_value(&args, "--obs");
 
-    let figure = Figure5::compute();
+    let mut merged = obs_path.as_ref().map(|_| ObsSnapshot::empty());
+
+    // Executor dispatch timing rides on its own recorder attached to the
+    // shared pool for the duration of the run; its histogram merges into
+    // the report last so the deterministic sections stay in figure order.
+    let dispatch = if merged.is_some() {
+        let recorder = Arc::new(Recorder::in_memory());
+        let timer = Arc::clone(&recorder);
+        exec::global_pool().set_dispatch_observer(Some(Arc::new(move |ns| {
+            timer.time(Stage::Dispatch, ns);
+        })));
+        Some(recorder)
+    } else {
+        None
+    };
+
+    let figure = match merged.as_mut() {
+        Some(merged) => {
+            let (figure, snapshot) = Figure5::compute_obs();
+            merged.merge(&snapshot);
+            figure
+        }
+        None => Figure5::compute(),
+    };
     println!(
         "Figure 5 — multi-application SEEC on the calibrated R410 under a machine power budget\n"
     );
@@ -47,7 +88,14 @@ fn main() {
     write_figure(&figure, "fig5.json");
 
     if extended {
-        let figure = Figure5::compute_extended();
+        let figure = match merged.as_mut() {
+            Some(merged) => {
+                let (figure, snapshot) = Figure5::compute_extended_obs();
+                merged.merge(&snapshot);
+                figure
+            }
+            None => Figure5::compute_extended(),
+        };
         println!(
             "\nExtended scenario family — runtime lifecycle, budget steps, sharded coordinator\n"
         );
@@ -56,7 +104,14 @@ fn main() {
     }
 
     if hierarchy {
-        let figure = Figure5Hierarchy::compute();
+        let figure = match merged.as_mut() {
+            Some(merged) => {
+                let (figure, snapshot) = Figure5Hierarchy::compute_obs();
+                merged.merge(&snapshot);
+                figure
+            }
+            None => Figure5Hierarchy::compute(),
+        };
         println!(
             "\nHierarchical coordination — the rack-tagged extended mixes, budget flowing \
              datacenter → rack → app\n"
@@ -66,7 +121,14 @@ fn main() {
     }
 
     if chaos || enforce {
-        let figure = FigureChaos::compute();
+        let figure = match merged.as_mut() {
+            Some(merged) => {
+                let (figure, snapshot) = FigureChaos::compute_obs();
+                merged.merge(&snapshot);
+                figure
+            }
+            None => FigureChaos::compute(),
+        };
         if chaos {
             println!(
                 "\nChaos — fault-injected mixes under degradation and rack enforcement\n"
@@ -82,5 +144,13 @@ fn main() {
             println!("{}", projection.to_table());
             write_figure(&projection, "fig5_enforce.json");
         }
+    }
+
+    if let (Some(obs_path), Some(mut merged)) = (obs_path, merged) {
+        if let Some(dispatch) = dispatch {
+            exec::global_pool().set_dispatch_observer(None);
+            merged.merge(&dispatch.snapshot());
+        }
+        write_figure(&merged.to_report(), &obs_path);
     }
 }

@@ -14,10 +14,17 @@
 //! Writes `fuzz_corpus.json` (the coverage corpus) and `fuzz_report.json`
 //! (executions, per-strategy stats, shrunk incidents) to the working
 //! directory; override with `--corpus PATH` / `--report PATH`. When the
-//! corpus file already exists it is reloaded first and its scenarios join
-//! the seed pool, so successive runs (and the CI corpus cache) accumulate
-//! coverage instead of rediscovering it.
+//! corpus file already exists it is reloaded first — entry by entry, so a
+//! partially-unreadable corpus reports exactly how many entries were
+//! salvaged vs. rejected instead of degrading silently — and its scenarios
+//! join the seed pool, so successive runs (and the CI corpus cache)
+//! accumulate coverage instead of rediscovering it. Pass `--obs PATH` to
+//! also write an [`obs::ObsReport`]: execution and corpus counters plus a
+//! structured event stream (corpus loads, incidents).
 
+use std::sync::Arc;
+
+use obs::{Counter, Event, EventKind, Recorder};
 use scenario_fuzz::{fuzz, FuzzConfig};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -37,6 +44,8 @@ fn main() {
         .unwrap_or(64);
     let corpus_path = flag_value(&args, "--corpus").unwrap_or_else(|| "fuzz_corpus.json".into());
     let report_path = flag_value(&args, "--report").unwrap_or_else(|| "fuzz_report.json".into());
+    let obs_path = flag_value(&args, "--obs");
+    let recorder = obs_path.as_ref().map(|_| Arc::new(Recorder::in_memory()));
 
     let config = FuzzConfig {
         seed,
@@ -51,12 +60,28 @@ fn main() {
     // coverage). Still deterministic: same seed + same corpus file, same
     // output.
     if let Ok(text) = std::fs::read_to_string(&corpus_path) {
-        match scenario_fuzz::Corpus::from_json(&text) {
-            Ok(previous) => {
+        match scenario_fuzz::Corpus::from_json_lossy(&text) {
+            Ok((previous, loaded, rejected)) => {
                 println!(
-                    "reloaded {} corpus entries from {corpus_path}",
-                    previous.entries.len()
+                    "reloaded {loaded} corpus entries from {corpus_path} ({rejected} rejected)"
                 );
+                if rejected > 0 {
+                    eprintln!(
+                        "warning: {rejected} corpus entries in {corpus_path} were unreadable \
+                         and dropped; coverage from those signatures must be rediscovered"
+                    );
+                }
+                if let Some(recorder) = &recorder {
+                    recorder.add(Counter::CorpusLoaded, loaded as u64);
+                    recorder.add(Counter::CorpusRejected, rejected as u64);
+                    recorder.emit(Event {
+                        quantum: 0,
+                        kind: EventKind::CorpusLoad {
+                            loaded: loaded as u64,
+                            rejected: rejected as u64,
+                        },
+                    });
+                }
                 seeds.extend(previous.entries.into_iter().map(|entry| entry.scenario));
             }
             Err(err) => eprintln!("ignoring unreadable corpus {corpus_path}: {err}"),
@@ -67,7 +92,7 @@ fn main() {
         "scenario fuzz: seed {seed}, {iterations} iterations, {} seed scenarios",
         seeds.len()
     );
-    let mut executor = experiments::fuzz::probe_executor(seed);
+    let mut executor = experiments::fuzz::probe_executor_obs(seed, recorder.clone());
     let (corpus, report) = fuzz(&config, &seeds, &mut executor);
 
     println!(
@@ -105,5 +130,24 @@ fn main() {
             Err(err) => eprintln!("could not write {report_path}: {err}"),
         },
         Err(err) => eprintln!("could not serialise {report_path}: {err}"),
+    }
+
+    if let (Some(obs_path), Some(recorder)) = (obs_path, recorder) {
+        for incident in &report.incidents {
+            recorder.emit(Event {
+                quantum: 0,
+                kind: EventKind::Incident {
+                    classes: incident.classes.join(" + "),
+                },
+            });
+        }
+        let obs_report = recorder.snapshot().to_report();
+        match serde_json::to_string_pretty(&obs_report) {
+            Ok(json) => match std::fs::write(&obs_path, json) {
+                Ok(()) => println!("telemetry written to {obs_path}"),
+                Err(err) => eprintln!("could not write {obs_path}: {err}"),
+            },
+            Err(err) => eprintln!("could not serialise {obs_path}: {err}"),
+        }
     }
 }

@@ -35,10 +35,14 @@
 //! the *healthy* population — the fairness cost any defence must be
 //! judged by.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use coordinator::{
     AppHandle, Coordinator, DatacenterArbiter, EnforcementMode, HealthState, PerformanceMarket,
     RackCoordinator, WatchdogConfig,
 };
+use obs::{Counter, ObsSnapshot, Recorder};
 use seec::UncoordinatedRuntime;
 use serde::{Deserialize, Serialize};
 use workloads::{chaos_mixes, FaultKind, HeartbeatedWorkload, Scenario};
@@ -48,7 +52,8 @@ use crate::driver::{run_cells, to_server_demand};
 use crate::faults::FaultRuntime;
 use crate::fig3::{map_configuration, xeon_actuators};
 use crate::fig5::{
-    build_apps, datacenter_budget_watts, heartbeated, managed_for, tuned, AppSim, QUANTUM_SECONDS,
+    build_apps, datacenter_budget_watts, heartbeated, managed_for, tuned, AppSim, RuntimeBlock,
+    QUANTUM_SECONDS,
 };
 
 /// One application's fate in one chaos cell.
@@ -113,6 +118,20 @@ pub struct ChaosArmOutcome {
     pub shed_joules: f64,
     /// Per-app verdicts.
     pub apps: Vec<ChaosAppOutcome>,
+    /// Wall-clock accounting for the cell (zeroed under
+    /// [`Self::canonical`]).
+    pub runtime: RuntimeBlock,
+}
+
+impl ChaosArmOutcome {
+    /// The outcome with wall-clock timing zeroed (see
+    /// [`crate::fig5::ArmOutcome::canonical`]).
+    pub fn canonical(&self) -> Self {
+        ChaosArmOutcome {
+            runtime: self.runtime.canonical(),
+            ..self.clone()
+        }
+    }
 }
 
 /// One chaos scenario across every regime.
@@ -138,6 +157,24 @@ pub struct ChaosScenarioResult {
     pub degraded_audit: ChaosArmOutcome,
     /// Watchdog + admission control + rack breaker.
     pub degraded_clamp: ChaosArmOutcome,
+}
+
+impl ChaosScenarioResult {
+    /// The scenario with every arm's wall-clock timing zeroed.
+    pub fn canonical(&self) -> Self {
+        ChaosScenarioResult {
+            name: self.name.clone(),
+            apps: self.apps,
+            racks: self.racks,
+            quanta: self.quanta,
+            budget_watts: self.budget_watts,
+            uncoordinated: self.uncoordinated.canonical(),
+            naive_audit: self.naive_audit.canonical(),
+            naive_clamp: self.naive_clamp.canonical(),
+            degraded_audit: self.degraded_audit.canonical(),
+            degraded_clamp: self.degraded_clamp.canonical(),
+        }
+    }
 }
 
 /// The `fig5 --chaos` data set.
@@ -302,7 +339,10 @@ pub(crate) fn run_chaos_cell(
     scenario: &Scenario,
     arm: ChaosArm,
     seed: u64,
+    observer: Option<&Arc<Recorder>>,
 ) -> ChaosArmOutcome {
+    let started = Instant::now();
+    let mut peak_fleet: u64 = 0;
     let mut apps = build_apps(server, scenario);
     let racks = scenario.rack_count();
     let budget_range = (server.max_power_watts() - server.idle_power_watts()) * racks as f64;
@@ -336,6 +376,9 @@ pub(crate) fn run_chaos_cell(
             Some(datacenter)
         }
     };
+    if let (Some(observer), Some(datacenter)) = (observer, datacenter_state.as_mut()) {
+        datacenter.set_obs(Some(Arc::clone(observer)));
+    }
 
     let mut controllers: Vec<ChaosControl> = apps
         .iter()
@@ -397,12 +440,14 @@ pub(crate) fn run_chaos_cell(
 
         // ---- Evaluate every active app under its current configuration.
         rack_core_duty.fill(0.0);
+        let mut active_count: u64 = 0;
         for (index, sim) in apps.iter().enumerate() {
             per_app_power[index] = 0.0;
             rates[index] = 0.0;
             if !sim.active_at(quantum) {
                 continue;
             }
+            active_count += 1;
             if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
                 continue; // crashed: no cycles, no watts
             }
@@ -487,7 +532,16 @@ pub(crate) fn run_chaos_cell(
                 }
             }
         }
+        peak_fleet = peak_fleet.max(active_count);
+        let violations_before = meter.violation_intervals();
         meter.record(QUANTUM_SECONDS, machine_power);
+        if let Some(observer) = observer {
+            observer.observe_fleet_size(active_count);
+            observer.add(
+                Counter::DatacenterMeterViolations,
+                meter.violation_intervals() - violations_before,
+            );
+        }
 
         // ---- Uncoordinated apps decide at end of quantum.
         for (index, sim) in apps.iter().enumerate() {
@@ -603,6 +657,7 @@ pub(crate) fn run_chaos_cell(
         clamp_events,
         shed_joules,
         apps: app_outcomes,
+        runtime: RuntimeBlock::measure(started, scenario.quanta, peak_fleet),
     }
 }
 
@@ -617,21 +672,53 @@ impl FigureChaos {
         FigureChaos::compute_scenarios(&chaos_mixes(seed), seed)
     }
 
+    /// [`Self::compute`] with telemetry attached (the `fig5 --chaos
+    /// --obs` path).
+    pub fn compute_obs() -> (Self, ObsSnapshot) {
+        let (figure, snapshot) =
+            FigureChaos::compute_scenarios_obs(&chaos_mixes(2012), 2012, true);
+        (figure, snapshot.expect("observe=true yields a snapshot"))
+    }
+
     /// Runs the experiment over explicit scenarios. Every
     /// (scenario, regime) pair is one worker cell with a seed derived from
     /// `(seed, scenario, regime)`, so results are identical regardless of
     /// worker count or interleaving.
     pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        FigureChaos::compute_scenarios_obs(scenarios, seed, false).0
+    }
+
+    /// [`Self::compute_scenarios`] with telemetry (see
+    /// [`crate::fig5::Figure5::compute_scenarios_obs`] for the merge
+    /// contract).
+    pub fn compute_scenarios_obs(
+        scenarios: &[Scenario],
+        seed: u64,
+        observe: bool,
+    ) -> (Self, Option<ObsSnapshot>) {
         let server = XeonServer::dell_r410_calibrated();
         let arms = ChaosArm::ALL;
-        let cells: Vec<ChaosArmOutcome> = run_cells(scenarios.len() * arms.len(), |index| {
-            let scenario = &scenarios[index / arms.len()];
-            let arm = arms[index % arms.len()];
-            let cell_seed = seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(0xc4a0_5000)
-                .wrapping_add(index as u64);
-            run_chaos_cell(&server, scenario, arm, cell_seed)
+        let cells: Vec<(ChaosArmOutcome, Option<ObsSnapshot>)> =
+            run_cells(scenarios.len() * arms.len(), |index| {
+                let scenario = &scenarios[index / arms.len()];
+                let arm = arms[index % arms.len()];
+                let cell_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0xc4a0_5000)
+                    .wrapping_add(index as u64);
+                let recorder = observe.then(|| Arc::new(Recorder::in_memory()));
+                let outcome = run_chaos_cell(&server, scenario, arm, cell_seed, recorder.as_ref());
+                let snapshot = recorder.map(|recorder| recorder.snapshot());
+                (outcome, snapshot)
+            });
+        let snapshot = observe.then(|| {
+            let mut merged = ObsSnapshot::empty();
+            for (_, cell) in &cells {
+                if let Some(cell) = cell {
+                    merged.merge(cell);
+                }
+            }
+            merged
         });
         let scenarios = scenarios
             .iter()
@@ -642,14 +729,26 @@ impl FigureChaos {
                 racks: scenario.rack_count(),
                 quanta: scenario.quanta,
                 budget_watts: datacenter_budget_watts(&server, scenario),
-                uncoordinated: outcomes[0].clone(),
-                naive_audit: outcomes[1].clone(),
-                naive_clamp: outcomes[2].clone(),
-                degraded_audit: outcomes[3].clone(),
-                degraded_clamp: outcomes[4].clone(),
+                uncoordinated: outcomes[0].0.clone(),
+                naive_audit: outcomes[1].0.clone(),
+                naive_clamp: outcomes[2].0.clone(),
+                degraded_audit: outcomes[3].0.clone(),
+                degraded_clamp: outcomes[4].0.clone(),
             })
             .collect();
-        FigureChaos { scenarios }
+        (FigureChaos { scenarios }, snapshot)
+    }
+
+    /// The figure with every arm's wall-clock timing zeroed — the form
+    /// determinism tests compare.
+    pub fn canonical(&self) -> Self {
+        FigureChaos {
+            scenarios: self
+                .scenarios
+                .iter()
+                .map(ChaosScenarioResult::canonical)
+                .collect(),
+        }
     }
 
     /// Renders the figure as an aligned text table.
@@ -859,8 +958,89 @@ mod tests {
         let scenarios = chaos_mixes(7);
         let a = FigureChaos::compute_scenarios(&scenarios, 7);
         let b = FigureChaos::compute_scenarios(&scenarios, 7);
-        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
         let c = FigureChaos::compute_scenarios(&scenarios, 8);
-        assert_ne!(a, c, "different seeds must differ");
+        assert_ne!(a.canonical(), c.canonical(), "different seeds must differ");
+    }
+
+    /// The acceptance cross-check for `fig5 --chaos --obs`: the merged
+    /// telemetry snapshot reconciles exactly with the arm summaries, and
+    /// observing changes nothing.
+    #[test]
+    fn chaos_telemetry_reconciles_with_arm_summaries() {
+        // The canonical seed: `degradation_contains_the_chaos_mixes` pins
+        // that it quarantines apps and trips breakers.
+        let scenarios = chaos_mixes(2012);
+        let baseline = FigureChaos::compute_scenarios(&scenarios, 2012);
+        let (observed, snapshot) = FigureChaos::compute_scenarios_obs(&scenarios, 2012, true);
+        assert_eq!(baseline.canonical(), observed.canonical());
+        let snapshot = snapshot.expect("observe=true returns a snapshot");
+
+        let arms = |s: &ChaosScenarioResult| {
+            [
+                s.uncoordinated.clone(),
+                s.naive_audit.clone(),
+                s.naive_clamp.clone(),
+                s.degraded_audit.clone(),
+                s.degraded_clamp.clone(),
+            ]
+        };
+        // First-time quarantines: the counter matches the figure's
+        // quarantined-app totals across every cell.
+        let quarantined: u64 = observed
+            .scenarios
+            .iter()
+            .flat_map(|s| arms(s).map(|arm| arm.quarantined_apps as u64))
+            .sum();
+        assert_eq!(snapshot.counter(Counter::Quarantines), quarantined);
+        assert!(quarantined > 0, "the chaos mixes must quarantine someone");
+        // Breaker activity: clamp counter and EnvelopeClamp events both
+        // match the summed per-rack clamp_events.
+        let clamps: u64 = observed
+            .scenarios
+            .iter()
+            .flat_map(|s| arms(s).map(|arm| arm.clamp_events))
+            .sum();
+        assert_eq!(snapshot.counter(Counter::ClampEvents), clamps);
+        let clamp_event_stream = snapshot
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::EnvelopeClamp { .. }))
+            .count() as u64;
+        assert_eq!(clamp_event_stream, clamps);
+        assert!(clamps > 0, "the rogue mixes must trip a breaker");
+        // Datacenter meter violations fold back to the cap-violation
+        // rates (one interval per quantum).
+        let violations: u64 = observed
+            .scenarios
+            .iter()
+            .flat_map(|s| {
+                arms(s)
+                    .map(|arm| (arm.cap_violation_rate * s.quanta as f64).round() as u64)
+            })
+            .sum();
+        assert_eq!(
+            snapshot.counter(Counter::DatacenterMeterViolations),
+            violations
+        );
+        // Health transitions: at least one Suspect→Quarantined transition
+        // appears in the event stream, stamped with a coordinator quantum.
+        let transitions = snapshot
+            .events
+            .iter()
+            .filter(
+                |e| matches!(&e.kind, obs::EventKind::HealthTransition { to, .. } if to == "Quarantined"),
+            )
+            .count() as u64;
+        assert!(
+            transitions >= quarantined,
+            "every first quarantine is a ladder transition into Quarantined \
+             (re-quarantines may add more): {transitions} < {quarantined}"
+        );
+        // Decisions reconcile with the timed histogram.
+        assert_eq!(
+            snapshot.stage(obs::Stage::Decision).count,
+            snapshot.counter(Counter::AppsDecided)
+        );
     }
 }

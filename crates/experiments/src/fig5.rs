@@ -33,10 +33,14 @@
 //! model power is linear in utilisation, so a power cap would barely
 //! distinguish the regimes.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use coordinator::{
     AppHandle, ArbitrationPolicy, Coordinator, DatacenterArbiter, ManagedApp, PerformanceMarket,
     RackCoordinator, StaticShare, WeightedFair,
 };
+use obs::{Counter, ObsSnapshot, Recorder};
 use seec::control::PiController;
 use seec::{SeecRuntime, SeecRuntimeBuilder, UncoordinatedRuntime};
 use serde::{Deserialize, Serialize};
@@ -58,6 +62,47 @@ pub const QUANTUM_SECONDS: f64 = 1.0;
 /// quanta).
 const BEATS_PER_QUANTUM_AT_TARGET: f64 = 8.0;
 
+/// Wall-clock accounting for one simulation cell, reported alongside the
+/// simulated metrics. The timing fields are measurement-environment facts,
+/// not simulation outputs: determinism checks compare
+/// [`ArmOutcome::canonical`] forms, which zero them (the fleet gauge is
+/// deterministic and survives).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeBlock {
+    /// Wall-clock time the cell took to simulate, in seconds.
+    pub wall_clock_seconds: f64,
+    /// Simulated quanta per wall-clock second (0 when the clock read 0).
+    pub quanta_per_second: f64,
+    /// Largest number of simultaneously active applications in any
+    /// quantum.
+    pub peak_fleet_size: u64,
+}
+
+impl RuntimeBlock {
+    pub(crate) fn measure(started: Instant, quanta: usize, peak_fleet_size: u64) -> Self {
+        let wall_clock_seconds = started.elapsed().as_secs_f64();
+        RuntimeBlock {
+            wall_clock_seconds,
+            quanta_per_second: if wall_clock_seconds > 0.0 {
+                quanta as f64 / wall_clock_seconds
+            } else {
+                0.0
+            },
+            peak_fleet_size,
+        }
+    }
+
+    /// The block with its wall-clock fields zeroed — the deterministic
+    /// residue compared by determinism tests.
+    pub fn canonical(&self) -> Self {
+        RuntimeBlock {
+            wall_clock_seconds: 0.0,
+            quanta_per_second: 0.0,
+            peak_fleet_size: self.peak_fleet_size,
+        }
+    }
+}
+
 /// One regime's machine-level outcome on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArmOutcome {
@@ -75,6 +120,21 @@ pub struct ArmOutcome {
     pub mean_power_watts: f64,
     /// Peak quantum machine power above idle, in watts.
     pub peak_power_watts: f64,
+    /// Wall-clock accounting for the cell (zeroed under
+    /// [`Self::canonical`]).
+    pub runtime: RuntimeBlock,
+}
+
+impl ArmOutcome {
+    /// The outcome with wall-clock timing zeroed; everything else — the
+    /// simulated metrics and the peak-fleet gauge — must be bit-identical
+    /// across reruns and with telemetry on or off.
+    pub fn canonical(&self) -> Self {
+        ArmOutcome {
+            runtime: self.runtime.canonical(),
+            ..self.clone()
+        }
+    }
 }
 
 /// One scenario's results across every regime.
@@ -100,6 +160,24 @@ pub struct Figure5Scenario {
     /// The coordinated regime under every shipped arbitration policy
     /// (static-share, weighted-fair, performance-market).
     pub policies: Vec<ArmOutcome>,
+}
+
+impl Figure5Scenario {
+    /// The scenario with every arm's wall-clock timing zeroed (see
+    /// [`ArmOutcome::canonical`]).
+    pub fn canonical(&self) -> Self {
+        Figure5Scenario {
+            name: self.name.clone(),
+            apps: self.apps,
+            quanta: self.quanta,
+            budget_watts: self.budget_watts,
+            no_adaptation: self.no_adaptation.canonical(),
+            uncoordinated: self.uncoordinated.canonical(),
+            per_app_seec: self.per_app_seec.canonical(),
+            coordinated: self.coordinated.canonical(),
+            policies: self.policies.iter().map(ArmOutcome::canonical).collect(),
+        }
+    }
 }
 
 /// The Figure-5 data set.
@@ -182,18 +260,57 @@ impl Figure5 {
         Figure5::compute_scenarios(&extended_scenario_mixes(seed), seed)
     }
 
+    /// [`Self::compute`] with telemetry attached (the `fig5 --obs` path).
+    pub fn compute_obs() -> (Self, ObsSnapshot) {
+        let (figure, snapshot) = Figure5::compute_scenarios_obs(&scenario_mixes(2012), 2012, true);
+        (figure, snapshot.expect("observe=true yields a snapshot"))
+    }
+
+    /// [`Self::compute_extended`] with telemetry attached.
+    pub fn compute_extended_obs() -> (Self, ObsSnapshot) {
+        let (figure, snapshot) =
+            Figure5::compute_scenarios_obs(&extended_scenario_mixes(2012), 2012, true);
+        (figure, snapshot.expect("observe=true yields a snapshot"))
+    }
+
     /// Runs the experiment over explicit scenarios (tests use reduced
     /// mixes).
     pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        Figure5::compute_scenarios_obs(scenarios, seed, false).0
+    }
+
+    /// [`Self::compute_scenarios`] with telemetry: when `observe` is set,
+    /// every cell runs under its own in-memory [`Recorder`] and the
+    /// per-cell snapshots merge in cell-index order, so the combined
+    /// stream is identical regardless of worker count. The figure itself
+    /// is byte-identical either way — telemetry is read-only.
+    pub fn compute_scenarios_obs(
+        scenarios: &[Scenario],
+        seed: u64,
+        observe: bool,
+    ) -> (Self, Option<ObsSnapshot>) {
         let server = XeonServer::dell_r410_calibrated();
         let arms = Arm::ALL;
-        let cells: Vec<ArmOutcome> = run_cells(scenarios.len() * arms.len(), |index| {
-            let scenario = &scenarios[index / arms.len()];
-            let arm = arms[index % arms.len()];
-            let cell_seed = seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(index as u64);
-            run_arm(&server, scenario, arm, cell_seed)
+        let cells: Vec<(ArmOutcome, Option<ObsSnapshot>)> =
+            run_cells(scenarios.len() * arms.len(), |index| {
+                let scenario = &scenarios[index / arms.len()];
+                let arm = arms[index % arms.len()];
+                let cell_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(index as u64);
+                let recorder = observe.then(|| Arc::new(Recorder::in_memory()));
+                let outcome = run_arm(&server, scenario, arm, cell_seed, recorder.as_ref());
+                let snapshot = recorder.map(|recorder| recorder.snapshot());
+                (outcome, snapshot)
+            });
+        let snapshot = observe.then(|| {
+            let mut merged = ObsSnapshot::empty();
+            for (_, cell) in &cells {
+                if let Some(cell) = cell {
+                    merged.merge(cell);
+                }
+            }
+            merged
         });
         let scenarios = scenarios
             .iter()
@@ -203,14 +320,27 @@ impl Figure5 {
                 apps: scenario.apps.len(),
                 quanta: scenario.quanta,
                 budget_watts: budget_watts(&server, scenario),
-                no_adaptation: outcomes[0].clone(),
-                uncoordinated: outcomes[1].clone(),
-                per_app_seec: outcomes[2].clone(),
-                coordinated: outcomes[3].clone(),
-                policies: vec![outcomes[4].clone(), outcomes[5].clone(), outcomes[3].clone()],
+                no_adaptation: outcomes[0].0.clone(),
+                uncoordinated: outcomes[1].0.clone(),
+                per_app_seec: outcomes[2].0.clone(),
+                coordinated: outcomes[3].0.clone(),
+                policies: vec![
+                    outcomes[4].0.clone(),
+                    outcomes[5].0.clone(),
+                    outcomes[3].0.clone(),
+                ],
             })
             .collect();
-        Figure5 { scenarios }
+        (Figure5 { scenarios }, snapshot)
+    }
+
+    /// The figure with every arm's wall-clock timing zeroed — the form
+    /// determinism tests compare (reruns agree bit-for-bit on everything
+    /// except how long the simulation took to run).
+    pub fn canonical(&self) -> Self {
+        Figure5 {
+            scenarios: self.scenarios.iter().map(Figure5Scenario::canonical).collect(),
+        }
     }
 
     /// Renders the figure as an aligned text table.
@@ -373,7 +503,21 @@ enum Controller {
 }
 
 /// Runs one (scenario, regime) cell and reports machine-level outcomes.
-pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: u64) -> ArmOutcome {
+///
+/// When `observer` is attached it also records telemetry: the coordinator
+/// streams its stage timings and lifecycle events through it, and the cell
+/// counts machine-meter violations and the fleet gauge. Telemetry is
+/// strictly read-only — the simulated outcome is bit-identical with or
+/// without it.
+pub(crate) fn run_arm(
+    server: &XeonServer,
+    scenario: &Scenario,
+    arm: Arm,
+    seed: u64,
+    observer: Option<&Arc<Recorder>>,
+) -> ArmOutcome {
+    let started = Instant::now();
+    let mut peak_fleet: u64 = 0;
     let mut apps = build_apps(server, scenario);
     let budget_range = server.max_power_watts() - server.idle_power_watts();
     let budget = budget_watts(server, scenario);
@@ -394,6 +538,9 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
         Coordinator::new(budget, policy)
             .with_pool(std::sync::Arc::clone(exec::global_pool_arc()))
     });
+    if let (Some(observer), Some(coordinator)) = (observer, coordinator_state.as_mut()) {
+        coordinator.set_obs(Some(Arc::clone(observer)));
+    }
 
     let mut controllers: Vec<Controller> = apps
         .iter()
@@ -459,12 +606,14 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
 
         // ---- Evaluate every active app under its current configuration.
         let mut core_duty_total = 0.0;
+        let mut active_count: u64 = 0;
         for (index, sim) in apps.iter().enumerate() {
             per_app_power[index] = 0.0;
             rates[index] = 0.0;
             if !sim.active_at(quantum) {
                 continue;
             }
+            active_count += 1;
             if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
                 continue; // crashed: no cycles, no watts
             }
@@ -530,7 +679,16 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
                 }
             }
         }
+        peak_fleet = peak_fleet.max(active_count);
+        let violations_before = meter.violation_intervals();
         meter.record(QUANTUM_SECONDS, machine_power);
+        if let Some(observer) = observer {
+            observer.observe_fleet_size(active_count);
+            observer.add(
+                Counter::MachineMeterViolations,
+                meter.violation_intervals() - violations_before,
+            );
+        }
 
         // ---- Decide for the next quantum.
         if let Some(coordinator) = coordinator_state.as_mut() {
@@ -575,6 +733,7 @@ pub(crate) fn run_arm(server: &XeonServer, scenario: &Scenario, arm: Arm, seed: 
         cap_violation_rate: meter.violation_rate(),
         mean_power_watts: mean_power,
         peak_power_watts: meter.peak_watts(),
+        runtime: RuntimeBlock::measure(started, scenario.quanta, peak_fleet),
     }
 }
 
@@ -611,6 +770,24 @@ pub struct HierarchyScenario {
     /// fraction of time any rack spent above the envelope the datacenter
     /// awarded it ([`RackCoordinator::meter`]).
     pub max_rack_violation_rate: f64,
+}
+
+impl HierarchyScenario {
+    /// The scenario with every arm's wall-clock timing zeroed (see
+    /// [`ArmOutcome::canonical`]).
+    pub fn canonical(&self) -> Self {
+        HierarchyScenario {
+            name: self.name.clone(),
+            apps: self.apps,
+            racks: self.racks,
+            quanta: self.quanta,
+            budget_watts: self.budget_watts,
+            uncoordinated: self.uncoordinated.canonical(),
+            flat: self.flat.canonical(),
+            rack_coordinated: self.rack_coordinated.canonical(),
+            max_rack_violation_rate: self.max_rack_violation_rate,
+        }
+    }
 }
 
 /// The `fig5 --hierarchy` data set.
@@ -656,21 +833,52 @@ impl Figure5Hierarchy {
         Figure5Hierarchy::compute_scenarios(&extended_scenario_mixes(seed), seed)
     }
 
+    /// [`Self::compute`] with telemetry attached (the `fig5 --obs` path).
+    pub fn compute_obs() -> (Self, ObsSnapshot) {
+        let (figure, snapshot) =
+            Figure5Hierarchy::compute_scenarios_obs(&extended_scenario_mixes(2012), 2012, true);
+        (figure, snapshot.expect("observe=true yields a snapshot"))
+    }
+
     /// Runs the experiment over explicit scenarios (tests use reduced
     /// mixes). Every (scenario, topology) pair is one worker cell with a
     /// seed derived from `(seed, scenario, topology)`, so results are
     /// identical regardless of worker count or interleaving.
     pub fn compute_scenarios(scenarios: &[Scenario], seed: u64) -> Self {
+        Figure5Hierarchy::compute_scenarios_obs(scenarios, seed, false).0
+    }
+
+    /// [`Self::compute_scenarios`] with telemetry (see
+    /// [`Figure5::compute_scenarios_obs`] for the merge contract).
+    pub fn compute_scenarios_obs(
+        scenarios: &[Scenario],
+        seed: u64,
+        observe: bool,
+    ) -> (Self, Option<ObsSnapshot>) {
         let server = XeonServer::dell_r410_calibrated();
         let arms = HierarchyArm::ALL;
-        let cells: Vec<(ArmOutcome, f64)> = run_cells(scenarios.len() * arms.len(), |index| {
-            let scenario = &scenarios[index / arms.len()];
-            let arm = arms[index % arms.len()];
-            let cell_seed = seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(0x5ace_0000)
-                .wrapping_add(index as u64);
-            run_hierarchy_cell(&server, scenario, arm, cell_seed)
+        let cells: Vec<(ArmOutcome, f64, Option<ObsSnapshot>)> =
+            run_cells(scenarios.len() * arms.len(), |index| {
+                let scenario = &scenarios[index / arms.len()];
+                let arm = arms[index % arms.len()];
+                let cell_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0x5ace_0000)
+                    .wrapping_add(index as u64);
+                let recorder = observe.then(|| Arc::new(Recorder::in_memory()));
+                let (outcome, worst_rack) =
+                    run_hierarchy_cell(&server, scenario, arm, cell_seed, recorder.as_ref());
+                let snapshot = recorder.map(|recorder| recorder.snapshot());
+                (outcome, worst_rack, snapshot)
+            });
+        let snapshot = observe.then(|| {
+            let mut merged = ObsSnapshot::empty();
+            for (_, _, cell) in &cells {
+                if let Some(cell) = cell {
+                    merged.merge(cell);
+                }
+            }
+            merged
         });
         let scenarios = scenarios
             .iter()
@@ -687,7 +895,15 @@ impl Figure5Hierarchy {
                 max_rack_violation_rate: outcomes[2].1,
             })
             .collect();
-        Figure5Hierarchy { scenarios }
+        (Figure5Hierarchy { scenarios }, snapshot)
+    }
+
+    /// The figure with every arm's wall-clock timing zeroed (see
+    /// [`Figure5::canonical`]).
+    pub fn canonical(&self) -> Self {
+        Figure5Hierarchy {
+            scenarios: self.scenarios.iter().map(HierarchyScenario::canonical).collect(),
+        }
     }
 
     /// Renders the figure as an aligned text table.
@@ -755,7 +971,10 @@ pub(crate) fn run_hierarchy_cell(
     scenario: &Scenario,
     arm: HierarchyArm,
     seed: u64,
+    observer: Option<&Arc<Recorder>>,
 ) -> (ArmOutcome, f64) {
+    let started = Instant::now();
+    let mut peak_fleet: u64 = 0;
     let mut apps = build_apps(server, scenario);
     let racks = scenario.rack_count();
     let budget_range =
@@ -788,6 +1007,14 @@ pub(crate) fn run_hierarchy_cell(
             }
             datacenter
         });
+    if let Some(observer) = observer {
+        if let Some(coordinator) = flat_state.as_mut() {
+            coordinator.set_obs(Some(Arc::clone(observer)));
+        }
+        if let Some(datacenter) = datacenter_state.as_mut() {
+            datacenter.set_obs(Some(Arc::clone(observer)));
+        }
+    }
 
     let mut controllers: Vec<HierarchyControl> = apps
         .iter()
@@ -874,12 +1101,14 @@ pub(crate) fn run_hierarchy_cell(
 
         // ---- Evaluate every active app under its current configuration.
         rack_core_duty.fill(0.0);
+        let mut active_count: u64 = 0;
         for (index, sim) in apps.iter().enumerate() {
             per_app_power[index] = 0.0;
             rates[index] = 0.0;
             if !sim.active_at(quantum) {
                 continue;
             }
+            active_count += 1;
             if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
                 continue; // crashed: no cycles, no watts
             }
@@ -980,7 +1209,16 @@ pub(crate) fn run_hierarchy_cell(
                 }
             }
         }
+        peak_fleet = peak_fleet.max(active_count);
+        let violations_before = meter.violation_intervals();
         meter.record(QUANTUM_SECONDS, machine_power);
+        if let Some(observer) = observer {
+            observer.observe_fleet_size(active_count);
+            observer.add(
+                Counter::DatacenterMeterViolations,
+                meter.violation_intervals() - violations_before,
+            );
+        }
 
         // ---- Uncoordinated apps decide at end of quantum (their
         // decisions govern the next one; nothing budgets them anyway).
@@ -1019,6 +1257,7 @@ pub(crate) fn run_hierarchy_cell(
             cap_violation_rate: meter.violation_rate(),
             mean_power_watts: mean_power,
             peak_power_watts: meter.peak_watts(),
+            runtime: RuntimeBlock::measure(started, scenario.quanta, peak_fleet),
         },
         max_rack_violation_rate,
     )
@@ -1077,9 +1316,76 @@ mod tests {
         let scenarios = reduced_scenarios(7);
         let a = Figure5::compute_scenarios(&scenarios, 7);
         let b = Figure5::compute_scenarios(&scenarios, 7);
-        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
         let c = Figure5::compute_scenarios(&scenarios, 8);
-        assert_ne!(a, c, "different seeds must differ");
+        assert_ne!(a.canonical(), c.canonical(), "different seeds must differ");
+        // The runtime block carries real measurements alongside the
+        // deterministic gauge.
+        let first = &a.scenarios[0].coordinated.runtime;
+        assert!(first.wall_clock_seconds > 0.0);
+        assert!(first.quanta_per_second > 0.0);
+        assert!(first.peak_fleet_size > 0);
+        assert_eq!(first.canonical().wall_clock_seconds, 0.0);
+    }
+
+    #[test]
+    fn telemetry_is_passive_and_reconciles_with_the_arm_summaries() {
+        let scenarios = reduced_scenarios(11);
+        let baseline = Figure5::compute_scenarios(&scenarios, 11);
+        let (observed, snapshot) = Figure5::compute_scenarios_obs(&scenarios, 11, true);
+        // Telemetry must never perturb the figure.
+        assert_eq!(baseline.canonical(), observed.canonical());
+        let snapshot = snapshot.expect("observe=true returns a snapshot");
+
+        // Each of the three coordinated arms per scenario steps once per
+        // quantum; the uncoordinated arms never touch a coordinator.
+        let expected_steps: u64 =
+            scenarios.iter().map(|s| 3 * s.quanta as u64).sum();
+        assert_eq!(snapshot.counter(Counter::QuantaStepped), expected_steps);
+        assert_eq!(snapshot.stage(obs::Stage::Step).count, expected_steps);
+        // Every decided app ran exactly one timed decision, and every
+        // arbitration either moved or held its award.
+        let decided = snapshot.counter(Counter::AppsDecided);
+        assert!(decided > 0);
+        assert_eq!(snapshot.stage(obs::Stage::Decision).count, decided);
+        assert_eq!(
+            snapshot.counter(Counter::AwardsChanged) + snapshot.counter(Counter::AwardsHeld),
+            decided
+        );
+        // Machine-meter violation counts fold back to the per-arm
+        // violation rates (one recorded interval per quantum).
+        let expected_violations: u64 = observed
+            .scenarios
+            .iter()
+            .flat_map(|s| {
+                let policies = s.policies[..2].iter();
+                [&s.no_adaptation, &s.uncoordinated, &s.per_app_seec, &s.coordinated]
+                    .into_iter()
+                    .chain(policies)
+                    .map(|arm| (arm.cap_violation_rate * s.quanta as f64).round() as u64)
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        assert_eq!(
+            snapshot.counter(Counter::MachineMeterViolations),
+            expected_violations
+        );
+        // The fleet gauge saw the largest mix.
+        let largest = observed
+            .scenarios
+            .iter()
+            .map(|s| s.no_adaptation.runtime.peak_fleet_size)
+            .max()
+            .unwrap();
+        assert_eq!(snapshot.peak_fleet_size, largest);
+        // Lifecycle events reconcile with the registration counters.
+        let registers = snapshot
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::Register { .. }))
+            .count() as u64;
+        assert_eq!(snapshot.counter(Counter::Registrations), registers);
+        assert!(registers > 0);
     }
 
     /// The extended mixes, shrunk for a debug-profile test: fewer apps,
@@ -1147,7 +1453,10 @@ mod tests {
         }
         // Deterministic, including runtime registration/retirement order
         // and the sharded coordinator path.
-        assert_eq!(fig, Figure5::compute_scenarios(&scenarios, 2012));
+        assert_eq!(
+            fig.canonical(),
+            Figure5::compute_scenarios(&scenarios, 2012).canonical()
+        );
     }
 
     #[test]
@@ -1202,7 +1511,23 @@ mod tests {
         );
         assert!(fig.to_table().contains("rack-coordinated"));
         // Deterministic across runs, including the pooled coordinator and
-        // datacenter paths.
-        assert_eq!(fig, Figure5Hierarchy::compute_scenarios(&scenarios, 2012));
+        // datacenter paths — and passive under telemetry.
+        let (observed, snapshot) =
+            Figure5Hierarchy::compute_scenarios_obs(&scenarios, 2012, true);
+        assert_eq!(fig.canonical(), observed.canonical());
+        let snapshot = snapshot.expect("observe=true returns a snapshot");
+        // Flat arm: one coordinator step per quantum. Rack arm: one step
+        // per rack per quantum, plus one datacenter step per quantum.
+        let expected_steps: u64 = scenarios
+            .iter()
+            .map(|s| (1 + s.rack_count() as u64) * s.quanta as u64)
+            .sum();
+        assert_eq!(snapshot.counter(Counter::QuantaStepped), expected_steps);
+        let expected_datacenter_steps: u64 =
+            scenarios.iter().map(|s| s.quanta as u64).sum();
+        assert_eq!(
+            snapshot.stage(obs::Stage::DatacenterStep).count,
+            expected_datacenter_steps
+        );
     }
 }

@@ -36,6 +36,7 @@ use coordinator::{
     AppHandle, AwardHysteresis, Coordinator, DatacenterArbiter, PerformanceMarket,
     RackCoordinator,
 };
+use obs::{Counter, Recorder};
 use scenario_fuzz::{violation_label, PolicyPathCounters, ScenarioOutcome};
 use workloads::Scenario;
 use xeon_sim::{MachineMeter, XeonServer};
@@ -568,11 +569,11 @@ pub fn fuzz_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> Scenar
     let (mut metrics, baseline_perf_per_watt) = if scenario.rack_count() > 1 {
         let metrics = run_hierarchy_probe(server, scenario, seed);
         let baseline =
-            run_hierarchy_cell(server, scenario, HierarchyArm::Uncoordinated, baseline_seed).0;
+            run_hierarchy_cell(server, scenario, HierarchyArm::Uncoordinated, baseline_seed, None).0;
         (metrics, baseline.performance_per_watt)
     } else {
         let metrics = run_flat_probe(server, scenario, seed);
-        let baseline = run_arm(server, scenario, Arm::Uncoordinated, baseline_seed);
+        let baseline = run_arm(server, scenario, Arm::Uncoordinated, baseline_seed, None);
         (metrics, baseline.performance_per_watt)
     };
     metrics.log.push_opt(check_perf_per_watt_cliff(
@@ -596,8 +597,23 @@ pub fn fuzz_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> Scenar
 /// calibrated R410 shared across all executions, every run derived from
 /// `seed` alone.
 pub fn probe_executor(seed: u64) -> impl FnMut(&Scenario) -> ScenarioOutcome {
+    probe_executor_obs(seed, None)
+}
+
+/// [`probe_executor`] with telemetry: every execution (candidate, replay,
+/// or shrink step) ticks [`Counter::FuzzExecutions`] on the recorder. The
+/// probe outcomes themselves are unchanged — counting is read-only.
+pub fn probe_executor_obs(
+    seed: u64,
+    observer: Option<std::sync::Arc<Recorder>>,
+) -> impl FnMut(&Scenario) -> ScenarioOutcome {
     let server = XeonServer::dell_r410_calibrated();
-    move |scenario: &Scenario| fuzz_probe(&server, scenario, seed)
+    move |scenario: &Scenario| {
+        if let Some(observer) = &observer {
+            observer.count(Counter::FuzzExecutions);
+        }
+        fuzz_probe(&server, scenario, seed)
+    }
 }
 
 #[cfg(test)]

@@ -47,4 +47,4 @@ pub use fig2::Figure2;
 pub use fig3::{Figure3, Figure3Row};
 pub use fig4::{Figure4, Figure4Row};
 pub use chaos::{FigureChaos, FigureEnforce};
-pub use fig5::{Figure5, Figure5Hierarchy, Figure5Scenario, HierarchyScenario};
+pub use fig5::{ArmOutcome, Figure5, Figure5Hierarchy, Figure5Scenario, HierarchyScenario, RuntimeBlock};

@@ -79,6 +79,44 @@ impl Corpus {
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Reloads a corpus tolerantly: each entry is parsed independently, so
+    /// one truncated or schema-drifted entry costs that entry rather than
+    /// silently voiding the whole file (which [`Self::from_json`] would).
+    /// Returns the salvaged corpus plus `(loaded, rejected)` entry counts.
+    ///
+    /// # Errors
+    ///
+    /// Errors only when the document itself is malformed — not valid JSON,
+    /// or not an object carrying an `entries` array.
+    pub fn from_json_lossy(text: &str) -> Result<(Self, usize, usize), serde_json::Error> {
+        use serde::ser::Value;
+        let value: Value = serde_json::from_str(text)?;
+        let entries = match &value {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(key, _)| key == "entries")
+                .map(|(_, value)| value),
+            _ => None,
+        };
+        let Some(Value::Array(items)) = entries else {
+            // Wrong top-level shape: surface the strict parser's error.
+            return Self::from_json(text).map(|corpus| {
+                let loaded = corpus.len();
+                (corpus, loaded, 0)
+            });
+        };
+        let mut corpus = Corpus::default();
+        let mut rejected = 0usize;
+        for item in items {
+            match serde_json::from_value::<CorpusEntry>(item) {
+                Ok(entry) => corpus.entries.push(entry),
+                Err(_) => rejected += 1,
+            }
+        }
+        let loaded = corpus.len();
+        Ok((corpus, loaded, rejected))
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +155,33 @@ mod tests {
         let reloaded = Corpus::from_json(&corpus.to_json()).unwrap();
         assert_eq!(reloaded, corpus);
         assert_eq!(reloaded.signature_keys(), corpus.signature_keys());
+    }
+
+    #[test]
+    fn lossy_reload_salvages_readable_entries_and_counts_the_rest() {
+        let mut corpus = Corpus::default();
+        assert!(corpus.admit(entry(5)));
+        assert!(corpus.admit(entry(9)));
+
+        // A clean file loads whole with nothing rejected.
+        let (clean, loaded, rejected) = Corpus::from_json_lossy(&corpus.to_json()).unwrap();
+        assert_eq!((loaded, rejected), (2, 0));
+        assert_eq!(clean, corpus);
+
+        // Corrupt one entry in place (a schema-drifted object): the strict
+        // loader voids the file, the lossy loader salvages the other entry
+        // and reports the casualty.
+        let mut json = corpus.to_json();
+        let needle = "\"strategy\": \"nudge\"";
+        let at = json.find(needle).unwrap();
+        json.replace_range(at..at + needle.len(), "\"strategy\": 42");
+        assert!(Corpus::from_json(&json).is_err(), "strict load must fail");
+        let (salvaged, loaded, rejected) = Corpus::from_json_lossy(&json).unwrap();
+        assert_eq!((loaded, rejected), (1, 1));
+        assert_eq!(salvaged.len(), 1);
+
+        // A document that is not a corpus at all surfaces the strict error.
+        assert!(Corpus::from_json_lossy("[1, 2, 3]").is_err());
+        assert!(Corpus::from_json_lossy("{nope").is_err());
     }
 }

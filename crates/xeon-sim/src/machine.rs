@@ -131,6 +131,13 @@ impl MachineMeter {
         }
     }
 
+    /// Number of recorded intervals above the cap — the numerator of
+    /// [`Self::violation_interval_rate`], exposed so telemetry can count
+    /// violations incrementally (before/after deltas around a record).
+    pub fn violation_intervals(&self) -> u64 {
+        self.violation_intervals
+    }
+
     /// Fraction of recorded *intervals* above the cap, in `[0, 1]`.
     pub fn violation_interval_rate(&self) -> f64 {
         if self.intervals > 0 {
