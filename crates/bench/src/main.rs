@@ -463,6 +463,29 @@ fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str)
     }
 }
 
+/// Writes `BENCH_fig5.json`, carrying over the `fleet_scaling` rows that
+/// `fig5 --fleet N` merges into the same file — the perf harness measures
+/// the coordinator-step numbers, the fleet harness measures the
+/// arbitration-fold scaling, and neither may clobber the other.
+fn write_fig5_json(path: &str, fig5: &Fig5Bench) {
+    use serde::ser::Value;
+    let preserved = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|value| match value {
+            Value::Object(entries) => entries
+                .into_iter()
+                .find(|(key, _)| key == "fleet_scaling")
+                .map(|(_, rows)| rows),
+            _ => None,
+        });
+    let mut value = fig5.to_value();
+    if let (Value::Object(entries), Some(rows)) = (&mut value, preserved) {
+        entries.push(("fleet_scaling".to_string(), rows));
+    }
+    write_json(path, &value);
+}
+
 fn write_json<T: Serialize>(path: &str, value: &T) {
     match serde_json::to_string_pretty(value) {
         Ok(json) => match std::fs::write(path, json) {
@@ -536,5 +559,5 @@ fn main() {
         fig5.obs_overhead.obs_off_overhead_percent,
         fig5.obs_overhead.obs_on_overhead_percent,
     );
-    write_json("BENCH_fig5.json", &fig5);
+    write_fig5_json("BENCH_fig5.json", &fig5);
 }

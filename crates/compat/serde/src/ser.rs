@@ -95,6 +95,12 @@ impl Serialize for bool {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())

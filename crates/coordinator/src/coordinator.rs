@@ -9,6 +9,7 @@ use obs::{Counter, Event, EventKind, Recorder, Stage, StageClock};
 use seec::{CapDecision, SeecError, SeecRuntime};
 use workloads::{HeartbeatedWorkload, QuantumDemand};
 
+use crate::incremental::IncrementalArbiter;
 use crate::policy::{AppRequest, ArbitrationPolicy};
 
 /// Opaque handle to one application registered with a [`Coordinator`].
@@ -152,11 +153,6 @@ pub struct ManagedApp {
     /// Watchdog ladder state (inert until the coordinator enables a
     /// [`WatchdogConfig`]).
     health: HealthTracker,
-    /// Work units reported through [`Coordinator::advance`] since the last
-    /// step (`None` = nothing reported — a stalled or crashed app).
-    reported_work: Option<f64>,
-    /// Power reported through [`Coordinator::advance`] since the last step.
-    reported_power: Option<f64>,
 }
 
 impl std::fmt::Debug for ManagedApp {
@@ -190,8 +186,6 @@ impl ManagedApp {
             awarded_watts: 0.0,
             last_decision: None,
             health: HealthTracker::new(),
-            reported_work: None,
-            reported_power: None,
         }
     }
 
@@ -311,6 +305,27 @@ impl ManagedApp {
     }
 }
 
+/// The believed power draw of `app`'s *cheapest* configuration, in watts —
+/// the least it can physically draw while running at all (0 when its
+/// nominal power is still unknown). The watchdog's overdraw envelope and
+/// the admission feasibility pre-check both reason from this floor.
+fn cheapest_floor_watts(app: &ManagedApp) -> f64 {
+    app.nominal_power_watts() * app.runtime.model().table().min_declared_power()
+}
+
+/// What `app` commits against the cap for admission feasibility purposes:
+/// once it has been decided at least once the platform can squeeze it to
+/// its cheapest-configuration floor, but until then it is still facing its
+/// landing quantum at full launch (nominal-configuration) power — the
+/// transient that makes simultaneous launch storms infeasible.
+fn committed_floor_watts(app: &ManagedApp) -> f64 {
+    if app.last_decision.is_some() {
+        cheapest_floor_watts(app)
+    } else {
+        app.nominal_power_watts()
+    }
+}
+
 /// Runs the watchdog ladder over one application for the quantum about to
 /// be arbitrated, mutating its request in place when quarantine pins it to
 /// the floor envelope. Sequential, registration order, plain comparisons —
@@ -319,12 +334,12 @@ impl ManagedApp {
 fn watchdog_app(
     app: &mut ManagedApp,
     request: &mut AppRequest,
+    reported_work: Option<f64>,
+    reported_power: Option<f64>,
     config: &WatchdogConfig,
     quantum: usize,
 ) {
     let beats = app.driver.emitted_beats();
-    let reported_work = app.reported_work.take();
-    let reported_power = app.reported_power.take();
     if !app.active_at(quantum) {
         // Absent apps are not judged; syncing the beat cursor makes the
         // staleness clock start at arrival, not registration.
@@ -355,8 +370,7 @@ fn watchdog_app(
     // (A misreporter cannot hide behind this: at fault onset its believed
     // cheapest draw still reflects the honest model, and the Kalman
     // nominal-power estimate re-converges slower than the strike window.)
-    let cheapest_watts =
-        app.nominal_power_watts() * app.runtime.model().table().min_declared_power();
+    let cheapest_watts = cheapest_floor_watts(app);
     let envelope = app
         .awarded_watts
         .max(config.quarantine_floor_watts)
@@ -411,6 +425,34 @@ fn watchdog_app(
         request.max_power_watts = config.quarantine_floor_watts;
     }
 }
+
+/// Why [`Coordinator::try_register`] refused a registrant: with the
+/// admission feasibility pre-check enabled, an app whose
+/// cheapest-configuration power floor exceeds the remaining cap headroom is
+/// rejected outright — arbitration could never award it a feasible
+/// envelope, so admitting it would guarantee either starvation or a cap
+/// violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionError {
+    /// The refused application's name.
+    pub app: String,
+    /// The registrant's cheapest-configuration power floor, in watts.
+    pub floor_watts: f64,
+    /// Cap headroom that was still unclaimed by resident floors, in watts.
+    pub headroom_watts: f64,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission rejected: {} needs at least {:.3} W but only {:.3} W of cap headroom remains",
+            self.app, self.floor_watts, self.headroom_watts
+        )
+    }
+}
+
+impl std::error::Error for AdmissionError {}
 
 /// Summary of one coordinator step, as plain `Copy` data.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -489,10 +531,19 @@ fn aggregate_requests(requests: &[AppRequest]) -> AppRequest {
 /// on every app and lets each *present* app decide under its envelope.
 /// Returns the chunk-local index and error of the first failing decision;
 /// earlier apps in the chunk keep the decisions already applied.
+///
+/// With a `dirty` mask (the incremental path), clean apps skip the whole
+/// decide quantum — their held award and previous decision stand — and are
+/// counted [`Counter::AppsSkipped`]; dirty apps decide and are counted
+/// [`Counter::AppsRearbitrated`]. Without a mask (the full path) every
+/// present app decides and is counted [`Counter::AppsDecided`], so
+/// `skipped + rearbitrated + decided` sums to quanta × active fleet on
+/// either path.
 fn decide_chunk(
     apps: &mut [ManagedApp],
     observations: &[MonitorObservation],
     awards: &[f64],
+    dirty: Option<&[bool]>,
     now: f64,
     quantum: usize,
     observer: Option<&Recorder>,
@@ -503,6 +554,14 @@ fn decide_chunk(
         app.awarded_watts = award;
         if !app.active_at(quantum) {
             continue;
+        }
+        if let Some(dirty) = dirty {
+            if !dirty[offset] {
+                if let Some(observer) = observer {
+                    observer.count(Counter::AppsSkipped);
+                }
+                continue;
+            }
         }
         let nominal_power = app.nominal_power_watts();
         let max_powerup = if nominal_power > 0.0 && award.is_finite() {
@@ -522,11 +581,37 @@ fn decide_chunk(
             Err(err) => return Err((offset, err)),
         }
         if let (Some(observer), Some(clock)) = (observer, clock) {
-            observer.count(Counter::AppsDecided);
+            observer.count(if dirty.is_some() {
+                Counter::AppsRearbitrated
+            } else {
+                Counter::AppsDecided
+            });
             observer.time(Stage::Decision, clock.total());
         }
     }
     Ok(())
+}
+
+/// Hot per-application state the step loop streams over every quantum, in
+/// struct-of-arrays layout parallel to the coordinator's `apps` (one dense
+/// row per registration slot, so the pool shards stream cache lines of
+/// *one* field instead of pulling whole [`ManagedApp`]s). The observation,
+/// request, and award buffers on [`Coordinator`] itself are the other three
+/// columns of the same layout.
+#[derive(Debug, Default)]
+struct FleetHot {
+    /// Work units reported through [`Coordinator::advance`] since the last
+    /// step (`None` = nothing reported — a stalled or crashed app).
+    reported_work: Vec<Option<f64>>,
+    /// Power reported through [`Coordinator::advance`] since the last step.
+    reported_power: Vec<Option<f64>>,
+    /// Whether [`Coordinator::advance`] reported for this slot since the
+    /// last step — the event that re-enrolls a steady app into observation
+    /// on the incremental schedule.
+    fresh: Vec<bool>,
+    /// Per-step scratch: which slots skip re-observation this quantum
+    /// (empty = observe everything).
+    skip_observe: Vec<bool>,
 }
 
 /// Runs many applications' ODA loops on one shared quantum schedule and
@@ -601,6 +686,15 @@ pub struct Coordinator {
     /// Whether a mid-run registration is immediately dropped to its
     /// cheapest configuration (see [`Self::with_admission_control`]).
     admission_control: bool,
+    /// Whether [`Self::try_register`] runs the admission feasibility
+    /// pre-check (see [`Self::with_admission_feasibility`]).
+    admission_feasibility: bool,
+    /// Incremental arbitration engine; `None` (the default) runs the full
+    /// arbitration fold every quantum, byte-identical to every earlier
+    /// build (see [`Self::with_arbitration_tolerance`]).
+    incremental: Option<IncrementalArbiter>,
+    /// Struct-of-arrays hot state parallel to `apps` (see [`FleetHot`]).
+    hot: FleetHot,
     /// Simulation time of the most recent step (timestamps admission-
     /// control decisions for mid-run registrations).
     last_now: f64,
@@ -657,6 +751,9 @@ impl Coordinator {
             shard_threshold: Self::DEFAULT_SHARD_THRESHOLD,
             watchdog: None,
             admission_control: false,
+            admission_feasibility: false,
+            incremental: None,
+            hot: FleetHot::default(),
             last_now: 0.0,
             observations: Vec::new(),
             requests: Vec::new(),
@@ -830,6 +927,11 @@ impl Coordinator {
     /// `None` disables it; ladder positions are kept but stop evolving.
     pub fn set_watchdog(&mut self, config: Option<WatchdogConfig>) {
         self.watchdog = config;
+        // New thresholds can rewrite quarantine requests differently, so
+        // every held award re-enters the fold.
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.mark_all_dirty();
+        }
     }
 
     /// The active watchdog thresholds, if any.
@@ -863,6 +965,74 @@ impl Coordinator {
         self.admission_control
     }
 
+    /// Enables the admission feasibility pre-check (default: off). With it,
+    /// [`Self::try_register`] *rejects* — not just arbitrates — a
+    /// registrant whose power floor does not fit in the cap headroom left
+    /// after the floors of every resident app. A resident that has been
+    /// decided at least once commits its cheapest-configuration floor
+    /// (`nominal watts × cheapest declared power multiplier` — the least it
+    /// can draw once squeezed); a resident still facing its landing quantum
+    /// (no decision yet), and the registrant itself, commit their full
+    /// launch (nominal-configuration) power — the landing transient a
+    /// launch storm pays all at once is exactly what the check must refuse.
+    /// A rejection raises an
+    /// [`obs::EventKind::AdmissionRejected`] event on the
+    /// telemetry stream. [`Self::register`] is never subject to the check —
+    /// it cannot report a refusal — so feasibility-gated drivers must
+    /// register through [`Self::try_register`].
+    pub fn with_admission_feasibility(mut self, enabled: bool) -> Self {
+        self.admission_feasibility = enabled;
+        self
+    }
+
+    /// Changes the admission feasibility pre-check mid-run (see
+    /// [`Self::with_admission_feasibility`]).
+    pub fn set_admission_feasibility(&mut self, enabled: bool) {
+        self.admission_feasibility = enabled;
+    }
+
+    /// Whether the admission feasibility pre-check is enabled.
+    pub fn admission_feasibility(&self) -> bool {
+        self.admission_feasibility
+    }
+
+    /// Enables **incremental arbitration** with the given tolerance:
+    /// each step re-arbitrates only the applications whose request moved
+    /// by at least `tolerance` (largest relative field movement) since
+    /// they were last arbitrated, plus everything the dirty set names —
+    /// fresh registrations, retirements, health transitions, and whole-
+    /// fleet invalidations (budget or policy changes). Clean applications
+    /// hold their award and skip the decide stage; with a positive
+    /// tolerance, steady apps with no fresh report skip re-observation
+    /// too, paying nothing at all for the quantum.
+    ///
+    /// Tolerance `0.0` marks every app dirty every quantum, so the engine
+    /// degenerates to exactly the full fold — output is bit-identical to
+    /// a coordinator without the knob (pinned by
+    /// `tests/incremental_props.rs`) while still exercising the
+    /// incremental machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tolerance is finite and non-negative.
+    pub fn with_arbitration_tolerance(mut self, tolerance: f64) -> Self {
+        self.set_arbitration_tolerance(Some(tolerance));
+        self
+    }
+
+    /// Changes (or disables, with `None`) incremental arbitration mid-run
+    /// (see [`Self::with_arbitration_tolerance`]). Any change discards the
+    /// engine's held awards, so the next step re-arbitrates everything.
+    pub fn set_arbitration_tolerance(&mut self, tolerance: Option<f64>) {
+        self.incremental = tolerance.map(IncrementalArbiter::new);
+    }
+
+    /// The incremental arbitration tolerance (`None` = the full fold runs
+    /// every quantum).
+    pub fn arbitration_tolerance(&self) -> Option<f64> {
+        self.incremental.as_ref().map(IncrementalArbiter::tolerance)
+    }
+
     /// Registers an application; returns its handle. May be called at any
     /// point of the run: a mid-run registration takes part in arbitration
     /// from the next [`Self::step`] onward (its default arrival of 0 makes
@@ -892,8 +1062,57 @@ impl Coordinator {
             self.push_event(kind);
         }
         self.monitors.push(app.monitor.clone());
+        self.hot.reported_work.push(None);
+        self.hot.reported_power.push(None);
+        self.hot.fresh.push(false);
         self.apps.push(app);
         AppHandle(self.apps.len() - 1)
+    }
+
+    /// [`Self::register`] behind the admission feasibility pre-check:
+    /// rejects a registrant whose launch-configuration power floor does
+    /// not fit in the cap headroom left by resident apps' floors (see
+    /// [`Self::with_admission_feasibility`]; with the check disabled, this
+    /// never rejects). Registrants whose nominal power is still unknown
+    /// (no hint, no samples) have a 0 W floor and always fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AdmissionError`] describing the infeasible floor; the
+    /// refused app is dropped and an
+    /// [`obs::EventKind::AdmissionRejected`] event is raised.
+    pub fn try_register(&mut self, app: ManagedApp) -> Result<AppHandle, AdmissionError> {
+        if self.admission_feasibility {
+            // The registrant lands at launch power: nothing has decided it
+            // under the cap yet.
+            let floor = app.nominal_power_watts();
+            if floor > 0.0 {
+                let quantum = self.quantum;
+                let committed: f64 = self
+                    .apps
+                    .iter()
+                    .filter(|resident| resident.departure.is_none_or(|d| d > quantum))
+                    .map(committed_floor_watts)
+                    .sum();
+                let cap = self.budget_watts * self.headroom;
+                if committed + floor > cap {
+                    let error = AdmissionError {
+                        app: app.name().to_string(),
+                        floor_watts: floor,
+                        headroom_watts: (cap - committed).max(0.0),
+                    };
+                    if self.observer.is_some() {
+                        self.push_event(EventKind::AdmissionRejected {
+                            app: error.app.clone(),
+                            floor_watts: error.floor_watts,
+                            headroom_watts: error.headroom_watts,
+                        });
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        Ok(self.register(app))
     }
 
     /// Retires an application at the current quantum: it is absent from the
@@ -905,6 +1124,9 @@ impl Coordinator {
         let quantum = self.quantum;
         let app = &mut self.apps[handle.0];
         app.departure = Some(app.departure.map_or(quantum, |d| d.min(quantum)));
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.mark_dirty(handle.0);
+        }
         if self.observer.is_some() {
             if let Some(observer) = &self.observer {
                 observer.count(Counter::Retirements);
@@ -941,6 +1163,11 @@ impl Coordinator {
     pub(crate) fn set_budget_quiet(&mut self, budget_watts: f64) {
         assert!(budget_watts > 0.0, "power budget must be positive");
         self.budget_watts = budget_watts;
+        // A new budget invalidates every held award: the water level and
+        // clearing price are functions of the budget.
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.mark_all_dirty();
+        }
     }
 
     /// Number of registered applications (present or not).
@@ -968,9 +1195,13 @@ impl Coordinator {
         self.policy.name()
     }
 
-    /// Replaces the arbitration policy (takes effect next step).
+    /// Replaces the arbitration policy (takes effect next step; on the
+    /// incremental path the whole fleet re-arbitrates under it).
     pub fn set_policy(&mut self, policy: Box<dyn ArbitrationPolicy>) {
         self.policy = policy;
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.mark_all_dirty();
+        }
     }
 
     /// The application behind `handle`.
@@ -1061,17 +1292,58 @@ impl Coordinator {
 
         // ---- Observe + build requests (per-app, sharded) ------------
         let budget = self.budget_watts;
+        // Event-driven observation skipping (incremental schedule only,
+        // positive tolerance): an app that was clean at the last round,
+        // has reported nothing since, and whose schedule presence is
+        // unchanged already holds a current observation and request — it
+        // pays nothing for the quantum. Any report, lifecycle event, or
+        // fleet-wide invalidation re-enrolls it.
+        self.hot.skip_observe.clear();
+        if let Some(engine) = &self.incremental {
+            if engine.tolerance() > 0.0
+                && self.observations.len() == self.apps.len()
+                && self.requests.len() == self.apps.len()
+            {
+                let fresh = &self.hot.fresh;
+                let requests = &self.requests;
+                self.hot
+                    .skip_observe
+                    .extend(self.apps.iter().enumerate().map(|(index, app)| {
+                        engine.steady(index)
+                            && !fresh[index]
+                            && app.active_at(quantum) == requests[index].active
+                    }));
+            }
+        }
+        let skipped_observe = self.hot.skip_observe.iter().filter(|&&skip| skip).count();
         if shard >= self.apps.len() || self.observations.len() != self.apps.len() {
-            // Sequential (single shard), or the buffers are cold because the
-            // fleet changed since the last step: refill them in one pass.
-            observe_fleet(&self.monitors, &mut self.observations);
-            self.requests.clear();
-            self.requests.extend(
-                self.apps
+            if self.hot.skip_observe.is_empty() {
+                // Sequential (single shard), or the buffers are cold because
+                // the fleet changed since the last step: refill in one pass.
+                observe_fleet(&self.monitors, &mut self.observations);
+                self.requests.clear();
+                self.requests.extend(
+                    self.apps
+                        .iter()
+                        .zip(&self.observations)
+                        .map(|(app, observation)| request_for(app, observation, quantum, budget)),
+                );
+            } else {
+                // Sequential in-place pass honouring the skip mask (the
+                // mask is only built over warm buffers).
+                for (index, (app, (observation, request))) in self
+                    .apps
                     .iter()
-                    .zip(&self.observations)
-                    .map(|(app, observation)| request_for(app, observation, quantum, budget)),
-            );
+                    .zip(self.observations.iter_mut().zip(self.requests.iter_mut()))
+                    .enumerate()
+                {
+                    if self.hot.skip_observe[index] {
+                        continue;
+                    }
+                    *observation = app.monitor.observation();
+                    *request = request_for(app, observation, quantum, budget);
+                }
+            }
         } else {
             // Warm buffers: overwrite them in place, one shard per pool
             // task. Shards are handed out as `&mut` chunks even though this
@@ -1082,26 +1354,42 @@ impl Coordinator {
                 apps: &'a mut [ManagedApp],
                 observations: &'a mut [MonitorObservation],
                 requests: &'a mut [AppRequest],
+                /// Chunk of the skip mask (empty = observe everything).
+                skip: &'a [bool],
             }
             let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
+            let mask = &self.hot.skip_observe;
             let mut shards: Vec<ObserveShard> = self
                 .apps
                 .chunks_mut(shard)
                 .zip(self.observations.chunks_mut(shard))
                 .zip(self.requests.chunks_mut(shard))
-                .map(|((apps, observations), requests)| ObserveShard {
-                    apps,
-                    observations,
-                    requests,
+                .enumerate()
+                .map(|(chunk, ((apps, observations), requests))| {
+                    let skip = if mask.is_empty() {
+                        &[][..]
+                    } else {
+                        &mask[chunk * shard..chunk * shard + apps.len()]
+                    };
+                    ObserveShard {
+                        apps,
+                        observations,
+                        requests,
+                        skip,
+                    }
                 })
                 .collect();
             pool.for_each_mut(&mut shards, |_, task| {
-                for ((app, observation), request) in task
+                for (offset, ((app, observation), request)) in task
                     .apps
                     .iter()
                     .zip(task.observations.iter_mut())
                     .zip(task.requests.iter_mut())
+                    .enumerate()
                 {
+                    if task.skip.get(offset).copied().unwrap_or(false) {
+                        continue;
+                    }
                     *observation = app.monitor.observation();
                     *request = request_for(app, observation, quantum, budget);
                 }
@@ -1109,7 +1397,10 @@ impl Coordinator {
         }
 
         if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
-            observer.add(Counter::AppsObserved, self.apps.len() as u64);
+            observer.add(
+                Counter::AppsObserved,
+                (self.apps.len() - skipped_observe) as u64,
+            );
             observer.time(Stage::Observe, clock.lap());
         }
 
@@ -1124,10 +1415,18 @@ impl Coordinator {
             {
                 let before = app.health.state;
                 let first_quarantine = app.health.quarantined_at.is_none();
-                watchdog_app(app, request, &config, quantum);
+                let reported_work = self.hot.reported_work[index].take();
+                let reported_power = self.hot.reported_power[index].take();
+                watchdog_app(app, request, reported_work, reported_power, &config, quantum);
                 let after = app.health.state;
                 if after == before {
                     continue;
+                }
+                // A ladder move re-enters the app into the arbitration
+                // fold: quarantine rewrote its request, readmission
+                // restored it.
+                if let Some(engine) = self.incremental.as_mut() {
+                    engine.mark_dirty(index);
                 }
                 // Ladder telemetry, raised from this sequential loop only:
                 // first-time quarantines match the figure summaries'
@@ -1154,11 +1453,24 @@ impl Coordinator {
         }
 
         // ---- Arbitrate (sequential deterministic fold) --------------
-        self.policy.arbitrate(
-            self.budget_watts * self.headroom,
-            &self.requests,
-            &mut self.awards,
-        );
+        // The incremental engine re-arbitrates only the dirty set against
+        // the residual budget; at tolerance 0 every app is dirty and the
+        // engine makes byte-for-byte the same policy call as the full
+        // path below.
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.arbitrate(
+                self.policy.as_mut(),
+                self.budget_watts * self.headroom,
+                &self.requests,
+                &mut self.awards,
+            );
+        } else {
+            self.policy.arbitrate(
+                self.budget_watts * self.headroom,
+                &self.requests,
+                &mut self.awards,
+            );
+        }
 
         if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
             observer.time(Stage::Arbitrate, clock.lap());
@@ -1182,11 +1494,16 @@ impl Coordinator {
         }
 
         // ---- Decide under the envelopes (per-app, sharded) ----------
+        // On the incremental path the engine's dirty mask rides along:
+        // clean apps skip the whole decide quantum.
+        let dirty_mask: Option<&[bool]> =
+            self.incremental.as_ref().map(IncrementalArbiter::dirty_mask);
         if shard >= self.apps.len() {
             if let Err((_, err)) = decide_chunk(
                 &mut self.apps,
                 &self.observations,
                 &self.awards,
+                dirty_mask,
                 now,
                 quantum,
                 observer.as_deref(),
@@ -1198,6 +1515,7 @@ impl Coordinator {
                 apps: &'a mut [ManagedApp],
                 observations: &'a [MonitorObservation],
                 awards: &'a [f64],
+                dirty: Option<&'a [bool]>,
                 failure: Option<(usize, SeecError)>,
             }
             let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
@@ -1206,11 +1524,17 @@ impl Coordinator {
                 .chunks_mut(shard)
                 .zip(self.observations.chunks(shard))
                 .zip(self.awards.chunks(shard))
-                .map(|((apps, observations), awards)| DecideShard {
-                    apps,
-                    observations,
-                    awards,
-                    failure: None,
+                .enumerate()
+                .map(|(chunk, ((apps, observations), awards))| {
+                    let dirty = dirty_mask
+                        .map(|mask| &mask[chunk * shard..chunk * shard + apps.len()]);
+                    DecideShard {
+                        apps,
+                        observations,
+                        awards,
+                        dirty,
+                        failure: None,
+                    }
                 })
                 .collect();
             let decide_observer = observer.as_deref();
@@ -1219,6 +1543,7 @@ impl Coordinator {
                     task.apps,
                     task.observations,
                     task.awards,
+                    task.dirty,
                     now,
                     quantum,
                     decide_observer,
@@ -1251,6 +1576,13 @@ impl Coordinator {
                 active_apps += 1;
                 awarded_total += award;
             }
+        }
+
+        // The report-freshness flags describe "since the last step"; this
+        // step consumed them (they only gate observation skipping, so the
+        // full path never reads them).
+        if self.incremental.is_some() {
+            self.hot.fresh.iter_mut().for_each(|fresh| *fresh = false);
         }
 
         self.quantum += 1;
@@ -1306,8 +1638,9 @@ impl Coordinator {
         // Remember the raw report for the watchdog: the driver clamps NaN
         // work to 0 and the power estimator rejects non-finite samples, so
         // the *sanitised* path never sees what the app actually claimed.
-        app.reported_work = Some(work_units);
-        app.reported_power = Some(power_above_idle_watts);
+        self.hot.reported_work[handle.0] = Some(work_units);
+        self.hot.reported_power[handle.0] = Some(power_above_idle_watts);
+        self.hot.fresh[handle.0] = true;
         app.driver
             .advance_metered(start, end, work_units, power_above_idle_watts);
     }
@@ -1416,6 +1749,93 @@ mod tests {
         assert_eq!(coordinator.policy_name(), "weighted-fair");
         assert!(format!("{coordinator:?}").contains("Coordinator"));
         assert!(format!("{:?}", coordinator.app(handle)).contains("barnes"));
+    }
+
+    #[test]
+    fn admission_feasibility_refuses_a_launch_storm_past_the_cap() {
+        // Each test app hints 10 W of launch power; under a 25 W budget the
+        // headroomed cap is 23.75 W, so two landers fit and the third's
+        // 30 W committed landing transient is refused.
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(25.0, Box::new(StaticShare))
+            .with_admission_feasibility(true)
+            .with_obs(Arc::clone(&recorder));
+        assert!(coordinator.admission_feasibility());
+        coordinator
+            .try_register(managed_app(SplashBenchmark::Barnes, 1, 20.0))
+            .unwrap();
+        coordinator
+            .try_register(managed_app(SplashBenchmark::Volrend, 2, 20.0))
+            .unwrap();
+        let error = coordinator
+            .try_register(managed_app(SplashBenchmark::Raytrace, 3, 20.0))
+            .unwrap_err();
+        assert_eq!(coordinator.len(), 2, "the refused app is dropped");
+        assert_eq!(error.floor_watts, 10.0);
+        assert!((error.headroom_watts - 3.75).abs() < 1e-9);
+        assert!(error.to_string().contains("admission rejected"));
+        let events = recorder.snapshot().events;
+        assert!(
+            events.iter().any(|event| matches!(
+                &event.kind,
+                EventKind::AdmissionRejected { app, floor_watts, .. }
+                    if app == &error.app && *floor_watts == 10.0
+            )),
+            "a rejection event reaches the stream: {events:?}"
+        );
+    }
+
+    #[test]
+    fn decided_residents_commit_their_squeezed_floor_not_launch_power() {
+        let mut coordinator =
+            Coordinator::new(25.0, Box::new(WeightedFair)).with_admission_feasibility(true);
+        let first = coordinator
+            .try_register(managed_app(SplashBenchmark::Barnes, 1, 20.0))
+            .unwrap();
+        let second = coordinator
+            .try_register(managed_app(SplashBenchmark::Volrend, 2, 20.0))
+            .unwrap();
+        // Both residents still face their landing quantum, so they commit
+        // 20 W of launch transient and the third lander is refused.
+        assert!(coordinator
+            .try_register(managed_app(SplashBenchmark::Raytrace, 3, 20.0))
+            .is_err());
+        // One decided quantum later the platform can squeeze them to their
+        // cheapest floors (10 W × 0.4 each): 8 + 10 W now fits the cap.
+        drive(&mut coordinator, &[first, second], 1);
+        assert!(coordinator
+            .try_register(managed_app(SplashBenchmark::Raytrace, 3, 20.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn feasibility_disabled_or_unknown_floors_always_admit() {
+        // Disabled pre-check: the same storm sails through try_register.
+        let mut unchecked = Coordinator::new(25.0, Box::new(StaticShare));
+        for (benchmark, seed) in [
+            (SplashBenchmark::Barnes, 1),
+            (SplashBenchmark::Volrend, 2),
+            (SplashBenchmark::Raytrace, 3),
+        ] {
+            unchecked.try_register(managed_app(benchmark, seed, 20.0)).unwrap();
+        }
+        assert_eq!(unchecked.len(), 3);
+        // Enabled, but a registrant whose nominal power is unknown has a
+        // 0 W floor and always fits, however full the machine.
+        let mut checked =
+            Coordinator::new(25.0, Box::new(StaticShare)).with_admission_feasibility(true);
+        checked
+            .try_register(managed_app(SplashBenchmark::Barnes, 1, 20.0))
+            .unwrap();
+        checked
+            .try_register(managed_app(SplashBenchmark::Volrend, 2, 20.0))
+            .unwrap();
+        checked
+            .try_register(
+                managed_app(SplashBenchmark::Raytrace, 3, 20.0).with_nominal_power_hint(0.0),
+            )
+            .unwrap();
+        assert_eq!(checked.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Incremental arbitration: re-arbitrate only the applications whose
+//! requests actually moved.
+//!
+//! At million-app fleet sizes the full arbitration fold is almost entirely
+//! redundant work — most applications' [`AppRequest`]s barely move between
+//! quanta. The [`IncrementalArbiter`] keeps a struct-of-arrays snapshot of
+//! the request each application was last arbitrated under, a **dirty set**
+//! driven by request deltas, lifecycle events, and health transitions, and
+//! the award each clean application is currently holding. Each quantum it
+//! re-runs the wrapped [`ArbitrationPolicy`] only over the dirty
+//! applications, against the *residual* budget left after the clean
+//! applications' held awards — a delta update of WeightedFair's water level
+//! and the market's clearing price (both are pure functions of the
+//! participating request set and the budget, so shrinking the set and the
+//! budget together is exact).
+//!
+//! # Tolerance-0 determinism
+//!
+//! The degenerate tolerance `0.0` marks **every** application dirty every
+//! quantum (a request delta of exactly zero is not *strictly inside* a zero
+//! tolerance), so the engine falls through to one [`ArbitrationPolicy::arbitrate`]
+//! call over the full request slice — byte-for-byte the call the
+//! non-incremental path makes. Incremental arbitration at tolerance 0 is
+//! therefore *bit-identical* to full re-arbitration by construction, which
+//! is exactly what the differential suite
+//! (`tests/incremental_props.rs`) pins across policies, fleets, churn, and
+//! worker counts.
+//!
+//! # Budget conservation at any tolerance
+//!
+//! Clean applications hold their previous award, clamped to their current
+//! absorption ceiling (clamping only ever shrinks). The dirty set is
+//! arbitrated under `budget − Σ held`, and every shipped policy conserves
+//! its budget, so the merged award vector sums to at most the full budget
+//! at every tolerance — pinned by the nonzero-tolerance properties of the
+//! same suite.
+
+use crate::policy::{AppRequest, ArbitrationPolicy};
+
+/// What one incremental arbitration round did, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalOutcome {
+    /// Active applications re-arbitrated this round (their request moved
+    /// past the tolerance or an event marked them dirty).
+    pub rearbitrated: usize,
+    /// Active applications that kept their held award without entering the
+    /// arbitration fold.
+    pub skipped: usize,
+    /// Whether the round degenerated to one full-fleet policy call (always
+    /// true at tolerance 0).
+    pub full: bool,
+}
+
+/// The incremental arbitration engine (see the module docs).
+///
+/// Drives any [`ArbitrationPolicy`] incrementally; the
+/// [`crate::Coordinator`] embeds one when an arbitration tolerance is set
+/// ([`crate::Coordinator::with_arbitration_tolerance`]), and the fleet-scale
+/// harness (`fig5 --fleet N`) drives one directly over synthetic request
+/// arrays.
+#[derive(Debug, Default)]
+pub struct IncrementalArbiter {
+    tolerance: f64,
+    /// Request snapshot at each slot's last arbitration (struct-of-arrays:
+    /// one dense request row per app, streamed in slot order).
+    last_requests: Vec<AppRequest>,
+    /// The award each slot is holding from its last arbitration.
+    held: Vec<f64>,
+    /// Slots marked dirty by events since the last round.
+    marked: Vec<bool>,
+    /// The dirty mask of the most recent round (kept for the caller's
+    /// decide stage and telemetry).
+    dirty: Vec<bool>,
+    /// Force a full round (budget/policy change, or first round).
+    fleet_dirty: bool,
+    scratch_requests: Vec<AppRequest>,
+    scratch_awards: Vec<f64>,
+}
+
+/// Largest relative per-field movement between two requests; infinite when
+/// presence flipped, NaN-propagating so non-finite fields always re-enter
+/// the fold.
+fn request_delta(current: &AppRequest, snapshot: &AppRequest) -> f64 {
+    if current.active != snapshot.active {
+        return f64::INFINITY;
+    }
+    let relative = |now: f64, then: f64| {
+        let scale = now.abs().max(then.abs()).max(1.0);
+        (now - then).abs() / scale
+    };
+    relative(current.weight, snapshot.weight)
+        .max(relative(current.urgency, snapshot.urgency))
+        .max(relative(current.max_power_watts, snapshot.max_power_watts))
+}
+
+impl IncrementalArbiter {
+    /// An engine that re-arbitrates slots whose request moved by at least
+    /// `tolerance` (largest relative field movement; 0 = every round).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tolerance is finite and non-negative.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "arbitration tolerance must be finite and non-negative, got {tolerance}"
+        );
+        IncrementalArbiter {
+            tolerance,
+            fleet_dirty: true,
+            ..IncrementalArbiter::default()
+        }
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Marks one slot dirty: it re-enters the fold next round regardless of
+    /// its request delta (lifecycle events, health transitions).
+    pub fn mark_dirty(&mut self, index: usize) {
+        if index >= self.marked.len() {
+            self.marked.resize(index + 1, false);
+        }
+        self.marked[index] = true;
+    }
+
+    /// Marks the whole fleet dirty: the next round is a full policy call
+    /// (budget or policy replacement invalidates every held award).
+    pub fn mark_all_dirty(&mut self) {
+        self.fleet_dirty = true;
+    }
+
+    /// The dirty mask of the most recent [`Self::arbitrate`] round, one
+    /// flag per request slot (empty before the first round). The caller's
+    /// decide stage uses this to skip clean applications.
+    pub fn dirty_mask(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Whether `index` can skip the coming quantum entirely: it was clean
+    /// at the most recent round, so — absent a fresh report or a new mark —
+    /// its observation and request are already current.
+    pub fn steady(&self, index: usize) -> bool {
+        self.tolerance > 0.0
+            && !self.fleet_dirty
+            && self.dirty.get(index).is_some_and(|&dirty| !dirty)
+            && self.marked.get(index).is_none_or(|&marked| !marked)
+    }
+
+    /// One incremental round: splits `budget_watts` across `requests` into
+    /// `awards` through `policy`, re-arbitrating only the dirty slots (see
+    /// the module docs). Slots never seen before are dirty by definition;
+    /// growing or shrinking the slice resets the new/old slots accordingly.
+    pub fn arbitrate(
+        &mut self,
+        policy: &mut dyn ArbitrationPolicy,
+        budget_watts: f64,
+        requests: &[AppRequest],
+        awards: &mut Vec<f64>,
+    ) -> IncrementalOutcome {
+        let fleet = requests.len();
+        // Slots never seen before start marked (dirty by definition);
+        // existing slots keep whatever marks they carried.
+        self.marked.resize(fleet, true);
+        self.last_requests.resize(
+            fleet,
+            AppRequest {
+                active: false,
+                weight: 1.0,
+                urgency: 1.0,
+                max_power_watts: 0.0,
+            },
+        );
+        self.held.resize(fleet, 0.0);
+        self.dirty.clear();
+        self.dirty.resize(fleet, false);
+
+        // ---- Classify: the dirty set -------------------------------
+        // "Moved" unless the delta is *strictly inside* the tolerance, so
+        // tolerance 0 marks everything and a NaN delta always re-enters.
+        let mut dirty_count = 0;
+        for (index, request) in requests.iter().enumerate() {
+            let delta = request_delta(request, &self.last_requests[index]);
+            let moved = delta.partial_cmp(&self.tolerance) != Some(std::cmp::Ordering::Less);
+            let dirty = self.fleet_dirty || self.marked[index] || moved;
+            self.dirty[index] = dirty;
+            if dirty {
+                dirty_count += 1;
+            }
+        }
+        self.marked.iter_mut().for_each(|marked| *marked = false);
+        self.fleet_dirty = false;
+
+        let mut outcome = IncrementalOutcome {
+            full: dirty_count == fleet,
+            ..IncrementalOutcome::default()
+        };
+        for (request, &dirty) in requests.iter().zip(&self.dirty) {
+            if !request.active {
+                continue;
+            }
+            if dirty {
+                outcome.rearbitrated += 1;
+            } else {
+                outcome.skipped += 1;
+            }
+        }
+
+        if outcome.full {
+            // Degenerate round (always at tolerance 0): byte-for-byte the
+            // call the non-incremental path makes.
+            policy.arbitrate(budget_watts, requests, awards);
+            self.last_requests.copy_from_slice(requests);
+            self.held.copy_from_slice(awards);
+            return outcome;
+        }
+
+        if dirty_count == 0 {
+            // Fully steady quantum: no fold at all. Every slot holds its
+            // award (clamped to its current ceiling) and the policy is not
+            // consulted — the event-driven skip the engine exists for.
+            for (request, held) in requests.iter().zip(self.held.iter_mut()) {
+                *held = held.min(request.max_power_watts.max(0.0));
+            }
+            awards.clear();
+            awards.extend_from_slice(&self.held);
+            return outcome;
+        }
+
+        // ---- Hold the clean slots, fold the dirty residual ---------
+        // Clean awards clamp to the current ceiling (clamping only
+        // shrinks), then the dirty set is arbitrated under the residual
+        // budget — the delta update of the water level / clearing price.
+        let mut held_total = 0.0;
+        for ((request, &dirty), held) in
+            requests.iter().zip(&self.dirty).zip(self.held.iter_mut())
+        {
+            if dirty {
+                continue;
+            }
+            *held = held.min(request.max_power_watts.max(0.0));
+            held_total += *held;
+        }
+        let residual = (budget_watts - held_total).max(0.0);
+        self.scratch_requests.clear();
+        self.scratch_requests.extend(
+            requests
+                .iter()
+                .zip(&self.dirty)
+                .map(|(request, &dirty)| AppRequest {
+                    active: request.active && dirty,
+                    ..*request
+                }),
+        );
+        policy.arbitrate(residual, &self.scratch_requests, &mut self.scratch_awards);
+
+        awards.clear();
+        awards.extend((0..fleet).map(|index| {
+            if self.dirty[index] {
+                self.last_requests[index] = requests[index];
+                self.held[index] = self.scratch_awards[index];
+            }
+            self.held[index]
+        }));
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PerformanceMarket, StaticShare, WeightedFair};
+
+    fn request(weight: f64, urgency: f64, ceiling: f64) -> AppRequest {
+        AppRequest {
+            active: true,
+            weight,
+            urgency,
+            max_power_watts: ceiling,
+        }
+    }
+
+    #[test]
+    fn tolerance_zero_is_bitwise_identical_to_the_full_fold() {
+        let requests = vec![
+            request(1.0, 1.3, 40.0),
+            request(2.0, 0.8, 25.0),
+            AppRequest {
+                active: false,
+                ..request(3.0, 1.0, 60.0)
+            },
+            request(0.5, 2.0, 15.0),
+        ];
+        for make in [
+            || Box::new(StaticShare) as Box<dyn ArbitrationPolicy>,
+            || Box::new(WeightedFair) as Box<dyn ArbitrationPolicy>,
+            || Box::new(PerformanceMarket::default()) as Box<dyn ArbitrationPolicy>,
+        ] {
+            let mut full = make();
+            let mut wrapped = make();
+            let mut engine = IncrementalArbiter::new(0.0);
+            let mut expected = Vec::new();
+            let mut actual = Vec::new();
+            for round in 0..4 {
+                let budget = 60.0 + round as f64;
+                full.arbitrate(budget, &requests, &mut expected);
+                let outcome =
+                    engine.arbitrate(wrapped.as_mut(), budget, &requests, &mut actual);
+                assert!(outcome.full, "tolerance 0 always runs the full fold");
+                assert_eq!(outcome.skipped, 0);
+                assert_eq!(outcome.rearbitrated, 3, "active apps re-arbitrated");
+                let expected_bits: Vec<u64> = expected.iter().map(|w| w.to_bits()).collect();
+                let actual_bits: Vec<u64> = actual.iter().map(|w| w.to_bits()).collect();
+                assert_eq!(expected_bits, actual_bits, "{}", full.name());
+            }
+        }
+    }
+
+    #[test]
+    fn steady_requests_skip_and_hold_their_awards() {
+        let requests = vec![request(1.0, 1.0, 40.0), request(1.0, 1.0, 40.0)];
+        let mut policy = WeightedFair;
+        let mut engine = IncrementalArbiter::new(0.05);
+        let mut awards = Vec::new();
+        let first = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert!(first.full, "everything is dirty on the first round");
+        let held = awards.clone();
+        let second = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert!(!second.full);
+        assert_eq!(second.skipped, 2);
+        assert_eq!(second.rearbitrated, 0);
+        assert_eq!(awards, held, "held awards are byte-stable");
+        assert!(engine.steady(0) && engine.steady(1));
+    }
+
+    #[test]
+    fn a_moved_request_reenters_the_fold_and_budget_is_conserved() {
+        let mut requests = vec![
+            request(1.0, 1.0, 40.0),
+            request(1.0, 1.0, 40.0),
+            request(1.0, 1.0, 40.0),
+        ];
+        let mut policy = PerformanceMarket::default();
+        let mut engine = IncrementalArbiter::new(0.02);
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 60.0, &requests, &mut awards);
+        requests[1].urgency = 3.0; // far past the tolerance
+        let round = engine.arbitrate(&mut policy, 60.0, &requests, &mut awards);
+        assert_eq!(round.rearbitrated, 1);
+        assert_eq!(round.skipped, 2);
+        assert!(engine.dirty_mask() == [false, true, false]);
+        let total: f64 = awards.iter().sum();
+        assert!(total <= 60.0 * (1.0 + 1e-9), "budget conserved: {total}");
+        assert!(awards.iter().all(|w| w.is_finite() && *w >= 0.0));
+    }
+
+    #[test]
+    fn lifecycle_marks_and_budget_changes_force_rearbitration() {
+        let requests = vec![request(1.0, 1.0, 40.0), request(1.0, 1.0, 40.0)];
+        let mut policy = WeightedFair;
+        let mut engine = IncrementalArbiter::new(0.1);
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        engine.mark_dirty(0);
+        assert!(!engine.steady(0), "a marked slot is not steady");
+        let round = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert!(engine.dirty_mask() == [true, false]);
+        assert_eq!(round.rearbitrated, 1);
+        engine.mark_all_dirty();
+        let round = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert!(round.full, "fleet-wide marks run the full fold");
+    }
+
+    #[test]
+    fn presence_flips_and_new_slots_are_always_dirty() {
+        let mut requests = vec![request(1.0, 1.0, 40.0)];
+        let mut policy = StaticShare;
+        let mut engine = IncrementalArbiter::new(0.5);
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        // A newly-registered slot and a departure both re-enter the fold.
+        requests.push(request(1.0, 1.0, 40.0));
+        requests[0].active = false;
+        let round = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert!(round.full, "both slots dirty");
+        assert_eq!(awards[0], 0.0, "absent slots are awarded exactly 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn non_finite_tolerance_panics() {
+        let _ = IncrementalArbiter::new(f64::NAN);
+    }
+}

@@ -93,12 +93,14 @@
 
 mod coordinator;
 pub mod hierarchy;
+pub mod incremental;
 pub mod invariants;
 mod policy;
 
 pub use crate::coordinator::{
-    AppHandle, Coordinator, HealthState, ManagedApp, StepSummary, WatchdogConfig,
+    AdmissionError, AppHandle, Coordinator, HealthState, ManagedApp, StepSummary, WatchdogConfig,
 };
+pub use crate::incremental::{IncrementalArbiter, IncrementalOutcome};
 pub use crate::hierarchy::{
     DatacenterArbiter, DatacenterStepSummary, EnforcementMode, RackCoordinator,
 };

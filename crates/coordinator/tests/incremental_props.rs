@@ -1,0 +1,535 @@
+//! The incremental-arbitration differential harness.
+//!
+//! Incremental arbitration is only allowed to exist because it is
+//! *undetectable* at tolerance 0: the engine must reproduce the full
+//! re-arbitration fold **bit-for-bit** across every shipped policy, every
+//! fleet shape, every churn sequence, and every worker count. These
+//! properties pin that contract at two levels:
+//!
+//! * **Engine level** — a raw [`IncrementalArbiter`] at tolerance 0 against
+//!   a bare [`ArbitrationPolicy`], over generated request traces with field
+//!   churn, presence flips, budget steps, and explicit dirty marks. Award
+//!   vectors are compared by `f64::to_bits`, not by tolerance.
+//! * **Coordinator level** — a full [`Coordinator`] with
+//!   `with_arbitration_tolerance(0.0)` against a legacy coordinator with
+//!   the knob off, driven through identical register/retire/set_budget
+//!   churn on the declared-effect synthetic platform, with the incremental
+//!   side sharded across a generated worker count. Every app's awarded
+//!   envelope and every step summary must agree bitwise.
+//!
+//! Nonzero tolerances trade exactness for skipped work, so their contract
+//! is the invariant layer's, not bitwise identity: awards stay finite,
+//! non-negative, within each app's absorption ceiling, zero for absent
+//! apps, and the active total conserves the budget — checked through the
+//! shared [`coordinator::invariants`] oracles every round.
+
+use coordinator::invariants::{
+    active_total, check_award_vector, check_budget_conservation, check_summary_total, AwardedApp,
+};
+use coordinator::{
+    AppHandle, AppRequest, ArbitrationPolicy, Coordinator, IncrementalArbiter, ManagedApp,
+    PerformanceMarket, StaticShare, WeightedFair,
+};
+use proptest::prelude::*;
+use seec::{ExplorationPolicy, SeecRuntime};
+use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
+
+fn policies() -> Vec<Box<dyn ArbitrationPolicy>> {
+    vec![
+        Box::new(StaticShare),
+        Box::new(WeightedFair),
+        Box::new(PerformanceMarket::default()),
+    ]
+}
+
+/// One generated quantum of engine-level churn, decoded from the parallel
+/// scalar vectors the vendored proptest generates.
+#[derive(Debug, Clone, Copy)]
+struct ChurnRound {
+    /// Slot whose request fields move this round.
+    moved_slot: usize,
+    /// New weight / urgency for the moved slot.
+    weight: f64,
+    urgency: f64,
+    /// Slot whose presence flips (arrival / departure) — applied when the
+    /// round index is odd so some rounds are pure field churn.
+    flipped_slot: usize,
+    /// Budget multiplier for this round (1.0 = unchanged).
+    budget_scale: f64,
+    /// Slot explicitly marked dirty (a health transition stand-in).
+    marked_slot: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_rounds(
+    rounds: usize,
+    moved_slots: &[usize],
+    weights: &[f64],
+    urgencies: &[f64],
+    flipped_slots: &[usize],
+    budget_scales: &[f64],
+    marked_slots: &[usize],
+) -> Vec<ChurnRound> {
+    (0..rounds.clamp(1, moved_slots.len()))
+        .map(|i| ChurnRound {
+            moved_slot: moved_slots[i],
+            weight: weights[i],
+            urgency: urgencies[i],
+            flipped_slot: flipped_slots[i],
+            budget_scale: budget_scales[i],
+            marked_slot: marked_slots[i],
+        })
+        .collect()
+}
+
+fn initial_requests(
+    actives: &[usize],
+    weights: &[f64],
+    urgencies: &[f64],
+    ceilings: &[f64],
+) -> Vec<AppRequest> {
+    actives
+        .iter()
+        .enumerate()
+        .map(|(i, &active)| AppRequest {
+            active: active == 1,
+            weight: weights[i],
+            urgency: urgencies[i],
+            max_power_watts: ceilings[i],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tolerance 0 is bitwise-identical to the full fold for every shipped
+    /// policy, through arbitrary churn: field moves, presence flips,
+    /// budget steps, and explicit dirty marks.
+    #[test]
+    fn engine_tolerance_zero_is_bitwise_identical_under_churn(
+        budget in 1.0..500.0f64,
+        actives in proptest::collection::vec(0usize..2, 1..16),
+        weights in proptest::collection::vec(0.1..8.0f64, 16),
+        urgencies in proptest::collection::vec(0.01..20.0f64, 16),
+        ceilings in proptest::collection::vec(0.5..400.0f64, 16),
+        round_count in 1usize..8,
+        moved_slots in proptest::collection::vec(0usize..16, 8),
+        move_weights in proptest::collection::vec(0.1..8.0f64, 8),
+        move_urgencies in proptest::collection::vec(0.05..10.0f64, 8),
+        flipped_slots in proptest::collection::vec(0usize..16, 8),
+        budget_scales in proptest::collection::vec(0.5..1.5f64, 8),
+        marked_slots in proptest::collection::vec(0usize..16, 8),
+    ) {
+        let rounds = decode_rounds(
+            round_count, &moved_slots, &move_weights, &move_urgencies,
+            &flipped_slots, &budget_scales, &marked_slots,
+        );
+        let mut requests = initial_requests(&actives, &weights, &urgencies, &ceilings);
+        for (policy_index, mut full) in policies().into_iter().enumerate() {
+            let mut wrapped = policies().swap_remove(policy_index);
+            let mut engine = IncrementalArbiter::new(0.0);
+            let mut expected = Vec::new();
+            let mut actual = Vec::new();
+            let mut budget = budget;
+            for (index, round) in rounds.iter().enumerate() {
+                let moved = round.moved_slot % requests.len();
+                requests[moved].weight = round.weight;
+                requests[moved].urgency = round.urgency;
+                if index % 2 == 1 {
+                    let flipped = round.flipped_slot % requests.len();
+                    requests[flipped].active = !requests[flipped].active;
+                }
+                budget *= round.budget_scale;
+                engine.mark_dirty(round.marked_slot % requests.len());
+
+                full.arbitrate(budget, &requests, &mut expected);
+                let outcome = engine.arbitrate(wrapped.as_mut(), budget, &requests, &mut actual);
+                prop_assert!(outcome.full, "tolerance 0 always degenerates to the full fold");
+                prop_assert_eq!(outcome.skipped, 0);
+                let expected_bits: Vec<u64> =
+                    expected.iter().map(|award| award.to_bits()).collect();
+                let actual_bits: Vec<u64> =
+                    actual.iter().map(|award| award.to_bits()).collect();
+                prop_assert!(
+                    expected_bits == actual_bits,
+                    "{} diverged at round {index}: {expected:?} vs {actual:?}",
+                    full.name()
+                );
+            }
+        }
+    }
+
+    /// Nonzero tolerances keep every award inside the invariant layer's
+    /// contract on every round of a churn trace: finite, non-negative,
+    /// within the absorption ceiling, zero when absent, and the active
+    /// total conserves the budget.
+    #[test]
+    fn engine_nonzero_tolerance_conserves_budget_and_envelopes(
+        budget in 1.0..500.0f64,
+        tolerance in 0.001..0.5f64,
+        actives in proptest::collection::vec(0usize..2, 1..16),
+        weights in proptest::collection::vec(0.1..8.0f64, 16),
+        urgencies in proptest::collection::vec(0.01..20.0f64, 16),
+        ceilings in proptest::collection::vec(0.5..400.0f64, 16),
+        round_count in 1usize..8,
+        moved_slots in proptest::collection::vec(0usize..16, 8),
+        move_weights in proptest::collection::vec(0.1..8.0f64, 8),
+        move_urgencies in proptest::collection::vec(0.05..10.0f64, 8),
+        flipped_slots in proptest::collection::vec(0usize..16, 8),
+        budget_scales in proptest::collection::vec(0.5..1.5f64, 8),
+        marked_slots in proptest::collection::vec(0usize..16, 8),
+    ) {
+        let rounds = decode_rounds(
+            round_count, &moved_slots, &move_weights, &move_urgencies,
+            &flipped_slots, &budget_scales, &marked_slots,
+        );
+        let mut requests = initial_requests(&actives, &weights, &urgencies, &ceilings);
+        for (policy_index, _) in policies().iter().enumerate() {
+            let mut policy = policies().swap_remove(policy_index);
+            let mut engine = IncrementalArbiter::new(tolerance);
+            let mut awards = Vec::new();
+            let mut budget = budget;
+            let mut skipped = 0usize;
+            let mut rearbitrated = 0usize;
+            let mut active_app_rounds = 0usize;
+            for (index, round) in rounds.iter().enumerate() {
+                let moved = round.moved_slot % requests.len();
+                requests[moved].weight = round.weight;
+                requests[moved].urgency = round.urgency;
+                if index % 2 == 1 {
+                    let flipped = round.flipped_slot % requests.len();
+                    requests[flipped].active = !requests[flipped].active;
+                }
+                budget *= round.budget_scale;
+                if round.budget_scale != 1.0 {
+                    // The coordinator invalidates held awards on budget
+                    // steps; the raw engine is told the same way.
+                    engine.mark_all_dirty();
+                }
+
+                let outcome = engine.arbitrate(policy.as_mut(), budget, &requests, &mut awards);
+                skipped += outcome.skipped;
+                rearbitrated += outcome.rearbitrated;
+                active_app_rounds += requests.iter().filter(|request| request.active).count();
+
+                let apps: Vec<AwardedApp> = requests
+                    .iter()
+                    .map(|request| AwardedApp {
+                        active: request.active,
+                        ceiling: Some(request.max_power_watts),
+                    })
+                    .collect();
+                let violations = check_award_vector(&awards, &apps);
+                prop_assert!(
+                    violations.is_empty(),
+                    "{} at tolerance {tolerance} round {index}: {violations:?}",
+                    policy.name()
+                );
+                let total = active_total(&awards, &apps);
+                prop_assert!(
+                    check_budget_conservation(total, budget).is_none(),
+                    "{} at tolerance {tolerance} round {index}: {total} > {budget}",
+                    policy.name()
+                );
+            }
+            // The telemetry identity the obs counters rely on: every active
+            // app either skipped or re-entered the fold, every round.
+            prop_assert_eq!(skipped + rearbitrated, active_app_rounds);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator level: the engine embedded in the real step pipeline.
+// ---------------------------------------------------------------------
+
+/// A small action space whose declared effects the synthetic platform
+/// mirrors exactly (same shape as the unit suite's).
+fn actuators() -> Vec<Box<dyn actuation::Actuator>> {
+    use actuation::{ActuatorSpec, Axis, SettingSpec, TableActuator};
+    let dvfs = ActuatorSpec::builder("dvfs")
+        .setting(
+            SettingSpec::new("slow")
+                .effect(Axis::Performance, 0.5)
+                .effect(Axis::Power, 0.4),
+        )
+        .setting(SettingSpec::new("nominal"))
+        .setting(
+            SettingSpec::new("fast")
+                .effect(Axis::Performance, 2.0)
+                .effect(Axis::Power, 2.6),
+        )
+        .nominal(1)
+        .build()
+        .unwrap();
+    let cores = ActuatorSpec::builder("cores")
+        .setting(SettingSpec::new("1"))
+        .setting(
+            SettingSpec::new("2")
+                .effect(Axis::Performance, 1.9)
+                .effect(Axis::Power, 2.0),
+        )
+        .build()
+        .unwrap();
+    vec![
+        Box::new(TableActuator::new(dvfs)),
+        Box::new(TableActuator::new(cores)),
+    ]
+}
+
+/// One generated application slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    seed: u64,
+    weight: f64,
+    target: f64,
+    arrival: usize,
+    departure: Option<usize>,
+}
+
+fn decode_slots(
+    seeds: &[u64],
+    weights: &[f64],
+    targets: &[f64],
+    arrivals: &[usize],
+    departures: &[usize],
+    quanta: usize,
+) -> Vec<Slot> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let arrival = arrivals[i] % quanta;
+            let departure = (departures[i] > 0)
+                .then(|| (arrival + 1 + departures[i] % quanta).min(quanta));
+            Slot {
+                seed,
+                weight: weights[i],
+                target: targets[i],
+                arrival,
+                departure,
+            }
+        })
+        .collect()
+}
+
+fn managed(slot: Slot, index: usize) -> ManagedApp {
+    let benchmark = SplashBenchmark::ALL[index % SplashBenchmark::ALL.len()];
+    let driver = HeartbeatedWorkload::new(Workload::new(benchmark, slot.seed));
+    driver.set_heart_rate_goal(slot.target);
+    let runtime = SeecRuntime::builder(driver.monitor())
+        .actuators(actuators())
+        .exploration(ExplorationPolicy {
+            epsilon: 0.0,
+            ..ExplorationPolicy::default()
+        })
+        .seed(slot.seed)
+        .build()
+        .unwrap();
+    let mut app = ManagedApp::new(driver, runtime)
+        .with_weight(slot.weight)
+        .with_arrival(slot.arrival)
+        .with_nominal_power_hint(10.0);
+    if let Some(departure) = slot.departure {
+        app = app.with_departure(departure);
+    }
+    app
+}
+
+/// The full per-step trace, with awards captured as raw bits so the
+/// comparison is bitwise, not approximate.
+type Trace = Vec<(
+    coordinator::StepSummary,
+    Vec<u64>,
+    Vec<Option<seec::CapDecision>>,
+)>;
+
+/// Drives a fleet for `quanta` steps against a platform mirroring each
+/// app's declared effects exactly. `tolerance` turns the incremental
+/// engine on; `budget_step` applies a mid-run budget change (the
+/// whole-fleet invalidation path).
+fn drive_traced(
+    policy: Box<dyn ArbitrationPolicy>,
+    slots: &[Slot],
+    quanta: usize,
+    workers: usize,
+    tolerance: Option<f64>,
+    budget_step: Option<(usize, f64)>,
+) -> Trace {
+    let mut coordinator = Coordinator::new(35.0, policy)
+        .with_workers(workers)
+        .with_shard_threshold(0);
+    coordinator.set_arbitration_tolerance(tolerance);
+    let handles: Vec<AppHandle> = slots
+        .iter()
+        .enumerate()
+        .map(|(index, &slot)| coordinator.register(managed(slot, index)))
+        .collect();
+    let mut now = 0.0;
+    let mut trace = Trace::new();
+    for quantum in 0..quanta {
+        if let Some((at, watts)) = budget_step {
+            if at == quantum {
+                coordinator.set_budget(watts);
+            }
+        }
+        now += 1.0;
+        for &handle in &handles {
+            if !coordinator.app(handle).active_at(quantum) {
+                continue;
+            }
+            let effect = {
+                let runtime = coordinator.app(handle).runtime();
+                runtime
+                    .model()
+                    .space()
+                    .predicted_effect(runtime.current_configuration())
+                    .unwrap()
+            };
+            coordinator.advance(
+                handle,
+                now - 1.0,
+                now,
+                10.0 * effect.performance,
+                10.0 * effect.power,
+            );
+        }
+        let summary = coordinator.step(now).unwrap();
+        trace.push((
+            summary,
+            coordinator
+                .awards()
+                .iter()
+                .map(|award| award.to_bits())
+                .collect(),
+            handles
+                .iter()
+                .map(|&h| coordinator.app(h).last_decision())
+                .collect(),
+        ));
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A coordinator at tolerance 0 — through the whole incremental
+    /// machinery, sharded across a generated worker count — produces
+    /// bitwise the awards, summaries, and per-app decisions of a legacy
+    /// (knob off, sequential) coordinator, through arrival/departure churn
+    /// and a mid-run budget step.
+    #[test]
+    fn coordinator_tolerance_zero_matches_legacy_at_every_worker_count(
+        seeds in proptest::collection::vec(1u64..1_000_000, 1..7),
+        weights in proptest::collection::vec(0.25..8.0f64, 7),
+        targets in proptest::collection::vec(5.0..80.0f64, 7),
+        arrivals in proptest::collection::vec(0usize..10, 7),
+        departures in proptest::collection::vec(0usize..10, 7),
+        policy_pick in 0usize..3,
+        workers in 1usize..7,
+        budget_step_at in 0usize..10,
+        budget_step_watts in 10.0..60.0f64,
+    ) {
+        let quanta = 10;
+        let slots = decode_slots(&seeds, &weights, &targets, &arrivals, &departures, quanta);
+        let budget_step = Some((budget_step_at, budget_step_watts));
+        let policy = || policies().swap_remove(policy_pick);
+        let legacy = drive_traced(policy(), &slots, quanta, 1, None, budget_step);
+        let incremental =
+            drive_traced(policy(), &slots, quanta, workers, Some(0.0), budget_step);
+        prop_assert!(
+            legacy == incremental,
+            "tolerance-0 incremental diverged from the legacy path at {} workers over {} apps",
+            workers,
+            slots.len()
+        );
+    }
+
+    /// A coordinator at a nonzero tolerance keeps every step inside the
+    /// invariant layer's contract: finite non-negative awards, absent apps
+    /// at exactly 0 W, the active total under the headroomed budget, and a
+    /// summary total that matches the award vector.
+    #[test]
+    fn coordinator_nonzero_tolerance_conserves_the_headroomed_budget(
+        seeds in proptest::collection::vec(1u64..1_000_000, 1..7),
+        weights in proptest::collection::vec(0.25..8.0f64, 7),
+        targets in proptest::collection::vec(5.0..80.0f64, 7),
+        arrivals in proptest::collection::vec(0usize..10, 7),
+        departures in proptest::collection::vec(0usize..10, 7),
+        policy_pick in 0usize..3,
+        workers in 1usize..5,
+        tolerance in 0.001..0.5f64,
+        budget_step_at in 0usize..10,
+        budget_step_watts in 10.0..60.0f64,
+    ) {
+        let quanta = 10;
+        let slots = decode_slots(&seeds, &weights, &targets, &arrivals, &departures, quanta);
+        let policy = policies().swap_remove(policy_pick);
+        let policy_name = policy.name();
+        let mut coordinator = Coordinator::new(35.0, policy)
+            .with_workers(workers)
+            .with_shard_threshold(0)
+            .with_arbitration_tolerance(tolerance);
+        let handles: Vec<AppHandle> = slots
+            .iter()
+            .enumerate()
+            .map(|(index, &slot)| coordinator.register(managed(slot, index)))
+            .collect();
+        let mut budget = 35.0;
+        let mut now = 0.0;
+        for quantum in 0..quanta {
+            if budget_step_at == quantum {
+                budget = budget_step_watts;
+                coordinator.set_budget(budget);
+            }
+            now += 1.0;
+            for &handle in &handles {
+                if !coordinator.app(handle).active_at(quantum) {
+                    continue;
+                }
+                let effect = {
+                    let runtime = coordinator.app(handle).runtime();
+                    runtime
+                        .model()
+                        .space()
+                        .predicted_effect(runtime.current_configuration())
+                        .unwrap()
+                };
+                coordinator.advance(
+                    handle,
+                    now - 1.0,
+                    now,
+                    10.0 * effect.performance,
+                    10.0 * effect.power,
+                );
+            }
+            let summary = coordinator.step(now).unwrap();
+
+            let apps: Vec<AwardedApp> = handles
+                .iter()
+                .map(|&handle| AwardedApp {
+                    active: coordinator.app(handle).active_at(quantum),
+                    ceiling: None,
+                })
+                .collect();
+            let violations = check_award_vector(coordinator.awards(), &apps);
+            prop_assert!(
+                violations.is_empty(),
+                "{policy_name} at tolerance {tolerance} quantum {quantum}: {violations:?}"
+            );
+            let total = active_total(coordinator.awards(), &apps);
+            prop_assert!(
+                check_budget_conservation(total, budget * 0.95).is_none(),
+                "{policy_name} at tolerance {tolerance} quantum {quantum}: {total} > {}",
+                budget * 0.95
+            );
+            prop_assert!(
+                check_summary_total(summary.awarded_watts_total, total).is_none(),
+                "{policy_name}: summary total {} vs recomputed {total}",
+                summary.awarded_watts_total
+            );
+        }
+    }
+}

@@ -201,9 +201,20 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
     // launch configuration under pre-arrival awards, transiently blowing
     // the cap. Registration now decides the newcomer under a zero
     // envelope, landing it in its cheapest configuration.
+    //
+    // The admission *feasibility* pre-check closes the residual hole that
+    // admission control cannot — `tests/corpus/cap_violation_launch_storm.json`
+    // pinned a fleet whose cheapest-configuration floors already exceed the
+    // cap, an infeasibility no arbitration can decide away. Registrants
+    // that would push the committed floor past the cap are refused
+    // outright and never execute.
     let mut coordinator = Coordinator::new(budget, Box::new(PerformanceMarket::default()))
         .with_pool(std::sync::Arc::clone(exec::global_pool_arc()))
-        .with_admission_control(true);
+        .with_admission_control(true)
+        .with_admission_feasibility(true);
+    if scenario.arbitration_tolerance > 0.0 {
+        coordinator.set_arbitration_tolerance(Some(scenario.arbitration_tolerance));
+    }
     let mut handles: Vec<Option<AppHandle>> = vec![None; apps.len()];
     let mut oscillations =
         vec![OscillationTracker::new(budget * OSCILLATION_THRESHOLD_FRACTION); apps.len()];
@@ -229,8 +240,13 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             let never_active = sim.spec.departure.is_some_and(|d| d <= sim.spec.arrival);
             if sim.spec.arrival == quantum && !never_active {
                 let managed = managed_for(server, sim, seed, index);
-                handles[index] = Some(coordinator.register(managed));
-                counters.arrivals += 1;
+                // A feasibility rejection leaves the slot handle-less: the
+                // refused app never launches, draws nothing, and is skipped
+                // by every later loop.
+                if let Ok(handle) = coordinator.try_register(managed) {
+                    handles[index] = Some(handle);
+                    counters.arrivals += 1;
+                }
             }
             if sim.spec.departure == Some(quantum) {
                 if let Some(handle) = handles[index] {
@@ -251,7 +267,9 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             if faults.as_ref().is_some_and(|f| !f.executes(index, quantum)) {
                 continue; // crashed: no cycles, no watts
             }
-            let handle = handles[index].expect("active apps have registered");
+            let Some(handle) = handles[index] else {
+                continue; // refused admission: never launched
+            };
             let configuration = map_configuration(
                 server,
                 coordinator.app(handle).runtime().current_configuration(),
@@ -272,6 +290,9 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             if !sim.active_at(quantum) {
                 continue;
             }
+            let Some(handle) = handles[index] else {
+                continue; // refused admission: never launched
+            };
             let work = rates[index] * contention * QUANTUM_SECONDS;
             let power = per_app_power[index] * contention;
             machine_power += power;
@@ -284,7 +305,6 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
             let Some((reported_work, reported_power)) = report else {
                 continue; // stalled pipe or dead app: nothing arrives
             };
-            let handle = handles[index].expect("active apps have registered");
             coordinator.advance(handle, start, now, reported_work, reported_power);
         }
         meter.record(QUANTUM_SECONDS, machine_power);
@@ -371,10 +391,14 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
     };
     let mut datacenter = DatacenterArbiter::new(budget, market());
     for rack in 0..racks {
+        let mut rack_coordinator = Coordinator::new(budget, market())
+            .with_pool(std::sync::Arc::clone(exec::global_pool_arc()));
+        if scenario.arbitration_tolerance > 0.0 {
+            rack_coordinator.set_arbitration_tolerance(Some(scenario.arbitration_tolerance));
+        }
         datacenter.add_rack(RackCoordinator::new(
             format!("rack-{rack}"),
-            Coordinator::new(budget, market())
-                .with_pool(std::sync::Arc::clone(exec::global_pool_arc())),
+            rack_coordinator,
         ));
     }
     let mut handles: Vec<Option<AppHandle>> = vec![None; apps.len()];

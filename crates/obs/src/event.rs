@@ -51,6 +51,17 @@ pub enum EventKind {
         /// Energy refused by this clamp, in joules.
         shed_joules: f64,
     },
+    /// A registration was refused by the admission feasibility pre-check:
+    /// the registrant's cheapest-configuration floor exceeded the
+    /// remaining cap headroom.
+    AdmissionRejected {
+        /// Application name.
+        app: String,
+        /// The registrant's cheapest-configuration power floor, in watts.
+        floor_watts: f64,
+        /// Cap headroom remaining before this registration, in watts.
+        headroom_watts: f64,
+    },
     /// The scenario fuzzer raised (or replayed) an incident.
     Incident {
         /// The incident's violation classes, `+`-joined.

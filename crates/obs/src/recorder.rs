@@ -55,11 +55,20 @@ pub enum Counter {
     Retirements,
     /// Mid-run budget replacements.
     BudgetChanges,
+    /// Incremental-path apps whose requests stayed inside the tolerance
+    /// and therefore skipped the whole decide quantum.
+    AppsSkipped,
+    /// Incremental-path apps re-arbitrated (and decided) because their
+    /// request moved past the tolerance or a lifecycle/health event marked
+    /// them dirty. Disjoint from [`Counter::AppsDecided`], which the full
+    /// path counts: `skipped + rearbitrated + decided` sums to
+    /// quanta × active fleet regardless of path.
+    AppsRearbitrated,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::QuantaStepped,
         Counter::AppsObserved,
         Counter::AppsDecided,
@@ -77,6 +86,8 @@ impl Counter {
         Counter::Registrations,
         Counter::Retirements,
         Counter::BudgetChanges,
+        Counter::AppsSkipped,
+        Counter::AppsRearbitrated,
     ];
 
     /// The counter's snake_case report name.
@@ -99,6 +110,8 @@ impl Counter {
             Counter::Registrations => "registrations",
             Counter::Retirements => "retirements",
             Counter::BudgetChanges => "budget_changes",
+            Counter::AppsSkipped => "apps_skipped",
+            Counter::AppsRearbitrated => "apps_rearbitrated",
         }
     }
 }

@@ -26,8 +26,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use workloads::{
-    AppFault, BudgetStep, FaultKind, Scenario, SplashBenchmark, MAX_MISREPORT_FACTOR,
-    MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_MISREPORT_FACTOR, MIN_SCENARIO_QUANTA,
+    AppFault, BudgetStep, FaultKind, Scenario, SplashBenchmark, MAX_ARBITRATION_TOLERANCE,
+    MAX_MISREPORT_FACTOR, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_MISREPORT_FACTOR,
+    MIN_SCENARIO_QUANTA,
 };
 
 /// The named mutation strategies.
@@ -123,7 +124,7 @@ fn shift(value: usize, span: i64, rng: &mut StdRng) -> usize {
 /// One small perturbation of one knob (shared by nudge and havoc).
 fn nudge_once(scenario: &mut Scenario, rng: &mut StdRng) {
     let app_count = scenario.apps.len();
-    match rng.gen_range(0u64..8) {
+    match rng.gen_range(0u64..9) {
         0 => scenario.quanta = shift(scenario.quanta, 8, rng).max(MIN_SCENARIO_QUANTA),
         1 => scenario.power_budget_fraction *= rng.gen_range(0.75..1.3),
         2 if app_count > 0 => {
@@ -151,6 +152,16 @@ fn nudge_once(scenario: &mut Scenario, rng: &mut StdRng) {
         6 if app_count > 0 => {
             let app = &mut scenario.apps[rng.gen_range(0..app_count)];
             app.rack = rng.gen_range(0..MAX_SCENARIO_RACKS);
+        }
+        8 => {
+            // Turn the incremental-arbitration knob: mostly pick a fresh
+            // tolerance, sometimes snap it back to the legacy full path so
+            // tolerance-0 corpus entries keep their omitted-field bytes.
+            scenario.arbitration_tolerance = if rng.gen_bool(0.3) {
+                0.0
+            } else {
+                rng.gen_range(0.0..MAX_ARBITRATION_TOLERANCE)
+            };
         }
         7 => {
             let quanta = scenario.quanta;
@@ -431,6 +442,33 @@ mod tests {
             }
         }
         assert!(grown, "the fault-plan strategy never scheduled a fault");
+    }
+
+    #[test]
+    fn the_tolerance_knob_is_reachable_and_stays_in_band() {
+        let limits = MutationLimits::default();
+        let seed = seed_scenario();
+        assert_eq!(seed.arbitration_tolerance, 0.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut scenario = seed;
+        let mut turned = false;
+        let mut reset = false;
+        for _ in 0..600 {
+            let (mutant, _) = mutate(&scenario, &limits, &mut rng);
+            assert!(
+                (0.0..=MAX_ARBITRATION_TOLERANCE).contains(&mutant.arbitration_tolerance),
+                "tolerance left the band: {}",
+                mutant.arbitration_tolerance
+            );
+            if mutant.arbitration_tolerance > 0.0 {
+                turned = true;
+            } else if scenario.arbitration_tolerance > 0.0 {
+                reset = true;
+            }
+            scenario = mutant;
+        }
+        assert!(turned, "the tolerance knob never turned");
+        assert!(reset, "the tolerance knob never snapped back to zero");
     }
 
     #[test]

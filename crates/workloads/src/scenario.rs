@@ -79,6 +79,12 @@ pub struct Scenario {
     /// Scheduled application misbehaviour (empty for the well-behaved
     /// mixes; see [`crate::fault`]).
     pub fault_plan: FaultPlan,
+    /// Relative request-delta tolerance for the coordinator's incremental
+    /// arbitration engine, in `[0,` [`MAX_ARBITRATION_TOLERANCE`]`]`.
+    /// `0.0` (the default for every generated mix) keeps the legacy full
+    /// re-arbitration path; nonzero values let steady apps hold their
+    /// awards between quanta.
+    pub arbitration_tolerance: f64,
 }
 
 // Serialisation is hand-written (instead of derived, as for every other
@@ -100,6 +106,15 @@ impl Serialize for Scenario {
         ];
         if !self.fault_plan.is_empty() {
             entries.push(("fault_plan".to_string(), self.fault_plan.to_value()));
+        }
+        // Same omission discipline as `fault_plan`: the field only appears
+        // once a mutation actually turns the knob, so every tolerance-0
+        // scenario serialises to its pre-knob bytes.
+        if self.arbitration_tolerance != 0.0 {
+            entries.push((
+                "arbitration_tolerance".to_string(),
+                self.arbitration_tolerance.to_value(),
+            ));
         }
         serde::ser::Value::Object(entries)
     }
@@ -126,6 +141,20 @@ impl Deserialize for Scenario {
                     ))
                 })?,
                 None => FaultPlan::default(),
+            },
+            // Absent in pre-knob fixtures: an absent tolerance is zero.
+            arbitration_tolerance: match entries
+                .iter()
+                .find(|(key, _)| key == "arbitration_tolerance")
+            {
+                Some((_, tolerance)) => {
+                    f64::from_value(tolerance).map_err(|e| {
+                        serde::de::DeError::new(format!(
+                            "field `arbitration_tolerance` of `Scenario`: {e}"
+                        ))
+                    })?
+                }
+                None => 0.0,
             },
         })
     }
@@ -188,6 +217,8 @@ impl Scenario {
                     && step.fraction <= 1.0
             })
             && self.fault_plan.is_well_formed(self.apps.len(), self.quanta)
+            && self.arbitration_tolerance >= 0.0
+            && self.arbitration_tolerance <= MAX_ARBITRATION_TOLERANCE
     }
 
     /// Repairs the scenario in place into the well-formed domain by
@@ -229,6 +260,11 @@ impl Scenario {
             };
         }
         self.fault_plan.sanitize(self.apps.len(), quanta);
+        self.arbitration_tolerance = if self.arbitration_tolerance.is_finite() {
+            self.arbitration_tolerance.clamp(0.0, MAX_ARBITRATION_TOLERANCE)
+        } else {
+            0.0
+        };
     }
 }
 
@@ -254,6 +290,11 @@ pub const MAX_APP_WEIGHT: f64 = 8.0;
 
 /// Smallest per-app target fraction after sanitization.
 pub const MIN_TARGET_FRACTION: f64 = 0.01;
+
+/// Largest incremental-arbitration tolerance after sanitization: a 50 %
+/// relative request move always re-enters the fold, so no fuzzed scenario
+/// can freeze arbitration outright.
+pub const MAX_ARBITRATION_TOLERANCE: f64 = 0.5;
 
 /// The priority tiers scenario generation draws from (the paper's platform
 /// distinguishes applications the operator cares about more).
@@ -317,6 +358,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.6,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     let quanta = 120;
@@ -344,6 +386,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.5,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     let mut tiered_apps = Vec::new();
@@ -366,6 +409,7 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.4,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     vec![steady, staggered, tiered]
@@ -433,6 +477,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.5,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     // ---- budget-steps: 1200 apps under a stepping machine budget ------
@@ -469,6 +514,7 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
             },
         ],
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     vec![storm, stepped]
@@ -528,6 +574,7 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.25,
         budget_steps,
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     // ---- flash-crowd: one-quantum mass landing ------------------------
@@ -562,6 +609,7 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.45,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     // ---- phase-shift: correlated phases within racks, staggered across -
@@ -590,6 +638,7 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         power_budget_fraction: 0.4,
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
 
     vec![diurnal, flash_crowd, phase_shift]
@@ -681,6 +730,7 @@ pub fn chaos_mixes(seed: u64) -> Vec<Scenario> {
                 },
             ],
         },
+        arbitration_tolerance: 0.0,
     };
 
     // ---- rack-rogues: one misbehaving app per rack ---------------------
@@ -733,6 +783,7 @@ pub fn chaos_mixes(seed: u64) -> Vec<Scenario> {
                 },
             ],
         },
+        arbitration_tolerance: 0.0,
     };
 
     vec![fault_storm, rack_rogues]
@@ -926,6 +977,7 @@ mod tests {
                     until: Some(0),
                 }],
             },
+            arbitration_tolerance: f64::NAN,
         };
         assert!(!wrecked.is_well_formed());
         wrecked.sanitize();

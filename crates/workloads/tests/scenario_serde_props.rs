@@ -48,6 +48,7 @@ fn decode_scenario(
     step_quanta: &[usize],
     step_fractions: &[f64],
     fault_picks: &[usize],
+    arbitration_tolerance: f64,
 ) -> Scenario {
     let apps: Vec<ScenarioApp> = benches
         .iter()
@@ -93,8 +94,14 @@ fn decode_scenario(
         power_budget_fraction: budget,
         budget_steps,
         fault_plan: FaultPlan { faults },
+        arbitration_tolerance,
     }
 }
+
+/// Tolerances a proptest pick maps onto: zero (the omitted-field encoding)
+/// must stay heavily represented so the round trip keeps covering both
+/// serialised shapes.
+const TOLERANCES: [f64; 5] = [0.0, 0.0, 0.1, 0.25, 0.5];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -114,10 +121,12 @@ proptest! {
         step_quanta in proptest::collection::vec(0usize..4_096, 0..4),
         step_fractions in proptest::collection::vec(0.05..1.0f64, 4),
         fault_picks in proptest::collection::vec(0usize..1_000, 0..8),
+        tolerance_pick in 0usize..8,
     ) {
         let scenario = decode_scenario(
             name_pick, &benches, &seeds, &weights, &arrivals, &departures, &targets,
             &racks, quanta, budget, &step_quanta, &step_fractions, &fault_picks,
+            TOLERANCES[tolerance_pick % TOLERANCES.len()],
         );
 
         let compact = serde_json::to_string(&scenario).unwrap();

@@ -36,6 +36,7 @@ fn main() {
             fraction: 0.3,
         }],
         fault_plan: FaultPlan::default(),
+        arbitration_tolerance: 0.0,
     };
     println!(
         "four applications, {} quanta of {QUANTUM_SECONDS:.0} s, budget {:.0} W above idle \

@@ -9,11 +9,16 @@
 //! These properties drive the real pipelines end to end; the unit-level
 //! equivalents (histogram bucket counts vs. a naive recompute, merge
 //! associativity) live in `crates/obs`.
+//!
+//! The file also pins the decide-counter *ledger*: every active
+//! app-quantum lands in exactly one of `apps_skipped`,
+//! `apps_rearbitrated`, or `apps_decided` — on the full path, the
+//! incremental path, and in the `fig5 --fleet` fleet-scaling report.
 
 use std::sync::Arc;
 
 use coordinator::{Coordinator, ManagedApp, PerformanceMarket};
-use obs::Recorder;
+use obs::{Counter, Recorder};
 use proptest::prelude::*;
 use seec::SeecRuntime;
 use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
@@ -82,6 +87,103 @@ proptest! {
         let observed = drive(apps, workers, quanta, true);
         prop_assert_eq!(&reference, &observed);
     }
+}
+
+/// Steps a fleet of always-active apps under a recorder and returns the
+/// (skipped, rearbitrated, decided) counter triple.
+fn drive_counted(
+    apps: usize,
+    quanta: usize,
+    tolerance: Option<f64>,
+) -> (u64, u64, u64) {
+    let server = XeonServer::dell_r410_calibrated();
+    let recorder = Arc::new(Recorder::in_memory());
+    let mut coordinator = Coordinator::new(120.0, Box::new(PerformanceMarket::default()))
+        .with_obs(Arc::clone(&recorder));
+    coordinator.set_arbitration_tolerance(tolerance);
+    let mut handles = Vec::with_capacity(apps);
+    for index in 0..apps {
+        let workload = Workload::new(
+            SplashBenchmark::ALL[index % SplashBenchmark::ALL.len()],
+            index as u64,
+        );
+        let driver = HeartbeatedWorkload::new(workload);
+        driver.set_heart_rate_goal(20.0 + index as f64);
+        let runtime = SeecRuntime::builder(driver.monitor())
+            .actuators(experiments::fig3::xeon_actuators(&server))
+            .seed(index as u64)
+            .build()
+            .expect("actuators registered");
+        handles.push(coordinator.register(
+            ManagedApp::new(driver, runtime)
+                .with_weight(1.0 + (index % 3) as f64)
+                .with_nominal_power_hint(6.0),
+        ));
+    }
+    let mut now = 0.0;
+    for _ in 0..quanta {
+        now += 0.1;
+        for &handle in &handles {
+            coordinator.advance(handle, now - 0.1, now, 2.0, 5.0);
+        }
+        coordinator.step(now).expect("goals registered");
+    }
+    let snapshot = recorder.snapshot();
+    (
+        snapshot.counter(Counter::AppsSkipped),
+        snapshot.counter(Counter::AppsRearbitrated),
+        snapshot.counter(Counter::AppsDecided),
+    )
+}
+
+/// Every active app-quantum lands in exactly one of the three decide
+/// counters, on both arbitration paths: the full path books everything
+/// under `apps_decided`, the incremental path splits the same ledger into
+/// `apps_skipped` + `apps_rearbitrated`.
+#[test]
+fn incremental_counters_reconcile_with_the_quantum_ledger() {
+    let (apps, quanta) = (6, 10);
+    let ledger = (apps * quanta) as u64;
+
+    let (skipped, rearbitrated, decided) = drive_counted(apps, quanta, None);
+    assert_eq!(skipped + rearbitrated + decided, ledger);
+    assert_eq!(skipped, 0, "the full path never skips");
+    assert_eq!(rearbitrated, 0, "the full path books under apps_decided");
+
+    let (skipped, rearbitrated, decided) = drive_counted(apps, quanta, Some(0.2));
+    assert_eq!(skipped + rearbitrated + decided, ledger);
+    assert_eq!(decided, 0, "the incremental path books its own counters");
+    assert!(
+        skipped > 0,
+        "a steady fleet at tolerance 0.2 must skip: {rearbitrated} rearbitrated"
+    );
+
+    // Tolerance 0 exercises the incremental machinery but can never skip.
+    let (skipped, rearbitrated, decided) = drive_counted(apps, quanta, Some(0.0));
+    assert_eq!(skipped + rearbitrated + decided, ledger);
+    assert_eq!(skipped, 0, "tolerance 0 re-arbitrates everything");
+    assert_eq!(decided, 0);
+    assert_eq!(rearbitrated, ledger);
+}
+
+/// The `fig5 --fleet` report's own ledger reconciles, its tolerance-0
+/// differential holds, and everything but the wall-clock timings is
+/// deterministic across runs.
+#[test]
+fn fleet_scaling_report_reconciles_and_is_deterministic() {
+    let first = experiments::FleetScalingReport::measure(2_000);
+    assert!(first.counters_reconcile, "{first:?}");
+    assert!(first.tolerance_zero_identical, "{first:?}");
+    assert_eq!(
+        first.apps_skipped + first.apps_rearbitrated,
+        first.active_app_quanta
+    );
+    assert!(first.apps_skipped > 0, "steady fleet majority skips");
+
+    let second = experiments::FleetScalingReport::measure(2_000);
+    assert_eq!(first.apps_skipped, second.apps_skipped);
+    assert_eq!(first.apps_rearbitrated, second.apps_rearbitrated);
+    assert_eq!(first.active_app_quanta, second.active_app_quanta);
 }
 
 proptest! {
