@@ -227,6 +227,19 @@ struct DispatchBench {
     /// `scope median / pool median` — how much the persistent pool
     /// amortises the per-quantum hand-off.
     pool_amortization: f64,
+    /// Tasks per chunked-claiming round below: wide and near-free, so the
+    /// per-index atomic claim is a real fraction of the cost.
+    claim_tasks: usize,
+    /// Before: `claim_stride` pinned to 1 — one contended `fetch_add` per
+    /// index, the original dispatch.
+    ns_per_task_claim_single: TimingSummary,
+    /// After: `claim_stride` 0 (auto) — each claim hands out a chunk of
+    /// consecutive indices, amortising the atomic.
+    ns_per_task_claim_chunked: TimingSummary,
+    /// `single median / chunked median` — what chunked claiming buys on
+    /// fine-grained batches (≈ 1.0 on a 1-core host, where the atomic was
+    /// never contended).
+    claim_speedup: f64,
 }
 
 /// What the telemetry layer costs per coordinator step — both with the
@@ -259,6 +272,48 @@ struct ObsOverheadBench {
     obs_on_overhead_percent: f64,
 }
 
+/// One row of the worker-scaling arm: the same 1000-app coordinated fleet
+/// stepped at a fixed worker count from the 1/2/4/8 protocol grid.
+#[derive(Serialize)]
+struct WorkerScalingBench {
+    /// Worker count the protocol asks for (always emitted, so a 1-core
+    /// container still produces the full grid and the dashboard can see
+    /// the clamp).
+    workers_requested: usize,
+    /// Worker count actually measured (`min(requested, host_cores)` —
+    /// oversubscribing a small host would measure scheduler churn, not
+    /// sharding).
+    workers_used: usize,
+    /// One full coordinator step at this worker count.
+    ns_per_step: TimingSummary,
+    /// `workers=1 median / this median` — the sharding scaling curve.
+    speedup_vs_one_worker: f64,
+}
+
+/// The contended-machine arm: the same sharded cache-line walk at two
+/// per-worker working-set sizes — one that fits comfortably in cache and
+/// one that spills any shared last-level slice — touching the same number
+/// of lines either way. The ratio says how much of the pooled speedup
+/// survives when shards compete for cache and memory bandwidth instead of
+/// each owning a warm slice, which is the regime a consolidated
+/// million-app host actually runs in.
+#[derive(Serialize)]
+struct ContentionBench {
+    /// Pool threads walking concurrently.
+    workers: usize,
+    /// Bytes each worker's shard spans in the cache-resident variant.
+    resident_bytes_per_worker: usize,
+    /// Bytes each worker's shard spans in the thrashing variant.
+    thrash_bytes_per_worker: usize,
+    /// Per cache line touched, shards resident.
+    ns_per_line_resident: TimingSummary,
+    /// Per cache line touched, shards thrashing (same total lines).
+    ns_per_line_thrash: TimingSummary,
+    /// `thrash median / resident median` — ≥ 1, and the gap is the cache
+    /// contention cost the fleet-scaling projections must budget for.
+    contention_penalty: f64,
+}
+
 #[derive(Serialize)]
 struct Fig5Bench {
     mode: &'static str,
@@ -267,10 +322,15 @@ struct Fig5Bench {
     /// timings: on a 1-core host pooled ≈ sequential and that is not a
     /// regression.
     host_cores: usize,
-    /// Pool-vs-scope dispatch cost (no-op tasks, fixed thread count).
+    /// Pool-vs-scope dispatch cost (no-op tasks, fixed thread count) and
+    /// the chunked-claiming before/after.
     dispatch: DispatchBench,
     /// Sequential-vs-pooled step latency at each fleet size.
     fleet: Vec<CoordinatorStepBench>,
+    /// Step latency across the 1/2/4/8 worker grid at 1000 apps.
+    worker_scaling: Vec<WorkerScalingBench>,
+    /// Cache-resident vs. thrashing shard walks.
+    contention: ContentionBench,
     /// Telemetry cost per step: off vs. A/A control vs. recording.
     obs_overhead: ObsOverheadBench,
 }
@@ -295,14 +355,42 @@ fn bench_dispatch(samples: usize, iterations: usize) -> DispatchBench {
         }
         rounds
     });
+
+    // Chunked index claiming, before/after: the same wide batch of
+    // near-free tasks drained one-index-per-claim (the original dispatch)
+    // and chunk-per-claim (the shipping auto stride). The task body writes
+    // one word, so the difference is claim traffic, not work.
+    let claim_tasks = 65_536usize;
+    let mut buffer = vec![0u64; claim_tasks];
+    pool.set_claim_stride(1);
+    let (single_summary, single_iters) = sample(samples, || {
+        pool.for_each_mut(&mut buffer, |i, item| *item = i as u64);
+        claim_tasks
+    });
+    pool.set_claim_stride(0);
+    let (chunked_summary, chunked_iters) = sample(samples, || {
+        pool.for_each_mut(&mut buffer, |i, item| *item = i as u64);
+        claim_tasks
+    });
+    black_box(&buffer);
+
     let scope = TimingSummary::from_summary(&scope_summary, "nanoseconds", 1.0e9 / scope_iters);
     let pooled = TimingSummary::from_summary(&pool_summary, "nanoseconds", 1.0e9 / pool_iters);
     let amortization = scope.median / pooled.median.max(f64::MIN_POSITIVE);
+    let single =
+        TimingSummary::from_summary(&single_summary, "nanoseconds", 1.0e9 / single_iters);
+    let chunked =
+        TimingSummary::from_summary(&chunked_summary, "nanoseconds", 1.0e9 / chunked_iters);
+    let claim_speedup = single.median / chunked.median.max(f64::MIN_POSITIVE);
     DispatchBench {
         workers,
         ns_per_scope_round: scope,
         ns_per_pool_round: pooled,
         pool_amortization: amortization,
+        claim_tasks,
+        ns_per_task_claim_single: single,
+        ns_per_task_claim_chunked: chunked,
+        claim_speedup,
     }
 }
 
@@ -389,6 +477,117 @@ fn bench_obs_overhead(samples: usize, iterations: usize) -> ObsOverheadBench {
     }
 }
 
+fn bench_worker_scaling(
+    samples: usize,
+    iterations: usize,
+    host_cores: usize,
+) -> Vec<WorkerScalingBench> {
+    let apps = 1000;
+    let steps = (iterations / apps).max(4);
+    let (mut coordinator, handles) = coordinator_with_apps(apps);
+    // Threshold 0 so every row actually exercises the pool at its worker
+    // count; the fleet is built once and reused across the whole grid.
+    coordinator.set_shard_threshold(0);
+    let mut now = 0.0;
+    let mut baseline = f64::NAN;
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|requested| {
+            let used = requested.min(host_cores).max(1);
+            coordinator.set_workers(used);
+            let mut timings = Vec::with_capacity(samples);
+            for pass in 0..=samples {
+                let mut timed = Duration::ZERO;
+                for _ in 0..steps {
+                    now += 0.1;
+                    for &handle in &handles {
+                        coordinator.advance(handle, now - 0.1, now, 2.0, 5.0);
+                    }
+                    let start = Instant::now();
+                    black_box(coordinator.step(now).expect("goals registered"));
+                    timed += start.elapsed();
+                }
+                if pass > 0 {
+                    timings.push(timed);
+                }
+            }
+            let summary = TimingSummary::from_summary(
+                &summarize(&timings),
+                "nanoseconds",
+                1.0e9 / steps as f64,
+            );
+            if requested == 1 {
+                baseline = summary.median;
+            }
+            let speedup = baseline / summary.median.max(f64::MIN_POSITIVE);
+            WorkerScalingBench {
+                workers_requested: requested,
+                workers_used: used,
+                ns_per_step: summary,
+                speedup_vs_one_worker: speedup,
+            }
+        })
+        .collect()
+}
+
+fn bench_contention(samples: usize) -> ContentionBench {
+    let workers = 4;
+    let pool = exec::ExecPool::new(workers);
+    // 32 KiB/worker sits in L1/L2 on anything; 8 MiB/worker spills any
+    // shared LLC slice once four shards walk at once.
+    let resident_bytes = 32 << 10;
+    let thrash_bytes = 8 << 20;
+    let resident_words = resident_bytes / 8;
+    let thrash_words = thrash_bytes / 8;
+    let resident: Vec<u64> = (0..resident_words * workers).map(|i| i as u64).collect();
+    let thrash: Vec<u64> = (0..thrash_words * workers).map(|i| i as u64).collect();
+    // Both variants touch the same total line count: the resident walk
+    // loops its small shard until it has covered one thrash-shard's worth.
+    let touches_per_worker = thrash_words;
+    let measure = |data: &[u64], words_per_worker: usize| {
+        let rounds = touches_per_worker / words_per_worker;
+        sample(samples, || {
+            let total: u64 = pool
+                .map_indexed(workers, |w| {
+                    let shard = &data[w * words_per_worker..(w + 1) * words_per_worker];
+                    let mut acc = 0u64;
+                    for _ in 0..rounds {
+                        // One word per 64-byte line: the walk is a cache /
+                        // memory probe, not an ALU benchmark.
+                        let mut i = 0;
+                        while i < shard.len() {
+                            acc = acc.wrapping_add(shard[i]);
+                            i += 8;
+                        }
+                    }
+                    acc
+                })
+                .into_iter()
+                .sum();
+            black_box(total);
+            touches_per_worker / 8 * workers
+        })
+    };
+    let (resident_summary, resident_lines) = measure(&resident, resident_words);
+    let (thrash_summary, thrash_lines) = measure(&thrash, thrash_words);
+    let resident_timing = TimingSummary::from_summary(
+        &resident_summary,
+        "nanoseconds",
+        1.0e9 / resident_lines,
+    );
+    let thrash_timing =
+        TimingSummary::from_summary(&thrash_summary, "nanoseconds", 1.0e9 / thrash_lines);
+    let penalty = thrash_timing.median / resident_timing.median.max(f64::MIN_POSITIVE);
+    ContentionBench {
+        workers,
+        resident_bytes_per_worker: resident_bytes,
+        thrash_bytes_per_worker: thrash_bytes,
+        ns_per_line_resident: resident_timing,
+        ns_per_line_thrash: thrash_timing,
+        contention_penalty: penalty,
+    }
+}
+
 fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str) -> Fig5Bench {
     let dispatch = bench_dispatch(samples, iterations / 4);
     let pool_workers = Coordinator::default_workers();
@@ -452,13 +651,16 @@ fn bench_coordinator_step(samples: usize, iterations: usize, mode: &'static str)
             }
         })
         .collect();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     Fig5Bench {
         mode,
-        host_cores: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        host_cores,
         dispatch,
         fleet,
+        worker_scaling: bench_worker_scaling(samples, iterations, host_cores),
+        contention: bench_contention(samples),
         obs_overhead: bench_obs_overhead(samples, iterations),
     }
 }
@@ -539,6 +741,14 @@ fn main() {
         fig5.dispatch.ns_per_pool_round.median / 1.0e3,
         fig5.dispatch.pool_amortization,
     );
+    println!(
+        "index claiming over {} tasks: single-claim median {:.1} ns/task, chunked {:.1} ns/task \
+         ({:.2}x)",
+        fig5.dispatch.claim_tasks,
+        fig5.dispatch.ns_per_task_claim_single.median,
+        fig5.dispatch.ns_per_task_claim_chunked.median,
+        fig5.dispatch.claim_speedup,
+    );
     for entry in &fig5.fleet {
         println!(
             "coordinator step @ {:4} apps: sequential median {:.1} µs, pooled {:.1} µs \
@@ -550,6 +760,24 @@ fn main() {
             entry.pool_speedup,
         );
     }
+    for entry in &fig5.worker_scaling {
+        println!(
+            "worker scaling @ 1000 apps: requested {} (used {}): median {:.1} µs \
+             ({:.2}x vs one worker)",
+            entry.workers_requested,
+            entry.workers_used,
+            entry.ns_per_step.median / 1.0e3,
+            entry.speedup_vs_one_worker,
+        );
+    }
+    println!(
+        "contended shards ({} workers): resident {:.2} ns/line, thrashing {:.2} ns/line \
+         ({:.2}x penalty)",
+        fig5.contention.workers,
+        fig5.contention.ns_per_line_resident.median,
+        fig5.contention.ns_per_line_thrash.median,
+        fig5.contention.contention_penalty,
+    );
     println!(
         "obs overhead @ {} apps: off median {:.1} µs, recording {:.1} µs \
          (off-branch bound {:.2}%, recording {:+.2}%)",

@@ -1,6 +1,7 @@
 //! The multi-application coordinator: N observe–decide–act loops on one
 //! shared quantum schedule, arbitrating one machine-level power budget.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use exec::ExecPool;
@@ -9,7 +10,7 @@ use obs::{Counter, Event, EventKind, Recorder, Stage, StageClock};
 use seec::{CapDecision, SeecError, SeecRuntime};
 use workloads::{HeartbeatedWorkload, QuantumDemand};
 
-use crate::incremental::IncrementalArbiter;
+use crate::incremental::{IncrementalArbiter, WakeConfig};
 use crate::policy::{AppRequest, ArbitrationPolicy};
 
 /// Opaque handle to one application registered with a [`Coordinator`].
@@ -551,43 +552,98 @@ fn decide_chunk(
     for (offset, ((app, observation), &award)) in
         apps.iter_mut().zip(observations).zip(awards).enumerate()
     {
-        app.awarded_watts = award;
-        if !app.active_at(quantum) {
-            continue;
+        let dirty = dirty.map(|dirty| dirty[offset]);
+        decide_one(app, observation, award, dirty, now, quantum, observer)
+            .map_err(|err| (offset, err))?;
+    }
+    Ok(())
+}
+
+/// Runs the decide stage over the slots named by `list` — ascending global
+/// indices, all within `base..base + apps.len()` — the wake-scheduled
+/// decide walk. Sleeping slots never appear in the list: their held award
+/// and previous decision stand untouched (`awarded_watts` still carries the
+/// award from the quantum they last decided or skipped, bit-equal to the
+/// engine's held row), and the step counts them [`Counter::AppsSlept`] once
+/// from the arbitration outcome instead of per slot here. The `dirty` mask
+/// chunk, when present, is indexed chunk-relative like the data slices.
+/// Returns the *global* index and error of the first failing decision.
+#[allow(clippy::too_many_arguments)] // the decide stage's full slice set, mirroring decide_chunk
+fn decide_list(
+    list: &[u32],
+    base: usize,
+    apps: &mut [ManagedApp],
+    observations: &[MonitorObservation],
+    awards: &[f64],
+    dirty: Option<&[bool]>,
+    now: f64,
+    quantum: usize,
+    observer: Option<&Recorder>,
+) -> Result<(), (usize, SeecError)> {
+    for &index in list {
+        let offset = index as usize - base;
+        let dirty = dirty.map(|dirty| dirty[offset]);
+        decide_one(
+            &mut apps[offset],
+            &observations[offset],
+            awards[offset],
+            dirty,
+            now,
+            quantum,
+            observer,
+        )
+        .map_err(|err| (index as usize, err))?;
+    }
+    Ok(())
+}
+
+/// The single-slot decide body shared by [`decide_chunk`] (contiguous
+/// ranges, the always-awake walk) and [`decide_list`] (awake lists, the
+/// wake-scheduled walk): records the award on the app and, when the app is
+/// present and not masked clean, decides it under the envelope.
+fn decide_one(
+    app: &mut ManagedApp,
+    observation: &MonitorObservation,
+    award: f64,
+    dirty: Option<bool>,
+    now: f64,
+    quantum: usize,
+    observer: Option<&Recorder>,
+) -> Result<(), SeecError> {
+    app.awarded_watts = award;
+    if !app.active_at(quantum) {
+        return Ok(());
+    }
+    if dirty == Some(false) {
+        if let Some(observer) = observer {
+            observer.count(Counter::AppsSkipped);
         }
-        if let Some(dirty) = dirty {
-            if !dirty[offset] {
-                if let Some(observer) = observer {
-                    observer.count(Counter::AppsSkipped);
-                }
-                continue;
-            }
-        }
-        let nominal_power = app.nominal_power_watts();
-        let max_powerup = if nominal_power > 0.0 && award.is_finite() {
-            award / nominal_power
+        return Ok(());
+    }
+    let nominal_power = app.nominal_power_watts();
+    let max_powerup = if nominal_power > 0.0 && award.is_finite() {
+        award / nominal_power
+    } else {
+        f64::INFINITY
+    };
+    // Per-decision latency: counter additions are order-free, so timing
+    // from pool workers keeps the bucket counts deterministic; only the
+    // wall-clock values vary.
+    let clock = observer.map(|_| StageClock::start());
+    match app
+        .runtime
+        .decide_under_power_cap_with_observation(now, observation, max_powerup)
+    {
+        Ok(decision) => app.last_decision = Some(decision),
+        Err(err) => return Err(err),
+    }
+    if let (Some(observer), Some(clock)) = (observer, clock) {
+        observer.count(if dirty.is_some() {
+            Counter::AppsRearbitrated
         } else {
-            f64::INFINITY
-        };
-        // Per-decision latency: counter additions are order-free, so timing
-        // from pool workers keeps the bucket counts deterministic; only the
-        // wall-clock values vary.
-        let clock = observer.map(|_| StageClock::start());
-        match app
-            .runtime
-            .decide_under_power_cap_with_observation(now, observation, max_powerup)
-        {
-            Ok(decision) => app.last_decision = Some(decision),
-            Err(err) => return Err((offset, err)),
-        }
-        if let (Some(observer), Some(clock)) = (observer, clock) {
-            observer.count(if dirty.is_some() {
-                Counter::AppsRearbitrated
-            } else {
-                Counter::AppsDecided
-            });
-            observer.time(Stage::Decision, clock.total());
-        }
+            Counter::AppsDecided
+        });
+        observer.time(Stage::Decision, clock.total());
     }
     Ok(())
 }
@@ -612,6 +668,18 @@ struct FleetHot {
     /// Per-step scratch: which slots skip re-observation this quantum
     /// (empty = observe everything).
     skip_observe: Vec<bool>,
+    /// Wake-scheduled rounds only: the quantum's participant list —
+    /// ascending slot indices awake this round, copied from the engine at
+    /// round open (and refreshed after arbitration, which may merge
+    /// mid-round wakes). Every per-app stage iterates this list instead of
+    /// the fleet; sleeping slots appear in no stage at all.
+    awake: Vec<u32>,
+    /// Wake-scheduled rounds only: the subset of `awake` that needs a
+    /// fresh snapshot this quantum. Awake slots that are steady, have no
+    /// fresh report, and whose schedule presence is unchanged keep their
+    /// buffered observation and request (the same skip rule the mask path
+    /// applies fleet-wide, pre-filtered into a compact list).
+    observe_list: Vec<u32>,
 }
 
 /// Runs many applications' ODA loops on one shared quantum schedule and
@@ -693,6 +761,17 @@ pub struct Coordinator {
     /// arbitration fold every quantum, byte-identical to every earlier
     /// build (see [`Self::with_arbitration_tolerance`]).
     incremental: Option<IncrementalArbiter>,
+    /// Wake-scheduler configuration (see [`Self::with_wake_schedule`]).
+    /// Stored on the coordinator so re-creating the incremental engine
+    /// (a tolerance change) re-applies it; `None` — or a disabled config,
+    /// or no engine to ride on — leaves every quantum on the always-awake
+    /// path, byte-identical to a scheduler-free build.
+    wake: Option<WakeConfig>,
+    /// The wake calendar: quantum → slots whose `arrival` or `departure`
+    /// falls there. Drained at the top of each step so a sleeping app is
+    /// force-woken for the exact quantum its schedule presence flips.
+    /// Only maintained while wake scheduling is active.
+    wake_calendar: BTreeMap<usize, Vec<u32>>,
     /// Struct-of-arrays hot state parallel to `apps` (see [`FleetHot`]).
     hot: FleetHot,
     /// Simulation time of the most recent step (timestamps admission-
@@ -753,6 +832,8 @@ impl Coordinator {
             admission_control: false,
             admission_feasibility: false,
             incremental: None,
+            wake: None,
+            wake_calendar: BTreeMap::new(),
             hot: FleetHot::default(),
             last_now: 0.0,
             observations: Vec::new(),
@@ -1025,12 +1106,100 @@ impl Coordinator {
     /// engine's held awards, so the next step re-arbitrates everything.
     pub fn set_arbitration_tolerance(&mut self, tolerance: Option<f64>) {
         self.incremental = tolerance.map(IncrementalArbiter::new);
+        if let (Some(engine), Some(config)) = (self.incremental.as_mut(), self.wake) {
+            engine.set_wake(config);
+        }
+        self.rebuild_wake_calendar();
     }
 
     /// The incremental arbitration tolerance (`None` = the full fold runs
     /// every quantum).
     pub fn arbitration_tolerance(&self) -> Option<f64> {
         self.incremental.as_ref().map(IncrementalArbiter::tolerance)
+    }
+
+    /// Enables the **event-driven wake scheduler** on top of incremental
+    /// arbitration: an application whose request has stayed inside the
+    /// arbitration tolerance for [`WakeConfig::steady_quanta`] consecutive
+    /// quanta is put to sleep for up to [`WakeConfig::horizon`] quanta. A
+    /// sleeping app is skipped by *every* per-app stage — not observed,
+    /// not classified, not decided; its held award simply stands — so the
+    /// step cost scales with the awake set instead of the fleet, and each
+    /// slept quantum lands in [`obs::Counter::AppsSlept`] (keeping
+    /// `slept + skipped + rearbitrated + decided` a partition of active
+    /// app-quanta).
+    ///
+    /// Sleepers wake early on every event the incremental engine's
+    /// invalidation rules name: a schedule presence flip (arrival or
+    /// departure, via the wake calendar), [`Self::retire`], a watchdog
+    /// health transition, or a whole-fleet invalidation (budget, policy,
+    /// or watchdog change — no app sleeps through an envelope change).
+    /// Otherwise the sleep deadline expires after `horizon` quanta and the
+    /// app re-enters the fold. Reports delivered through [`Self::advance`]
+    /// while asleep do *not* wake the app; they stay pending and re-enroll
+    /// it into observation the quantum it wakes.
+    ///
+    /// Requires incremental arbitration: the config is stored immediately
+    /// but stays inert until [`Self::with_arbitration_tolerance`] attaches
+    /// an engine (the steady/dirty classification the sleep decision rides
+    /// on is the engine's). Horizon 0 ([`WakeConfig::OFF`]) disables
+    /// scheduling and is bit-identical to the plain incremental path at
+    /// every worker count (pinned by `tests/incremental_props.rs`).
+    pub fn with_wake_schedule(mut self, config: WakeConfig) -> Self {
+        self.set_wake_schedule(Some(config));
+        self
+    }
+
+    /// Changes (or removes, with `None`) the wake-scheduler configuration
+    /// mid-run (see [`Self::with_wake_schedule`]). Any change wakes the
+    /// whole fleet, so no app sleeps across a scheduling-rule change.
+    pub fn set_wake_schedule(&mut self, config: Option<WakeConfig>) {
+        self.wake = config;
+        if let Some(engine) = self.incremental.as_mut() {
+            engine.set_wake(config.unwrap_or(WakeConfig::OFF));
+        }
+        self.rebuild_wake_calendar();
+    }
+
+    /// The wake-scheduler configuration, if any (`None` = every app is
+    /// awake every quantum).
+    pub fn wake_schedule(&self) -> Option<WakeConfig> {
+        self.wake
+    }
+
+    /// Whether wake scheduling actually runs this step: an enabled config
+    /// riding on a live incremental engine.
+    fn wake_scheduling_active(&self) -> bool {
+        self.wake.is_some_and(|config| config.enabled()) && self.incremental.is_some()
+    }
+
+    /// Rebuilds the wake calendar from every app's pending arrival and
+    /// departure quanta; cleared when wake scheduling is off (without
+    /// sleepers there is nothing to force-wake). Entries at the current
+    /// quantum are kept — the next step drains them, and a redundant wake
+    /// of an already-awake slot is a no-op.
+    fn rebuild_wake_calendar(&mut self) {
+        self.wake_calendar.clear();
+        if !self.wake_scheduling_active() {
+            return;
+        }
+        let quantum = self.quantum;
+        for (index, app) in self.apps.iter().enumerate() {
+            if app.arrival >= quantum {
+                self.wake_calendar
+                    .entry(app.arrival)
+                    .or_default()
+                    .push(index as u32);
+            }
+            if let Some(departure) = app.departure {
+                if departure >= quantum {
+                    self.wake_calendar
+                        .entry(departure)
+                        .or_default()
+                        .push(index as u32);
+                }
+            }
+        }
     }
 
     /// Registers an application; returns its handle. May be called at any
@@ -1066,7 +1235,28 @@ impl Coordinator {
         self.hot.reported_power.push(None);
         self.hot.fresh.push(false);
         self.apps.push(app);
-        AppHandle(self.apps.len() - 1)
+        let handle = AppHandle(self.apps.len() - 1);
+        if self.wake_scheduling_active() {
+            // Future presence flips go on the wake calendar; a transition
+            // at or before the current quantum needs no entry — the engine
+            // registers the new slot dirty (hence awake) anyway.
+            let app = &self.apps[handle.0];
+            if app.arrival > self.quantum {
+                self.wake_calendar
+                    .entry(app.arrival)
+                    .or_default()
+                    .push(handle.0 as u32);
+            }
+            if let Some(departure) = app.departure {
+                if departure > self.quantum {
+                    self.wake_calendar
+                        .entry(departure)
+                        .or_default()
+                        .push(handle.0 as u32);
+                }
+            }
+        }
+        handle
     }
 
     /// [`Self::register`] behind the admission feasibility pre-check:
@@ -1290,6 +1480,33 @@ impl Coordinator {
             None => self.apps.len().max(1),
         };
 
+        // ---- Wake scheduling: force-wakes + round open --------------
+        // Presence transitions landing at this quantum wake their slots
+        // before the round's participant list is fixed; then the engine
+        // opens the round — drains expired sleep deadlines, merges pending
+        // wakes — and hands back the awake list every per-app stage below
+        // iterates instead of the fleet.
+        let wake_on = self.wake_scheduling_active();
+        if wake_on {
+            let engine = self
+                .incremental
+                .as_mut()
+                .expect("wake scheduling requires the incremental engine");
+            while let Some(entry) = self.wake_calendar.first_entry() {
+                if *entry.key() > quantum {
+                    break;
+                }
+                for index in entry.remove() {
+                    engine.wake(index as usize);
+                }
+            }
+            let awake = engine
+                .begin_round(self.apps.len())
+                .expect("wake scheduling implies an enabled engine round");
+            self.hot.awake.clear();
+            self.hot.awake.extend_from_slice(awake);
+        }
+
         // ---- Observe + build requests (per-app, sharded) ------------
         let budget = self.budget_watts;
         // Event-driven observation skipping (incremental schedule only,
@@ -1299,11 +1516,37 @@ impl Coordinator {
         // pays nothing for the quantum. Any report, lifecycle event, or
         // fleet-wide invalidation re-enrolls it.
         self.hot.skip_observe.clear();
-        if let Some(engine) = &self.incremental {
-            if engine.tolerance() > 0.0
-                && self.observations.len() == self.apps.len()
-                && self.requests.len() == self.apps.len()
-            {
+        self.hot.observe_list.clear();
+        let warm =
+            self.observations.len() == self.apps.len() && self.requests.len() == self.apps.len();
+        // Wake-scheduled rounds pre-filter the awake list into a compact
+        // observe list instead of building a fleet-length skip mask: the
+        // walk below then touches only slots that need a fresh snapshot.
+        // (Cold buffers — a fleet resize since the last step — fall back
+        // to the full refill exactly like the mask path.)
+        let wake_observe = wake_on && warm;
+        if wake_observe {
+            let engine = self
+                .incremental
+                .as_ref()
+                .expect("wake scheduling requires the incremental engine");
+            let requests = &self.requests;
+            let apps = &self.apps;
+            let FleetHot {
+                awake,
+                observe_list,
+                fresh,
+                ..
+            } = &mut self.hot;
+            observe_list.extend(awake.iter().copied().filter(|&index| {
+                let index = index as usize;
+                let app = &apps[index];
+                !(engine.steady(index)
+                    && !fresh[index]
+                    && app.active_at(quantum) == requests[index].active)
+            }));
+        } else if let Some(engine) = &self.incremental {
+            if engine.tolerance() > 0.0 && warm {
                 let fresh = &self.hot.fresh;
                 let requests = &self.requests;
                 self.hot
@@ -1316,7 +1559,67 @@ impl Coordinator {
             }
         }
         let skipped_observe = self.hot.skip_observe.iter().filter(|&&skip| skip).count();
-        if shard >= self.apps.len() || self.observations.len() != self.apps.len() {
+        let observed_apps = if wake_observe {
+            self.hot.observe_list.len()
+        } else {
+            self.apps.len() - skipped_observe
+        };
+        if wake_observe {
+            if shard >= self.apps.len() {
+                // Sequential: walk only the observe list.
+                for &index in &self.hot.observe_list {
+                    let index = index as usize;
+                    let app = &self.apps[index];
+                    let observation = app.monitor.observation();
+                    self.requests[index] = request_for(app, &observation, quantum, budget);
+                    self.observations[index] = observation;
+                }
+            } else {
+                // Pooled: the same contiguous fleet shards as the
+                // always-awake path (exclusive `&mut` chunks — boxed
+                // actuators make `ManagedApp` `Send` but not `Sync`), each
+                // handed the sub-slice of the ascending observe list that
+                // falls in its range.
+                struct WakeObserveShard<'a> {
+                    base: usize,
+                    apps: &'a mut [ManagedApp],
+                    observations: &'a mut [MonitorObservation],
+                    requests: &'a mut [AppRequest],
+                    list: &'a [u32],
+                }
+                let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
+                let list = &self.hot.observe_list;
+                let mut shards: Vec<WakeObserveShard> = self
+                    .apps
+                    .chunks_mut(shard)
+                    .zip(self.observations.chunks_mut(shard))
+                    .zip(self.requests.chunks_mut(shard))
+                    .enumerate()
+                    .map(|(chunk, ((apps, observations), requests))| {
+                        let base = chunk * shard;
+                        let end = base + apps.len();
+                        let lo = list.partition_point(|&index| (index as usize) < base);
+                        let hi = list.partition_point(|&index| (index as usize) < end);
+                        WakeObserveShard {
+                            base,
+                            apps,
+                            observations,
+                            requests,
+                            list: &list[lo..hi],
+                        }
+                    })
+                    .collect();
+                pool.for_each_mut(&mut shards, |_, task| {
+                    for &index in task.list {
+                        let offset = index as usize - task.base;
+                        let app = &task.apps[offset];
+                        let observation = app.monitor.observation();
+                        task.requests[offset] = request_for(app, &observation, quantum, budget);
+                        task.observations[offset] = observation;
+                    }
+                });
+            }
+        } else if shard >= self.apps.len() || self.observations.len() != self.apps.len() {
             if self.hot.skip_observe.is_empty() {
                 // Sequential (single shard), or the buffers are cold because
                 // the fleet changed since the last step: refill in one pass.
@@ -1397,10 +1700,7 @@ impl Coordinator {
         }
 
         if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
-            observer.add(
-                Counter::AppsObserved,
-                (self.apps.len() - skipped_observe) as u64,
-            );
+            observer.add(Counter::AppsObserved, observed_apps as u64);
             observer.time(Stage::Observe, clock.lap());
         }
 
@@ -1457,13 +1757,15 @@ impl Coordinator {
         // the residual budget; at tolerance 0 every app is dirty and the
         // engine makes byte-for-byte the same policy call as the full
         // path below.
+        let mut slept = 0;
         if let Some(engine) = self.incremental.as_mut() {
-            engine.arbitrate(
+            let outcome = engine.arbitrate(
                 self.policy.as_mut(),
                 self.budget_watts * self.headroom,
                 &self.requests,
                 &mut self.awards,
             );
+            slept = outcome.slept;
         } else {
             self.policy.arbitrate(
                 self.budget_watts * self.headroom,
@@ -1474,6 +1776,14 @@ impl Coordinator {
 
         if let (Some(observer), Some(clock)) = (&observer, clock.as_mut()) {
             observer.time(Stage::Arbitrate, clock.lap());
+            // Sleeping-through-the-round apps are counted once per step
+            // from the engine's ledger — not per slot, since no per-app
+            // stage ever visits them — so the decide ledger
+            // (slept + skipped + rearbitrated + decided) still partitions
+            // every active app-quantum exactly once.
+            if slept > 0 {
+                observer.add(Counter::AppsSlept, slept as u64);
+            }
             // Awards changed vs held: bit-for-bit comparison of each
             // present app's fresh award against the envelope it executed
             // the previous quantum under (recorded by the decide stage).
@@ -1495,10 +1805,99 @@ impl Coordinator {
 
         // ---- Decide under the envelopes (per-app, sharded) ----------
         // On the incremental path the engine's dirty mask rides along:
-        // clean apps skip the whole decide quantum.
+        // clean apps skip the whole decide quantum. Wake-scheduled rounds
+        // walk the engine's participant list instead of the fleet —
+        // re-read after arbitration so mid-round wakes (watchdog health
+        // transitions) are decided too; sleeping slots are never visited,
+        // their held award and previous decision stand.
+        if wake_on {
+            let engine = self
+                .incremental
+                .as_ref()
+                .expect("wake scheduling requires the incremental engine");
+            self.hot.awake.clear();
+            self.hot.awake.extend_from_slice(engine.awake_slots());
+        }
         let dirty_mask: Option<&[bool]> =
             self.incremental.as_ref().map(IncrementalArbiter::dirty_mask);
-        if shard >= self.apps.len() {
+        if wake_on {
+            if shard >= self.apps.len() {
+                if let Err((_, err)) = decide_list(
+                    &self.hot.awake,
+                    0,
+                    &mut self.apps,
+                    &self.observations,
+                    &self.awards,
+                    dirty_mask,
+                    now,
+                    quantum,
+                    observer.as_deref(),
+                ) {
+                    return Err(err);
+                }
+            } else {
+                struct WakeDecideShard<'a> {
+                    base: usize,
+                    apps: &'a mut [ManagedApp],
+                    observations: &'a [MonitorObservation],
+                    awards: &'a [f64],
+                    dirty: Option<&'a [bool]>,
+                    list: &'a [u32],
+                    failure: Option<(usize, SeecError)>,
+                }
+                let pool = pool.as_ref().expect("a shard smaller than the fleet implies a pool");
+                let list = &self.hot.awake;
+                let mut shards: Vec<WakeDecideShard> = self
+                    .apps
+                    .chunks_mut(shard)
+                    .zip(self.observations.chunks(shard))
+                    .zip(self.awards.chunks(shard))
+                    .enumerate()
+                    .map(|(chunk, ((apps, observations), awards))| {
+                        let base = chunk * shard;
+                        let end = base + apps.len();
+                        let lo = list.partition_point(|&index| (index as usize) < base);
+                        let hi = list.partition_point(|&index| (index as usize) < end);
+                        let dirty =
+                            dirty_mask.map(|mask| &mask[base..base + apps.len()]);
+                        WakeDecideShard {
+                            base,
+                            apps,
+                            observations,
+                            awards,
+                            dirty,
+                            list: &list[lo..hi],
+                            failure: None,
+                        }
+                    })
+                    .collect();
+                let decide_observer = observer.as_deref();
+                pool.for_each_mut(&mut shards, |_, task| {
+                    task.failure = decide_list(
+                        task.list,
+                        task.base,
+                        task.apps,
+                        task.observations,
+                        task.awards,
+                        task.dirty,
+                        now,
+                        quantum,
+                        decide_observer,
+                    )
+                    .err();
+                });
+                // Report the lowest-indexed failure, matching the
+                // sequential walk's choice (decide_list failures carry
+                // global indices already).
+                if let Some((_, err)) = shards
+                    .into_iter()
+                    .filter_map(|task| task.failure)
+                    .min_by_key(|(index, _)| *index)
+                {
+                    return Err(err);
+                }
+            }
+        } else if shard >= self.apps.len() {
             if let Err((_, err)) = decide_chunk(
                 &mut self.apps,
                 &self.observations,
@@ -1580,8 +1979,16 @@ impl Coordinator {
 
         // The report-freshness flags describe "since the last step"; this
         // step consumed them (they only gate observation skipping, so the
-        // full path never reads them).
-        if self.incremental.is_some() {
+        // full path never reads them). Wake-scheduled rounds clear only
+        // the participants' flags: a report delivered to a *sleeping*
+        // slot stays pending, so the wake quantum re-enrolls it into
+        // observation.
+        if wake_on {
+            let FleetHot { awake, fresh, .. } = &mut self.hot;
+            for &index in awake.iter() {
+                fresh[index as usize] = false;
+            }
+        } else if self.incremental.is_some() {
             self.hot.fresh.iter_mut().for_each(|fresh| *fresh = false);
         }
 
@@ -1733,6 +2140,41 @@ mod tests {
             coordinator.step(now).unwrap();
         }
         final_powers
+    }
+
+    /// [`drive`] with a caller-held clock, so a test can interleave driving
+    /// with lifecycle calls without resetting simulated time (heartbeat
+    /// timestamps must stay monotonic across the whole run).
+    fn drive_from(
+        coordinator: &mut Coordinator,
+        handles: &[AppHandle],
+        ticks: usize,
+        now: &mut f64,
+    ) {
+        for _ in 0..ticks {
+            *now += 1.0;
+            for &handle in handles {
+                if !coordinator.app(handle).active_at(coordinator.quantum()) {
+                    continue;
+                }
+                let effect = {
+                    let runtime = coordinator.app(handle).runtime();
+                    runtime
+                        .model()
+                        .space()
+                        .predicted_effect(runtime.current_configuration())
+                        .unwrap()
+                };
+                coordinator.advance(
+                    handle,
+                    *now - 1.0,
+                    *now,
+                    10.0 * effect.performance,
+                    10.0 * effect.power,
+                );
+            }
+            coordinator.step(*now).unwrap();
+        }
     }
 
     #[test]
@@ -2486,5 +2928,212 @@ mod tests {
             transitions.contains(&("Suspect".to_string(), "Quarantined".to_string())),
             "expected a Suspect→Quarantined transition, got {transitions:?}"
         );
+    }
+
+    #[test]
+    fn wake_scheduling_sleeps_steady_apps_and_the_ledger_partitions() {
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair))
+            .with_arbitration_tolerance(0.05)
+            .with_wake_schedule(WakeConfig {
+                steady_quanta: 2,
+                horizon: 8,
+            })
+            .with_obs(Arc::clone(&recorder));
+        let handles: Vec<AppHandle> = [
+            (SplashBenchmark::Barnes, 1),
+            (SplashBenchmark::OceanNonContiguous, 2),
+            (SplashBenchmark::Raytrace, 3),
+        ]
+        .into_iter()
+        .map(|(benchmark, seed)| {
+            coordinator.register(managed_app(benchmark, seed, 20.0))
+        })
+        .collect();
+        let quanta = 16;
+        drive(&mut coordinator, &handles, quanta);
+
+        let slept = recorder.counter(Counter::AppsSlept);
+        let skipped = recorder.counter(Counter::AppsSkipped);
+        let rearbitrated = recorder.counter(Counter::AppsRearbitrated);
+        let decided = recorder.counter(Counter::AppsDecided);
+        assert!(slept > 0, "steady apps never slept");
+        assert_eq!(
+            slept + skipped + rearbitrated + decided,
+            (quanta * handles.len()) as u64,
+            "the four-way ledger must partition every active app-quantum"
+        );
+        // Sleeping slots are not observed either: the observe counter
+        // undershoots the fleet-quanta product by at least the slept share.
+        assert!(
+            recorder.counter(Counter::AppsObserved) + slept
+                <= (quanta * handles.len()) as u64,
+            "sleeping apps must not be observed"
+        );
+        let total: f64 = coordinator.awards().iter().sum();
+        assert!(total <= 60.0 * 0.95 + 1e-9, "budget overrun: {total}");
+    }
+
+    #[test]
+    fn horizon_zero_wake_schedule_is_bit_identical_to_the_plain_incremental_path() {
+        let build = |wake: Option<WakeConfig>| {
+            let mut coordinator = Coordinator::new(55.0, Box::new(PerformanceMarket::default()))
+                .with_arbitration_tolerance(0.05);
+            if let Some(config) = wake {
+                coordinator = coordinator.with_wake_schedule(config);
+            }
+            let handles = vec![
+                coordinator.register(managed_app(SplashBenchmark::Barnes, 7, 18.0)),
+                coordinator.register(managed_app(SplashBenchmark::OceanNonContiguous, 8, 24.0)),
+            ];
+            (coordinator, handles)
+        };
+        let (mut plain, plain_handles) = build(None);
+        let (mut gated, gated_handles) = build(Some(WakeConfig {
+            steady_quanta: 2,
+            horizon: 0,
+        }));
+        let mut now = 0.0;
+        for _ in 0..12 {
+            now += 1.0;
+            for (&a, &b) in plain_handles.iter().zip(&gated_handles) {
+                plain.advance(a, now - 1.0, now, 10.0, 9.0);
+                gated.advance(b, now - 1.0, now, 10.0, 9.0);
+            }
+            plain.step(now).unwrap();
+            gated.step(now).unwrap();
+            let plain_bits: Vec<u64> =
+                plain.awards().iter().map(|award| award.to_bits()).collect();
+            let gated_bits: Vec<u64> =
+                gated.awards().iter().map(|award| award.to_bits()).collect();
+            assert_eq!(
+                plain_bits, gated_bits,
+                "horizon 0 must be bit-identical to no wake schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn a_sleeping_app_force_wakes_when_retired() {
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(60.0, Box::new(StaticShare))
+            .with_arbitration_tolerance(0.05)
+            .with_wake_schedule(WakeConfig {
+                steady_quanta: 1,
+                horizon: 32,
+            })
+            .with_obs(Arc::clone(&recorder));
+        let handles = vec![
+            coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 20.0)),
+            coordinator.register(managed_app(SplashBenchmark::OceanNonContiguous, 2, 20.0)),
+        ];
+        let mut now = 0.0;
+        drive_from(&mut coordinator, &handles, 8, &mut now);
+        assert!(
+            recorder.counter(Counter::AppsSlept) > 0,
+            "the fleet should be sleeping before the retirement"
+        );
+        coordinator.retire(handles[1]);
+        drive_from(&mut coordinator, &handles, 1, &mut now);
+        assert_eq!(
+            coordinator.app(handles[1]).awarded_watts(),
+            0.0,
+            "a retired sleeper must wake and lose its envelope the next step"
+        );
+        assert_eq!(coordinator.awards()[1], 0.0);
+    }
+
+    #[test]
+    fn the_wake_calendar_wakes_a_sleeper_for_its_departure_quantum() {
+        // Departure at quantum 10 with a 64-quantum sleep horizon: only the
+        // wake calendar can wake the app on time, long before its deadline.
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair))
+            .with_arbitration_tolerance(0.05)
+            .with_wake_schedule(WakeConfig {
+                steady_quanta: 1,
+                horizon: 64,
+            })
+            .with_obs(Arc::clone(&recorder));
+        let handles = vec![
+            coordinator.register(managed_app(SplashBenchmark::Barnes, 1, 20.0)),
+            coordinator
+                .register(managed_app(SplashBenchmark::OceanNonContiguous, 2, 20.0).with_departure(10)),
+        ];
+        let mut now = 0.0;
+        drive_from(&mut coordinator, &handles, 10, &mut now);
+        assert!(
+            recorder.counter(Counter::AppsSlept) > 0,
+            "both apps should have slept before the departure"
+        );
+        assert!(coordinator.awards()[1] > 0.0, "still present through quantum 9");
+        drive_from(&mut coordinator, &handles, 1, &mut now);
+        assert_eq!(
+            coordinator.awards()[1],
+            0.0,
+            "the departure quantum must force-wake the sleeper and zero its award"
+        );
+        let total: f64 = coordinator.awards().iter().sum();
+        assert!(total <= 60.0 * 0.95 + 1e-9, "budget overrun: {total}");
+    }
+
+    #[test]
+    fn a_sleeping_app_force_wakes_when_the_watchdog_quarantines_it() {
+        // A 64-quantum horizon with steady_quanta 1 puts the whole fleet to
+        // sleep long before any deadline; the only thing that can strip a
+        // sleeper's held award inside this run is the health transition.
+        let config = WatchdogConfig::default();
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(60.0, Box::new(WeightedFair))
+            .with_arbitration_tolerance(0.05)
+            .with_wake_schedule(WakeConfig {
+                steady_quanta: 1,
+                horizon: 64,
+            })
+            .with_watchdog(config)
+            .with_obs(Arc::clone(&recorder));
+        let handles: Vec<AppHandle> = (0..3)
+            .map(|i| {
+                coordinator.register(managed_app(SplashBenchmark::ALL[i], i as u64 + 1, 20.0))
+            })
+            .collect();
+        let mut now = 0.0;
+        for _ in 0..8 {
+            now += 1.0;
+            for &handle in &handles {
+                advance_honestly(&mut coordinator, handle, now);
+            }
+            coordinator.step(now).unwrap();
+        }
+        let slept_before_stall = recorder.counter(Counter::AppsSlept);
+        assert!(slept_before_stall > 0, "the fleet should be sleeping before the stall");
+        assert!(
+            coordinator.app(handles[2]).awarded_watts() > config.quarantine_floor_watts,
+            "the app must hold a real envelope going into the stall"
+        );
+
+        // App 2's heartbeat pipe wedges while its slot sleeps on a held
+        // award: the watchdog must still see the staleness and the
+        // quarantine must force-wake the slot the same quantum.
+        for _ in 0..(config.stale_beat_quanta + 2) {
+            now += 1.0;
+            for &handle in &handles[..2] {
+                advance_honestly(&mut coordinator, handle, now);
+            }
+            coordinator.step(now).unwrap();
+        }
+        let stalled = coordinator.app(handles[2]);
+        assert_eq!(stalled.health_state(), HealthState::Quarantined);
+        assert!(
+            stalled.awarded_watts() <= config.quarantine_floor_watts + 1e-9,
+            "a sleep horizon must not shield a quarantined app's held award, got {}",
+            stalled.awarded_watts()
+        );
+        assert!(
+            recorder.counter(Counter::AppsSlept) > slept_before_stall,
+            "healthy apps keep sleeping through a neighbour's quarantine"
+        );
+        let total: f64 = coordinator.awards().iter().sum();
+        assert!(total <= 60.0 * 0.95 + 1e-9, "budget overrun: {total}");
     }
 }

@@ -34,8 +34,81 @@
 //! its budget, so the merged award vector sums to at most the full budget
 //! at every tolerance — pinned by the nonzero-tolerance properties of the
 //! same suite.
+//!
+//! # Wake scheduling: O(awake) rounds
+//!
+//! Even with a tolerance, classifying every slot is an O(fleet) memory walk
+//! per quantum. [`IncrementalArbiter::with_wake`] turns the engine
+//! event-driven: a slot whose request stayed inside the tolerance for
+//! [`WakeConfig::steady_quanta`] consecutive rounds is put to **sleep** with
+//! a bounded [`WakeConfig::horizon`] — it skips classification entirely and
+//! holds its award until its deadline expires (a timing wheel drains the
+//! round's bucket) or an external event wakes it early:
+//!
+//! * [`IncrementalArbiter::wake`] — the caller saw this slot's request
+//!   move (a fresh report, a churn event, a presence transition);
+//! * [`IncrementalArbiter::mark_dirty`] — lifecycle and health events
+//!   (which also force re-arbitration, as before);
+//! * [`IncrementalArbiter::mark_all_dirty`] — budget/policy/watchdog
+//!   replacement wakes the whole fleet (every held award is invalid).
+//!
+//! The engine keeps an ascending **awake-index list**; classification, the
+//! hold-clamp, and the residual fold iterate only that list, so the round
+//! costs O(awake), not O(fleet). While a slot sleeps the engine never reads
+//! its request row — the caller's contract is to `wake()` any slot whose
+//! request may have moved, and every envelope-changing event
+//! (budget/policy/health/lifecycle) force-wakes, so staleness is bounded by
+//! the horizon and limited to sub-tolerance drift.
+//!
+//! Horizon `0` disables the scheduler outright: the engine dispatches to
+//! the exact dense code path above, so a wake-configured engine at horizon
+//! 0 is bit-identical to an unconfigured one by construction (pinned, with
+//! the coordinator on top, by `tests/incremental_props.rs`).
+//!
+//! For the residual fold itself, policies that declare
+//! [`ArbitrationPolicy::index_invariant`] are called over a *compacted*
+//! slice holding just the dirty slots (identical participant values in
+//! identical relative order — identical partial sums, identical award
+//! bits); stateful per-slot policies fall back to the fleet-length masked
+//! slice.
 
 use crate::policy::{AppRequest, ArbitrationPolicy};
+
+/// Wake-scheduler knobs for [`IncrementalArbiter::with_wake`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeConfig {
+    /// Consecutive clean (sub-tolerance) rounds before a slot sleeps.
+    /// Treated as at least 1 — a dirty slot never sleeps the round it
+    /// re-arbitrated.
+    pub steady_quanta: u32,
+    /// Upper bound, in rounds, on how long a slot may sleep before it is
+    /// re-classified. `0` disables wake scheduling entirely (the engine
+    /// runs the dense per-round classification, bit-identical to an
+    /// unconfigured engine).
+    pub horizon: usize,
+}
+
+impl Default for WakeConfig {
+    fn default() -> Self {
+        WakeConfig {
+            steady_quanta: 2,
+            horizon: 32,
+        }
+    }
+}
+
+impl WakeConfig {
+    /// Wake scheduling disabled: the dense classification runs every round.
+    pub const OFF: WakeConfig = WakeConfig {
+        steady_quanta: 0,
+        horizon: 0,
+    };
+
+    /// Whether this configuration actually schedules sleep.
+    pub fn enabled(&self) -> bool {
+        self.horizon > 0
+    }
+}
 
 /// What one incremental arbitration round did, for telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,6 +119,9 @@ pub struct IncrementalOutcome {
     /// Active applications that kept their held award without entering the
     /// arbitration fold.
     pub skipped: usize,
+    /// Active applications that slept through the round entirely — not even
+    /// classified (wake scheduling only; always 0 with the scheduler off).
+    pub slept: usize,
     /// Whether the round degenerated to one full-fleet policy call (always
     /// true at tolerance 0).
     pub full: bool,
@@ -58,7 +134,7 @@ pub struct IncrementalOutcome {
 /// ([`crate::Coordinator::with_arbitration_tolerance`]), and the fleet-scale
 /// harness (`fig5 --fleet N`) drives one directly over synthetic request
 /// arrays.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IncrementalArbiter {
     tolerance: f64,
     /// Request snapshot at each slot's last arbitration (struct-of-arrays:
@@ -75,6 +151,66 @@ pub struct IncrementalArbiter {
     fleet_dirty: bool,
     scratch_requests: Vec<AppRequest>,
     scratch_awards: Vec<f64>,
+    // ---- Wake-scheduler state (inert while `wake.horizon == 0`) ----
+    wake: WakeConfig,
+    /// Whether each slot is currently asleep (skipping whole rounds).
+    sleeping: Vec<bool>,
+    /// Consecutive clean rounds per slot; reset on any dirty round or wake.
+    streak: Vec<u32>,
+    /// Absolute round at which each sleeping slot's wheel entry is due —
+    /// guards stale entries left by early wakes.
+    deadline: Vec<u64>,
+    /// Timing wheel, one bucket per horizon round; bucket `r % horizon`
+    /// drains at the start of round `r`.
+    wheel: Vec<Vec<u32>>,
+    /// Ascending indices of the slots participating in the current round.
+    /// Sleepers are removed at the *next* [`Self::begin_round`], so after
+    /// [`Self::arbitrate`] the list still names exactly this round's
+    /// participants (the caller's decide stage iterates it).
+    awake: Vec<u32>,
+    /// Slots woken since the last merge, not yet in `awake`.
+    pending_wakes: Vec<u32>,
+    merge_scratch: Vec<u32>,
+    /// Original slot index of each row of a compacted policy call.
+    compact_map: Vec<u32>,
+    /// Sleeping slots whose snapshot request is active (the `slept` ledger
+    /// entry, maintained incrementally).
+    sleeping_active: usize,
+    /// Σ held awards over sleeping slots (their requests cannot move while
+    /// asleep, so the sum is exact and the residual stays O(awake)).
+    sleeping_held_sum: f64,
+    /// Monotone round counter driving the wheel.
+    round: u64,
+    /// Whether [`Self::begin_round`] already ran for the current round.
+    round_begun: bool,
+}
+
+impl Default for IncrementalArbiter {
+    fn default() -> Self {
+        IncrementalArbiter {
+            tolerance: 0.0,
+            last_requests: Vec::new(),
+            held: Vec::new(),
+            marked: Vec::new(),
+            dirty: Vec::new(),
+            fleet_dirty: false,
+            scratch_requests: Vec::new(),
+            scratch_awards: Vec::new(),
+            wake: WakeConfig::OFF,
+            sleeping: Vec::new(),
+            streak: Vec::new(),
+            deadline: Vec::new(),
+            wheel: Vec::new(),
+            awake: Vec::new(),
+            pending_wakes: Vec::new(),
+            merge_scratch: Vec::new(),
+            compact_map: Vec::new(),
+            sleeping_active: 0,
+            sleeping_held_sum: 0.0,
+            round: 0,
+            round_begun: false,
+        }
+    }
 }
 
 /// Largest relative per-field movement between two requests; infinite when
@@ -117,9 +253,60 @@ impl IncrementalArbiter {
         self.tolerance
     }
 
+    /// Enables wake scheduling (see the module docs). Horizon 0 leaves the
+    /// engine on the dense path, bit-identical to an unconfigured one.
+    pub fn with_wake(mut self, config: WakeConfig) -> Self {
+        self.set_wake(config);
+        self
+    }
+
+    /// Replaces the wake configuration mid-run. Every sleeping slot is
+    /// woken (its held award may predate the new schedule's guarantees),
+    /// so the next round re-classifies the whole fleet's awake set.
+    pub fn set_wake(&mut self, config: WakeConfig) {
+        self.wake_everyone();
+        self.wake = config;
+        self.wheel.clear();
+        self.wheel.resize_with(config.horizon, Vec::new);
+    }
+
+    /// The active wake configuration ([`WakeConfig::OFF`] by default).
+    pub fn wake_config(&self) -> WakeConfig {
+        self.wake
+    }
+
+    /// Whether wake scheduling is active (positive horizon).
+    pub fn wake_enabled(&self) -> bool {
+        self.wake.enabled()
+    }
+
+    /// Wakes `index` if it is asleep: the slot re-enters classification
+    /// next round (its streak restarts). Callers **must** wake any slot
+    /// whose request may have moved — a churn event, a fresh report, a
+    /// presence transition — since the engine never reads a sleeping
+    /// slot's request row. No-op with the scheduler off.
+    pub fn wake(&mut self, index: usize) {
+        if !self.wake.enabled() {
+            return;
+        }
+        if index < self.sleeping.len() && self.sleeping[index] {
+            self.sleeping[index] = false;
+            if self.last_requests.get(index).is_some_and(|r| r.active) {
+                self.sleeping_active -= 1;
+            }
+            self.sleeping_held_sum -= self.held.get(index).copied().unwrap_or(0.0);
+            self.streak[index] = 0;
+            self.pending_wakes.push(index as u32);
+        } else if index < self.streak.len() {
+            self.streak[index] = 0;
+        }
+    }
+
     /// Marks one slot dirty: it re-enters the fold next round regardless of
-    /// its request delta (lifecycle events, health transitions).
+    /// its request delta (lifecycle events, health transitions). Also wakes
+    /// the slot — no app sleeps through an envelope change.
     pub fn mark_dirty(&mut self, index: usize) {
+        self.wake(index);
         if index >= self.marked.len() {
             self.marked.resize(index + 1, false);
         }
@@ -127,9 +314,28 @@ impl IncrementalArbiter {
     }
 
     /// Marks the whole fleet dirty: the next round is a full policy call
-    /// (budget or policy replacement invalidates every held award).
+    /// (budget or policy replacement invalidates every held award). Wakes
+    /// every sleeping slot.
     pub fn mark_all_dirty(&mut self) {
         self.fleet_dirty = true;
+        if self.wake.enabled() {
+            self.wake_everyone();
+        }
+    }
+
+    /// Wakes every sleeping slot and rebuilds the awake list as the whole
+    /// fleet; clears the wheel (every entry is now stale).
+    fn wake_everyone(&mut self) {
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.sleeping.iter_mut().for_each(|sleeping| *sleeping = false);
+        self.streak.iter_mut().for_each(|streak| *streak = 0);
+        self.sleeping_active = 0;
+        self.sleeping_held_sum = 0.0;
+        self.pending_wakes.clear();
+        self.awake.clear();
+        self.awake.extend(0..self.sleeping.len() as u32);
     }
 
     /// The dirty mask of the most recent [`Self::arbitrate`] round, one
@@ -137,6 +343,26 @@ impl IncrementalArbiter {
     /// decide stage uses this to skip clean applications.
     pub fn dirty_mask(&self) -> &[bool] {
         &self.dirty
+    }
+
+    /// Whether `index` is currently asleep (always false with the
+    /// scheduler off).
+    pub fn is_sleeping(&self, index: usize) -> bool {
+        self.sleeping.get(index).copied().unwrap_or(false)
+    }
+
+    /// Sleeping slots whose snapshot request is active — the `slept` entry
+    /// of the decide ledger for the round in progress.
+    pub fn sleeping_active(&self) -> usize {
+        self.sleeping_active
+    }
+
+    /// The ascending indices participating in the current round: after
+    /// [`Self::begin_round`] (or [`Self::arbitrate`], which begins the
+    /// round itself) this is every non-sleeping slot plus any slot woken
+    /// mid-round. Empty with the scheduler off.
+    pub fn awake_slots(&self) -> &[u32] {
+        &self.awake
     }
 
     /// Whether `index` can skip the coming quantum entirely: it was clean
@@ -149,11 +375,135 @@ impl IncrementalArbiter {
             && self.marked.get(index).is_none_or(|&marked| !marked)
     }
 
+    /// Starts a round with the scheduler on: grows the wake state to
+    /// `fleet` slots, drops last round's sleepers from the awake list,
+    /// drains the wheel bucket whose deadline is due, and merges every
+    /// pending wake. Idempotent per round; [`Self::arbitrate`] calls it
+    /// itself when the caller did not. Returns the awake list (`None` with
+    /// the scheduler off) so callers can run their own per-slot stages —
+    /// observation, request building — over just the awake set.
+    pub fn begin_round(&mut self, fleet: usize) -> Option<&[u32]> {
+        if !self.wake.enabled() {
+            return None;
+        }
+        if self.round_begun {
+            return Some(&self.awake);
+        }
+        self.round_begun = true;
+        self.ensure_wake_capacity(fleet);
+        // Last round's sleepers leave the participant list only now, so the
+        // list kept naming them for the caller's post-arbitrate stages.
+        let sleeping = &self.sleeping;
+        self.awake.retain(|&index| !sleeping[index as usize]);
+        // Deadline expiry: drain this round's wheel bucket. Entries whose
+        // deadline moved (woken early, re-slept later) are stale — skipped.
+        let bucket = (self.round % self.wake.horizon as u64) as usize;
+        let mut due = std::mem::take(&mut self.wheel[bucket]);
+        for &index in &due {
+            let slot = index as usize;
+            if slot < self.sleeping.len()
+                && self.sleeping[slot]
+                && self.deadline[slot] == self.round
+            {
+                self.sleeping[slot] = false;
+                if self.last_requests.get(slot).is_some_and(|r| r.active) {
+                    self.sleeping_active -= 1;
+                }
+                self.sleeping_held_sum -= self.held.get(slot).copied().unwrap_or(0.0);
+                self.streak[slot] = 0;
+                self.pending_wakes.push(index);
+            }
+        }
+        due.clear();
+        self.wheel[bucket] = due; // hand the allocation back
+        self.merge_pending();
+        Some(&self.awake)
+    }
+
+    /// Grows (or shrinks) the wake-state columns to `fleet` slots; new
+    /// slots join the awake list (they are dirty by definition).
+    fn ensure_wake_capacity(&mut self, fleet: usize) {
+        assert!(fleet <= u32::MAX as usize, "fleet exceeds u32 slot indices");
+        let old = self.sleeping.len();
+        if fleet > old {
+            self.sleeping.resize(fleet, false);
+            self.streak.resize(fleet, 0);
+            self.deadline.resize(fleet, 0);
+            // New indices are above every existing one: the list stays
+            // sorted.
+            self.awake.extend(old as u32..fleet as u32);
+        } else if fleet < old {
+            for slot in fleet..old {
+                if self.sleeping[slot] {
+                    if self.last_requests.get(slot).is_some_and(|r| r.active) {
+                        self.sleeping_active -= 1;
+                    }
+                    self.sleeping_held_sum -= self.held.get(slot).copied().unwrap_or(0.0);
+                }
+            }
+            self.sleeping.truncate(fleet);
+            self.streak.truncate(fleet);
+            self.deadline.truncate(fleet);
+            self.awake.retain(|&index| (index as usize) < fleet);
+            self.pending_wakes.retain(|&index| (index as usize) < fleet);
+            for bucket in &mut self.wheel {
+                bucket.retain(|&index| (index as usize) < fleet);
+            }
+        }
+    }
+
+    /// Merges `pending_wakes` into the ascending awake list. A slot woken
+    /// between rounds (sleeping flag already cleared) survives the retain
+    /// in [`Self::begin_round`] *and* sits in `pending_wakes`, so the
+    /// merge deduplicates.
+    fn merge_pending(&mut self) {
+        if self.pending_wakes.is_empty() {
+            return;
+        }
+        self.pending_wakes.sort_unstable();
+        self.merge_scratch.clear();
+        self.merge_scratch.reserve(self.awake.len() + self.pending_wakes.len());
+        let mut fresh = self.pending_wakes.iter().copied().peekable();
+        for &index in &self.awake {
+            while let Some(&next) = fresh.peek() {
+                if next < index {
+                    self.merge_scratch.push(next);
+                    fresh.next();
+                } else if next == index {
+                    fresh.next(); // already awake: drop the duplicate
+                } else {
+                    break;
+                }
+            }
+            self.merge_scratch.push(index);
+        }
+        self.merge_scratch.extend(fresh);
+        std::mem::swap(&mut self.awake, &mut self.merge_scratch);
+        self.pending_wakes.clear();
+    }
+
     /// One incremental round: splits `budget_watts` across `requests` into
     /// `awards` through `policy`, re-arbitrating only the dirty slots (see
     /// the module docs). Slots never seen before are dirty by definition;
     /// growing or shrinking the slice resets the new/old slots accordingly.
     pub fn arbitrate(
+        &mut self,
+        policy: &mut dyn ArbitrationPolicy,
+        budget_watts: f64,
+        requests: &[AppRequest],
+        awards: &mut Vec<f64>,
+    ) -> IncrementalOutcome {
+        if self.wake.enabled() {
+            self.arbitrate_scheduled(policy, budget_watts, requests, awards)
+        } else {
+            self.arbitrate_dense(policy, budget_watts, requests, awards)
+        }
+    }
+
+    /// The dense round: classify every slot. This is the whole engine with
+    /// the wake scheduler off, and the path a horizon-0 configuration
+    /// dispatches to — the bit-identity anchor for both differential pins.
+    fn arbitrate_dense(
         &mut self,
         policy: &mut dyn ArbitrationPolicy,
         budget_watts: f64,
@@ -266,6 +616,170 @@ impl IncrementalArbiter {
         }));
         outcome
     }
+
+    /// The scheduled round: classify only the awake list, fold the dirty
+    /// residual against `Σ sleeping held + Σ awake-clean held`, then put
+    /// steady slots to sleep. O(awake) except for the fleet-length award
+    /// copy-out and the (vectorised) mask memsets.
+    fn arbitrate_scheduled(
+        &mut self,
+        policy: &mut dyn ArbitrationPolicy,
+        budget_watts: f64,
+        requests: &[AppRequest],
+        awards: &mut Vec<f64>,
+    ) -> IncrementalOutcome {
+        let fleet = requests.len();
+        self.begin_round(fleet);
+        // Wakes raised mid-round (a watchdog transition after the caller's
+        // observe stage) still join this round's classification.
+        self.merge_pending();
+        self.marked.resize(fleet, true);
+        self.last_requests.resize(
+            fleet,
+            AppRequest {
+                active: false,
+                weight: 1.0,
+                urgency: 1.0,
+                max_power_watts: 0.0,
+            },
+        );
+        self.held.resize(fleet, 0.0);
+        self.dirty.clear();
+        self.dirty.resize(fleet, false);
+
+        // ---- Classify the awake set --------------------------------
+        let mut dirty_count = 0;
+        for &index in &self.awake {
+            let slot = index as usize;
+            let delta = request_delta(&requests[slot], &self.last_requests[slot]);
+            let moved = delta.partial_cmp(&self.tolerance) != Some(std::cmp::Ordering::Less);
+            let dirty = self.fleet_dirty || self.marked[slot] || moved;
+            self.dirty[slot] = dirty;
+            if dirty {
+                dirty_count += 1;
+                self.streak[slot] = 0;
+            } else {
+                self.streak[slot] = self.streak[slot].saturating_add(1);
+            }
+        }
+        self.marked.iter_mut().for_each(|marked| *marked = false);
+        self.fleet_dirty = false;
+
+        let mut outcome = IncrementalOutcome {
+            full: dirty_count == fleet,
+            slept: self.sleeping_active,
+            ..IncrementalOutcome::default()
+        };
+        for &index in &self.awake {
+            let slot = index as usize;
+            if !requests[slot].active {
+                continue;
+            }
+            if self.dirty[slot] {
+                outcome.rearbitrated += 1;
+            } else {
+                outcome.skipped += 1;
+            }
+        }
+
+        if outcome.full {
+            // All slots awake and dirty (first round, or a fleet-wide
+            // invalidation woke everyone): byte-for-byte the full fold.
+            policy.arbitrate(budget_watts, requests, awards);
+            self.last_requests.copy_from_slice(requests);
+            self.held.copy_from_slice(awards);
+        } else if dirty_count == 0 {
+            // Fully steady awake set: clamp its held awards, keep the
+            // sleepers', no policy call.
+            for &index in &self.awake {
+                let slot = index as usize;
+                self.held[slot] =
+                    self.held[slot].min(requests[slot].max_power_watts.max(0.0));
+            }
+            awards.clear();
+            awards.extend_from_slice(&self.held);
+        } else {
+            // ---- Hold clean + sleeping, fold the dirty residual ----
+            let mut held_total = self.sleeping_held_sum;
+            for &index in &self.awake {
+                let slot = index as usize;
+                if self.dirty[slot] {
+                    continue;
+                }
+                let held = self.held[slot].min(requests[slot].max_power_watts.max(0.0));
+                self.held[slot] = held;
+                held_total += held;
+            }
+            let residual = (budget_watts - held_total).max(0.0);
+            if policy.index_invariant() {
+                // Compacted fold: just the dirty rows, in ascending slot
+                // order — identical participants, identical award bits.
+                self.scratch_requests.clear();
+                self.compact_map.clear();
+                for &index in &self.awake {
+                    let slot = index as usize;
+                    if self.dirty[slot] {
+                        self.compact_map.push(index);
+                        self.scratch_requests.push(requests[slot]);
+                    }
+                }
+                policy.arbitrate(residual, &self.scratch_requests, &mut self.scratch_awards);
+                for (row, &index) in self.compact_map.iter().enumerate() {
+                    let slot = index as usize;
+                    self.last_requests[slot] = requests[slot];
+                    self.held[slot] = self.scratch_awards[row];
+                }
+            } else {
+                // Stateful per-slot policies keep fleet-length alignment:
+                // the masked fallback of the dense path.
+                self.scratch_requests.clear();
+                self.scratch_requests.extend(
+                    requests
+                        .iter()
+                        .zip(&self.dirty)
+                        .map(|(request, &dirty)| AppRequest {
+                            active: request.active && dirty,
+                            ..*request
+                        }),
+                );
+                policy.arbitrate(residual, &self.scratch_requests, &mut self.scratch_awards);
+                for &index in &self.awake {
+                    let slot = index as usize;
+                    if self.dirty[slot] {
+                        self.last_requests[slot] = requests[slot];
+                        self.held[slot] = self.scratch_awards[slot];
+                    }
+                }
+            }
+            awards.clear();
+            awards.extend_from_slice(&self.held);
+        }
+
+        // ---- Sleep the steady slots --------------------------------
+        // A slot clean for `steady_quanta` consecutive rounds sleeps with
+        // a `horizon`-round deadline. It stays in the awake list until the
+        // next `begin_round`, so the caller's decide stage still sees this
+        // round's full participant set.
+        let steady_quanta = self.wake.steady_quanta.max(1);
+        let horizon = self.wake.horizon as u64;
+        for &index in &self.awake {
+            let slot = index as usize;
+            if self.dirty[slot] || self.streak[slot] < steady_quanta {
+                continue;
+            }
+            self.sleeping[slot] = true;
+            self.deadline[slot] = self.round + horizon;
+            let bucket = ((self.round + horizon) % horizon) as usize;
+            self.wheel[bucket].push(index);
+            if requests[slot].active {
+                self.sleeping_active += 1;
+            }
+            self.sleeping_held_sum += self.held[slot];
+        }
+        self.round += 1;
+        self.round_begun = false;
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +824,7 @@ mod tests {
                     engine.arbitrate(wrapped.as_mut(), budget, &requests, &mut actual);
                 assert!(outcome.full, "tolerance 0 always runs the full fold");
                 assert_eq!(outcome.skipped, 0);
+                assert_eq!(outcome.slept, 0);
                 assert_eq!(outcome.rearbitrated, 3, "active apps re-arbitrated");
                 let expected_bits: Vec<u64> = expected.iter().map(|w| w.to_bits()).collect();
                 let actual_bits: Vec<u64> = actual.iter().map(|w| w.to_bits()).collect();
@@ -392,5 +907,222 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn non_finite_tolerance_panics() {
         let _ = IncrementalArbiter::new(f64::NAN);
+    }
+
+    // ---- Wake scheduler ------------------------------------------------
+
+    /// Wrapper that hides a policy's index invariance, forcing the masked
+    /// fallback — used to pin compacted == masked bitwise.
+    struct MaskedOnly<P: ArbitrationPolicy>(P);
+    impl<P: ArbitrationPolicy> ArbitrationPolicy for MaskedOnly<P> {
+        fn name(&self) -> &'static str {
+            "masked-only"
+        }
+        fn arbitrate(&mut self, budget: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
+            self.0.arbitrate(budget, requests, awards);
+        }
+    }
+
+    #[test]
+    fn horizon_zero_wake_config_is_bit_identical_to_no_wake_config() {
+        let mut plain = IncrementalArbiter::new(0.05);
+        let mut zeroed =
+            IncrementalArbiter::new(0.05).with_wake(WakeConfig { steady_quanta: 4, horizon: 0 });
+        assert!(!zeroed.wake_enabled());
+        let mut policy_a = PerformanceMarket::default();
+        let mut policy_b = PerformanceMarket::default();
+        let mut requests = vec![
+            request(1.0, 1.0, 40.0),
+            request(2.0, 1.5, 30.0),
+            request(0.5, 0.8, 20.0),
+        ];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for round in 0..12 {
+            // Churn one slot every third round.
+            if round % 3 == 0 {
+                let slot = round % requests.len();
+                requests[slot].urgency = 1.0 + round as f64 * 0.4;
+            }
+            let oa = plain.arbitrate(&mut policy_a, 55.0, &requests, &mut a);
+            let ob = zeroed.arbitrate(&mut policy_b, 55.0, &requests, &mut b);
+            let bits_a: Vec<u64> = a.iter().map(|w| w.to_bits()).collect();
+            let bits_b: Vec<u64> = b.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "round {round}");
+            assert_eq!(oa, ob, "round {round}");
+            assert_eq!(ob.slept, 0, "horizon 0 never sleeps");
+        }
+    }
+
+    #[test]
+    fn steady_slots_sleep_hold_awards_and_the_ledger_partitions() {
+        let config = WakeConfig {
+            steady_quanta: 2,
+            horizon: 8,
+        };
+        let mut engine = IncrementalArbiter::new(0.05).with_wake(config);
+        let mut policy = PerformanceMarket::default();
+        let requests = vec![
+            request(1.0, 1.0, 40.0),
+            request(2.0, 1.5, 30.0),
+            AppRequest {
+                active: false,
+                ..request(1.0, 1.0, 10.0)
+            },
+        ];
+        let mut awards = Vec::new();
+        let mut baseline = Vec::new();
+        for round in 0..6 {
+            let outcome = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+            let active = requests.iter().filter(|r| r.active).count();
+            assert_eq!(
+                outcome.slept + outcome.skipped + outcome.rearbitrated,
+                active,
+                "round {round}: every active slot is exactly one of slept/skipped/rearbitrated"
+            );
+            if round == 0 {
+                baseline = awards.clone();
+            } else {
+                assert_eq!(awards, baseline, "steady awards are byte-stable");
+            }
+        }
+        // Rounds 0 (full) and 1-2 (clean streaks) keep everyone awake;
+        // after the streak reaches 2 the active slots sleep.
+        assert!(engine.is_sleeping(0) && engine.is_sleeping(1));
+        assert!(engine.is_sleeping(2), "inactive slots sleep too");
+        assert_eq!(engine.sleeping_active(), 2);
+        let outcome = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert_eq!(outcome.slept, 2);
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(awards, baseline, "sleeping slots hold their awards");
+    }
+
+    #[test]
+    fn deadline_expiry_wakes_a_sleeping_slot() {
+        let config = WakeConfig {
+            steady_quanta: 1,
+            horizon: 3,
+        };
+        let mut engine = IncrementalArbiter::new(0.05).with_wake(config);
+        let mut policy = WeightedFair;
+        let requests = vec![request(1.0, 1.0, 40.0)];
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards); // full
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards); // clean -> sleeps
+        assert!(engine.is_sleeping(0));
+        // Sleeps through horizon - 1 rounds, then the wheel wakes it.
+        let mut slept_rounds = 0;
+        for _ in 0..config.horizon {
+            let outcome = engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+            if outcome.slept == 1 {
+                slept_rounds += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(slept_rounds, config.horizon - 1, "bounded sleep");
+        assert!(!engine.is_sleeping(0) || engine.sleeping_active() == 1);
+    }
+
+    #[test]
+    fn an_external_wake_reenters_a_changed_request_and_conserves_budget() {
+        let mut engine = IncrementalArbiter::new(0.05).with_wake(WakeConfig {
+            steady_quanta: 1,
+            horizon: 16,
+        });
+        let mut policy = PerformanceMarket::default();
+        let mut requests = vec![
+            request(1.0, 1.0, 40.0),
+            request(1.0, 1.0, 40.0),
+            request(1.0, 1.0, 40.0),
+        ];
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 60.0, &requests, &mut awards);
+        engine.arbitrate(&mut policy, 60.0, &requests, &mut awards);
+        assert_eq!(engine.sleeping_active(), 3);
+        let held = awards.clone();
+        // The caller saw slot 1 move: wake it with the new request.
+        requests[1].urgency = 4.0;
+        engine.wake(1);
+        let outcome = engine.arbitrate(&mut policy, 60.0, &requests, &mut awards);
+        assert_eq!(outcome.rearbitrated, 1);
+        assert_eq!(outcome.slept, 2);
+        assert_eq!(awards[0], held[0], "sleepers hold their awards bitwise");
+        assert_eq!(awards[2], held[2], "sleepers hold their awards bitwise");
+        let total: f64 = awards.iter().sum();
+        assert!(total <= 60.0 * (1.0 + 1e-9), "budget conserved: {total}");
+        assert!(awards[1].is_finite() && awards[1] >= 0.0);
+    }
+
+    #[test]
+    fn fleet_invalidation_wakes_everyone_for_a_full_fold() {
+        let mut engine = IncrementalArbiter::new(0.05).with_wake(WakeConfig {
+            steady_quanta: 1,
+            horizon: 16,
+        });
+        let mut policy = WeightedFair;
+        let requests = vec![request(1.0, 1.0, 40.0), request(3.0, 1.0, 40.0)];
+        let mut awards = Vec::new();
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        assert_eq!(engine.sleeping_active(), 2);
+        // A budget step invalidates every held award: no slot sleeps
+        // through it.
+        engine.mark_all_dirty();
+        assert_eq!(engine.sleeping_active(), 0);
+        let outcome = engine.arbitrate(&mut policy, 20.0, &requests, &mut awards);
+        assert!(outcome.full, "everyone woken and re-folded");
+        assert_eq!(outcome.slept, 0);
+        let total: f64 = awards.iter().sum();
+        assert!(total <= 20.0 * (1.0 + 1e-9), "new budget conserved: {total}");
+    }
+
+    #[test]
+    fn compacted_and_masked_residual_folds_are_bit_identical() {
+        let config = WakeConfig {
+            steady_quanta: 1,
+            horizon: 8,
+        };
+        let mut compacted = IncrementalArbiter::new(0.05).with_wake(config);
+        let mut masked = IncrementalArbiter::new(0.05).with_wake(config);
+        let mut fast = PerformanceMarket::default();
+        let mut slow = MaskedOnly(PerformanceMarket::default());
+        assert!(fast.index_invariant() && !slow.index_invariant());
+        let mut requests: Vec<AppRequest> =
+            (0..16).map(|i| request(1.0 + i as f64 * 0.3, 1.0, 20.0)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for round in 0..10 {
+            // Move a couple of slots; wake them in both engines.
+            for slot in [round % 16, (round * 5 + 3) % 16] {
+                requests[slot].urgency = 1.0 + ((round * 7 + slot) % 5) as f64;
+                compacted.wake(slot);
+                masked.wake(slot);
+            }
+            compacted.arbitrate(&mut fast, 90.0, &requests, &mut a);
+            masked.arbitrate(&mut slow, 90.0, &requests, &mut b);
+            let bits_a: Vec<u64> = a.iter().map(|w| w.to_bits()).collect();
+            let bits_b: Vec<u64> = b.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "round {round}");
+        }
+    }
+
+    #[test]
+    fn begin_round_exposes_the_awake_list_for_caller_stages() {
+        let mut engine = IncrementalArbiter::new(0.05).with_wake(WakeConfig {
+            steady_quanta: 1,
+            horizon: 8,
+        });
+        let mut policy = WeightedFair;
+        let requests = vec![request(1.0, 1.0, 40.0), request(1.0, 1.0, 40.0)];
+        let mut awards = Vec::new();
+        assert_eq!(engine.begin_round(2), Some(&[0u32, 1][..]));
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        engine.arbitrate(&mut policy, 50.0, &requests, &mut awards);
+        // Both slots slept at the end of the last round, but leave the
+        // participant list only when the next round begins.
+        assert_eq!(engine.awake_slots(), &[0, 1]);
+        assert_eq!(engine.begin_round(2), Some(&[][..]));
+        // An engine without wake scheduling reports no list at all.
+        let mut off = IncrementalArbiter::new(0.05);
+        assert_eq!(off.begin_round(2), None);
     }
 }

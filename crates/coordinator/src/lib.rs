@@ -100,7 +100,7 @@ mod policy;
 pub use crate::coordinator::{
     AdmissionError, AppHandle, Coordinator, HealthState, ManagedApp, StepSummary, WatchdogConfig,
 };
-pub use crate::incremental::{IncrementalArbiter, IncrementalOutcome};
+pub use crate::incremental::{IncrementalArbiter, IncrementalOutcome, WakeConfig};
 pub use crate::hierarchy::{
     DatacenterArbiter, DatacenterStepSummary, EnforcementMode, RackCoordinator,
 };

@@ -92,6 +92,21 @@ pub trait ArbitrationPolicy: Send {
     /// sum of awards is at most `budget_watts` (within floating-point
     /// round-off).
     fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>);
+
+    /// True when every award depends only on the *participating* requests —
+    /// their values and their relative order — never on absolute slot
+    /// indices or on state carried between calls. Deleting inactive rows
+    /// from the slice then leaves every surviving award bit-identical
+    /// (water-filling folds its participants in ascending index order, so
+    /// the partial sums are unchanged). The incremental engine's wake
+    /// scheduler uses this to arbitrate a *compacted* slice of just the
+    /// dirty slots instead of a fleet-length masked one.
+    ///
+    /// Defaults to `false`: stateful policies that key held state on slot
+    /// position (e.g. [`AwardHysteresis`]) must never be compacted.
+    fn index_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// Equal static shares: the budget divided by the number of present
@@ -104,6 +119,10 @@ pub struct StaticShare;
 impl ArbitrationPolicy for StaticShare {
     fn name(&self) -> &'static str {
         "static-share"
+    }
+
+    fn index_invariant(&self) -> bool {
+        true // stateless; awards depend on the active count and each row
     }
 
     fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
@@ -138,6 +157,10 @@ impl ArbitrationPolicy for WeightedFair {
         "weighted-fair"
     }
 
+    fn index_invariant(&self) -> bool {
+        true // stateless water-fill in ascending index order
+    }
+
     fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
         water_fill(budget_watts, requests, awards, |r| r.weight);
     }
@@ -169,6 +192,10 @@ impl Default for PerformanceMarket {
 impl ArbitrationPolicy for PerformanceMarket {
     fn name(&self) -> &'static str {
         "performance-market"
+    }
+
+    fn index_invariant(&self) -> bool {
+        true // stateless water-fill over per-row bids
     }
 
     fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {
@@ -458,6 +485,12 @@ impl std::fmt::Debug for StarvationFloor {
 impl ArbitrationPolicy for StarvationFloor {
     fn name(&self) -> &'static str {
         "starvation-floor"
+    }
+
+    fn index_invariant(&self) -> bool {
+        // Floors are per-row functions of the active count; invariance is
+        // inherited from whatever divides the rest.
+        self.inner.index_invariant()
     }
 
     fn arbitrate(&mut self, budget_watts: f64, requests: &[AppRequest], awards: &mut Vec<f64>) {

@@ -28,10 +28,12 @@ use coordinator::invariants::{
 };
 use coordinator::{
     AppHandle, AppRequest, ArbitrationPolicy, Coordinator, IncrementalArbiter, ManagedApp,
-    PerformanceMarket, StaticShare, WeightedFair,
+    PerformanceMarket, StaticShare, WakeConfig, WeightedFair,
 };
+use obs::{Counter, Recorder};
 use proptest::prelude::*;
 use seec::{ExplorationPolicy, SeecRuntime};
+use std::sync::Arc;
 use workloads::{HeartbeatedWorkload, SplashBenchmark, Workload};
 
 fn policies() -> Vec<Box<dyn ArbitrationPolicy>> {
@@ -348,7 +350,8 @@ type Trace = Vec<(
 /// Drives a fleet for `quanta` steps against a platform mirroring each
 /// app's declared effects exactly. `tolerance` turns the incremental
 /// engine on; `budget_step` applies a mid-run budget change (the
-/// whole-fleet invalidation path).
+/// whole-fleet invalidation path); `wake` attaches a wake schedule on
+/// top of the incremental engine.
 fn drive_traced(
     policy: Box<dyn ArbitrationPolicy>,
     slots: &[Slot],
@@ -356,11 +359,13 @@ fn drive_traced(
     workers: usize,
     tolerance: Option<f64>,
     budget_step: Option<(usize, f64)>,
+    wake: Option<WakeConfig>,
 ) -> Trace {
     let mut coordinator = Coordinator::new(35.0, policy)
         .with_workers(workers)
         .with_shard_threshold(0);
     coordinator.set_arbitration_tolerance(tolerance);
+    coordinator.set_wake_schedule(wake);
     let handles: Vec<AppHandle> = slots
         .iter()
         .enumerate()
@@ -436,14 +441,163 @@ proptest! {
         let slots = decode_slots(&seeds, &weights, &targets, &arrivals, &departures, quanta);
         let budget_step = Some((budget_step_at, budget_step_watts));
         let policy = || policies().swap_remove(policy_pick);
-        let legacy = drive_traced(policy(), &slots, quanta, 1, None, budget_step);
+        let legacy = drive_traced(policy(), &slots, quanta, 1, None, budget_step, None);
         let incremental =
-            drive_traced(policy(), &slots, quanta, workers, Some(0.0), budget_step);
+            drive_traced(policy(), &slots, quanta, workers, Some(0.0), budget_step, None);
         prop_assert!(
             legacy == incremental,
             "tolerance-0 incremental diverged from the legacy path at {} workers over {} apps",
             workers,
             slots.len()
+        );
+    }
+
+    /// A wake schedule with horizon 0 is configuration, not behaviour: at
+    /// every worker count, every policy, and any `steady_quanta`, the
+    /// traced run — awards by bits, step summaries, per-app decisions —
+    /// is identical to the same coordinator with no wake schedule at all.
+    /// This is the second level of the differential pin: the first
+    /// (tolerance 0 vs legacy) proves the incremental engine is inert,
+    /// this one proves the scheduler riding on it is.
+    #[test]
+    fn coordinator_horizon_zero_matches_plain_incremental_at_every_worker_count(
+        seeds in proptest::collection::vec(1u64..1_000_000, 1..7),
+        weights in proptest::collection::vec(0.25..8.0f64, 7),
+        targets in proptest::collection::vec(5.0..80.0f64, 7),
+        arrivals in proptest::collection::vec(0usize..10, 7),
+        departures in proptest::collection::vec(0usize..10, 7),
+        policy_pick in 0usize..3,
+        workers in 1usize..7,
+        tolerance in 0.001..0.5f64,
+        steady in 1u32..9,
+        budget_step_at in 0usize..10,
+        budget_step_watts in 10.0..60.0f64,
+    ) {
+        let quanta = 10;
+        let slots = decode_slots(&seeds, &weights, &targets, &arrivals, &departures, quanta);
+        let budget_step = Some((budget_step_at, budget_step_watts));
+        let policy = || policies().swap_remove(policy_pick);
+        let plain =
+            drive_traced(policy(), &slots, quanta, workers, Some(tolerance), budget_step, None);
+        let gated = drive_traced(
+            policy(),
+            &slots,
+            quanta,
+            workers,
+            Some(tolerance),
+            budget_step,
+            Some(WakeConfig { steady_quanta: steady, horizon: 0 }),
+        );
+        prop_assert!(
+            plain == gated,
+            "a horizon-0 wake schedule (steady_quanta {}) diverged from the plain \
+             incremental path at {} workers over {} apps",
+            steady,
+            workers,
+            slots.len()
+        );
+    }
+
+    /// With the wake scheduler live, every active app-quantum lands in
+    /// exactly one of the four decide-ledger counters — slept, skipped,
+    /// re-arbitrated, or decided — through arrival/departure churn and a
+    /// mid-run budget step, at every worker count. Alongside the ledger,
+    /// the budget-step and retirement force-wake rules stay observable:
+    /// awards conserve the *stepped* budget every quantum (a sleeper
+    /// holding a pre-step award would overshoot a cut) and absent apps
+    /// hold exactly 0 W (a sleeper outliving its departure would not).
+    #[test]
+    fn wake_scheduling_partitions_every_active_app_quantum(
+        seeds in proptest::collection::vec(1u64..1_000_000, 1..7),
+        weights in proptest::collection::vec(0.25..8.0f64, 7),
+        targets in proptest::collection::vec(5.0..80.0f64, 7),
+        arrivals in proptest::collection::vec(0usize..10, 7),
+        departures in proptest::collection::vec(0usize..10, 7),
+        policy_pick in 0usize..3,
+        workers in 1usize..5,
+        tolerance in 0.001..0.5f64,
+        steady in 1u32..4,
+        horizon in 1usize..33,
+        budget_step_at in 0usize..10,
+        budget_step_watts in 10.0..60.0f64,
+    ) {
+        let quanta = 10;
+        let slots = decode_slots(&seeds, &weights, &targets, &arrivals, &departures, quanta);
+        let policy = policies().swap_remove(policy_pick);
+        let policy_name = policy.name();
+        let recorder = Arc::new(Recorder::in_memory());
+        let mut coordinator = Coordinator::new(35.0, policy)
+            .with_workers(workers)
+            .with_shard_threshold(0)
+            .with_arbitration_tolerance(tolerance)
+            .with_wake_schedule(WakeConfig { steady_quanta: steady, horizon })
+            .with_obs(Arc::clone(&recorder));
+        let handles: Vec<AppHandle> = slots
+            .iter()
+            .enumerate()
+            .map(|(index, &slot)| coordinator.register(managed(slot, index)))
+            .collect();
+        let mut budget = 35.0;
+        let mut now = 0.0;
+        let mut active_app_quanta = 0u64;
+        for quantum in 0..quanta {
+            if budget_step_at == quantum {
+                budget = budget_step_watts;
+                coordinator.set_budget(budget);
+            }
+            now += 1.0;
+            for &handle in &handles {
+                if !coordinator.app(handle).active_at(quantum) {
+                    continue;
+                }
+                let effect = {
+                    let runtime = coordinator.app(handle).runtime();
+                    runtime
+                        .model()
+                        .space()
+                        .predicted_effect(runtime.current_configuration())
+                        .unwrap()
+                };
+                coordinator.advance(
+                    handle,
+                    now - 1.0,
+                    now,
+                    10.0 * effect.performance,
+                    10.0 * effect.power,
+                );
+            }
+            coordinator.step(now).unwrap();
+
+            let apps: Vec<AwardedApp> = handles
+                .iter()
+                .map(|&handle| {
+                    let active = coordinator.app(handle).active_at(quantum);
+                    active_app_quanta += active as u64;
+                    AwardedApp { active, ceiling: None }
+                })
+                .collect();
+            let violations = check_award_vector(coordinator.awards(), &apps);
+            prop_assert!(
+                violations.is_empty(),
+                "{policy_name} with wake ({steady}, {horizon}) quantum {quantum}: {violations:?}"
+            );
+            let total = active_total(coordinator.awards(), &apps);
+            prop_assert!(
+                check_budget_conservation(total, budget * 0.95).is_none(),
+                "{policy_name} with wake ({steady}, {horizon}) quantum {quantum}: \
+                 {total} > {} — a sleeper held an award across the budget step",
+                budget * 0.95
+            );
+        }
+        let slept = recorder.counter(Counter::AppsSlept);
+        let skipped = recorder.counter(Counter::AppsSkipped);
+        let rearbitrated = recorder.counter(Counter::AppsRearbitrated);
+        let decided = recorder.counter(Counter::AppsDecided);
+        prop_assert!(
+            slept + skipped + rearbitrated + decided == active_app_quanta,
+            "{policy_name} with wake ({steady}, {horizon}): ledger slept {slept} + \
+             skipped {skipped} + rearbitrated {rearbitrated} + decided {decided} must \
+             partition {active_app_quanta} active app-quanta"
         );
     }
 

@@ -64,6 +64,11 @@ struct Batch {
     task: TaskPtr,
     count: usize,
     next: AtomicUsize,
+    /// Consecutive indices one `next` claim hands out (≥ 1). Large batches
+    /// of cheap tasks claim in chunks so the claim cost is amortised over
+    /// `stride` tasks instead of paying one contended atomic per index;
+    /// see [`ExecPool::set_claim_stride`].
+    stride: usize,
     unfinished: AtomicUsize,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -162,6 +167,10 @@ pub struct ExecPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Index-claim granularity: 0 = auto (scale with batch size), 1 = one
+    /// index per atomic claim (the original dispatch), n = fixed chunk of
+    /// n. See [`Self::set_claim_stride`].
+    claim_stride: AtomicUsize,
     /// Fast flag for [`Self::set_dispatch_observer`]: the dispatch hot path
     /// pays one relaxed load when no observer is attached.
     observed: AtomicBool,
@@ -208,8 +217,39 @@ impl ExecPool {
             shared,
             workers,
             threads,
+            claim_stride: AtomicUsize::new(0),
             observed: AtomicBool::new(false),
             observer: Mutex::new(None),
+        }
+    }
+
+    /// Sets the index-claim granularity: how many *consecutive* indices a
+    /// thread takes per atomic claim when draining a batch. `0` (the
+    /// default) picks automatically — chunks that scale with the batch so
+    /// each thread makes on the order of a few dozen claims, however large
+    /// the batch; `1` restores the original one-index-per-claim dispatch;
+    /// any other value fixes the chunk size. Purely a performance knob:
+    /// tasks are index-pure and results land in their own slots, so the
+    /// claiming pattern cannot change any output (the property suite runs
+    /// at several strides). Takes effect from the next dispatch.
+    pub fn set_claim_stride(&self, stride: usize) {
+        self.claim_stride.store(stride, Ordering::Release);
+    }
+
+    /// The configured index-claim granularity (see
+    /// [`Self::set_claim_stride`]; 0 = auto).
+    pub fn claim_stride(&self) -> usize {
+        self.claim_stride.load(Ordering::Acquire)
+    }
+
+    /// The stride a batch of `count` tasks will actually claim at under
+    /// the current setting — the auto heuristic targets ~32 claims per
+    /// thread and caps chunks at 64 so no thread can strand a big tail of
+    /// work behind one straggler.
+    pub fn effective_claim_stride(&self, count: usize) -> usize {
+        match self.claim_stride.load(Ordering::Acquire) {
+            0 => (count / (self.threads * 32)).clamp(1, 64),
+            stride => stride,
         }
     }
 
@@ -312,6 +352,7 @@ impl ExecPool {
             task: TaskPtr(task),
             count,
             next: AtomicUsize::new(0),
+            stride: self.effective_claim_stride(count),
             unfinished: AtomicUsize::new(count),
             panic: Mutex::new(None),
         });
@@ -360,28 +401,36 @@ impl Drop for ExecPool {
 /// panicking task neither kills a persistent worker nor deadlocks the
 /// completion latch.
 fn run_batch(batch: &Batch, shared: &Shared) {
+    let stride = batch.stride.max(1);
     loop {
-        let index = batch.next.fetch_add(1, Ordering::Relaxed);
-        if index >= batch.count {
+        let start = batch.next.fetch_add(stride, Ordering::Relaxed);
+        if start >= batch.count {
             return;
         }
-        let guard = IndexGuard { batch, shared };
-        // SAFETY: the dispatching frame keeps the pointee alive until the
-        // batch completes; `unfinished` cannot hit zero before this call
-        // returns (this index's decrement happens in `guard`'s drop).
-        let task = unsafe { &*batch.task.0 };
-        // AssertUnwindSafe: the payload is re-raised by the dispatcher, so
-        // any broken invariants behind the shared reference propagate as
-        // the panic they are — exactly as with an unwinding scoped thread.
-        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            task(index);
-        })) {
-            let mut slot = batch.panic.lock().unwrap();
-            if slot.is_none() {
-                *slot = Some(payload);
+        // The latch stays per-index: `unfinished` counts indices, not
+        // claims, so a task panic mid-chunk releases exactly the indices
+        // that ran and the completion guard still sees the rest drain.
+        for index in start..(start + stride).min(batch.count) {
+            let guard = IndexGuard { batch, shared };
+            // SAFETY: the dispatching frame keeps the pointee alive until
+            // the batch completes; `unfinished` cannot hit zero before this
+            // call returns (this index's decrement happens in `guard`'s
+            // drop).
+            let task = unsafe { &*batch.task.0 };
+            // AssertUnwindSafe: the payload is re-raised by the dispatcher,
+            // so any broken invariants behind the shared reference
+            // propagate as the panic they are — exactly as with an
+            // unwinding scoped thread.
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                task(index);
+            })) {
+                let mut slot = batch.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
             }
+            drop(guard);
         }
-        drop(guard);
     }
 }
 
@@ -569,5 +618,61 @@ mod tests {
     #[test]
     fn debug_formats() {
         assert!(format!("{:?}", ExecPool::new(2)).contains("ExecPool"));
+    }
+
+    #[test]
+    fn claim_stride_never_changes_results() {
+        // The claiming pattern is invisible to callers: every stride —
+        // legacy single-index, odd fixed chunks, chunks larger than the
+        // batch, and auto — produces identical index-pure output.
+        for threads in [2, 4, 7] {
+            let pool = ExecPool::new(threads);
+            for stride in [0usize, 1, 2, 7, 64, 1000] {
+                pool.set_claim_stride(stride);
+                assert_eq!(pool.claim_stride(), stride);
+                for count in [2usize, 3, 16, 257, 1024] {
+                    let got = pool.map_indexed(count, |i| i * 3 + 1);
+                    let want: Vec<usize> = (0..count).map(|i| i * 3 + 1).collect();
+                    assert_eq!(got, want, "threads {threads}, stride {stride}, count {count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_claim_stride_scales_with_the_batch() {
+        let pool = ExecPool::new(4);
+        // Auto: small batches claim one at a time, huge batches chunk up,
+        // capped so the tail cannot hide behind one straggler thread.
+        assert_eq!(pool.effective_claim_stride(16), 1);
+        assert_eq!(pool.effective_claim_stride(1 << 20), 64);
+        let mid = pool.effective_claim_stride(10_000);
+        assert!((1..=64).contains(&mid), "mid-size stride {mid}");
+        // Fixed: the knob wins verbatim.
+        pool.set_claim_stride(7);
+        assert_eq!(pool.effective_claim_stride(16), 7);
+        assert_eq!(pool.effective_claim_stride(1 << 20), 7);
+        pool.set_claim_stride(0);
+        assert_eq!(pool.effective_claim_stride(16), 1);
+    }
+
+    #[test]
+    fn a_panic_mid_chunk_still_drains_the_batch() {
+        // With a wide stride the panicking index shares a claim with its
+        // neighbours; the per-index latch must still release every index so
+        // the dispatcher unblocks and re-raises the payload.
+        let pool = ExecPool::new(3);
+        pool.set_claim_stride(32);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_indexed(100, |i| {
+                if i == 40 {
+                    panic!("chunked task exploded");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the dispatcher");
+        // The pool survives and later batches are unaffected.
+        assert_eq!(pool.map_indexed(3, |i| i + 1), vec![1, 2, 3]);
     }
 }

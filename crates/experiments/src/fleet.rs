@@ -9,26 +9,42 @@
 //! [`AppRequest`] arrays with realistic churn (a small fraction of requests
 //! move per quantum, plus arrivals and departures), and reports:
 //!
-//! * measured **µs/quantum** for the full re-arbitration fold and for the
-//!   incremental engine at [`FLEET_TOLERANCE`], at the requested fleet size;
+//! * measured **µs/quantum** for the full re-arbitration fold, for the
+//!   incremental engine at [`FLEET_TOLERANCE`], and for the **wake-scheduled
+//!   engine** (same tolerance plus [`WakeConfig::default`]) whose rounds
+//!   cost O(awake) instead of O(fleet);
 //! * the skipped / re-arbitrated counters and whether they **reconcile**
 //!   (`skipped + rearbitrated == active app-quanta` — the same identity the
-//!   coordinator's obs counters satisfy);
-//! * a differential check: a second incremental engine pinned at tolerance
-//!   **0** runs the same trace and its award vector is compared
-//!   *bit-for-bit* against the full fold every quantum
-//!   ([`FleetScalingReport::tolerance_zero_identical`]).
+//!   coordinator's obs counters satisfy), and the scheduled arm's four-way
+//!   twin (`slept + skipped + rearbitrated == active app-quanta`);
+//! * two differential checks: an incremental engine pinned at tolerance
+//!   **0** (wake explicitly [`WakeConfig::OFF`]) runs the same trace and its
+//!   award vector is compared *bit-for-bit* against the full fold every
+//!   quantum ([`FleetScalingReport::tolerance_zero_identical`]), and a
+//!   horizon-**0** engine at [`FLEET_TOLERANCE`] is compared bit-for-bit
+//!   against the plain incremental arm
+//!   ([`FleetScalingReport::horizon_zero_identical`]) — the degenerate
+//!   scheduler must vanish without a trace.
+//!
+//! The scheduled arm treats each churned request as a **wake event** for its
+//! slot (the raw-engine twin of the coordinator's wake calendar and
+//! force-wake rules): the wake calls sit inside the timed region, so the
+//! measured cost is the whole event-driven round, not just the fold.
 //!
 //! Every run is deterministic: the request trace comes from a splitmix64
 //! stream seeded only by the fleet size, so two invocations at the same size
 //! produce identical counters and identical differential verdicts (only the
 //! wall-clock timings vary). Reports merge into `BENCH_fig5.json` under the
 //! `fleet_scaling` key via [`merge_fleet_scaling`], replacing any previous
-//! row at the same fleet size and leaving the rest of the file untouched.
+//! row at the same fleet size and leaving the rest of the file untouched —
+//! including rows written by older builds that lack the scheduled-arm
+//! fields, which survive a merge verbatim.
 
 use std::time::Instant;
 
-use coordinator::{AppRequest, ArbitrationPolicy, IncrementalArbiter, PerformanceMarket};
+use coordinator::{
+    AppRequest, ArbitrationPolicy, IncrementalArbiter, PerformanceMarket, WakeConfig,
+};
 use serde::ser::Value;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +99,31 @@ pub struct FleetScalingReport {
     /// Whether a tolerance-0 incremental engine produced awards
     /// **bit-identical** to the full fold on every quantum of the trace.
     pub tolerance_zero_identical: bool,
+    /// Measured mean µs/quantum of the wake-scheduled engine
+    /// ([`Self::tolerance`] plus the default [`WakeConfig`]).
+    pub us_per_quantum_scheduled: f64,
+    /// `us_per_quantum_full / us_per_quantum_scheduled`.
+    pub scheduled_speedup: f64,
+    /// Sleep horizon of the scheduled arm ([`WakeConfig::horizon`]).
+    pub sleep_horizon: usize,
+    /// Steady-streak threshold of the scheduled arm
+    /// ([`WakeConfig::steady_quanta`]).
+    pub steady_quanta: u32,
+    /// Active apps that slept through whole quanta on the scheduled arm,
+    /// summed over the run (twin of the coordinator's `apps_slept`).
+    pub apps_slept: u64,
+    /// Awake active apps that held their award on the scheduled arm.
+    pub apps_skipped_scheduled: u64,
+    /// Active apps re-arbitrated on the scheduled arm.
+    pub apps_rearbitrated_scheduled: u64,
+    /// Whether `apps_slept + apps_skipped_scheduled +
+    /// apps_rearbitrated_scheduled == active_app_quanta` — the scheduled
+    /// arm's four-way ledger identity.
+    pub scheduled_counters_reconcile: bool,
+    /// Whether a horizon-0 engine at [`Self::tolerance`] produced awards
+    /// **bit-identical** to the plain incremental arm on every quantum —
+    /// the degenerate scheduler leaves no trace.
+    pub horizon_zero_identical: bool,
 }
 
 /// Deterministic splitmix64 stream: the only randomness in the harness, so
@@ -119,17 +160,27 @@ fn synthetic_request(rng: &mut SplitMix64) -> AppRequest {
 
 /// Mutates the trace for one quantum: `churn` requests move far past the
 /// tolerance, and a couple of slots flip presence (arrival / departure).
-fn churn_quantum(rng: &mut SplitMix64, requests: &mut [AppRequest], churn: usize) {
+/// The touched indices land in `changed` (cleared first; duplicates
+/// possible) — the wake events the scheduled arm delivers to its engine.
+fn churn_quantum(
+    rng: &mut SplitMix64,
+    requests: &mut [AppRequest],
+    churn: usize,
+    changed: &mut Vec<u32>,
+) {
+    changed.clear();
     for _ in 0..churn {
         let index = rng.next_index(requests.len());
         let request = &mut requests[index];
         request.weight = 0.5 + 3.5 * rng.next_f64();
         request.urgency = 0.5 + 1.5 * rng.next_f64();
+        changed.push(index as u32);
     }
     for _ in 0..2 {
         let index = rng.next_index(requests.len());
         let request = &mut requests[index];
         request.active = !request.active;
+        changed.push(index as u32);
     }
 }
 
@@ -149,28 +200,55 @@ impl FleetScalingReport {
         let budget_watts = 10.0 * fleet as f64;
         let churn = ((fleet as f64 * FLEET_CHURN_FRACTION) as usize).max(1);
 
-        // Three engines in lockstep over the identical request trace. Each
+        // Five engines in lockstep over the identical request trace. Each
         // gets its own policy instance so any internal policy state evolves
         // under exactly the calls that path would make on its own.
+        let wake = WakeConfig::default();
         let mut full_policy = PerformanceMarket::default();
         let mut incremental_policy = PerformanceMarket::default();
+        let mut scheduled_policy = PerformanceMarket::default();
+        let mut gate_policy = PerformanceMarket::default();
         let mut zero_policy = PerformanceMarket::default();
         let mut incremental = IncrementalArbiter::new(FLEET_TOLERANCE);
-        let mut zero = IncrementalArbiter::new(0.0);
+        let mut scheduled = IncrementalArbiter::new(FLEET_TOLERANCE).with_wake(wake);
+        // The two differential arms take the *configured* path with the
+        // degenerate knob value, so the comparisons pin the knob itself.
+        let mut gate = IncrementalArbiter::new(FLEET_TOLERANCE).with_wake(WakeConfig {
+            steady_quanta: wake.steady_quanta,
+            horizon: 0,
+        });
+        let mut zero = IncrementalArbiter::new(0.0).with_wake(WakeConfig::OFF);
         let mut full_awards = Vec::new();
         let mut incremental_awards = Vec::new();
+        let mut scheduled_awards = Vec::new();
+        let mut gate_awards = Vec::new();
         let mut zero_awards = Vec::new();
+        let mut changed: Vec<u32> = Vec::new();
 
         let mut full_nanos = 0u128;
         let mut incremental_nanos = 0u128;
+        let mut scheduled_nanos = 0u128;
         let mut apps_skipped = 0u64;
         let mut apps_rearbitrated = 0u64;
+        let mut apps_slept = 0u64;
+        let mut apps_skipped_scheduled = 0u64;
+        let mut apps_rearbitrated_scheduled = 0u64;
         let mut active_app_quanta = 0u64;
         let mut tolerance_zero_identical = true;
+        let mut horizon_zero_identical = true;
+
+        let bits_equal = |left: &[f64], right: &[f64]| {
+            left.len() == right.len()
+                && left
+                    .iter()
+                    .zip(right)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        };
 
         for quantum in 0..FLEET_QUANTA {
+            changed.clear();
             if quantum > 0 {
-                churn_quantum(&mut rng, &mut requests, churn);
+                churn_quantum(&mut rng, &mut requests, churn, &mut changed);
             }
             active_app_quanta += requests.iter().filter(|request| request.active).count() as u64;
 
@@ -189,20 +267,40 @@ impl FleetScalingReport {
             apps_skipped += outcome.skipped as u64;
             apps_rearbitrated += outcome.rearbitrated as u64;
 
-            // The differential check: tolerance 0 must reproduce the full
+            // The wake-scheduled arm: every churned slot is a wake event —
+            // the raw-engine stand-in for the coordinator's calendar and
+            // force-wake plumbing (a sleeping request must not move
+            // silently) — and the events are part of the measured cost.
+            let start = Instant::now();
+            for &index in &changed {
+                scheduled.wake(index as usize);
+            }
+            let outcome = scheduled.arbitrate(
+                &mut scheduled_policy,
+                budget_watts,
+                &requests,
+                &mut scheduled_awards,
+            );
+            scheduled_nanos += start.elapsed().as_nanos();
+            apps_slept += outcome.slept as u64;
+            apps_skipped_scheduled += outcome.skipped as u64;
+            apps_rearbitrated_scheduled += outcome.rearbitrated as u64;
+
+            // Differential check one: horizon 0 must reproduce the plain
+            // incremental engine bit-for-bit, every quantum.
+            gate.arbitrate(&mut gate_policy, budget_watts, &requests, &mut gate_awards);
+            horizon_zero_identical &= bits_equal(&incremental_awards, &gate_awards);
+
+            // Differential check two: tolerance 0 must reproduce the full
             // fold bit-for-bit, every quantum, at every fleet size.
             zero.arbitrate(&mut zero_policy, budget_watts, &requests, &mut zero_awards);
-            let identical = full_awards.len() == zero_awards.len()
-                && full_awards
-                    .iter()
-                    .zip(&zero_awards)
-                    .all(|(full, zero)| full.to_bits() == zero.to_bits());
-            tolerance_zero_identical &= identical;
+            tolerance_zero_identical &= bits_equal(&full_awards, &zero_awards);
         }
 
         let us_per_quantum_full = full_nanos as f64 / FLEET_QUANTA as f64 / 1.0e3;
         let us_per_quantum_incremental =
             incremental_nanos as f64 / FLEET_QUANTA as f64 / 1.0e3;
+        let us_per_quantum_scheduled = scheduled_nanos as f64 / FLEET_QUANTA as f64 / 1.0e3;
         FleetScalingReport {
             fleet,
             quanta: FLEET_QUANTA,
@@ -219,6 +317,19 @@ impl FleetScalingReport {
             active_app_quanta,
             counters_reconcile: apps_skipped + apps_rearbitrated == active_app_quanta,
             tolerance_zero_identical,
+            us_per_quantum_scheduled,
+            scheduled_speedup: us_per_quantum_full
+                / us_per_quantum_scheduled.max(f64::MIN_POSITIVE),
+            sleep_horizon: wake.horizon,
+            steady_quanta: wake.steady_quanta,
+            apps_slept,
+            apps_skipped_scheduled,
+            apps_rearbitrated_scheduled,
+            scheduled_counters_reconcile: apps_slept
+                + apps_skipped_scheduled
+                + apps_rearbitrated_scheduled
+                == active_app_quanta,
+            horizon_zero_identical,
         }
     }
 
@@ -226,17 +337,23 @@ impl FleetScalingReport {
     pub fn to_line(&self) -> String {
         format!(
             "fleet {:>9}: full {:>12.1} µs/quantum, incremental {:>11.1} µs/quantum \
-             ({:.1}x), skipped {} / re-arbitrated {} of {} app-quanta \
-             [reconcile: {}, tolerance-0 identical: {}]",
+             ({:.1}x), scheduled {:>11.1} µs/quantum ({:.1}x), \
+             slept {} / skipped {} / re-arbitrated {} of {} app-quanta \
+             [reconcile: {}/{}, tolerance-0: {}, horizon-0: {}]",
             self.fleet,
             self.us_per_quantum_full,
             self.us_per_quantum_incremental,
             self.incremental_speedup,
-            self.apps_skipped,
-            self.apps_rearbitrated,
+            self.us_per_quantum_scheduled,
+            self.scheduled_speedup,
+            self.apps_slept,
+            self.apps_skipped_scheduled,
+            self.apps_rearbitrated_scheduled,
             self.active_app_quanta,
             if self.counters_reconcile { "ok" } else { "FAIL" },
+            if self.scheduled_counters_reconcile { "ok" } else { "FAIL" },
             if self.tolerance_zero_identical { "ok" } else { "FAIL" },
+            if self.horizon_zero_identical { "ok" } else { "FAIL" },
         )
     }
 }
@@ -247,6 +364,11 @@ impl FleetScalingReport {
 /// sorted by fleet size. The file is created (as a bare
 /// `{"fleet_scaling": [...]}` object) when missing, so `fig5 --fleet` works
 /// before the perf harness has ever run.
+///
+/// Existing rows are handled as **raw JSON values**, never re-parsed into
+/// [`FleetScalingReport`]: rows written by older builds lack the
+/// scheduled-arm fields, and a merge that does not re-measure their size
+/// must carry them through verbatim rather than reject the file.
 ///
 /// # Errors
 ///
@@ -262,18 +384,38 @@ pub fn merge_fleet_scaling(path: &str, reports: &[FleetScalingReport]) -> Result
         },
         Err(_) => Vec::new(),
     };
-    let mut rows: Vec<FleetScalingReport> = match root
-        .iter()
-        .find(|(key, _)| key == "fleet_scaling")
-    {
-        Some((_, value)) => serde_json::from_value(value)
-            .map_err(|err| format!("bad fleet_scaling rows in {path}: {err:?}"))?,
+    let mut rows: Vec<Value> = match root.iter().find(|(key, _)| key == "fleet_scaling") {
+        Some((_, Value::Array(rows))) => rows.clone(),
+        Some((_, other)) => {
+            return Err(format!(
+                "fleet_scaling in {path} holds {other:?}, not a JSON array"
+            ))
+        }
         None => Vec::new(),
     };
-    rows.retain(|row| !reports.iter().any(|report| report.fleet == row.fleet));
-    rows.extend(reports.iter().cloned());
-    rows.sort_by_key(|row| row.fleet);
-    let rows = rows.to_value();
+    // The fleet size of a raw row, for replacement and ordering; rows
+    // without one sort last and are never replaced.
+    let fleet_of = |row: &Value| -> Option<u64> {
+        let Value::Object(entries) = row else {
+            return None;
+        };
+        entries
+            .iter()
+            .find(|(key, _)| key == "fleet")
+            .and_then(|(_, value)| match value {
+                Value::UInt(fleet) => Some(*fleet),
+                Value::Int(fleet) => u64::try_from(*fleet).ok(),
+                _ => None,
+            })
+    };
+    rows.retain(|row| {
+        fleet_of(row).is_none_or(|fleet| {
+            !reports.iter().any(|report| report.fleet as u64 == fleet)
+        })
+    });
+    rows.extend(reports.iter().map(|report| report.to_value()));
+    rows.sort_by_key(|row| fleet_of(row).unwrap_or(u64::MAX));
+    let rows = Value::Array(rows);
     match root.iter_mut().find(|(key, _)| key == "fleet_scaling") {
         Some((_, value)) => *value = rows,
         None => root.push(("fleet_scaling".to_string(), rows)),
@@ -295,6 +437,13 @@ mod tests {
         assert!(report.tolerance_zero_identical, "{report:?}");
         assert!(report.apps_skipped > 0, "steady apps skip: {report:?}");
         assert!(report.apps_rearbitrated > 0, "churn re-enters: {report:?}");
+        assert!(report.scheduled_counters_reconcile, "{report:?}");
+        assert!(report.horizon_zero_identical, "{report:?}");
+        assert!(report.apps_slept > 0, "steady apps sleep: {report:?}");
+        assert!(
+            report.apps_slept + report.apps_skipped_scheduled >= report.apps_skipped,
+            "sleep must cover at least the quanta skipping covered: {report:?}"
+        );
     }
 
     #[test]
@@ -304,10 +453,17 @@ mod tests {
         assert_eq!(first.apps_skipped, second.apps_skipped);
         assert_eq!(first.apps_rearbitrated, second.apps_rearbitrated);
         assert_eq!(first.active_app_quanta, second.active_app_quanta);
+        assert_eq!(first.apps_slept, second.apps_slept);
+        assert_eq!(first.apps_skipped_scheduled, second.apps_skipped_scheduled);
+        assert_eq!(
+            first.apps_rearbitrated_scheduled,
+            second.apps_rearbitrated_scheduled
+        );
         assert_eq!(
             first.tolerance_zero_identical,
             second.tolerance_zero_identical
         );
+        assert_eq!(first.horizon_zero_identical, second.horizon_zero_identical);
     }
 
     #[test]
@@ -332,6 +488,40 @@ mod tests {
             "same-size row replaced, not appended: {text}"
         );
         assert!(text.contains("123"), "replacement row wins: {text}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn merge_carries_old_schema_rows_through_verbatim() {
+        // A row written before the scheduled-arm fields existed must
+        // survive a merge at a *different* fleet size untouched — the merge
+        // treats foreign rows as raw JSON, never re-parses them.
+        let dir = std::env::temp_dir().join("fleet_merge_old_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(
+            path,
+            "{\n  \"fleet_scaling\": [\n    {\"fleet\": 42, \"us_per_quantum_full\": 9.5}\n  ]\n}",
+        )
+        .unwrap();
+
+        let report = FleetScalingReport::measure(100);
+        merge_fleet_scaling(path, std::slice::from_ref(&report)).unwrap();
+
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(
+            text.contains("\"fleet\": 42"),
+            "old-schema row survives: {text}"
+        );
+        assert_eq!(
+            text.matches("\"fleet\":").count(),
+            2,
+            "old row kept alongside the new one: {text}"
+        );
+        let old_pos = text.find("\"fleet\": 42").unwrap();
+        let new_pos = text.find("\"fleet\": 100").unwrap();
+        assert!(old_pos < new_pos, "rows sorted by fleet size: {text}");
         std::fs::remove_file(path).unwrap();
     }
 }

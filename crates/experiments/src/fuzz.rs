@@ -215,6 +215,12 @@ fn run_flat_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> ProbeM
     if scenario.arbitration_tolerance > 0.0 {
         coordinator.set_arbitration_tolerance(Some(scenario.arbitration_tolerance));
     }
+    if scenario.wake_horizon > 0 {
+        coordinator.set_wake_schedule(Some(coordinator::WakeConfig {
+            steady_quanta: scenario.wake_steady_quanta,
+            horizon: scenario.wake_horizon,
+        }));
+    }
     let mut handles: Vec<Option<AppHandle>> = vec![None; apps.len()];
     let mut oscillations =
         vec![OscillationTracker::new(budget * OSCILLATION_THRESHOLD_FRACTION); apps.len()];
@@ -395,6 +401,12 @@ fn run_hierarchy_probe(server: &XeonServer, scenario: &Scenario, seed: u64) -> P
             .with_pool(std::sync::Arc::clone(exec::global_pool_arc()));
         if scenario.arbitration_tolerance > 0.0 {
             rack_coordinator.set_arbitration_tolerance(Some(scenario.arbitration_tolerance));
+        }
+        if scenario.wake_horizon > 0 {
+            rack_coordinator.set_wake_schedule(Some(coordinator::WakeConfig {
+                steady_quanta: scenario.wake_steady_quanta,
+                horizon: scenario.wake_horizon,
+            }));
         }
         datacenter.add_rack(RackCoordinator::new(
             format!("rack-{rack}"),

@@ -64,11 +64,17 @@ pub enum Counter {
     /// path counts: `skipped + rearbitrated + decided` sums to
     /// quanta × active fleet regardless of path.
     AppsRearbitrated,
+    /// Wake-scheduled apps that slept through the whole quantum — not
+    /// observed, not classified, not decided; their held award stood.
+    /// Counted once per step from the engine's sleeping-active total, so
+    /// `slept + skipped + rearbitrated + decided` partitions every active
+    /// app-quantum exactly once on any path.
+    AppsSlept,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::QuantaStepped,
         Counter::AppsObserved,
         Counter::AppsDecided,
@@ -88,6 +94,7 @@ impl Counter {
         Counter::BudgetChanges,
         Counter::AppsSkipped,
         Counter::AppsRearbitrated,
+        Counter::AppsSlept,
     ];
 
     /// The counter's snake_case report name.
@@ -112,6 +119,7 @@ impl Counter {
             Counter::BudgetChanges => "budget_changes",
             Counter::AppsSkipped => "apps_skipped",
             Counter::AppsRearbitrated => "apps_rearbitrated",
+            Counter::AppsSlept => "apps_slept",
         }
     }
 }

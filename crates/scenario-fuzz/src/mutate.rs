@@ -27,8 +27,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use workloads::{
     AppFault, BudgetStep, FaultKind, Scenario, SplashBenchmark, MAX_ARBITRATION_TOLERANCE,
-    MAX_MISREPORT_FACTOR, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MIN_MISREPORT_FACTOR,
-    MIN_SCENARIO_QUANTA,
+    MAX_MISREPORT_FACTOR, MAX_SCENARIO_QUANTA, MAX_SCENARIO_RACKS, MAX_WAKE_HORIZON,
+    MAX_WAKE_STEADY_QUANTA, MIN_MISREPORT_FACTOR, MIN_SCENARIO_QUANTA,
 };
 
 /// The named mutation strategies.
@@ -124,7 +124,7 @@ fn shift(value: usize, span: i64, rng: &mut StdRng) -> usize {
 /// One small perturbation of one knob (shared by nudge and havoc).
 fn nudge_once(scenario: &mut Scenario, rng: &mut StdRng) {
     let app_count = scenario.apps.len();
-    match rng.gen_range(0u64..9) {
+    match rng.gen_range(0u64..10) {
         0 => scenario.quanta = shift(scenario.quanta, 8, rng).max(MIN_SCENARIO_QUANTA),
         1 => scenario.power_budget_fraction *= rng.gen_range(0.75..1.3),
         2 if app_count > 0 => {
@@ -162,6 +162,24 @@ fn nudge_once(scenario: &mut Scenario, rng: &mut StdRng) {
             } else {
                 rng.gen_range(0.0..MAX_ARBITRATION_TOLERANCE)
             };
+        }
+        9 => {
+            // Turn the wake-scheduler pair: mostly draw a fresh horizon
+            // and steady streak — switching the tolerance on alongside
+            // when it is zero, since the scheduler rides on the
+            // incremental engine — and sometimes snap the scheduler off
+            // so knob-off corpus entries keep their omitted-field bytes.
+            if rng.gen_bool(0.3) {
+                scenario.wake_horizon = 0;
+                scenario.wake_steady_quanta = 0;
+            } else {
+                scenario.wake_horizon = rng.gen_range(1..MAX_WAKE_HORIZON + 1);
+                scenario.wake_steady_quanta = rng.gen_range(1..MAX_WAKE_STEADY_QUANTA + 1);
+                if scenario.arbitration_tolerance == 0.0 {
+                    scenario.arbitration_tolerance =
+                        rng.gen_range(0.01..MAX_ARBITRATION_TOLERANCE);
+                }
+            }
         }
         7 => {
             let quanta = scenario.quanta;
@@ -469,6 +487,39 @@ mod tests {
         }
         assert!(turned, "the tolerance knob never turned");
         assert!(reset, "the tolerance knob never snapped back to zero");
+    }
+
+    #[test]
+    fn the_wake_knobs_are_reachable_and_stay_canonical() {
+        let limits = MutationLimits::default();
+        let seed = seed_scenario();
+        assert_eq!((seed.wake_horizon, seed.wake_steady_quanta), (0, 0));
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut scenario = seed;
+        let mut turned = false;
+        let mut reset = false;
+        for _ in 0..800 {
+            let (mutant, _) = mutate(&scenario, &limits, &mut rng);
+            assert!(mutant.wake_horizon <= MAX_WAKE_HORIZON);
+            if mutant.wake_horizon > 0 {
+                // An enabled scheduler always has an engine to ride on and
+                // a real steady threshold (sanitize's canonical pair).
+                assert!(mutant.arbitration_tolerance > 0.0, "{mutant:?}");
+                assert!(
+                    (1..=MAX_WAKE_STEADY_QUANTA).contains(&mutant.wake_steady_quanta),
+                    "{mutant:?}"
+                );
+                turned = true;
+            } else {
+                assert_eq!(mutant.wake_steady_quanta, 0, "{mutant:?}");
+                if scenario.wake_horizon > 0 {
+                    reset = true;
+                }
+            }
+            scenario = mutant;
+        }
+        assert!(turned, "the wake knobs never turned");
+        assert!(reset, "the wake knobs never snapped back off");
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub use profile::{SplashBenchmark, WorkloadProfile};
 pub use scenario::{
     chaos_mixes, extended_scenario_mixes, scenario_mixes, vocabulary_mixes, BudgetStep, Scenario,
     ScenarioApp, MAX_APP_WEIGHT, MAX_ARBITRATION_TOLERANCE, MAX_SCENARIO_QUANTA,
-    MAX_SCENARIO_RACKS, MIN_APP_WEIGHT, MIN_BUDGET_FRACTION, MIN_SCENARIO_QUANTA,
-    MIN_TARGET_FRACTION,
+    MAX_SCENARIO_RACKS, MAX_WAKE_HORIZON, MAX_WAKE_STEADY_QUANTA, MIN_APP_WEIGHT,
+    MIN_BUDGET_FRACTION, MIN_SCENARIO_QUANTA, MIN_TARGET_FRACTION,
 };

@@ -85,6 +85,18 @@ pub struct Scenario {
     /// re-arbitration path; nonzero values let steady apps hold their
     /// awards between quanta.
     pub arbitration_tolerance: f64,
+    /// Sleep horizon for the coordinator's wake scheduler, in quanta, in
+    /// `[0,` [`MAX_WAKE_HORIZON`]`]`. `0` (the default for every generated
+    /// mix) leaves the scheduler off; nonzero values let steady apps skip
+    /// observation and decision entirely for up to this many quanta.
+    /// Meaningful only alongside a nonzero [`Self::arbitration_tolerance`]
+    /// (the scheduler rides on the incremental engine).
+    pub wake_horizon: usize,
+    /// Consecutive in-tolerance quanta before a slot is eligible to sleep,
+    /// in `[1,` [`MAX_WAKE_STEADY_QUANTA`]`]` when [`Self::wake_horizon`]
+    /// is nonzero, and exactly `0` when it is zero (the pair is kept
+    /// canonical so knob-off scenarios serialise to their pre-knob bytes).
+    pub wake_steady_quanta: u32,
 }
 
 // Serialisation is hand-written (instead of derived, as for every other
@@ -114,6 +126,16 @@ impl Serialize for Scenario {
             entries.push((
                 "arbitration_tolerance".to_string(),
                 self.arbitration_tolerance.to_value(),
+            ));
+        }
+        // And again for the wake-scheduler pair: absent until a mutation
+        // turns the scheduler on (sanitize zeroes `wake_steady_quanta`
+        // whenever the horizon is zero, so one gate covers both).
+        if self.wake_horizon != 0 {
+            entries.push(("wake_horizon".to_string(), self.wake_horizon.to_value()));
+            entries.push((
+                "wake_steady_quanta".to_string(),
+                self.wake_steady_quanta.to_value(),
             ));
         }
         serde::ser::Value::Object(entries)
@@ -155,6 +177,27 @@ impl Deserialize for Scenario {
                     })?
                 }
                 None => 0.0,
+            },
+            // Absent in pre-knob fixtures: an absent horizon is zero (the
+            // scheduler off), and likewise for the steady threshold.
+            wake_horizon: match entries.iter().find(|(key, _)| key == "wake_horizon") {
+                Some((_, horizon)) => usize::from_value(horizon).map_err(|e| {
+                    serde::de::DeError::new(format!(
+                        "field `wake_horizon` of `Scenario`: {e}"
+                    ))
+                })?,
+                None => 0,
+            },
+            wake_steady_quanta: match entries
+                .iter()
+                .find(|(key, _)| key == "wake_steady_quanta")
+            {
+                Some((_, steady)) => u32::from_value(steady).map_err(|e| {
+                    serde::de::DeError::new(format!(
+                        "field `wake_steady_quanta` of `Scenario`: {e}"
+                    ))
+                })?,
+                None => 0,
             },
         })
     }
@@ -219,6 +262,16 @@ impl Scenario {
             && self.fault_plan.is_well_formed(self.apps.len(), self.quanta)
             && self.arbitration_tolerance >= 0.0
             && self.arbitration_tolerance <= MAX_ARBITRATION_TOLERANCE
+            && self.wake_horizon <= MAX_WAKE_HORIZON
+            && if self.wake_horizon == 0 {
+                self.wake_steady_quanta == 0
+            } else {
+                // The scheduler rides on the incremental engine, so an
+                // enabled horizon requires a live tolerance, and the
+                // steady threshold must be a real (bounded) count.
+                self.arbitration_tolerance > 0.0
+                    && (1..=MAX_WAKE_STEADY_QUANTA).contains(&self.wake_steady_quanta)
+            }
     }
 
     /// Repairs the scenario in place into the well-formed domain by
@@ -265,6 +318,18 @@ impl Scenario {
         } else {
             0.0
         };
+        // Canonicalise the wake pair: the scheduler needs a live tolerance
+        // to ride on, an enabled horizon needs a real steady threshold,
+        // and a disabled one keeps both fields at their pre-knob zeroes.
+        self.wake_horizon = self.wake_horizon.min(MAX_WAKE_HORIZON);
+        if self.arbitration_tolerance == 0.0 {
+            self.wake_horizon = 0;
+        }
+        self.wake_steady_quanta = if self.wake_horizon == 0 {
+            0
+        } else {
+            self.wake_steady_quanta.clamp(1, MAX_WAKE_STEADY_QUANTA)
+        };
     }
 }
 
@@ -295,6 +360,16 @@ pub const MIN_TARGET_FRACTION: f64 = 0.01;
 /// relative request move always re-enters the fold, so no fuzzed scenario
 /// can freeze arbitration outright.
 pub const MAX_ARBITRATION_TOLERANCE: f64 = 0.5;
+
+/// Largest wake-scheduler sleep horizon after sanitization: every sleeping
+/// app re-enters observation within 128 quanta, so no fuzzed scenario can
+/// put a slot to sleep for an unbounded stretch of the schedule.
+pub const MAX_WAKE_HORIZON: usize = 128;
+
+/// Largest steady-streak threshold after sanitization: demanding more than
+/// 16 consecutive in-tolerance quanta before sleeping would make the
+/// scheduler a no-op on the short fuzz horizons.
+pub const MAX_WAKE_STEADY_QUANTA: u32 = 16;
 
 /// The priority tiers scenario generation draws from (the paper's platform
 /// distinguishes applications the operator cares about more).
@@ -359,6 +434,8 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     let quanta = 120;
@@ -387,6 +464,8 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     let mut tiered_apps = Vec::new();
@@ -410,6 +489,8 @@ pub fn scenario_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     vec![steady, staggered, tiered]
@@ -478,6 +559,8 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     // ---- budget-steps: 1200 apps under a stepping machine budget ------
@@ -515,6 +598,8 @@ pub fn extended_scenario_mixes(seed: u64) -> Vec<Scenario> {
         ],
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     vec![storm, stepped]
@@ -575,6 +660,8 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps,
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     // ---- flash-crowd: one-quantum mass landing ------------------------
@@ -610,6 +697,8 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     // ---- phase-shift: correlated phases within racks, staggered across -
@@ -639,6 +728,8 @@ pub fn vocabulary_mixes(seed: u64) -> Vec<Scenario> {
         budget_steps: Vec::new(),
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     vec![diurnal, flash_crowd, phase_shift]
@@ -731,6 +822,8 @@ pub fn chaos_mixes(seed: u64) -> Vec<Scenario> {
             ],
         },
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     // ---- rack-rogues: one misbehaving app per rack ---------------------
@@ -784,6 +877,8 @@ pub fn chaos_mixes(seed: u64) -> Vec<Scenario> {
             ],
         },
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
 
     vec![fault_storm, rack_rogues]
@@ -978,6 +1073,8 @@ mod tests {
                 }],
             },
             arbitration_tolerance: f64::NAN,
+            wake_horizon: usize::MAX,
+            wake_steady_quanta: u32::MAX,
         };
         assert!(!wrecked.is_well_formed());
         wrecked.sanitize();
@@ -1070,6 +1167,48 @@ mod tests {
             let back: Scenario = serde_json::from_str(&text).unwrap();
             assert_eq!(back, scenario, "{}", scenario.name);
         }
+    }
+
+    #[test]
+    fn wake_knobs_serialize_only_when_enabled() {
+        // Byte-compat pin: knob-off scenarios must not mention the wake
+        // fields at all (same discipline as fault_plan and tolerance).
+        let steady = &scenario_mixes(2012)[0];
+        let text = serde_json::to_string_pretty(steady).unwrap();
+        assert!(!text.contains("wake_horizon"), "{text}");
+
+        let mut on = steady.clone();
+        on.arbitration_tolerance = 0.1;
+        on.wake_horizon = 32;
+        on.wake_steady_quanta = 2;
+        assert!(on.is_well_formed());
+        let text = serde_json::to_string_pretty(&on).unwrap();
+        assert!(text.contains("wake_horizon"), "{text}");
+        assert!(text.contains("wake_steady_quanta"), "{text}");
+        let back: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, on, "the wake pair round-trips");
+    }
+
+    #[test]
+    fn sanitize_keeps_the_wake_pair_canonical() {
+        let mut scenario = scenario_mixes(2012)[0].clone();
+        // A horizon without a tolerance has no engine to ride on: the
+        // whole pair collapses back to off.
+        scenario.wake_horizon = 40;
+        scenario.wake_steady_quanta = 3;
+        assert!(!scenario.is_well_formed());
+        scenario.sanitize();
+        assert_eq!((scenario.wake_horizon, scenario.wake_steady_quanta), (0, 0));
+        assert!(scenario.is_well_formed());
+        // Enabled but out of range: both knobs clamp into the canonical
+        // domain (horizon to the cap, a zero streak up to one).
+        scenario.arbitration_tolerance = 0.2;
+        scenario.wake_horizon = 9_999;
+        scenario.wake_steady_quanta = 0;
+        scenario.sanitize();
+        assert_eq!(scenario.wake_horizon, MAX_WAKE_HORIZON);
+        assert_eq!(scenario.wake_steady_quanta, 1);
+        assert!(scenario.is_well_formed());
     }
 
     #[test]

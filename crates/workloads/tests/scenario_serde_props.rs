@@ -49,6 +49,7 @@ fn decode_scenario(
     step_fractions: &[f64],
     fault_picks: &[usize],
     arbitration_tolerance: f64,
+    wake: (usize, u32),
 ) -> Scenario {
     let apps: Vec<ScenarioApp> = benches
         .iter()
@@ -95,6 +96,8 @@ fn decode_scenario(
         budget_steps,
         fault_plan: FaultPlan { faults },
         arbitration_tolerance,
+        wake_horizon: wake.0,
+        wake_steady_quanta: wake.1,
     }
 }
 
@@ -102,6 +105,10 @@ fn decode_scenario(
 /// must stay heavily represented so the round trip keeps covering both
 /// serialised shapes.
 const TOLERANCES: [f64; 5] = [0.0, 0.0, 0.1, 0.25, 0.5];
+
+/// Wake-scheduler pairs a proptest pick maps onto — off (the omitted
+/// encoding) stays heavily represented, like [`TOLERANCES`].
+const WAKES: [(usize, u32); 5] = [(0, 0), (0, 0), (8, 1), (32, 2), (128, 16)];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -122,11 +129,13 @@ proptest! {
         step_fractions in proptest::collection::vec(0.05..1.0f64, 4),
         fault_picks in proptest::collection::vec(0usize..1_000, 0..8),
         tolerance_pick in 0usize..8,
+        wake_pick in 0usize..8,
     ) {
         let scenario = decode_scenario(
             name_pick, &benches, &seeds, &weights, &arrivals, &departures, &targets,
             &racks, quanta, budget, &step_quanta, &step_fractions, &fault_picks,
             TOLERANCES[tolerance_pick % TOLERANCES.len()],
+            WAKES[wake_pick % WAKES.len()],
         );
 
         let compact = serde_json::to_string(&scenario).unwrap();

@@ -37,6 +37,8 @@ fn main() {
         }],
         fault_plan: FaultPlan::default(),
         arbitration_tolerance: 0.0,
+        wake_horizon: 0,
+        wake_steady_quanta: 0,
     };
     println!(
         "four applications, {} quanta of {QUANTUM_SECONDS:.0} s, budget {:.0} W above idle \
